@@ -1,0 +1,44 @@
+#ifndef MAXSON_BENCH_BENCH_UTIL_H_
+#define MAXSON_BENCH_BENCH_UTIL_H_
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace maxson::bench {
+
+/// Scratch directory for a bench's generated warehouse; removed on
+/// destruction unless KEEP_BENCH_DATA=1 is set.
+class BenchWorkspace {
+ public:
+  explicit BenchWorkspace(const std::string& name) {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("maxson_bench_" + name + "_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~BenchWorkspace() {
+    if (std::getenv("KEEP_BENCH_DATA") == nullptr) {
+      std::filesystem::remove_all(dir_);
+    }
+  }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+inline void PrintHeader(const char* experiment, const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace maxson::bench
+
+#endif  // MAXSON_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,54 @@
+// Fig. 4: number of queries that contain each JSONPath.
+//
+// Regenerates the power-law popularity series over the synthetic trace and
+// checks the paper's summary statistics: 89% of the parsing traffic falls
+// on 27% of the JSONPaths, and the average JSONPath is requested by ~14
+// queries. (Our scaled-down trace reproduces the skew; the mean is higher
+// because the path universe is proportionally smaller — see EXPERIMENTS.md.)
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/trace_generator.h"
+#include "workload/workload_stats.h"
+
+int main() {
+  maxson::bench::PrintHeader(
+      "Fig. 4 — number of queries containing each JSONPath",
+      "power law: 89% of parsing traffic on 27% of JSONPaths; "
+      "mean ~14 queries per path");
+
+  const maxson::workload::Trace trace =
+      maxson::workload::GenerateTrace(maxson::workload::TraceGeneratorConfig{});
+  const auto counts = maxson::workload::PathQueryCounts(trace);
+
+  std::printf("%zu distinct JSONPaths; top of the distribution:\n",
+              counts.size());
+  std::printf("%-8s %-44s %10s\n", "rank", "jsonpath", "queries");
+  for (size_t i = 0; i < counts.size() && i < 15; ++i) {
+    std::printf("%-8zu %-44s %10llu\n", i + 1, counts[i].key.c_str(),
+                static_cast<unsigned long long>(counts[i].query_count));
+  }
+  std::printf("   ...\n");
+  // Decile view of the long tail.
+  std::printf("\nper-decile query counts (rank percentile -> count):\n");
+  for (int decile = 0; decile <= 9; ++decile) {
+    const size_t idx = std::min(counts.size() - 1,
+                                counts.size() * static_cast<size_t>(decile) / 10);
+    std::printf("  p%02d  %8llu\n", decile * 10,
+                static_cast<unsigned long long>(counts[idx].query_count));
+  }
+
+  for (double fraction : {0.10, 0.27, 0.50}) {
+    const auto power = maxson::workload::SummarizePowerLaw(counts, fraction);
+    std::printf("\ntop %4.0f%% of paths carry %5.1f%% of traffic",
+                fraction * 100, power.traffic_share * 100);
+    if (fraction == 0.27) std::printf("   (paper: 89%%)");
+  }
+  const auto summary = maxson::workload::SummarizePowerLaw(counts, 0.27);
+  std::printf("\nmean queries per path: %.1f (paper: ~14)\n",
+              summary.mean_queries_per_path);
+  std::printf("duplicate parse traffic share: %.1f%% (paper: >89%%)\n",
+              maxson::workload::DuplicateParseTrafficShare(trace) * 100);
+  return 0;
+}

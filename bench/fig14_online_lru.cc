@@ -1,0 +1,186 @@
+// Fig. 14: Maxson's prediction-based caching vs conventional online
+// caching with LRU replacement — cache hit ratio and total execution time.
+//
+// Substitution note (DESIGN.md): the paper replays the full production
+// trace on a cluster. We replay the synthetic trace through a calibrated
+// cost model: per JSONPath access, a miss costs the measured parse time of
+// one record-batch scan, a hit costs the measured cache-read time. The LRU
+// baseline admits values only after a query pays the miss; Maxson
+// pre-parses its predicted MPJPs at midnight (pre-parse cost charged
+// off-peak, matching the paper's setup). The claim under test is the
+// *mechanism* gap: LRU misses the first access of each day and evicts
+// values that other users still need; prediction-based caching serves the
+// first access warm.
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/time_util.h"
+#include "core/collector.h"
+#include "core/lru_cache.h"
+#include "core/predictor.h"
+#include "json/dom_parser.h"
+#include "json/json_path.h"
+#include "workload/data_generator.h"
+#include "workload/trace_generator.h"
+
+using maxson::core::JsonPathCollector;
+using maxson::core::LruValueCache;
+
+namespace {
+
+/// Measures per-access costs on real data: DOM-parse a record vs read a
+/// cached value.
+struct CostModel {
+  double parse_seconds_per_access;
+  double read_seconds_per_access;
+};
+
+CostModel Calibrate() {
+  maxson::workload::JsonTableSpec spec;
+  spec.table = "calib";
+  spec.num_properties = 17;
+  spec.avg_json_bytes = 800;
+  std::vector<std::string> records;
+  for (int i = 0; i < 2000; ++i) {
+    records.push_back(
+        maxson::workload::GenerateJsonRecord(spec, static_cast<uint64_t>(i)));
+  }
+  auto path = maxson::json::JsonPath::Parse("$.f2");
+  maxson::Stopwatch parse_timer;
+  size_t hits = 0;
+  for (const std::string& r : records) {
+    auto v = maxson::json::GetJsonObject(r, *path);
+    if (v.ok()) ++hits;
+  }
+  const double parse = parse_timer.ElapsedSeconds() / records.size();
+  // Cached read: string copy of the (small) extracted value.
+  std::vector<std::string> cached(records.size(), "42");
+  maxson::Stopwatch read_timer;
+  size_t total = 0;
+  for (const std::string& v : cached) total += v.size();
+  double read = read_timer.ElapsedSeconds() / records.size();
+  // Floor the read cost at a realistic fraction: I/O still happens.
+  read = std::max(read, parse / 50.0);
+  (void)hits;
+  (void)total;
+  return CostModel{parse, read};
+}
+
+}  // namespace
+
+int main() {
+  maxson::bench::PrintHeader(
+      "Fig. 14 — Maxson (prediction-based) vs online LRU caching",
+      "LRU has lower hit ratio and higher execution time: first accesses "
+      "miss, and spatially-correlated queries arrive too close together");
+
+  const CostModel cost = Calibrate();
+  std::printf("cost model: miss=%.1f us/access (parse), hit=%.2f us/access "
+              "(cache read)\n\n",
+              cost.parse_seconds_per_access * 1e6,
+              cost.read_seconds_per_access * 1e6);
+
+  maxson::workload::TraceGeneratorConfig trace_config;
+  trace_config.num_days = 45;
+  const auto trace = maxson::workload::GenerateTrace(trace_config);
+  JsonPathCollector collector;
+  collector.RecordTrace(trace);
+
+  // Train the predictor on history (target days 10..30).
+  maxson::core::PredictorConfig predictor_config;
+  predictor_config.epochs = 8;
+  maxson::core::JsonPathPredictor predictor(predictor_config);
+  auto samples = predictor.BuildDataset(collector, 10, 30);
+  if (auto st = predictor.Train(samples); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Per-path synthetic value footprint (bytes per cached path per day):
+  // proportional to popularity-independent record counts; keep it simple
+  // and uniform.
+  const uint64_t kBytesPerPath = 1 << 20;
+  // Cache capacity: half of the average daily MPJP footprint, so both
+  // systems face real pressure.
+  std::set<std::string> sample_day_mpjps;
+  for (const auto& key : collector.PathsWithCountAtLeast(32, 2)) {
+    sample_day_mpjps.insert(key);
+  }
+  const uint64_t capacity =
+      kBytesPerPath * std::max<uint64_t>(1, sample_day_mpjps.size() / 2);
+  std::printf("cache capacity: %llu MiB (half of a typical day's MPJP "
+              "footprint)\n\n",
+              static_cast<unsigned long long>(capacity >> 20));
+
+  // --- Online LRU replay over the evaluation window (days 32..44). ---
+  LruValueCache lru(capacity);
+  double lru_time = 0.0;
+  int current_day = -1;
+  for (const auto& query : trace.queries) {
+    if (query.date < 32 || query.date > 44) continue;
+    if (query.date != current_day) {
+      // Data updated daily: yesterday's parsed values are stale.
+      lru.Clear();
+      current_day = query.date;
+    }
+    for (const auto& path : query.paths) {
+      const std::string key = path.Key();
+      if (lru.Get(key)) {
+        lru_time += cost.read_seconds_per_access;
+      } else {
+        lru_time += cost.parse_seconds_per_access;
+        lru.Put(key, kBytesPerPath);
+      }
+    }
+  }
+
+  // --- Maxson replay: midnight pre-caching from predictions. ---
+  uint64_t maxson_hits = 0;
+  uint64_t maxson_misses = 0;
+  double maxson_time = 0.0;
+  double precache_time = 0.0;
+  for (int day = 32; day <= 44; ++day) {
+    const auto predicted_vec = predictor.PredictMpjps(collector, day);
+    // Budgeted admission in score order is approximated by popularity
+    // order here; capacity allows half the set.
+    std::set<std::string> cached;
+    uint64_t used = 0;
+    for (const auto& key : predicted_vec) {
+      if (used + kBytesPerPath > capacity) break;
+      cached.insert(key);
+      used += kBytesPerPath;
+      precache_time += cost.parse_seconds_per_access;  // off-peak pre-parse
+    }
+    for (const auto& query : trace.queries) {
+      if (query.date != day) continue;
+      for (const auto& path : query.paths) {
+        if (cached.count(path.Key()) != 0) {
+          ++maxson_hits;
+          maxson_time += cost.read_seconds_per_access;
+        } else {
+          ++maxson_misses;
+          maxson_time += cost.parse_seconds_per_access;
+        }
+      }
+    }
+  }
+  const double maxson_ratio =
+      static_cast<double>(maxson_hits) /
+      static_cast<double>(std::max<uint64_t>(1, maxson_hits + maxson_misses));
+
+  std::printf("%-28s %12s %16s\n", "policy", "hit ratio", "exec time (s)");
+  std::printf("%-28s %11.1f%% %16.2f\n", "online LRU", lru.HitRatio() * 100,
+              lru_time);
+  std::printf("%-28s %11.1f%% %16.2f   (+%.2f s off-peak pre-parse)\n",
+              "Maxson (prediction-based)", maxson_ratio * 100, maxson_time,
+              precache_time);
+  std::printf("\nMaxson hit ratio higher: %s; Maxson exec time lower: %s "
+              "(paper: yes / yes)\n",
+              maxson_ratio > lru.HitRatio() ? "YES" : "NO",
+              maxson_time < lru_time ? "YES" : "NO");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Fig. 15: per-query running time of the ten Table II queries under
+// Spark+Jackson, Spark+Mison, Maxson, and Maxson+Mison (cache limit at the
+// "300GB"-equivalent, i.e. most MPJPs cached).
+//
+// Paper shape: Mison cuts Spark's parse time notably (most where the JSON
+// pattern is stable); for queries whose paths are cached, Maxson beats
+// even Mison because it pays no parsing at all; queries whose paths were
+// not cached (Q1/Q5/Q8 in the paper) benefit from Mison as a complement.
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "catalog/catalog.h"
+#include "core/cacher.h"
+#include "core/maxson.h"
+#include "workload/query_templates.h"
+
+using maxson::core::MaxsonConfig;
+using maxson::core::MaxsonSession;
+using maxson::core::ScoredMpjp;
+using maxson::engine::JsonBackend;
+using maxson::workload::BenchmarkQuery;
+
+int main() {
+  maxson::bench::PrintHeader(
+      "Fig. 15 — Spark+Jackson vs Spark+Mison vs Maxson vs Maxson+Mison",
+      "Mison speeds up parsing (best on stable schemas); cached queries "
+      "run fastest under Maxson; Mison complements uncached paths");
+
+  maxson::bench::BenchWorkspace workspace("fig15");
+  maxson::catalog::Catalog catalog;
+  maxson::workload::BenchmarkSuiteOptions suite;
+  suite.bytes_per_table = 4ull << 20;
+  suite.max_rows = 20000;
+  auto queries = maxson::workload::MakeTableIIQueries(suite);
+  std::printf("generating the 10 Table II tables...\n");
+  if (auto st = maxson::workload::GenerateBenchmarkTables(
+          queries, workspace.dir() + "/warehouse", suite, &catalog);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Two sessions sharing one cache: DOM-backed and Mison-backed engines.
+  MaxsonConfig dom_config;
+  dom_config.cache_root = workspace.dir() + "/cache";
+  dom_config.engine.default_database = "bench";
+  dom_config.predictor.epochs = 6;
+  MaxsonSession dom(&catalog, dom_config);
+
+  MaxsonConfig mison_config = dom_config;
+  mison_config.engine.json_backend = JsonBackend::kMison;
+  MaxsonSession mison(&catalog, mison_config);
+
+  // History + training on the DOM session; 75%-of-footprint budget models
+  // the paper's 300 GB setting (not everything fits; Q1/Q5/Q8-style
+  // leftovers stay uncached).
+  for (int day = 0; day < 14; ++day) {
+    for (const BenchmarkQuery& q : queries) {
+      for (int rep = 0; rep < 2; ++rep) {
+        maxson::workload::QueryRecord record;
+        record.date = day;
+        record.paths = q.paths;
+        dom.collector()->Record(record);
+      }
+    }
+  }
+  if (auto st = dom.TrainPredictor(8, 13); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const auto predicted = dom.predictor()->PredictMpjps(*dom.collector(), 14);
+  auto scored = dom.ScoreCandidates(predicted, 14);
+  if (!scored.ok()) {
+    std::fprintf(stderr, "%s\n", scored.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t total_bytes = 0;
+  for (const auto& s : *scored) total_bytes += s.candidate.estimated_cache_bytes;
+  auto selected = maxson::core::SelectWithinBudget(
+      *scored, static_cast<uint64_t>(total_bytes * 0.75));
+  maxson::core::JsonPathCacher cacher(&catalog, dom_config.cache_root);
+  auto stats = cacher.RepopulateCache(selected, 14, dom.registry());
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  // Mirror the registry into the Mison session (shared cache tables).
+  for (const auto& [key, entry] : dom.registry()->entries()) {
+    mison.registry()->Put(entry);
+  }
+  std::set<std::string> cached_keys;
+  for (const auto& s : selected) cached_keys.insert(s.candidate.location.Key());
+  std::printf("cached %zu/%zu MPJPs at the 75%%-footprint budget\n\n",
+              selected.size(), scored->size());
+
+  std::printf("%-5s %7s | %14s %12s %8s %12s | %s\n", "query", "cached",
+              "Spark+Jackson", "Spark+Mison", "Maxson", "Maxson+Mison",
+              "speedup(Maxson vs Jackson)");
+  double sum_speedup = 0;
+  double min_speedup = 1e30;
+  double max_speedup = 0;
+  for (const BenchmarkQuery& q : queries) {
+    size_t cached = 0;
+    for (const auto& p : q.paths) {
+      if (cached_keys.count(p.Key()) != 0) ++cached;
+    }
+    auto jackson = dom.ExecuteWithoutCache(q.sql);
+    auto spark_mison = mison.ExecuteWithoutCache(q.sql);
+    auto maxson_run = dom.Execute(q.sql);
+    auto maxson_mison = mison.Execute(q.sql);
+    if (!jackson.ok() || !spark_mison.ok() || !maxson_run.ok() ||
+        !maxson_mison.ok()) {
+      std::fprintf(stderr, "%s failed\n", q.name.c_str());
+      return 1;
+    }
+    const double tj = jackson->metrics.TotalSeconds() * 1e3;
+    const double tm = spark_mison->metrics.TotalSeconds() * 1e3;
+    const double tx = maxson_run->metrics.TotalSeconds() * 1e3;
+    const double txm = maxson_mison->metrics.TotalSeconds() * 1e3;
+    const double speedup = tj / std::max(1e-9, tx);
+    sum_speedup += speedup;
+    min_speedup = std::min(min_speedup, speedup);
+    max_speedup = std::max(max_speedup, speedup);
+    std::printf("%-5s %4zu/%-2zu | %12.1fms %10.1fms %6.1fms %10.1fms | %6.1fx\n",
+                q.name.c_str(), cached, q.paths.size(), tj, tm, tx, txm,
+                speedup);
+  }
+  std::printf("\nMaxson speedup over Spark+Jackson: min %.1fx, mean %.1fx, "
+              "max %.1fx (paper: 1.5x - 6.5x; Q10 up to 45x)\n",
+              min_speedup, sum_speedup / 10.0, max_speedup);
+  return 0;
+}

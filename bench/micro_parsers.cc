@@ -1,0 +1,151 @@
+// Microbenchmarks (google-benchmark) of the primitives behind every
+// experiment: DOM parse, Mison structural-index extraction (stable and
+// variable schemas), JSONPath evaluation, CORC scan/skip throughput.
+//
+// These are the calibration numbers behind the Fig. 14 cost model and the
+// sanity floor under Figs. 3/12/15.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "json/dom_parser.h"
+#include "json/json_path.h"
+#include "json/mison_parser.h"
+#include "storage/corc_reader.h"
+#include "storage/corc_writer.h"
+#include "storage/file_system.h"
+#include "workload/data_generator.h"
+
+namespace {
+
+std::vector<std::string> MakeRecords(int n, int properties, int avg_bytes,
+                                     double variability) {
+  maxson::workload::JsonTableSpec spec;
+  spec.table = "bench";
+  spec.num_properties = properties;
+  spec.avg_json_bytes = avg_bytes;
+  spec.schema_variability = variability;
+  std::vector<std::string> records;
+  records.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    records.push_back(
+        maxson::workload::GenerateJsonRecord(spec, static_cast<uint64_t>(i)));
+  }
+  return records;
+}
+
+void BM_DomParse(benchmark::State& state) {
+  const auto records =
+      MakeRecords(256, 20, static_cast<int>(state.range(0)), 0.0);
+  size_t i = 0;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto doc = maxson::json::ParseJson(records[i % records.size()]);
+    benchmark::DoNotOptimize(doc);
+    bytes += records[i % records.size()].size();
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_DomParse)->Arg(400)->Arg(2000)->Arg(8000);
+
+void BM_MisonExtract(benchmark::State& state) {
+  const bool variable = state.range(1) != 0;
+  const auto records = MakeRecords(256, 20, static_cast<int>(state.range(0)),
+                                   variable ? 0.8 : 0.0);
+  auto path = maxson::json::JsonPath::Parse("$.f2");
+  maxson::json::MisonParser parser;
+  size_t i = 0;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto value = parser.Extract(records[i % records.size()], *path);
+    benchmark::DoNotOptimize(value);
+    bytes += records[i % records.size()].size();
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+  state.SetLabel(variable ? "variable-schema" : "stable-schema");
+}
+BENCHMARK(BM_MisonExtract)->Args({2000, 0})->Args({2000, 1})->Args({8000, 0});
+
+void BM_GetJsonObject(benchmark::State& state) {
+  const auto records = MakeRecords(256, 20, 800, 0.0);
+  auto path = maxson::json::JsonPath::Parse("$.f1");
+  size_t i = 0;
+  for (auto _ : state) {
+    auto value =
+        maxson::json::GetJsonObject(records[i % records.size()], *path);
+    benchmark::DoNotOptimize(value);
+    ++i;
+  }
+}
+BENCHMARK(BM_GetJsonObject);
+
+void BM_JsonPathParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto path = maxson::json::JsonPath::Parse("$.store.book[3].title");
+    benchmark::DoNotOptimize(path);
+  }
+}
+BENCHMARK(BM_JsonPathParse);
+
+class CorcFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (!path_.empty()) return;
+    path_ = "/tmp/maxson_micro_corc_" + std::to_string(::getpid()) + ".corc";
+    maxson::storage::Schema schema;
+    schema.AddField("id", maxson::storage::TypeKind::kInt64);
+    schema.AddField("payload", maxson::storage::TypeKind::kString);
+    maxson::storage::CorcWriterOptions options;
+    options.rows_per_group = 1000;
+    maxson::storage::CorcWriter writer(path_, schema, options);
+    (void)writer.Open();
+    const auto records = MakeRecords(200, 17, 600, 0.0);
+    for (int i = 0; i < 20000; ++i) {
+      (void)writer.AppendRow(
+          {maxson::storage::Value::Int64(i),
+           maxson::storage::Value::String(records[i % records.size()])});
+    }
+    (void)writer.Close();
+  }
+
+ protected:
+  static std::string path_;
+};
+std::string CorcFixture::path_;
+
+BENCHMARK_F(CorcFixture, FullScan)(benchmark::State& state) {
+  for (auto _ : state) {
+    maxson::storage::CorcReader reader(path_);
+    (void)reader.Open();
+    maxson::storage::ReadStats stats;
+    auto batch = reader.ReadStripe(0, {0, 1}, std::nullopt, &stats);
+    benchmark::DoNotOptimize(batch);
+    state.SetBytesProcessed(state.bytes_processed() +
+                            static_cast<int64_t>(stats.bytes_read));
+  }
+}
+
+BENCHMARK_F(CorcFixture, SargSkipScan)(benchmark::State& state) {
+  for (auto _ : state) {
+    maxson::storage::CorcReader reader(path_);
+    (void)reader.Open();
+    maxson::storage::SearchArgument sarg;
+    sarg.AddLeaf(maxson::storage::SargLeaf{
+        "id", maxson::storage::SargOp::kGt,
+        maxson::storage::Value::Int64(18000)});
+    auto include = reader.ComputeRowGroupInclusion(0, sarg);
+    maxson::storage::ReadStats stats;
+    auto batch = reader.ReadStripe(0, {0, 1}, *include, &stats);
+    benchmark::DoNotOptimize(batch);
+    state.SetBytesProcessed(state.bytes_processed() +
+                            static_cast<int64_t>(stats.bytes_read));
+  }
+}
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Parser comparison: DOM ("Jackson") vs structural-index ("Mison") on the
+// same extraction workload, including the schema-variability effect that
+// drives the paper's Fig. 15 discussion.
+//
+//   ./build/examples/parser_comparison
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/time_util.h"
+#include "json/json_path.h"
+#include "json/mison_parser.h"
+#include "workload/data_generator.h"
+
+using maxson::Stopwatch;
+using maxson::json::JsonPath;
+using maxson::json::MisonParser;
+using maxson::workload::GenerateJsonRecord;
+using maxson::workload::JsonTableSpec;
+
+namespace {
+
+double ExtractAllDom(const std::vector<std::string>& records,
+                     const JsonPath& path) {
+  Stopwatch timer;
+  size_t found = 0;
+  for (const std::string& text : records) {
+    auto value = maxson::json::GetJsonObject(text, path);
+    if (value.ok()) ++found;
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  std::printf("    DOM parser:   %7.1f ms (%zu/%zu found)\n", elapsed * 1e3,
+              found, records.size());
+  return elapsed;
+}
+
+double ExtractAllMison(const std::vector<std::string>& records,
+                       const JsonPath& path, MisonParser* parser) {
+  Stopwatch timer;
+  size_t found = 0;
+  for (const std::string& text : records) {
+    auto value = parser->Extract(text, path);
+    if (value.ok()) ++found;
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  std::printf("    Mison parser: %7.1f ms (%zu/%zu found, speculation "
+              "hits=%llu misses=%llu)\n",
+              elapsed * 1e3, found, records.size(),
+              static_cast<unsigned long long>(parser->speculation_hits()),
+              static_cast<unsigned long long>(parser->speculation_misses()));
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  const int kRecords = 20000;
+  auto path = JsonPath::Parse("$.f2");
+  if (!path.ok()) return 1;
+
+  for (const bool variable : {false, true}) {
+    JsonTableSpec spec;
+    spec.table = "demo";
+    spec.num_properties = 40;
+    spec.avg_json_bytes = 1200;
+    spec.schema_variability = variable ? 0.8 : 0.0;
+    std::vector<std::string> records;
+    records.reserve(kRecords);
+    for (int i = 0; i < kRecords; ++i) {
+      records.push_back(GenerateJsonRecord(spec, static_cast<uint64_t>(i)));
+    }
+    std::printf("  %s schema (%d records, ~%d B each):\n",
+                variable ? "VARIABLE" : "stable", kRecords,
+                spec.avg_json_bytes);
+    const double dom = ExtractAllDom(records, *path);
+    MisonParser mison;
+    const double fast = ExtractAllMison(records, *path, &mison);
+    std::printf("    -> Mison speedup over DOM: %.1fx\n\n", dom / fast);
+  }
+
+  std::printf("Takeaway: structural-index parsing wins big on stable "
+              "schemas and degrades\nwhen field order varies — which is why "
+              "the paper pairs Maxson's caching\n(immune to schema "
+              "variability) with Mison for the uncached paths.\n");
+  return 0;
+}

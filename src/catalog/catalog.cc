@@ -1,0 +1,171 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "json/dom_parser.h"
+#include "json/json_value.h"
+#include "json/json_writer.h"
+
+namespace maxson::catalog {
+
+using json::JsonValue;
+
+Status Catalog::CreateDatabase(const std::string& name) {
+  if (HasDatabase(name)) {
+    return Status::AlreadyExists("database " + name + " exists");
+  }
+  databases_.push_back(name);
+  return Status::Ok();
+}
+
+bool Catalog::HasDatabase(const std::string& name) const {
+  return std::find(databases_.begin(), databases_.end(), name) !=
+         databases_.end();
+}
+
+Status Catalog::CreateTable(TableInfo info) {
+  if (!HasDatabase(info.database)) {
+    return Status::NotFound("database " + info.database + " not found");
+  }
+  const std::string key = Key(info.database, info.name);
+  if (tables_.count(key) != 0) {
+    return Status::AlreadyExists("table " + key + " exists");
+  }
+  tables_.emplace(key, std::move(info));
+  return Status::Ok();
+}
+
+Status Catalog::DropTable(const std::string& database,
+                          const std::string& name) {
+  if (tables_.erase(Key(database, name)) == 0) {
+    return Status::NotFound("table " + Key(database, name) + " not found");
+  }
+  return Status::Ok();
+}
+
+Result<const TableInfo*> Catalog::GetTable(const std::string& database,
+                                           const std::string& name) const {
+  auto it = tables_.find(Key(database, name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + Key(database, name) + " not found");
+  }
+  return &it->second;
+}
+
+bool Catalog::HasTable(const std::string& database,
+                       const std::string& name) const {
+  return tables_.count(Key(database, name)) != 0;
+}
+
+Status Catalog::TouchTable(const std::string& database,
+                           const std::string& name, int64_t timestamp) {
+  auto it = tables_.find(Key(database, name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + Key(database, name) + " not found");
+  }
+  it->second.last_modified = timestamp;
+  return Status::Ok();
+}
+
+std::vector<const TableInfo*> Catalog::ListTables(
+    const std::string& database) const {
+  std::vector<const TableInfo*> out;
+  for (const auto& [key, info] : tables_) {
+    if (info.database == database) out.push_back(&info);
+  }
+  return out;
+}
+
+std::vector<std::string> Catalog::ListDatabases() const { return databases_; }
+
+std::string Catalog::ToJson() const {
+  JsonValue root = JsonValue::Object();
+  JsonValue dbs = JsonValue::Array();
+  for (const std::string& db : databases_) dbs.Append(JsonValue::String(db));
+  root.Set("databases", std::move(dbs));
+
+  JsonValue tables = JsonValue::Array();
+  for (const auto& [key, info] : tables_) {
+    JsonValue tj = JsonValue::Object();
+    tj.Set("database", JsonValue::String(info.database));
+    tj.Set("name", JsonValue::String(info.name));
+    tj.Set("location", JsonValue::String(info.location));
+    tj.Set("last_modified", JsonValue::Int(info.last_modified));
+    JsonValue fields = JsonValue::Array();
+    for (const storage::Field& f : info.schema.fields()) {
+      JsonValue fj = JsonValue::Object();
+      fj.Set("name", JsonValue::String(f.name));
+      fj.Set("type", JsonValue::Int(static_cast<int>(f.type)));
+      fields.Append(std::move(fj));
+    }
+    tj.Set("fields", std::move(fields));
+    tables.Append(std::move(tj));
+  }
+  root.Set("tables", std::move(tables));
+  return json::WriteJson(root);
+}
+
+Result<Catalog> Catalog::FromJson(const std::string& text) {
+  MAXSON_ASSIGN_OR_RETURN(JsonValue root, json::ParseJson(text));
+  if (!root.is_object()) return Status::ParseError("catalog not an object");
+  Catalog catalog;
+  const JsonValue* dbs = root.Find("databases");
+  if (dbs == nullptr || !dbs->is_array()) {
+    return Status::ParseError("catalog missing databases");
+  }
+  for (const JsonValue& db : dbs->elements()) {
+    catalog.databases_.push_back(db.string_value());
+  }
+  const JsonValue* tables = root.Find("tables");
+  if (tables == nullptr || !tables->is_array()) {
+    return Status::ParseError("catalog missing tables");
+  }
+  for (const JsonValue& tj : tables->elements()) {
+    TableInfo info;
+    const JsonValue* database = tj.Find("database");
+    const JsonValue* name = tj.Find("name");
+    const JsonValue* location = tj.Find("location");
+    const JsonValue* modified = tj.Find("last_modified");
+    const JsonValue* fields = tj.Find("fields");
+    if (database == nullptr || name == nullptr || location == nullptr ||
+        modified == nullptr || fields == nullptr || !fields->is_array()) {
+      return Status::ParseError("bad table entry in catalog");
+    }
+    info.database = database->string_value();
+    info.name = name->string_value();
+    info.location = location->string_value();
+    info.last_modified = modified->int_value();
+    for (const JsonValue& fj : fields->elements()) {
+      const JsonValue* fname = fj.Find("name");
+      const JsonValue* ftype = fj.Find("type");
+      if (fname == nullptr || ftype == nullptr) {
+        return Status::ParseError("bad field entry in catalog");
+      }
+      info.schema.AddField(fname->string_value(),
+                           static_cast<storage::TypeKind>(ftype->int_value()));
+    }
+    catalog.tables_.emplace(Key(info.database, info.name), std::move(info));
+  }
+  return catalog;
+}
+
+Status Catalog::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot write " + path);
+  out << ToJson();
+  out.close();
+  if (out.fail()) return Status::IoError("write failed on " + path);
+  return Status::Ok();
+}
+
+Result<Catalog> Catalog::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot read " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return FromJson(buffer.str());
+}
+
+}  // namespace maxson::catalog

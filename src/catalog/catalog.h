@@ -1,0 +1,78 @@
+#ifndef MAXSON_CATALOG_CATALOG_H_
+#define MAXSON_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time_util.h"
+#include "storage/schema.h"
+
+namespace maxson::catalog {
+
+/// Metadata of one warehouse table. Tables live in CORC format at
+/// `location` (a directory of part files). `last_modified` is the logical
+/// timestamp the cache-validity check of Algorithm 1 compares against.
+struct TableInfo {
+  std::string database;
+  std::string name;
+  storage::Schema schema;
+  std::string location;
+  /// Logical modification clock: ticks whenever data is appended. Compared
+  /// against CacheEntry::cache_time in MaxsonParser's validity check.
+  int64_t last_modified = 0;
+
+  std::string QualifiedName() const { return database + "." + name; }
+};
+
+/// In-process Hive-metastore stand-in: databases and tables with schemas,
+/// locations and modification times, persisted as JSON so that a warehouse
+/// directory can be reopened across runs.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Status CreateDatabase(const std::string& name);
+  bool HasDatabase(const std::string& name) const;
+
+  /// Registers a table. Fails with kAlreadyExists on duplicates.
+  Status CreateTable(TableInfo info);
+
+  /// Drops a table; missing table is an error.
+  Status DropTable(const std::string& database, const std::string& name);
+
+  /// Looks up a table; the pointer is valid until the catalog is mutated.
+  Result<const TableInfo*> GetTable(const std::string& database,
+                                    const std::string& name) const;
+
+  bool HasTable(const std::string& database, const std::string& name) const;
+
+  /// Advances a table's logical modification time to `timestamp`.
+  Status TouchTable(const std::string& database, const std::string& name,
+                    int64_t timestamp);
+
+  std::vector<const TableInfo*> ListTables(const std::string& database) const;
+  std::vector<std::string> ListDatabases() const;
+
+  /// Serializes the whole catalog to JSON text / restores from it.
+  std::string ToJson() const;
+  static Result<Catalog> FromJson(const std::string& text);
+
+  /// Saves to / loads from `path`.
+  Status Save(const std::string& path) const;
+  static Result<Catalog> Load(const std::string& path);
+
+ private:
+  static std::string Key(const std::string& database, const std::string& name) {
+    return database + "." + name;
+  }
+
+  std::vector<std::string> databases_;
+  std::map<std::string, TableInfo> tables_;  // key = "db.table"
+};
+
+}  // namespace maxson::catalog
+
+#endif  // MAXSON_CATALOG_CATALOG_H_

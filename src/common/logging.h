@@ -1,0 +1,75 @@
+#ifndef MAXSON_COMMON_LOGGING_H_
+#define MAXSON_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace maxson {
+
+/// Severity of a log record; kFatal aborts the process after logging.
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+/// Process-wide minimum level below which log records are dropped.
+/// Defaults to kInfo; tests may lower it to kDebug.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Streams one log record and flushes it (with file:line prefix) at scope
+/// exit. Used only through the MAXSON_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the record is below the threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace maxson
+
+#define MAXSON_LOG(level)                                                   \
+  (::maxson::LogLevel::k##level < ::maxson::GetLogLevel())                  \
+      ? void(0)                                                             \
+      : ::maxson::internal_logging::LogVoidify() &                          \
+            ::maxson::internal_logging::LogMessage(                         \
+                ::maxson::LogLevel::k##level, __FILE__, __LINE__)           \
+                .stream()
+
+namespace maxson::internal_logging {
+/// Helper giving MAXSON_LOG a void type so it composes with `?:` above.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+}  // namespace maxson::internal_logging
+
+/// Aborts with a message when `cond` is false. Active in all build types:
+/// used for programmer-error invariants, not data-dependent failures.
+#define MAXSON_CHECK(cond)                                                  \
+  (cond) ? void(0)                                                          \
+         : ::maxson::internal_logging::LogVoidify() &                       \
+               ::maxson::internal_logging::LogMessage(                      \
+                   ::maxson::LogLevel::kFatal, __FILE__, __LINE__)          \
+                   .stream()                                                \
+               << "check failed: " #cond " "
+
+#endif  // MAXSON_COMMON_LOGGING_H_

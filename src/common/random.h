@@ -1,0 +1,73 @@
+#ifndef MAXSON_COMMON_RANDOM_H_
+#define MAXSON_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace maxson {
+
+/// Deterministic xorshift128+ generator. Every stochastic component in the
+/// repository (trace generation, data generation, model init) draws from a
+/// seeded Rng so experiments are exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Gaussian sample via Box-Muller.
+  double NextGaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli draw with success probability p.
+  bool NextBool(double p = 0.5);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = NextBounded(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// Samples ranks from a Zipf(s) distribution over {0, ..., n-1}: rank r is
+/// drawn with probability proportional to 1/(r+1)^s. Used to reproduce the
+/// paper's power-law JSONPath popularity (89% of traffic on 27% of paths).
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1 and `s` > 0.
+  ZipfSampler(size_t n, double s);
+
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of rank r.
+  double Pmf(size_t r) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative masses, cdf_.back() == 1.0
+};
+
+}  // namespace maxson
+
+#endif  // MAXSON_COMMON_RANDOM_H_

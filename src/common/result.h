@@ -1,0 +1,73 @@
+#ifndef MAXSON_COMMON_RESULT_H_
+#define MAXSON_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace maxson {
+
+/// Either a value of type T or a non-OK Status explaining why there is none.
+///
+/// The value accessors assert on misuse in debug builds; callers must check
+/// `ok()` (or use MAXSON_ASSIGN_OR_RETURN) before dereferencing.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return value;` inside a Result-returning
+  /// function is the common success path.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK Status: lets error factories flow through.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace maxson
+
+/// Evaluates `expr` (a Result<T> expression); on error returns its status
+/// from the enclosing function, otherwise moves the value into `lhs`.
+#define MAXSON_ASSIGN_OR_RETURN(lhs, expr)            \
+  MAXSON_ASSIGN_OR_RETURN_IMPL(                       \
+      MAXSON_CONCAT_NAME(_maxson_result_, __LINE__), lhs, expr)
+
+#define MAXSON_CONCAT_NAME_INNER(x, y) x##y
+#define MAXSON_CONCAT_NAME(x, y) MAXSON_CONCAT_NAME_INNER(x, y)
+#define MAXSON_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)  \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#endif  // MAXSON_COMMON_RESULT_H_

@@ -1,0 +1,34 @@
+#ifndef MAXSON_COMMON_STRING_UTIL_H_
+#define MAXSON_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maxson {
+
+/// Splits `input` on each occurrence of `sep`; empty pieces are kept.
+std::vector<std::string> SplitString(std::string_view input, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Renders a byte count as a human-readable string ("1.5 MiB").
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace maxson
+
+#endif  // MAXSON_COMMON_STRING_UTIL_H_

@@ -1,0 +1,32 @@
+#include "common/time_util.h"
+
+#include <cstdio>
+
+namespace maxson {
+
+namespace {
+constexpr int kDaysInMonth[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+}  // namespace
+
+std::string FormatDate(DateId date) {
+  if (date < 0) return "unknown";
+  // Synthetic calendar starting 2019-01-01 (non-leap-year arithmetic is fine
+  // for presentation purposes; dates are only labels).
+  int year = 2019;
+  int day_of_year = date;
+  while (day_of_year >= 365) {
+    day_of_year -= 365;
+    ++year;
+  }
+  int month = 0;
+  while (day_of_year >= kDaysInMonth[month]) {
+    day_of_year -= kDaysInMonth[month];
+    ++month;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month + 1,
+                day_of_year + 1);
+  return buf;
+}
+
+}  // namespace maxson

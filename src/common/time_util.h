@@ -1,0 +1,41 @@
+#ifndef MAXSON_COMMON_TIME_UTIL_H_
+#define MAXSON_COMMON_TIME_UTIL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace maxson {
+
+/// Dates in this repository are day indexes relative to an arbitrary epoch
+/// (the first day of a generated trace is day 0). A DateId of -1 means
+/// "unknown / not set".
+using DateId = int32_t;
+
+/// Formats a day index as "day N" plus an ISO-like synthetic date string
+/// ("2019-01-01" + N days) so printed experiment output resembles the paper.
+std::string FormatDate(DateId date);
+
+/// Monotonic stopwatch used by the engine's metrics and the benches.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace maxson
+
+#endif  // MAXSON_COMMON_TIME_UTIL_H_

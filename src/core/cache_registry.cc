@@ -1,0 +1,115 @@
+#include "core/cache_registry.h"
+
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "json/dom_parser.h"
+#include "json/json_value.h"
+#include "json/json_writer.h"
+
+namespace maxson::core {
+
+std::vector<std::string> CacheRegistry::Clear() {
+  std::set<std::string> dirs;
+  for (const auto& [key, entry] : entries_) {
+    dirs.insert(entry.cache_table_dir);
+  }
+  entries_.clear();
+  return std::vector<std::string>(dirs.begin(), dirs.end());
+}
+
+std::string CacheRegistry::ToJson() const {
+  using json::JsonValue;
+  JsonValue root = JsonValue::Object();
+  JsonValue entries = JsonValue::Array();
+  for (const auto& [key, entry] : entries_) {
+    JsonValue e = JsonValue::Object();
+    e.Set("database", JsonValue::String(entry.location.database));
+    e.Set("table", JsonValue::String(entry.location.table));
+    e.Set("column", JsonValue::String(entry.location.column));
+    e.Set("path", JsonValue::String(entry.location.path));
+    e.Set("cache_table_dir", JsonValue::String(entry.cache_table_dir));
+    e.Set("cache_field", JsonValue::String(entry.cache_field));
+    e.Set("cache_time", JsonValue::Int(entry.cache_time));
+    e.Set("valid", JsonValue::Bool(entry.valid));
+    entries.Append(std::move(e));
+  }
+  root.Set("entries", std::move(entries));
+  return json::WriteJson(root);
+}
+
+Result<CacheRegistry> CacheRegistry::FromJson(const std::string& text) {
+  MAXSON_ASSIGN_OR_RETURN(json::JsonValue root, json::ParseJson(text));
+  const json::JsonValue* entries =
+      root.is_object() ? root.Find("entries") : nullptr;
+  if (entries == nullptr || !entries->is_array()) {
+    return Status::ParseError("registry JSON missing entries array");
+  }
+  CacheRegistry registry;
+  for (const json::JsonValue& e : entries->elements()) {
+    CacheEntry entry;
+    const json::JsonValue* database = e.Find("database");
+    const json::JsonValue* table = e.Find("table");
+    const json::JsonValue* column = e.Find("column");
+    const json::JsonValue* path = e.Find("path");
+    const json::JsonValue* dir = e.Find("cache_table_dir");
+    const json::JsonValue* field = e.Find("cache_field");
+    const json::JsonValue* time = e.Find("cache_time");
+    const json::JsonValue* valid = e.Find("valid");
+    if (database == nullptr || table == nullptr || column == nullptr ||
+        path == nullptr || dir == nullptr || field == nullptr ||
+        time == nullptr || valid == nullptr) {
+      return Status::ParseError("bad registry entry");
+    }
+    entry.location.database = database->string_value();
+    entry.location.table = table->string_value();
+    entry.location.column = column->string_value();
+    entry.location.path = path->string_value();
+    entry.cache_table_dir = dir->string_value();
+    entry.cache_field = field->string_value();
+    entry.cache_time = time->int_value();
+    entry.valid = valid->bool_value();
+    registry.Put(std::move(entry));
+  }
+  return registry;
+}
+
+Status CacheRegistry::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot write " + path);
+  out << ToJson();
+  out.close();
+  if (out.fail()) return Status::IoError("write failed on " + path);
+  return Status::Ok();
+}
+
+Result<CacheRegistry> CacheRegistry::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot read " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return FromJson(buffer.str());
+}
+
+std::string CacheFieldName(const std::string& column,
+                           const std::string& path) {
+  std::string out = column + "__";
+  for (char c : path) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  return out;
+}
+
+std::string CacheTableDir(const std::string& cache_root,
+                          const std::string& database,
+                          const std::string& table) {
+  return cache_root + "/" + database + "." + table;
+}
+
+}  // namespace maxson::core

@@ -1,0 +1,80 @@
+#ifndef MAXSON_CORE_CACHE_REGISTRY_H_
+#define MAXSON_CORE_CACHE_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/trace.h"
+
+namespace maxson::core {
+
+/// One cached JSONPath: where its values live and when they were cached.
+struct CacheEntry {
+  workload::JsonPathLocation location;
+  std::string cache_table_dir;  // directory of the cache table's part files
+  std::string cache_field;      // field name inside the cache files
+  int64_t cache_time = 0;       // logical time the values were parsed
+  bool valid = true;            // flipped by the validity check (Alg. 1)
+};
+
+/// In-memory index of active cache entries, keyed by the JSONPath's
+/// canonical key. The MaxsonParser consults it on every plan rewrite; the
+/// JsonPathCacher repopulates it at each midnight cycle (invalid entries
+/// are dropped then, matching "invalid cache tables would be deleted when
+/// we perform caching operations next time").
+class CacheRegistry {
+ public:
+  void Put(CacheEntry entry) {
+    entries_[entry.location.Key()] = std::move(entry);
+  }
+
+  /// Returns nullptr when the path has no (possibly invalid) entry.
+  const CacheEntry* Find(const workload::JsonPathLocation& location) const {
+    auto it = entries_.find(location.Key());
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  /// Marks an entry invalid (raw table modified after caching).
+  void Invalidate(const workload::JsonPathLocation& location) {
+    auto it = entries_.find(location.Key());
+    if (it != entries_.end()) it->second.valid = false;
+  }
+
+  /// Drops every entry (the nightly "empty and re-populate" step) and
+  /// returns the directories that backed them so the cacher can delete the
+  /// stale files.
+  std::vector<std::string> Clear();
+
+  size_t size() const { return entries_.size(); }
+
+  const std::map<std::string, CacheEntry>& entries() const { return entries_; }
+
+  /// Serializes the registry to JSON / restores it, so a deployment's
+  /// cache state survives process restarts (cache tables live on disk; the
+  /// registry is the only volatile piece).
+  std::string ToJson() const;
+  static Result<CacheRegistry> FromJson(const std::string& text);
+  Status Save(const std::string& path) const;
+  static Result<CacheRegistry> Load(const std::string& path);
+
+ private:
+  std::map<std::string, CacheEntry> entries_;
+};
+
+/// Canonical field name of a cached JSONPath inside a cache table file:
+/// column name and path joined with non-alphanumerics flattened, so cache
+/// fields remember "the corresponding column name and JSONPath".
+std::string CacheFieldName(const std::string& column, const std::string& path);
+
+/// Canonical directory of a table's cache table under `cache_root`
+/// ("<root>/<db>.<table>"), remembering the raw table it mirrors.
+std::string CacheTableDir(const std::string& cache_root,
+                          const std::string& database,
+                          const std::string& table);
+
+}  // namespace maxson::core
+
+#endif  // MAXSON_CORE_CACHE_REGISTRY_H_

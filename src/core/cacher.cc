@@ -1,0 +1,297 @@
+#include "core/cacher.h"
+
+#include <map>
+
+#include "common/time_util.h"
+#include "json/json_path.h"
+#include "json/mison_parser.h"
+#include "xml/xml_path.h"
+#include "storage/corc_reader.h"
+#include "storage/corc_writer.h"
+#include "storage/file_system.h"
+
+namespace maxson::core {
+
+using storage::CorcReader;
+using storage::CorcWriter;
+using storage::CorcWriterOptions;
+using storage::FileSystem;
+using storage::Split;
+using storage::TypeKind;
+using storage::Value;
+
+Result<SampledPathStats> SampleTableStats(const catalog::TableInfo& table,
+                                          const std::string& column,
+                                          const std::string& path,
+                                          size_t sample_rows,
+                                          engine::JsonBackend backend) {
+  MAXSON_ASSIGN_OR_RETURN(std::vector<Split> splits,
+                          FileSystem::ListSplits(table.location));
+  if (splits.empty()) {
+    return Status::NotFound("no splits under " + table.location);
+  }
+  const bool is_xml = xml::IsXmlPathText(path);
+  json::JsonPath parsed_path;
+  xml::XmlPath parsed_xpath;
+  if (is_xml) {
+    MAXSON_ASSIGN_OR_RETURN(parsed_xpath, xml::XmlPath::Parse(path));
+  } else {
+    MAXSON_ASSIGN_OR_RETURN(parsed_path, json::JsonPath::Parse(path));
+  }
+
+  SampledPathStats stats;
+  // Total row count across splits (for cache-footprint estimation).
+  for (const Split& split : splits) {
+    CorcReader reader(split.path);
+    MAXSON_RETURN_NOT_OK(reader.Open());
+    stats.table_rows += reader.num_rows();
+  }
+
+  CorcReader reader(splits[0].path);
+  MAXSON_RETURN_NOT_OK(reader.Open());
+  const int column_index = reader.schema().FindField(column);
+  if (column_index < 0) {
+    return Status::NotFound("column " + column + " missing in sample split");
+  }
+  MAXSON_ASSIGN_OR_RETURN(
+      storage::RecordBatch batch,
+      reader.ReadStripe(0, {column_index}, std::nullopt, nullptr));
+
+  json::MisonParser mison;
+  uint64_t total_bytes = 0;
+  size_t measured = 0;
+  Stopwatch timer;
+  const size_t limit = std::min(sample_rows, batch.num_rows());
+  for (size_t r = 0; r < limit; ++r) {
+    if (batch.column(0).IsNull(r)) continue;
+    const std::string& text = batch.column(0).GetString(r);
+    Result<std::string> value =
+        is_xml ? xml::GetXmlObject(text, parsed_xpath)
+               : (backend == engine::JsonBackend::kMison
+                      ? mison.Extract(text, parsed_path)
+                      : json::GetJsonObject(text, parsed_path));
+    if (value.ok()) total_bytes += value->size();
+    ++measured;
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  if (measured > 0) {
+    stats.avg_value_bytes = std::max(
+        1.0, static_cast<double>(total_bytes) / static_cast<double>(measured));
+    stats.avg_parse_seconds = elapsed / static_cast<double>(measured);
+  }
+  return stats;
+}
+
+Status JsonPathCacher::CacheTablePaths(
+    const std::string& database, const std::string& table,
+    const std::vector<workload::JsonPathLocation>& paths, int64_t cache_time,
+    CacheRegistry* registry, CachingStats* stats) {
+  MAXSON_ASSIGN_OR_RETURN(const catalog::TableInfo* info,
+                          catalog_->GetTable(database, table));
+  MAXSON_ASSIGN_OR_RETURN(std::vector<Split> splits,
+                          FileSystem::ListSplits(info->location));
+  if (splits.empty()) {
+    return Status::NotFound("no splits under " + info->location);
+  }
+
+  // All JSONPaths of one raw table go into one cache table; fields remember
+  // the column and path they were parsed from.
+  const std::string cache_dir = CacheTableDir(cache_root_, database, table);
+  MAXSON_RETURN_NOT_OK(FileSystem::RemoveAll(cache_dir));
+  MAXSON_RETURN_NOT_OK(FileSystem::MakeDirs(cache_dir));
+
+  struct PathWork {
+    workload::JsonPathLocation location;
+    bool is_xml = false;   // XPath ('/..') vs JSONPath ('$..')
+    json::JsonPath parsed;
+    xml::XmlPath xpath;
+    int column_index = -1;
+    std::string field;
+    TypeKind type = TypeKind::kString;
+  };
+  std::vector<PathWork> work;
+  for (const workload::JsonPathLocation& loc : paths) {
+    PathWork w;
+    w.location = loc;
+    w.is_xml = xml::IsXmlPathText(loc.path);
+    if (w.is_xml) {
+      MAXSON_ASSIGN_OR_RETURN(w.xpath, xml::XmlPath::Parse(loc.path));
+    } else {
+      MAXSON_ASSIGN_OR_RETURN(w.parsed, json::JsonPath::Parse(loc.path));
+    }
+    w.field = CacheFieldName(loc.column, loc.path);
+    work.push_back(std::move(w));
+  }
+
+  // Type inference pass: sample the first split and store numeric JSONPath
+  // values in typed columns, so the cache table's row-group min/max indexes
+  // order numerically and SARGs like `id > 10000` (Fig. 10) can skip row
+  // groups correctly. Values that are not uniformly numeric stay strings.
+  {
+    CorcReader sample_reader(splits[0].path);
+    MAXSON_RETURN_NOT_OK(sample_reader.Open());
+    for (PathWork& w : work) {
+      if (w.is_xml) continue;  // XML values stay strings (text content)
+      const int idx = sample_reader.schema().FindField(w.location.column);
+      if (idx < 0) continue;
+      MAXSON_ASSIGN_OR_RETURN(
+          storage::RecordBatch batch,
+          sample_reader.ReadStripe(0, {idx}, std::nullopt, nullptr));
+      bool all_int = true;
+      bool all_double = true;
+      bool any_value = false;
+      const size_t limit = std::min<size_t>(batch.num_rows(), 256);
+      for (size_t r = 0; r < limit; ++r) {
+        if (batch.column(0).IsNull(r)) continue;
+        auto dom = json::ParseJson(batch.column(0).GetString(r));
+        if (!dom.ok()) continue;
+        const json::JsonValue* node = w.parsed.Evaluate(*dom);
+        if (node == nullptr) continue;
+        any_value = true;
+        if (!node->is_int()) all_int = false;
+        if (!node->is_number()) all_double = false;
+        if (!all_double) break;
+      }
+      if (any_value && all_int) {
+        w.type = TypeKind::kInt64;
+      } else if (any_value && all_double) {
+        w.type = TypeKind::kDouble;
+      }
+    }
+  }
+  storage::Schema cache_schema;
+  for (const PathWork& w : work) {
+    cache_schema.AddField(w.field, w.type);
+  }
+
+  json::MisonParser mison;
+  for (const Split& split : splits) {
+    CorcReader reader(split.path);
+    MAXSON_RETURN_NOT_OK(reader.Open());
+    // Resolve source column indexes within this file.
+    std::vector<int> source_columns;
+    for (PathWork& w : work) {
+      const int idx = reader.schema().FindField(w.location.column);
+      if (idx < 0) {
+        return Status::NotFound("column " + w.location.column +
+                                " missing in " + split.path);
+      }
+      w.column_index = idx;
+      source_columns.push_back(idx);
+    }
+    // Deduplicate source columns for the read.
+    std::vector<int> unique_columns;
+    std::map<int, int> column_slot;  // file column index -> batch slot
+    for (int c : source_columns) {
+      if (column_slot.emplace(c, static_cast<int>(unique_columns.size()))
+              .second) {
+        unique_columns.push_back(c);
+      }
+    }
+
+    // The cache file mirrors the raw file: same index in the sorted
+    // listing, same row count, same row-group size (alignment guarantee).
+    CorcWriterOptions options;
+    options.rows_per_group = reader.footer().rows_per_group;
+    CorcWriter writer(cache_dir + "/" + FileSystem::PartFileName(split.index),
+                      cache_schema, options);
+    MAXSON_RETURN_NOT_OK(writer.Open());
+
+    for (size_t s = 0; s < reader.num_stripes(); ++s) {
+      MAXSON_ASSIGN_OR_RETURN(
+          storage::RecordBatch batch,
+          reader.ReadStripe(s, unique_columns, std::nullopt, nullptr));
+      Stopwatch parse_timer;
+      for (size_t r = 0; r < batch.num_rows(); ++r) {
+        // Parse each source JSON column once per row and evaluate every
+        // requested path against it (the whole point of pre-parsing is to
+        // pay the deserialization once).
+        std::map<int, Result<json::JsonValue>> doms;
+        std::vector<Value> row;
+        row.reserve(work.size());
+        for (const PathWork& w : work) {
+          const int slot = column_slot[w.column_index];
+          if (batch.column(static_cast<size_t>(slot)).IsNull(r)) {
+            row.push_back(Value::Null());
+            continue;
+          }
+          const std::string& text =
+              batch.column(static_cast<size_t>(slot)).GetString(r);
+          Result<std::string> value = Status::NotFound("");
+          if (w.is_xml) {
+            value = xml::GetXmlObject(text, w.xpath);
+          } else if (backend_ == engine::JsonBackend::kMison) {
+            value = mison.Extract(text, w.parsed);
+          } else {
+            auto dom_it = doms.find(slot);
+            if (dom_it == doms.end()) {
+              dom_it = doms.emplace(slot, json::ParseJson(text)).first;
+            }
+            if (dom_it->second.ok()) {
+              const json::JsonValue* node =
+                  w.parsed.Evaluate(*dom_it->second);
+              if (node != nullptr) {
+                value = json::RenderGetJsonObjectResult(*node);
+              }
+            }
+          }
+          if (value.ok()) {
+            if (stats != nullptr) stats->bytes_written += value->size();
+            row.push_back(Value::String(std::move(*value)));
+          } else {
+            // Absent path: cached as NULL, matching get_json_object's
+            // NULL-on-missing semantics.
+            row.push_back(Value::Null());
+          }
+        }
+        MAXSON_RETURN_NOT_OK(writer.AppendRow(row));
+        if (stats != nullptr) ++stats->rows_parsed;
+      }
+      if (stats != nullptr) {
+        stats->parse_seconds += parse_timer.ElapsedSeconds();
+      }
+    }
+    MAXSON_RETURN_NOT_OK(writer.Close());
+  }
+
+  for (const PathWork& w : work) {
+    CacheEntry entry;
+    entry.location = w.location;
+    entry.cache_table_dir = cache_dir;
+    entry.cache_field = w.field;
+    entry.cache_time = cache_time;
+    entry.valid = true;
+    registry->Put(std::move(entry));
+    if (stats != nullptr) ++stats->paths_cached;
+  }
+  return Status::Ok();
+}
+
+Result<CachingStats> JsonPathCacher::RepopulateCache(
+    const std::vector<ScoredMpjp>& selected, int64_t cache_time,
+    CacheRegistry* registry) {
+  Stopwatch total_timer;
+  CachingStats stats;
+  // Nightly reset: drop previous entries and delete their files (this also
+  // removes tables marked invalid since the last cycle).
+  for (const std::string& dir : registry->Clear()) {
+    MAXSON_RETURN_NOT_OK(FileSystem::RemoveAll(dir));
+  }
+
+  // Group selections by raw table.
+  std::map<std::string, std::vector<workload::JsonPathLocation>> by_table;
+  for (const ScoredMpjp& s : selected) {
+    by_table[s.candidate.location.database + "." + s.candidate.location.table]
+        .push_back(s.candidate.location);
+  }
+  for (const auto& [qualified, paths] : by_table) {
+    const size_t dot = qualified.find('.');
+    MAXSON_RETURN_NOT_OK(CacheTablePaths(qualified.substr(0, dot),
+                                         qualified.substr(dot + 1), paths,
+                                         cache_time, registry, &stats));
+  }
+  stats.total_seconds = total_timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace maxson::core

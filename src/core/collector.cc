@@ -1,0 +1,191 @@
+#include "core/collector.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "json/dom_parser.h"
+#include "json/json_value.h"
+#include "json/json_writer.h"
+
+namespace maxson::core {
+
+void JsonPathCollector::Record(const workload::QueryRecord& query) {
+  std::vector<std::string> keys;
+  keys.reserve(query.paths.size());
+  for (const workload::JsonPathLocation& path : query.paths) {
+    const std::string key = path.Key();
+    PathStats& stats = paths_[key];
+    if (stats.location.table.empty()) stats.location = path;
+    ++stats.counts[query.date];
+    keys.push_back(key);
+  }
+  queries_by_date_[query.date].push_back(std::move(keys));
+  max_date_ = std::max(max_date_, query.date);
+}
+
+void JsonPathCollector::RecordTrace(const workload::Trace& trace) {
+  for (const workload::QueryRecord& query : trace.queries) Record(query);
+}
+
+int JsonPathCollector::CountOn(const std::string& key, DateId date) const {
+  auto it = paths_.find(key);
+  if (it == paths_.end()) return 0;
+  auto day = it->second.counts.find(date);
+  return day == it->second.counts.end() ? 0 : day->second;
+}
+
+std::vector<int> JsonPathCollector::CountsBetween(const std::string& key,
+                                                  DateId from,
+                                                  DateId to) const {
+  std::vector<int> out;
+  out.reserve(static_cast<size_t>(std::max(0, to - from)));
+  for (DateId d = from; d < to; ++d) out.push_back(CountOn(key, d));
+  return out;
+}
+
+const workload::JsonPathLocation* JsonPathCollector::Location(
+    const std::string& key) const {
+  auto it = paths_.find(key);
+  return it == paths_.end() ? nullptr : &it->second.location;
+}
+
+std::vector<std::string> JsonPathCollector::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(paths_.size());
+  for (const auto& [key, stats] : paths_) keys.push_back(key);
+  return keys;
+}
+
+std::vector<std::string> JsonPathCollector::PathsWithCountAtLeast(
+    DateId date, int min_count) const {
+  std::vector<std::string> out;
+  for (const auto& [key, stats] : paths_) {
+    auto day = stats.counts.find(date);
+    if (day != stats.counts.end() && day->second >= min_count) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+std::string JsonPathCollector::ToJson() const {
+  using json::JsonValue;
+  JsonValue root = JsonValue::Object();
+  JsonValue paths = JsonValue::Array();
+  for (const auto& [key, stats] : paths_) {
+    JsonValue p = JsonValue::Object();
+    p.Set("database", JsonValue::String(stats.location.database));
+    p.Set("table", JsonValue::String(stats.location.table));
+    p.Set("column", JsonValue::String(stats.location.column));
+    p.Set("path", JsonValue::String(stats.location.path));
+    JsonValue counts = JsonValue::Array();
+    for (const auto& [date, count] : stats.counts) {
+      JsonValue pair = JsonValue::Array();
+      pair.Append(JsonValue::Int(date));
+      pair.Append(JsonValue::Int(count));
+      counts.Append(std::move(pair));
+    }
+    p.Set("counts", std::move(counts));
+    paths.Append(std::move(p));
+  }
+  root.Set("paths", std::move(paths));
+
+  JsonValue days = JsonValue::Array();
+  for (const auto& [date, queries] : queries_by_date_) {
+    JsonValue d = JsonValue::Object();
+    d.Set("date", JsonValue::Int(date));
+    JsonValue qs = JsonValue::Array();
+    for (const std::vector<std::string>& query : queries) {
+      JsonValue keys = JsonValue::Array();
+      for (const std::string& key : query) {
+        keys.Append(JsonValue::String(key));
+      }
+      qs.Append(std::move(keys));
+    }
+    d.Set("queries", std::move(qs));
+    days.Append(std::move(d));
+  }
+  root.Set("days", std::move(days));
+  return json::WriteJson(root);
+}
+
+Result<JsonPathCollector> JsonPathCollector::FromJson(
+    const std::string& text) {
+  MAXSON_ASSIGN_OR_RETURN(json::JsonValue root, json::ParseJson(text));
+  if (!root.is_object()) return Status::ParseError("collector not an object");
+  const json::JsonValue* paths = root.Find("paths");
+  const json::JsonValue* days = root.Find("days");
+  if (paths == nullptr || !paths->is_array() || days == nullptr ||
+      !days->is_array()) {
+    return Status::ParseError("collector JSON missing paths/days");
+  }
+  JsonPathCollector collector;
+  for (const json::JsonValue& p : paths->elements()) {
+    const json::JsonValue* database = p.Find("database");
+    const json::JsonValue* table = p.Find("table");
+    const json::JsonValue* column = p.Find("column");
+    const json::JsonValue* path = p.Find("path");
+    const json::JsonValue* counts = p.Find("counts");
+    if (database == nullptr || table == nullptr || column == nullptr ||
+        path == nullptr || counts == nullptr || !counts->is_array()) {
+      return Status::ParseError("bad collector path entry");
+    }
+    PathStats stats;
+    stats.location.database = database->string_value();
+    stats.location.table = table->string_value();
+    stats.location.column = column->string_value();
+    stats.location.path = path->string_value();
+    for (const json::JsonValue& pair : counts->elements()) {
+      if (!pair.is_array() || pair.elements().size() != 2) {
+        return Status::ParseError("bad count pair");
+      }
+      const DateId date = static_cast<DateId>(pair.At(0).int_value());
+      stats.counts[date] = static_cast<int>(pair.At(1).int_value());
+      collector.max_date_ = std::max(collector.max_date_, date);
+    }
+    collector.paths_[stats.location.Key()] = std::move(stats);
+  }
+  for (const json::JsonValue& d : days->elements()) {
+    const json::JsonValue* date = d.Find("date");
+    const json::JsonValue* queries = d.Find("queries");
+    if (date == nullptr || queries == nullptr || !queries->is_array()) {
+      return Status::ParseError("bad collector day entry");
+    }
+    auto& bucket =
+        collector.queries_by_date_[static_cast<DateId>(date->int_value())];
+    for (const json::JsonValue& q : queries->elements()) {
+      std::vector<std::string> keys;
+      for (const json::JsonValue& key : q.elements()) {
+        keys.push_back(key.string_value());
+      }
+      bucket.push_back(std::move(keys));
+    }
+  }
+  return collector;
+}
+
+Status JsonPathCollector::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot write " + path);
+  out << ToJson();
+  out.close();
+  if (out.fail()) return Status::IoError("write failed on " + path);
+  return Status::Ok();
+}
+
+Result<JsonPathCollector> JsonPathCollector::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot read " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return FromJson(buffer.str());
+}
+
+const std::vector<std::vector<std::string>>& JsonPathCollector::QueriesOn(
+    DateId date) const {
+  auto it = queries_by_date_.find(date);
+  return it == queries_by_date_.end() ? empty_ : it->second;
+}
+
+}  // namespace maxson::core

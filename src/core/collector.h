@@ -1,0 +1,72 @@
+#ifndef MAXSON_CORE_COLLECTOR_H_
+#define MAXSON_CORE_COLLECTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time_util.h"
+#include "workload/trace.h"
+
+namespace maxson::core {
+
+/// The JSONPath Collector of Fig. 5: ingests executed queries and maintains
+/// the date-partitioned statistics table — for each JSONPath, its location
+/// (database, table, column) and per-day access counts — that feeds the
+/// predictor and the scoring function.
+class JsonPathCollector {
+ public:
+  /// Records one executed query: every JSONPath it references counts one
+  /// access on the query's date.
+  void Record(const workload::QueryRecord& query);
+
+  /// Records a whole trace.
+  void RecordTrace(const workload::Trace& trace);
+
+  /// Number of accesses of `key` on `date` (0 when unseen).
+  int CountOn(const std::string& key, DateId date) const;
+
+  /// Count sequence of `key` over [from, to) (missing days are zeros).
+  std::vector<int> CountsBetween(const std::string& key, DateId from,
+                                 DateId to) const;
+
+  /// Location of a collected path.
+  const workload::JsonPathLocation* Location(const std::string& key) const;
+
+  /// Every path key ever observed.
+  std::vector<std::string> Keys() const;
+
+  /// The path keys accessed at least `min_count` times on `date` — with
+  /// min_count = 2 this is the ground-truth MPJP set of that day.
+  std::vector<std::string> PathsWithCountAtLeast(DateId date,
+                                                 int min_count) const;
+
+  /// Queries recorded on `date`, as path-key sets (used by the scoring
+  /// function's relevance term and occurrence counts).
+  const std::vector<std::vector<std::string>>& QueriesOn(DateId date) const;
+
+  DateId max_date() const { return max_date_; }
+
+  /// Serializes the statistics table (locations, per-day counts, per-day
+  /// query path-sets) to JSON and back, so a long-running deployment can
+  /// persist its history across restarts.
+  std::string ToJson() const;
+  static Result<JsonPathCollector> FromJson(const std::string& text);
+  Status Save(const std::string& path) const;
+  static Result<JsonPathCollector> Load(const std::string& path);
+
+ private:
+  struct PathStats {
+    workload::JsonPathLocation location;
+    std::map<DateId, int> counts;
+  };
+  std::map<std::string, PathStats> paths_;
+  std::map<DateId, std::vector<std::vector<std::string>>> queries_by_date_;
+  DateId max_date_ = -1;
+  std::vector<std::vector<std::string>> empty_;
+};
+
+}  // namespace maxson::core
+
+#endif  // MAXSON_CORE_COLLECTOR_H_

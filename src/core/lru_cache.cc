@@ -1,0 +1,50 @@
+#include "core/lru_cache.h"
+
+namespace maxson::core {
+
+bool LruValueCache::Get(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  // Promote to most-recently-used.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return true;
+}
+
+void LruValueCache::Put(const std::string& key, uint64_t bytes) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    used_bytes_ -= it->second->bytes;
+    it->second->bytes = bytes;
+    used_bytes_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    EvictUntilFits();
+    return;
+  }
+  if (bytes > capacity_bytes_) return;  // oversized: not admitted
+  lru_.push_front(Entry{key, bytes});
+  entries_[key] = lru_.begin();
+  used_bytes_ += bytes;
+  EvictUntilFits();
+}
+
+void LruValueCache::Clear() {
+  lru_.clear();
+  entries_.clear();
+  used_bytes_ = 0;
+}
+
+void LruValueCache::EvictUntilFits() {
+  while (used_bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_bytes_ -= victim.bytes;
+    entries_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace maxson::core

@@ -1,0 +1,64 @@
+#ifndef MAXSON_CORE_LRU_CACHE_H_
+#define MAXSON_CORE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+namespace maxson::core {
+
+/// Byte-budgeted LRU cache over JSONPath values: the conventional online
+/// caching baseline of Section V-E. Keys are JSONPath keys (optionally
+/// combined with a data version); values are charged by their byte size.
+/// On access-miss the caller parses and inserts; eviction removes the
+/// least-recently-used entries until the budget holds.
+class LruValueCache {
+ public:
+  explicit LruValueCache(uint64_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Looks up `key`, promoting it to most-recently-used on hit.
+  bool Get(const std::string& key);
+
+  /// Inserts (or refreshes) `key` charging `bytes`; evicts LRU entries as
+  /// needed. Entries larger than the whole capacity are not admitted.
+  void Put(const std::string& key, uint64_t bytes);
+
+  /// Drops every entry (e.g. when the underlying data version changes).
+  void Clear();
+
+  uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  size_t size() const { return entries_.size(); }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  double HitRatio() const {
+    const uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t bytes;
+  };
+
+  void EvictUntilFits();
+
+  uint64_t capacity_bytes_;
+  uint64_t used_bytes_ = 0;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace maxson::core
+
+#endif  // MAXSON_CORE_LRU_CACHE_H_

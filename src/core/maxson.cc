@@ -1,0 +1,95 @@
+#include "core/maxson.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace maxson::core {
+
+MaxsonSession::MaxsonSession(const catalog::Catalog* catalog,
+                             MaxsonConfig config)
+    : catalog_(catalog), config_(std::move(config)) {
+  predictor_ = std::make_unique<JsonPathPredictor>(config_.predictor);
+  parser_ = std::make_unique<MaxsonParser>(catalog_, &registry_);
+  engine_ = std::make_unique<engine::QueryEngine>(catalog_, config_.engine);
+  engine_->set_plan_rewriter(parser_.get());
+  cacher_ = std::make_unique<JsonPathCacher>(catalog_, config_.cache_root,
+                                             config_.engine.json_backend);
+  if (!config_.registry_path.empty()) {
+    auto loaded = CacheRegistry::Load(config_.registry_path);
+    if (loaded.ok()) {
+      registry_ = std::move(*loaded);
+      MAXSON_LOG(Info) << "restored " << registry_.size()
+                       << " cache entries from " << config_.registry_path;
+    }
+  }
+}
+
+Status MaxsonSession::TrainPredictor(DateId first_target_day,
+                                     DateId last_target_day) {
+  const std::vector<ml::Sample> samples =
+      predictor_->BuildDataset(collector_, first_target_day, last_target_day);
+  return predictor_->Train(samples);
+}
+
+Result<std::vector<ScoredMpjp>> MaxsonSession::ScoreCandidates(
+    const std::vector<std::string>& mpjp_keys, DateId target_day) {
+  // The scoring function uses the same queries as the predictor: the most
+  // recent observed day's query set.
+  const DateId reference_day = std::min(collector_.max_date(), target_day - 1);
+  const std::vector<std::vector<std::string>>& queries =
+      collector_.QueriesOn(reference_day);
+  const std::set<std::string> mpjp_set(mpjp_keys.begin(), mpjp_keys.end());
+
+  std::vector<MpjpCandidate> candidates;
+  for (const std::string& key : mpjp_keys) {
+    const workload::JsonPathLocation* location = collector_.Location(key);
+    if (location == nullptr) continue;
+    auto table = catalog_->GetTable(location->database, location->table);
+    if (!table.ok()) continue;  // path over a table this deployment lacks
+    auto sampled =
+        SampleTableStats(**table, location->column, location->path,
+                         config_.sample_rows, config_.engine.json_backend);
+    if (!sampled.ok()) continue;
+    MpjpCandidate candidate;
+    candidate.location = *location;
+    candidate.avg_value_bytes = sampled->avg_value_bytes;
+    candidate.avg_parse_seconds = sampled->avg_parse_seconds;
+    candidate.estimated_cache_bytes = static_cast<uint64_t>(
+        sampled->avg_value_bytes * static_cast<double>(sampled->table_rows));
+    candidates.push_back(std::move(candidate));
+  }
+  return ScoreMpjps(candidates, queries, mpjp_set);
+}
+
+Result<MidnightReport> MaxsonSession::RunMidnightCycle(DateId target_day) {
+  MidnightReport report;
+  report.predicted_mpjps = predictor_->PredictMpjps(collector_, target_day);
+  MAXSON_ASSIGN_OR_RETURN(
+      std::vector<ScoredMpjp> scored,
+      ScoreCandidates(report.predicted_mpjps, target_day));
+  report.selected =
+      config_.random_selection
+          ? SelectRandomWithinBudget(std::move(scored),
+                                     config_.cache_budget_bytes,
+                                     config_.random_seed)
+          : SelectWithinBudget(std::move(scored), config_.cache_budget_bytes);
+  MAXSON_ASSIGN_OR_RETURN(
+      report.caching,
+      cacher_->RepopulateCache(report.selected,
+                               static_cast<int64_t>(target_day), &registry_));
+  if (!config_.registry_path.empty()) {
+    MAXSON_RETURN_NOT_OK(registry_.Save(config_.registry_path));
+  }
+  return report;
+}
+
+Result<engine::QueryResult> MaxsonSession::ExecuteWithoutCache(
+    const std::string& sql) {
+  engine_->set_plan_rewriter(nullptr);
+  Result<engine::QueryResult> result = engine_->Execute(sql);
+  engine_->set_plan_rewriter(parser_.get());
+  return result;
+}
+
+}  // namespace maxson::core

@@ -1,0 +1,105 @@
+#ifndef MAXSON_CORE_MAXSON_H_
+#define MAXSON_CORE_MAXSON_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "core/cache_registry.h"
+#include "core/cacher.h"
+#include "core/collector.h"
+#include "core/maxson_parser.h"
+#include "core/predictor.h"
+#include "core/scoring.h"
+#include "engine/engine.h"
+
+namespace maxson::core {
+
+/// Top-level configuration of one Maxson deployment.
+struct MaxsonConfig {
+  std::string cache_root;  // directory holding cache tables
+  /// When non-empty, the cache registry is loaded from this file at
+  /// construction (if present) and saved after every midnight cycle, so
+  /// cache state survives process restarts.
+  std::string registry_path;
+  uint64_t cache_budget_bytes = 64ull << 20;
+  PredictorConfig predictor;
+  engine::EngineConfig engine;
+  /// Rows sampled per path when measuring B_j / P_j for the scoring
+  /// function.
+  size_t sample_rows = 200;
+  /// When true, MPJPs are chosen randomly within the budget instead of by
+  /// score (the Fig. 11 "random" baseline).
+  bool random_selection = false;
+  uint64_t random_seed = 5;
+};
+
+/// Outcome of one midnight cache-population cycle.
+struct MidnightReport {
+  std::vector<std::string> predicted_mpjps;
+  std::vector<ScoredMpjp> selected;
+  CachingStats caching;
+};
+
+/// The public facade tying Maxson's components together: a query engine
+/// with the MaxsonParser installed, the collector feeding the predictor,
+/// and the nightly predict -> score -> cache cycle of Fig. 5.
+///
+/// Typical use:
+///   MaxsonSession session(&catalog, config);
+///   session.collector()->RecordTrace(history);
+///   session.TrainPredictor(first_day, last_day);
+///   session.RunMidnightCycle(tomorrow);
+///   auto result = session.Execute(sql);   // plans hit the cache
+class MaxsonSession {
+ public:
+  MaxsonSession(const catalog::Catalog* catalog, MaxsonConfig config);
+
+  /// Trains the predictor on samples whose target days span
+  /// [first_target_day, last_target_day].
+  Status TrainPredictor(DateId first_target_day, DateId last_target_day);
+
+  /// The nightly cycle for `target_day`: predict the MPJPs the coming day
+  /// will access, score them (Eq. 1-3) with sampled B_j/P_j, select within
+  /// the budget, and pre-parse the winners into cache tables. `cache_time`
+  /// defaults to the target day (logical clock).
+  Result<MidnightReport> RunMidnightCycle(DateId target_day);
+
+  /// Executes SQL through the Maxson-rewriting engine.
+  Result<engine::QueryResult> Execute(const std::string& sql) {
+    return engine_->Execute(sql);
+  }
+
+  /// Executes SQL with plan rewriting disabled (the plain-Spark baseline on
+  /// the same engine), regardless of cache state.
+  Result<engine::QueryResult> ExecuteWithoutCache(const std::string& sql);
+
+  JsonPathCollector* collector() { return &collector_; }
+  CacheRegistry* registry() { return &registry_; }
+  engine::QueryEngine* engine() { return engine_.get(); }
+  MaxsonParser* parser() { return parser_.get(); }
+  const MaxsonConfig& config() const { return config_; }
+  JsonPathPredictor* predictor() { return predictor_.get(); }
+
+  /// Builds the scored candidate list for `target_day` from a given MPJP
+  /// key set without caching (exposed for benchmarks and ablations).
+  Result<std::vector<ScoredMpjp>> ScoreCandidates(
+      const std::vector<std::string>& mpjp_keys, DateId target_day);
+
+ private:
+  const catalog::Catalog* catalog_;
+  MaxsonConfig config_;
+  JsonPathCollector collector_;
+  CacheRegistry registry_;
+  std::unique_ptr<JsonPathPredictor> predictor_;
+  std::unique_ptr<MaxsonParser> parser_;
+  std::unique_ptr<engine::QueryEngine> engine_;
+  std::unique_ptr<JsonPathCacher> cacher_;
+};
+
+}  // namespace maxson::core
+
+#endif  // MAXSON_CORE_MAXSON_H_

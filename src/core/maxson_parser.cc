@@ -1,0 +1,154 @@
+#include "core/maxson_parser.h"
+
+#include "common/string_util.h"
+#include "engine/expr.h"
+
+namespace maxson::core {
+
+using engine::Expr;
+using engine::ExprKind;
+using engine::PhysicalPlan;
+using engine::ScanNode;
+
+namespace {
+
+/// Derives the raw table name (without warehouse path) from a scan by
+/// stripping the directory prefix: locations are "<root>/<db>/<table>".
+struct TableIdentity {
+  std::string database;
+  std::string table;
+};
+
+TableIdentity IdentifyScan(const catalog::Catalog* catalog,
+                           const ScanNode& scan) {
+  // Resolve by matching the scan's table_dir against catalog locations.
+  for (const std::string& db : catalog->ListDatabases()) {
+    for (const catalog::TableInfo* info : catalog->ListTables(db)) {
+      if (info->location == scan.table_dir) {
+        return TableIdentity{info->database, info->name};
+      }
+    }
+  }
+  return TableIdentity{};
+}
+
+/// True when a column reference (possibly "alias.column") addresses
+/// `column` of the given scan.
+bool RefersToScanColumn(const ScanNode& scan, const std::string& ref,
+                        const std::string& column) {
+  if (ref == column) return true;
+  if (!scan.qualifier.empty() && ref == scan.qualifier + "." + column) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<int> MaxsonParser::RewriteForScan(PhysicalPlan* plan, ScanNode* scan) {
+  const TableIdentity identity = IdentifyScan(catalog_, *scan);
+  if (identity.table.empty()) return 0;  // unknown table: nothing to do
+
+  MAXSON_ASSIGN_OR_RETURN(
+      const catalog::TableInfo* info,
+      catalog_->GetTable(identity.database, identity.table));
+
+  int substitutions = 0;
+
+  // MatchExpr of Algorithm 1, applied to one node. get_xml_object joins
+  // get_json_object per the paper's future-work note: caching is format-
+  // agnostic once the extraction is keyed by (db, table, column, path).
+  auto match_expr = [&](Expr* node) {
+    if (node->kind != ExprKind::kFunction ||
+        (node->func_name != "get_json_object" &&
+         node->func_name != "get_xml_object") ||
+        node->children.size() != 2) {
+      return;
+    }
+    Expr* column_arg = node->children[0].get();
+    Expr* path_arg = node->children[1].get();
+    if (column_arg->kind != ExprKind::kColumnRef ||
+        path_arg->kind != ExprKind::kLiteral ||
+        !path_arg->literal.is_string()) {
+      return;
+    }
+    // Find the raw column of this scan the call reads.
+    std::string column;
+    for (const storage::Field& field : scan->table_schema.fields()) {
+      if (RefersToScanColumn(*scan, column_arg->column, field.name)) {
+        column = field.name;
+        break;
+      }
+    }
+    if (column.empty()) return;  // belongs to the other scan of a join
+
+    workload::JsonPathLocation location;
+    location.database = identity.database;
+    location.table = identity.table;
+    location.column = column;
+    location.path = path_arg->literal.string_value();
+
+    const CacheEntry* entry = registry_->Find(location);
+    if (entry == nullptr || !entry->valid) {
+      ++cache_misses_;
+      return;  // cache miss: normal parsing path
+    }
+    // Validity check: a table modified after the cache was populated makes
+    // the cached values stale (Algorithm 1 lines 16-20).
+    if (info->last_modified > entry->cache_time) {
+      registry_->Invalidate(location);
+      ++invalidations_;
+      ++cache_misses_;
+      return;
+    }
+
+    // Cache hit: replace the call with a placeholder column reference and
+    // request the cache column from the scan.
+    ++cache_hits_;
+    const std::string output_name =
+        scan->qualifier.empty() ? entry->cache_field
+                                : scan->qualifier + "." + entry->cache_field;
+    bool already_requested = false;
+    for (const engine::CacheColumnRequest& req : scan->cache_columns) {
+      if (req.output_name == output_name) {
+        already_requested = true;
+        break;
+      }
+    }
+    if (!already_requested) {
+      engine::CacheColumnRequest req;
+      req.cache_table_dir = entry->cache_table_dir;
+      req.cache_field = entry->cache_field;
+      req.output_name = output_name;
+      scan->cache_columns.push_back(std::move(req));
+    }
+    node->kind = ExprKind::kColumnRef;
+    node->column = output_name;
+    node->column_index = -1;
+    node->func_name.clear();
+    node->children.clear();
+    ++substitutions;
+  };
+
+  // Walk every expression tree of the plan (Replace() of Algorithm 1 over
+  // ProjectList and Predicate, extended to the other clause positions).
+  for (engine::ExprPtr& e : plan->projections) e->Visit(match_expr);
+  if (plan->where != nullptr) plan->where->Visit(match_expr);
+  if (plan->having != nullptr) plan->having->Visit(match_expr);
+  for (engine::ExprPtr& e : plan->group_by) e->Visit(match_expr);
+  for (auto& [e, desc] : plan->order_by) e->Visit(match_expr);
+  for (engine::ExprPtr& e : plan->join_keys_left) e->Visit(match_expr);
+  for (engine::ExprPtr& e : plan->join_keys_right) e->Visit(match_expr);
+  return substitutions;
+}
+
+Result<int> MaxsonParser::Rewrite(PhysicalPlan* plan) {
+  MAXSON_ASSIGN_OR_RETURN(int left, RewriteForScan(plan, &plan->scan));
+  int right = 0;
+  if (plan->join_scan.has_value()) {
+    MAXSON_ASSIGN_OR_RETURN(right, RewriteForScan(plan, &*plan->join_scan));
+  }
+  return left + right;
+}
+
+}  // namespace maxson::core

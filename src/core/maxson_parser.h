@@ -1,0 +1,51 @@
+#ifndef MAXSON_CORE_MAXSON_PARSER_H_
+#define MAXSON_CORE_MAXSON_PARSER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "core/cache_registry.h"
+#include "engine/plan.h"
+
+namespace maxson::core {
+
+/// The plan modifier of Section IV-D (Algorithm 1), installed into the
+/// engine as its PlanRewriter.
+///
+/// For every `get_json_object(column, 'path')` expression in the plan
+/// (projections, WHERE, GROUP BY, ORDER BY, join keys) it checks whether
+/// (database, table, column, path) has a cache entry. If the raw table was
+/// modified after the cache was populated, the entry is marked invalid and
+/// the expression is left untouched (it will be re-parsed from raw data);
+/// otherwise the call is replaced by a placeholder — here, a column
+/// reference to a synthetic scan output column backed by the cache table —
+/// and a CacheColumnRequest is added to the owning scan so the value
+/// combiner stitches the cached values in.
+class MaxsonParser : public engine::PlanRewriter {
+ public:
+  MaxsonParser(const catalog::Catalog* catalog, CacheRegistry* registry)
+      : catalog_(catalog), registry_(registry) {}
+
+  Result<int> Rewrite(engine::PhysicalPlan* plan) override;
+
+  /// Cumulative telemetry across rewrites.
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+  uint64_t invalidations() const { return invalidations_; }
+
+ private:
+  /// Rewrites all expressions owned by one scan. Returns substitutions.
+  Result<int> RewriteForScan(engine::PhysicalPlan* plan,
+                             engine::ScanNode* scan);
+
+  const catalog::Catalog* catalog_;
+  CacheRegistry* registry_;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace maxson::core
+
+#endif  // MAXSON_CORE_MAXSON_PARSER_H_

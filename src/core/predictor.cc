@@ -1,0 +1,232 @@
+#include "core/predictor.h"
+
+#include <cmath>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "json/dom_parser.h"
+#include "json/json_writer.h"
+
+namespace maxson::core {
+
+const char* PredictorModelName(PredictorModel model) {
+  switch (model) {
+    case PredictorModel::kLogisticRegression:
+      return "LR";
+    case PredictorModel::kLinearSvm:
+      return "SVM";
+    case PredictorModel::kMlp:
+      return "MLPClassifier";
+    case PredictorModel::kLstm:
+      return "LSTM";
+    case PredictorModel::kLstmCrf:
+      return "LSTM+CRF";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Stable small hash features of a location string, standing in for the
+/// learned embeddings of database/table/column names.
+double HashFeature(const std::string& s, uint64_t salt) {
+  const uint64_t h = std::hash<std::string>()(s) ^ (salt * 0x9E3779B97F4A7C15ULL);
+  return static_cast<double>(h % 1000) / 1000.0;
+}
+
+}  // namespace
+
+ml::Sample JsonPathPredictor::BuildSample(const JsonPathCollector& collector,
+                                          const std::string& key,
+                                          DateId target_date) const {
+  const int window = config_.window_days;
+  const DateId first_day = target_date - window;
+  ml::Sample sample;
+
+  const workload::JsonPathLocation* location = collector.Location(key);
+  const std::string db = location != nullptr ? location->database : "";
+  const std::string table = location != nullptr ? location->table : "";
+  const std::string column = location != nullptr ? location->column : "";
+
+  double total = 0.0;
+  double max_count = 0.0;
+  double nonzero_days = 0.0;
+  for (int t = 0; t < window; ++t) {
+    const DateId day = first_day + t;
+    const int count = day >= 0 ? collector.CountOn(key, day) : 0;
+    const int next_count =
+        day + 1 >= 0 ? collector.CountOn(key, day + 1) : 0;
+    // Step features: log-scaled count, MPJP indicator of the day itself,
+    // and the datediff (how old this observation is, normalized).
+    std::vector<double> step = {
+        std::log1p(static_cast<double>(count)),
+        count >= 2 ? 1.0 : 0.0,
+        static_cast<double>(window - t) / static_cast<double>(window),
+    };
+    sample.steps.push_back(std::move(step));
+    sample.labels.push_back(next_count >= 2 ? 1 : 0);
+    total += count;
+    max_count = std::max(max_count, static_cast<double>(count));
+    if (count > 0) nonzero_days += 1.0;
+  }
+
+  // Static features: location hashes plus orderless aggregates of the
+  // window — what a model without date sequences can use.
+  sample.static_features = {
+      HashFeature(db, 1),
+      HashFeature(table, 2),
+      HashFeature(column, 3),
+      HashFeature(key, 4),
+      std::log1p(total),
+      std::log1p(max_count),
+      nonzero_days / static_cast<double>(window),
+      1.0,  // bias-ish constant
+  };
+  return sample;
+}
+
+std::vector<ml::Sample> JsonPathPredictor::BuildDataset(
+    const JsonPathCollector& collector, DateId first_target,
+    DateId last_target) const {
+  std::vector<ml::Sample> samples;
+  const std::vector<std::string> keys = collector.Keys();
+  for (DateId target = first_target; target <= last_target; ++target) {
+    for (const std::string& key : keys) {
+      samples.push_back(BuildSample(collector, key, target));
+    }
+  }
+  return samples;
+}
+
+Status JsonPathPredictor::Train(const std::vector<ml::Sample>& samples) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("empty training set");
+  }
+  ml::LinearTrainConfig linear;
+  linear.seed = config_.seed;
+  ml::LstmConfig lstm;
+  lstm.hidden_size = config_.lstm_hidden;
+  lstm.epochs = config_.epochs;
+  lstm.seed = config_.seed;
+  switch (config_.model) {
+    case PredictorModel::kLogisticRegression:
+      lr_.Fit(samples, linear);
+      break;
+    case PredictorModel::kLinearSvm:
+      svm_.Fit(samples, linear);
+      break;
+    case PredictorModel::kMlp: {
+      ml::MlpConfig mlp;
+      mlp.hidden_sizes = {50, 10};
+      mlp.seed = config_.seed;
+      mlp_.Fit(samples, mlp);
+      break;
+    }
+    case PredictorModel::kLstm:
+      lstm_.Fit(samples, lstm);
+      break;
+    case PredictorModel::kLstmCrf:
+      lstm_crf_.Fit(samples, lstm);
+      break;
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+int JsonPathPredictor::Predict(const ml::Sample& sample) const {
+  if (!trained_) return 0;
+  switch (config_.model) {
+    case PredictorModel::kLogisticRegression:
+      return lr_.Predict(sample);
+    case PredictorModel::kLinearSvm:
+      return svm_.Predict(sample);
+    case PredictorModel::kMlp:
+      return mlp_.Predict(sample);
+    case PredictorModel::kLstm:
+      return lstm_.Predict(sample);
+    case PredictorModel::kLstmCrf:
+      return lstm_crf_.Predict(sample);
+  }
+  return 0;
+}
+
+ml::BinaryMetrics JsonPathPredictor::Evaluate(
+    const std::vector<ml::Sample>& samples) const {
+  ml::BinaryMetrics metrics;
+  for (const ml::Sample& sample : samples) {
+    metrics.Add(Predict(sample), sample.final_label());
+  }
+  return metrics;
+}
+
+Status JsonPathPredictor::SaveModel(const std::string& path) const {
+  if (!trained_) return Status::Internal("predictor not trained");
+  json::JsonValue root = json::JsonValue::Object();
+  root.Set("model", json::JsonValue::String(PredictorModelName(config_.model)));
+  switch (config_.model) {
+    case PredictorModel::kLstm:
+      root.Set("params", lstm_.ToJson());
+      break;
+    case PredictorModel::kLstmCrf:
+      root.Set("params", lstm_crf_.ToJson());
+      break;
+    default:
+      return Status::Unimplemented(
+          std::string("serialization for ") +
+          PredictorModelName(config_.model));
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot write " + path);
+  out << json::WriteJson(root);
+  out.close();
+  if (out.fail()) return Status::IoError("write failed on " + path);
+  return Status::Ok();
+}
+
+Status JsonPathPredictor::LoadModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot read " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  MAXSON_ASSIGN_OR_RETURN(json::JsonValue root,
+                          json::ParseJson(buffer.str()));
+  const json::JsonValue* model = root.Find("model");
+  const json::JsonValue* params = root.Find("params");
+  if (model == nullptr || params == nullptr) {
+    return Status::ParseError("model file missing model/params");
+  }
+  if (model->string_value() != PredictorModelName(config_.model)) {
+    return Status::InvalidArgument(
+        "model file holds " + model->string_value() + " but predictor is " +
+        PredictorModelName(config_.model));
+  }
+  switch (config_.model) {
+    case PredictorModel::kLstm: {
+      MAXSON_ASSIGN_OR_RETURN(lstm_, ml::LstmTagger::FromJson(*params));
+      break;
+    }
+    case PredictorModel::kLstmCrf: {
+      MAXSON_ASSIGN_OR_RETURN(lstm_crf_, ml::LstmCrf::FromJson(*params));
+      break;
+    }
+    default:
+      return Status::Unimplemented(
+          std::string("serialization for ") +
+          PredictorModelName(config_.model));
+  }
+  trained_ = true;
+  return Status::Ok();
+}
+
+std::vector<std::string> JsonPathPredictor::PredictMpjps(
+    const JsonPathCollector& collector, DateId target_date) const {
+  std::vector<std::string> predicted;
+  for (const std::string& key : collector.Keys()) {
+    const ml::Sample sample = BuildSample(collector, key, target_date);
+    if (Predict(sample) == 1) predicted.push_back(key);
+  }
+  return predicted;
+}
+
+}  // namespace maxson::core

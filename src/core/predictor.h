@@ -1,0 +1,96 @@
+#ifndef MAXSON_CORE_PREDICTOR_H_
+#define MAXSON_CORE_PREDICTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/collector.h"
+#include "ml/dataset.h"
+#include "ml/linear_models.h"
+#include "ml/lstm.h"
+#include "ml/lstm_crf.h"
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+
+namespace maxson::core {
+
+/// Model families the JSONPath Predictor can be built on — the four
+/// baselines plus the paper's hybrid (Tables III / IV).
+enum class PredictorModel {
+  kLogisticRegression,
+  kLinearSvm,
+  kMlp,
+  kLstm,
+  kLstmCrf,
+};
+
+const char* PredictorModelName(PredictorModel model);
+
+struct PredictorConfig {
+  PredictorModel model = PredictorModel::kLstmCrf;
+  /// Date window the count/datediff sequences span (paper: one week gives
+  /// the best F1; Table IV also tries two weeks and one month).
+  int window_days = 7;
+  int lstm_hidden = 24;
+  int epochs = 20;
+  uint64_t seed = 21;
+};
+
+/// The JSONPath Predictor of Fig. 6: turns the collector's statistics into
+/// per-path training samples — location features, a Datediff sequence, and
+/// a Count sequence — and predicts which paths will be Multiple-Parsed
+/// JSONPaths (accessed at least twice) on the next day.
+class JsonPathPredictor {
+ public:
+  explicit JsonPathPredictor(PredictorConfig config)
+      : config_(std::move(config)) {}
+
+  /// Builds one sample for `key` whose window ends the day before
+  /// `target_date`; each step is labeled with the *next* day's MPJP status,
+  /// so the final label answers "is this path an MPJP on target_date?".
+  ml::Sample BuildSample(const JsonPathCollector& collector,
+                         const std::string& key, DateId target_date) const;
+
+  /// Builds a dataset over every collected path for every target day in
+  /// [first_target, last_target].
+  std::vector<ml::Sample> BuildDataset(const JsonPathCollector& collector,
+                                       DateId first_target,
+                                       DateId last_target) const;
+
+  /// Trains the configured model.
+  Status Train(const std::vector<ml::Sample>& samples);
+
+  /// Predicts the MPJP label of one sample.
+  int Predict(const ml::Sample& sample) const;
+
+  /// Evaluates precision/recall/F1 on a labeled set.
+  ml::BinaryMetrics Evaluate(const std::vector<ml::Sample>& samples) const;
+
+  /// End-to-end nightly use: predict tomorrow's MPJP keys from history.
+  std::vector<std::string> PredictMpjps(const JsonPathCollector& collector,
+                                        DateId target_date) const;
+
+  /// Persists / restores the trained model's parameters (LSTM, LSTM+CRF;
+  /// other model families return kUnimplemented). LoadModel marks the
+  /// predictor trained; the file's model kind must match the configured
+  /// one.
+  Status SaveModel(const std::string& path) const;
+  Status LoadModel(const std::string& path);
+
+  const PredictorConfig& config() const { return config_; }
+
+ private:
+  PredictorConfig config_;
+  bool trained_ = false;
+  ml::LogisticRegression lr_;
+  ml::LinearSvm svm_;
+  ml::MlpClassifier mlp_;
+  ml::LstmTagger lstm_;
+  ml::LstmCrf lstm_crf_;
+};
+
+}  // namespace maxson::core
+
+#endif  // MAXSON_CORE_PREDICTOR_H_

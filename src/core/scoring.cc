@@ -1,0 +1,93 @@
+#include "core/scoring.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace maxson::core {
+
+std::vector<ScoredMpjp> ScoreMpjps(
+    const std::vector<MpjpCandidate>& candidates,
+    const std::vector<std::vector<std::string>>& queries,
+    const std::set<std::string>& mpjp_keys) {
+  // Precompute per-query M_i (paths that are MPJPs) and N_i (all paths).
+  struct QueryCounts {
+    uint64_t mpjp_count = 0;
+    uint64_t path_count = 0;
+  };
+  std::vector<QueryCounts> per_query(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    per_query[i].path_count = queries[i].size();
+    for (const std::string& key : queries[i]) {
+      if (mpjp_keys.count(key) != 0) ++per_query[i].mpjp_count;
+    }
+  }
+
+  std::vector<ScoredMpjp> scored;
+  scored.reserve(candidates.size());
+  for (const MpjpCandidate& candidate : candidates) {
+    ScoredMpjp s;
+    s.candidate = candidate;
+    const std::string key = candidate.location.Key();
+
+    uint64_t sum_m = 0;
+    uint64_t sum_n = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      // Queries that access MPJP_j.
+      if (std::find(queries[i].begin(), queries[i].end(), key) !=
+          queries[i].end()) {
+        ++s.occurrences;
+        sum_m += per_query[i].mpjp_count;
+        sum_n += per_query[i].path_count;
+      }
+    }
+    s.relevance = sum_n == 0 ? 0.0
+                             : static_cast<double>(sum_m) /
+                                   static_cast<double>(sum_n);
+    s.acceleration_per_byte =
+        candidate.avg_value_bytes <= 0.0
+            ? 0.0
+            : candidate.avg_parse_seconds / candidate.avg_value_bytes;
+    s.score = s.acceleration_per_byte * s.relevance *
+              static_cast<double>(s.occurrences);
+    scored.push_back(std::move(s));
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredMpjp& a, const ScoredMpjp& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.candidate.location.Key() < b.candidate.location.Key();
+            });
+  return scored;
+}
+
+namespace {
+
+std::vector<ScoredMpjp> TakeWhileFits(std::vector<ScoredMpjp> ordered,
+                                      uint64_t budget_bytes) {
+  std::vector<ScoredMpjp> selected;
+  uint64_t used = 0;
+  for (ScoredMpjp& s : ordered) {
+    const uint64_t bytes = s.candidate.estimated_cache_bytes;
+    if (used + bytes > budget_bytes) continue;  // try smaller later entries
+    used += bytes;
+    selected.push_back(std::move(s));
+  }
+  return selected;
+}
+
+}  // namespace
+
+std::vector<ScoredMpjp> SelectWithinBudget(std::vector<ScoredMpjp> scored,
+                                           uint64_t budget_bytes) {
+  // `scored` is already in descending score order from ScoreMpjps.
+  return TakeWhileFits(std::move(scored), budget_bytes);
+}
+
+std::vector<ScoredMpjp> SelectRandomWithinBudget(
+    std::vector<ScoredMpjp> scored, uint64_t budget_bytes, uint64_t seed) {
+  Rng rng(seed);
+  rng.Shuffle(&scored);
+  return TakeWhileFits(std::move(scored), budget_bytes);
+}
+
+}  // namespace maxson::core

@@ -1,0 +1,59 @@
+#ifndef MAXSON_CORE_SCORING_H_
+#define MAXSON_CORE_SCORING_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/trace.h"
+
+namespace maxson::core {
+
+/// One MPJP candidate with its measured statistics: B_j (average parsed
+/// value size, sampled from table splits) and P_j (average parsing time,
+/// measured with the engine's parsing algorithm).
+struct MpjpCandidate {
+  workload::JsonPathLocation location;
+  double avg_value_bytes = 1.0;    // B_j
+  double avg_parse_seconds = 0.0;  // P_j
+  /// Estimated total cache footprint when this path is cached (B_j times
+  /// table row count), used by budgeted selection.
+  uint64_t estimated_cache_bytes = 0;
+};
+
+/// A scored MPJP, per Section IV-B:
+///   A_j = P_j / B_j                       (acceleration per byte, Eq. 1)
+///   R_j = sum_i M_i / sum_i N_i           (relevance, Eq. 2)
+///   O_j = number of queries accessing j   (occurrences)
+///   Score_j = A_j * R_j * O_j             (Eq. 3)
+struct ScoredMpjp {
+  MpjpCandidate candidate;
+  double acceleration_per_byte = 0.0;  // A_j
+  double relevance = 0.0;              // R_j
+  uint64_t occurrences = 0;            // O_j
+  double score = 0.0;
+};
+
+/// Computes scores for every candidate. `queries` are the path-key sets of
+/// the queries the predictor was built from (one entry per executed query);
+/// `mpjp_keys` is the full predicted MPJP set (M_i counts membership in it).
+/// Returns candidates sorted by descending score.
+std::vector<ScoredMpjp> ScoreMpjps(
+    const std::vector<MpjpCandidate>& candidates,
+    const std::vector<std::vector<std::string>>& queries,
+    const std::set<std::string>& mpjp_keys);
+
+/// Greedy budgeted selection: walks the scored list in descending order and
+/// keeps every candidate that still fits in `budget_bytes` (Section IV-C:
+/// "caches the MPJPs in the sorted order until it runs out of space").
+std::vector<ScoredMpjp> SelectWithinBudget(std::vector<ScoredMpjp> scored,
+                                           uint64_t budget_bytes);
+
+/// Baseline for Fig. 11: random order instead of score order, same budget.
+std::vector<ScoredMpjp> SelectRandomWithinBudget(
+    std::vector<ScoredMpjp> scored, uint64_t budget_bytes, uint64_t seed);
+
+}  // namespace maxson::core
+
+#endif  // MAXSON_CORE_SCORING_H_

@@ -1,0 +1,642 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "common/time_util.h"
+#include "engine/planner.h"
+#include "engine/sql_parser.h"
+#include "engine/table_scan.h"
+#include "json/dom_parser.h"
+#include "json/json_path.h"
+#include "json/raw_filter.h"
+#include "xml/xml_path.h"
+
+namespace maxson::engine {
+
+using storage::RecordBatch;
+using storage::Schema;
+using storage::TypeKind;
+using storage::Value;
+
+const ScalarFunction* LookupEngineFunction(const std::string& name,
+                                           void* hook) {
+  auto* engine = static_cast<QueryEngine*>(hook);
+  auto it = engine->functions_.find(name);
+  return it == engine->functions_.end() ? nullptr : &it->second;
+}
+
+QueryEngine::QueryEngine(const catalog::Catalog* catalog, EngineConfig config)
+    : catalog_(catalog), config_(std::move(config)) {
+  RegisterBuiltinFunctions();
+}
+
+QueryEngine::~QueryEngine() = default;
+
+void QueryEngine::RegisterBuiltinFunctions() {
+  // get_json_object(json_string, json_path): the workhorse of the paper's
+  // workload. Its wall time is attributed to the Parse phase.
+  functions_["get_json_object"] = [this](const std::vector<Value>& args)
+      -> Value {
+    if (args.size() != 2 || args[0].is_null() || args[1].is_null()) {
+      return Value::Null();
+    }
+    const std::string& text = args[0].is_string() ? args[0].string_value()
+                                                  : args[0].ToString();
+    const std::string& path_text = args[1].string_value();
+
+    auto path_it = path_cache_.find(path_text);
+    if (path_it == path_cache_.end()) {
+      auto parsed = json::JsonPath::Parse(path_text);
+      if (!parsed.ok()) return Value::Null();
+      path_it = path_cache_.emplace(path_text, std::move(*parsed)).first;
+    }
+
+    Stopwatch timer;
+    Result<std::string> extracted =
+        config_.json_backend == JsonBackend::kMison
+            ? mison_.Extract(text, path_it->second)
+            : json::GetJsonObject(text, path_it->second);
+    if (active_metrics_ != nullptr) {
+      active_metrics_->parse_seconds += timer.ElapsedSeconds();
+      ++active_metrics_->parse.records_parsed;
+      active_metrics_->parse.bytes_parsed += text.size();
+    }
+    if (!extracted.ok()) return Value::Null();
+    return Value::String(std::move(*extracted));
+  };
+
+  // get_xml_object(xml_string, xpath): the XML counterpart the paper names
+  // as future work; same contract as get_json_object (NULL on missing).
+  functions_["get_xml_object"] = [this](const std::vector<Value>& args)
+      -> Value {
+    if (args.size() != 2 || args[0].is_null() || args[1].is_null()) {
+      return Value::Null();
+    }
+    const std::string& text = args[0].is_string() ? args[0].string_value()
+                                                  : args[0].ToString();
+    auto xpath_it = xml_path_cache_.find(args[1].string_value());
+    if (xpath_it == xml_path_cache_.end()) {
+      auto parsed = xml::XmlPath::Parse(args[1].string_value());
+      if (!parsed.ok()) return Value::Null();
+      xpath_it =
+          xml_path_cache_.emplace(args[1].string_value(), std::move(*parsed))
+              .first;
+    }
+    Stopwatch timer;
+    Result<std::string> extracted = xml::GetXmlObject(text, xpath_it->second);
+    if (active_metrics_ != nullptr) {
+      active_metrics_->parse_seconds += timer.ElapsedSeconds();
+      ++active_metrics_->parse.records_parsed;
+      active_metrics_->parse.bytes_parsed += text.size();
+    }
+    if (!extracted.ok()) return Value::Null();
+    return Value::String(std::move(*extracted));
+  };
+
+  functions_["length"] = [](const std::vector<Value>& args) -> Value {
+    if (args.size() != 1 || args[0].is_null()) return Value::Null();
+    return Value::Int64(static_cast<int64_t>(args[0].ToString().size()));
+  };
+  functions_["lower"] = [](const std::vector<Value>& args) -> Value {
+    if (args.size() != 1 || args[0].is_null()) return Value::Null();
+    return Value::String(ToLower(args[0].ToString()));
+  };
+  functions_["concat"] = [](const std::vector<Value>& args) -> Value {
+    std::string out;
+    for (const Value& v : args) {
+      if (v.is_null()) return Value::Null();
+      out += v.ToString();
+    }
+    return Value::String(std::move(out));
+  };
+  functions_["coalesce"] = [](const std::vector<Value>& args) -> Value {
+    for (const Value& v : args) {
+      if (!v.is_null()) return v;
+    }
+    return Value::Null();
+  };
+  // SQL LIKE with % (any run) and _ (any char) wildcards.
+  functions_["like"] = [](const std::vector<Value>& args) -> Value {
+    if (args.size() != 2 || args[0].is_null() || args[1].is_null()) {
+      return Value::Null();
+    }
+    const std::string subject = args[0].ToString();
+    const std::string& pattern = args[1].ToString();
+    // Iterative glob match with backtracking on the last '%'.
+    size_t s = 0;
+    size_t p = 0;
+    size_t star_p = std::string::npos;
+    size_t star_s = 0;
+    while (s < subject.size()) {
+      if (p < pattern.size() &&
+          (pattern[p] == '_' || pattern[p] == subject[s])) {
+        ++s;
+        ++p;
+      } else if (p < pattern.size() && pattern[p] == '%') {
+        star_p = p++;
+        star_s = s;
+      } else if (star_p != std::string::npos) {
+        p = star_p + 1;
+        s = ++star_s;
+      } else {
+        return Value::Bool(false);
+      }
+    }
+    while (p < pattern.size() && pattern[p] == '%') ++p;
+    return Value::Bool(p == pattern.size());
+  };
+  // Membership test backing the SQL IN list: args[0] IN args[1..].
+  functions_["in"] = [](const std::vector<Value>& args) -> Value {
+    if (args.empty() || args[0].is_null()) return Value::Null();
+    for (size_t i = 1; i < args.size(); ++i) {
+      if (!args[i].is_null() && args[0].Compare(args[i]) == 0) {
+        return Value::Bool(true);
+      }
+    }
+    return Value::Bool(false);
+  };
+  // cast helpers used by benches to force numeric comparisons.
+  functions_["to_double"] = [](const std::vector<Value>& args) -> Value {
+    if (args.size() != 1 || args[0].is_null()) return Value::Null();
+    return Value::Double(args[0].AsDouble());
+  };
+  functions_["to_int"] = [](const std::vector<Value>& args) -> Value {
+    if (args.size() != 1 || args[0].is_null()) return Value::Null();
+    return Value::Int64(static_cast<int64_t>(args[0].AsDouble()));
+  };
+}
+
+Result<PhysicalPlan> QueryEngine::Plan(const std::string& sql) {
+  MAXSON_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(sql));
+  Planner planner(catalog_, config_.default_database);
+  return planner.Plan(stmt, rewriter_);
+}
+
+Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
+  Stopwatch plan_timer;
+  MAXSON_ASSIGN_OR_RETURN(PhysicalPlan plan, Plan(sql));
+  return ExecutePlan(plan, plan_timer.ElapsedSeconds());
+}
+
+namespace {
+
+/// Serialized grouping key: values rendered with a type tag and separator so
+/// distinct tuples never collide.
+std::string GroupKey(const std::vector<Value>& values) {
+  std::string key;
+  for (const Value& v : values) {
+    if (v.is_null()) {
+      key += "\x01N";
+    } else if (v.is_string()) {
+      key += "\x01S" + v.string_value();
+    } else {
+      key += "\x01V" + v.ToString();
+    }
+    key += '\x02';
+  }
+  return key;
+}
+
+/// Running state of one aggregate within one group.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0.0;
+  Value min;
+  Value max;
+  bool has_value = false;
+
+  void Update(const Value& v) {
+    if (v.is_null()) return;
+    ++count;
+    sum += v.AsDouble();
+    if (!has_value || v.Compare(min) < 0) min = v;
+    if (!has_value || v.Compare(max) > 0) max = v;
+    has_value = true;
+  }
+
+  Value Finish(AggKind kind) const {
+    switch (kind) {
+      case AggKind::kCount:
+        return Value::Int64(count);
+      case AggKind::kSum:
+        return has_value ? Value::Double(sum) : Value::Null();
+      case AggKind::kAvg:
+        return has_value ? Value::Double(sum / static_cast<double>(count))
+                         : Value::Null();
+      case AggKind::kMin:
+        return has_value ? min : Value::Null();
+      case AggKind::kMax:
+        return has_value ? max : Value::Null();
+    }
+    return Value::Null();
+  }
+};
+
+}  // namespace
+
+Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
+                                             double plan_seconds) {
+  QueryResult result;
+  result.metrics.plan_seconds = plan_seconds;
+  QueryMetrics& metrics = result.metrics;
+  active_metrics_ = &metrics;
+  // Clear the sink on every exit path.
+  struct SinkGuard {
+    QueryMetrics** sink;
+    ~SinkGuard() { *sink = nullptr; }
+  } guard{&active_metrics_};
+
+  EvalContext ctx;
+  ctx.lookup_function = &LookupEngineFunction;
+  ctx.lookup_hook = this;
+
+  // ---- Scan (and join) ----
+  MAXSON_ASSIGN_OR_RETURN(RecordBatch left, ExecuteScan(plan.scan, &metrics));
+
+  RecordBatch input;
+  if (plan.join_scan.has_value()) {
+    MAXSON_ASSIGN_OR_RETURN(RecordBatch right,
+                            ExecuteScan(*plan.join_scan, &metrics));
+    Stopwatch compute_timer;
+    // Hash join: build on the right side.
+    std::multimap<std::string, size_t> build;
+    for (size_t r = 0; r < right.num_rows(); ++r) {
+      ctx.batch = &right;
+      ctx.row = r;
+      std::vector<Value> keys;
+      bool any_null = false;
+      for (const ExprPtr& e : plan.join_keys_right) {
+        MAXSON_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*e, ctx));
+        if (v.is_null()) any_null = true;
+        keys.push_back(std::move(v));
+      }
+      if (any_null) continue;  // NULL keys never join
+      build.emplace(GroupKey(keys), r);
+    }
+    metrics.compute_seconds += compute_timer.ElapsedSeconds();
+
+    Schema joined_schema = left.schema();
+    for (const storage::Field& f : right.schema().fields()) {
+      joined_schema.AddField(f.name, f.type);
+    }
+    RecordBatch joined(joined_schema);
+    Stopwatch probe_timer;
+    for (size_t l = 0; l < left.num_rows(); ++l) {
+      ctx.batch = &left;
+      ctx.row = l;
+      std::vector<Value> keys;
+      bool any_null = false;
+      for (const ExprPtr& e : plan.join_keys_left) {
+        MAXSON_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*e, ctx));
+        if (v.is_null()) any_null = true;
+        keys.push_back(std::move(v));
+      }
+      if (any_null) continue;
+      auto [lo, hi] = build.equal_range(GroupKey(keys));
+      for (auto it = lo; it != hi; ++it) {
+        std::vector<Value> row = left.GetRow(l);
+        std::vector<Value> right_row = right.GetRow(it->second);
+        row.insert(row.end(), right_row.begin(), right_row.end());
+        joined.AppendRow(row);
+      }
+    }
+    metrics.compute_seconds += probe_timer.ElapsedSeconds();
+    // Subtract parse time attributed during join evaluation from compute
+    // (parse has its own bucket and must not be double counted).
+    input = std::move(joined);
+  } else {
+    input = std::move(left);
+  }
+
+  // ---- Filter ----
+  // Sparser-style prefilters: for top-level conjuncts of the form
+  // get_json_object(col, path) = 'literal', a record lacking the literal's
+  // bytes cannot match, so it is dropped before any parsing happens.
+  struct RowPrefilter {
+    int column_index;
+    json::RawFilter filter;
+  };
+  std::vector<RowPrefilter> prefilters;
+  if (config_.enable_raw_filter && plan.where != nullptr) {
+    std::vector<const Expr*> stack = {plan.where.get()};
+    while (!stack.empty()) {
+      const Expr* e = stack.back();
+      stack.pop_back();
+      if (e->kind == ExprKind::kBinary && e->bin_op == BinaryOp::kAnd) {
+        stack.push_back(e->children[0].get());
+        stack.push_back(e->children[1].get());
+        continue;
+      }
+      if (e->kind != ExprKind::kBinary || e->bin_op != BinaryOp::kEq) {
+        continue;
+      }
+      const Expr* call = e->children[0].get();
+      const Expr* literal = e->children[1].get();
+      if (call->kind == ExprKind::kLiteral) std::swap(call, literal);
+      if (call->kind != ExprKind::kFunction ||
+          call->func_name != "get_json_object" ||
+          call->children.size() != 2 ||
+          call->children[0]->kind != ExprKind::kColumnRef ||
+          call->children[0]->column_index < 0 ||
+          literal->kind != ExprKind::kLiteral ||
+          !literal->literal.is_string() ||
+          !json::IsRawFilterableLiteral(literal->literal.string_value())) {
+        continue;
+      }
+      prefilters.push_back(RowPrefilter{
+          call->children[0]->column_index,
+          json::RawFilter(literal->literal.string_value())});
+    }
+  }
+
+  Stopwatch compute_timer;
+  RecordBatch filtered(input.schema());
+  if (plan.where != nullptr) {
+    for (size_t r = 0; r < input.num_rows(); ++r) {
+      bool rejected = false;
+      for (const RowPrefilter& pf : prefilters) {
+        const storage::ColumnVector& col =
+            input.column(static_cast<size_t>(pf.column_index));
+        if (col.IsNull(r) || !pf.filter.MightMatch(col.GetString(r))) {
+          rejected = true;
+          break;
+        }
+      }
+      if (rejected) {
+        ++metrics.raw_filtered_rows;
+        continue;
+      }
+      ctx.batch = &input;
+      ctx.row = r;
+      MAXSON_ASSIGN_OR_RETURN(Value keep, EvaluateExpr(*plan.where, ctx));
+      if (IsTruthy(keep)) filtered.AppendRow(input.GetRow(r));
+    }
+  } else {
+    filtered = std::move(input);
+  }
+
+  // ---- Project / Aggregate ----
+  Schema out_schema;
+  for (size_t i = 0; i < plan.projections.size(); ++i) {
+    out_schema.AddField(plan.projection_names[i], TypeKind::kString);
+  }
+  // Output columns are dynamically typed; using kString schema would coerce,
+  // so instead build per-row Values and type columns as strings only at the
+  // very end. To preserve types, re-derive the schema from the first row:
+  // simpler: store all projections as their natural Value in a row list.
+  std::vector<std::vector<Value>> out_rows;
+
+  if (plan.has_aggregates || !plan.group_by.empty()) {
+    // Group rows.
+    struct Group {
+      std::vector<Value> key_values;
+      std::vector<AggState> states;
+      size_t first_row;
+    };
+    std::map<std::string, Group> groups;
+    // Collect aggregate nodes per projection (top-level or nested); the
+    // HAVING clause rides along as a pseudo-projection at the end.
+    const size_t having_slot = plan.projections.size();
+    std::vector<std::vector<const Expr*>> agg_nodes(having_slot + 1);
+    std::vector<const Expr*> all_aggs;
+    for (size_t p = 0; p < plan.projections.size(); ++p) {
+      plan.projections[p]->Visit([&](const Expr* node) {
+        if (node->kind == ExprKind::kAggregate) {
+          agg_nodes[p].push_back(node);
+          all_aggs.push_back(node);
+        }
+      });
+    }
+    if (plan.having != nullptr) {
+      plan.having->Visit([&](const Expr* node) {
+        if (node->kind == ExprKind::kAggregate) {
+          agg_nodes[having_slot].push_back(node);
+          all_aggs.push_back(node);
+        }
+      });
+    }
+    for (size_t r = 0; r < filtered.num_rows(); ++r) {
+      ctx.batch = &filtered;
+      ctx.row = r;
+      std::vector<Value> key_values;
+      for (const ExprPtr& g : plan.group_by) {
+        MAXSON_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*g, ctx));
+        key_values.push_back(std::move(v));
+      }
+      const std::string key = GroupKey(key_values);
+      auto [it, inserted] = groups.try_emplace(key);
+      Group& group = it->second;
+      if (inserted) {
+        group.key_values = key_values;
+        group.states.resize(all_aggs.size());
+        group.first_row = r;
+      }
+      for (size_t a = 0; a < all_aggs.size(); ++a) {
+        const Expr* agg = all_aggs[a];
+        if (agg->children.empty()) {
+          // COUNT(*): count the row unconditionally.
+          ++group.states[a].count;
+          group.states[a].has_value = true;
+        } else {
+          MAXSON_ASSIGN_OR_RETURN(Value v,
+                                  EvaluateExpr(*agg->children[0], ctx));
+          group.states[a].Update(v);
+        }
+      }
+    }
+    // A global aggregate (no GROUP BY) over zero rows still yields one
+    // output row: COUNT(*)=0, other aggregates NULL.
+    if (groups.empty() && plan.group_by.empty()) {
+      Group& empty_group = groups[std::string()];
+      empty_group.states.resize(all_aggs.size());
+      empty_group.first_row = 0;
+    }
+
+    // Finalize each group: evaluate projections (and HAVING) with aggregate
+    // nodes replaced by their finished values.
+    for (auto& [key, group] : groups) {
+      ctx.batch = &filtered;
+      ctx.row = group.first_row;
+      // Evaluates `source` (the p-th pseudo-projection) for this group.
+      auto evaluate_for_group = [&](const Expr& source,
+                                    size_t p) -> Result<Value> {
+        if (agg_nodes[p].empty()) {
+          // Pure grouping expression: evaluate on the group's exemplar row.
+          // The synthetic empty-input group has no exemplar; non-aggregate
+          // projections over zero rows are NULL.
+          if (filtered.num_rows() == 0) return Value::Null();
+          return EvaluateExpr(source, ctx);
+        }
+        // Substitute aggregate results into a clone, then evaluate. The
+        // clone's aggregate nodes appear in the same visit order as
+        // agg_nodes[p]; map each to its global state slot in all_aggs.
+        ExprPtr clone = source.Clone();
+        size_t next = 0;
+        std::vector<size_t> indices;
+        for (const Expr* node : agg_nodes[p]) {
+          for (size_t a = 0; a < all_aggs.size(); ++a) {
+            if (node == all_aggs[a]) {
+              indices.push_back(a);
+              break;
+            }
+          }
+        }
+        clone->Visit([&](Expr* node) {
+          if (node->kind != ExprKind::kAggregate) return;
+          const size_t state_index = indices[next++];
+          node->kind = ExprKind::kLiteral;
+          node->literal = group.states[state_index].Finish(node->agg);
+          node->children.clear();
+        });
+        return EvaluateExpr(*clone, ctx);
+      };
+
+      if (plan.having != nullptr) {
+        MAXSON_ASSIGN_OR_RETURN(Value keep,
+                                evaluate_for_group(*plan.having, having_slot));
+        if (!IsTruthy(keep)) continue;
+      }
+      std::vector<Value> row;
+      for (size_t p = 0; p < plan.projections.size(); ++p) {
+        MAXSON_ASSIGN_OR_RETURN(Value v,
+                                evaluate_for_group(*plan.projections[p], p));
+        row.push_back(std::move(v));
+      }
+      out_rows.push_back(std::move(row));
+    }
+    // ORDER BY over aggregated output operates on projection aliases.
+    // (Sorting below handles the non-aggregate path; for aggregates we sort
+    // by matching the order key against projection names.)
+    if (!plan.order_by.empty()) {
+      std::vector<size_t> order(out_rows.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      // Resolve each order key to a projection index by textual match.
+      std::vector<std::pair<int, bool>> keys;
+      for (const auto& [expr, desc] : plan.order_by) {
+        int proj = -1;
+        for (size_t p = 0; p < plan.projections.size(); ++p) {
+          if (plan.projection_names[p] == expr->ToString() ||
+              plan.projections[p]->ToString() == expr->ToString()) {
+            proj = static_cast<int>(p);
+            break;
+          }
+        }
+        if (proj < 0 && expr->kind == ExprKind::kColumnRef) {
+          for (size_t p = 0; p < plan.projection_names.size(); ++p) {
+            if (plan.projection_names[p] == expr->column) {
+              proj = static_cast<int>(p);
+              break;
+            }
+          }
+        }
+        if (proj < 0) {
+          return Status::Unimplemented(
+              "ORDER BY over aggregates must reference a projection: " +
+              expr->ToString());
+        }
+        keys.emplace_back(proj, desc);
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&](size_t a, size_t b) {
+                         for (const auto& [p, desc] : keys) {
+                           const int cmp = out_rows[a][p].Compare(
+                               out_rows[b][p]);
+                           if (cmp != 0) return desc ? cmp > 0 : cmp < 0;
+                         }
+                         return false;
+                       });
+      std::vector<std::vector<Value>> sorted;
+      sorted.reserve(out_rows.size());
+      for (size_t i : order) sorted.push_back(std::move(out_rows[i]));
+      out_rows = std::move(sorted);
+    }
+  } else {
+    // Plain projection; ORDER BY keys are evaluated against input rows.
+    std::vector<size_t> order(filtered.num_rows());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    if (!plan.order_by.empty()) {
+      // Precompute sort keys.
+      std::vector<std::vector<Value>> sort_keys(filtered.num_rows());
+      for (size_t r = 0; r < filtered.num_rows(); ++r) {
+        ctx.batch = &filtered;
+        ctx.row = r;
+        for (const auto& [expr, desc] : plan.order_by) {
+          MAXSON_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*expr, ctx));
+          sort_keys[r].push_back(std::move(v));
+        }
+      }
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        for (size_t k = 0; k < plan.order_by.size(); ++k) {
+          const int cmp = sort_keys[a][k].Compare(sort_keys[b][k]);
+          if (cmp != 0) return plan.order_by[k].second ? cmp > 0 : cmp < 0;
+        }
+        return false;
+      });
+    }
+    // DISTINCT must see every row before the limit truncates.
+    const size_t take =
+        (plan.limit >= 0 && !plan.distinct)
+            ? std::min<size_t>(order.size(), static_cast<size_t>(plan.limit))
+            : order.size();
+    for (size_t i = 0; i < take; ++i) {
+      ctx.batch = &filtered;
+      ctx.row = order[i];
+      std::vector<Value> row;
+      for (const ExprPtr& p : plan.projections) {
+        MAXSON_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*p, ctx));
+        row.push_back(std::move(v));
+      }
+      out_rows.push_back(std::move(row));
+    }
+  }
+
+  // DISTINCT: drop duplicate output rows, keeping first occurrences (order
+  // is already established, so this preserves ORDER BY semantics).
+  if (plan.distinct) {
+    std::set<std::string> seen;
+    std::vector<std::vector<Value>> unique;
+    unique.reserve(out_rows.size());
+    for (std::vector<Value>& row : out_rows) {
+      if (seen.insert(GroupKey(row)).second) {
+        unique.push_back(std::move(row));
+      }
+    }
+    out_rows = std::move(unique);
+  }
+
+  // LIMIT for the aggregate and DISTINCT paths (the plain projection path
+  // applied it during evaluation).
+  if (plan.limit >= 0 && out_rows.size() > static_cast<size_t>(plan.limit)) {
+    out_rows.resize(static_cast<size_t>(plan.limit));
+  }
+
+  // Materialize the output batch. Column types are derived from the first
+  // non-null value in each column (string when empty).
+  Schema final_schema;
+  for (size_t p = 0; p < plan.projections.size(); ++p) {
+    TypeKind type = TypeKind::kString;
+    for (const std::vector<Value>& row : out_rows) {
+      const Value& v = row[p];
+      if (v.is_null()) continue;
+      if (v.is_bool()) type = TypeKind::kBool;
+      if (v.is_int64()) type = TypeKind::kInt64;
+      if (v.is_double()) type = TypeKind::kDouble;
+      break;
+    }
+    final_schema.AddField(plan.projection_names[p], type);
+  }
+  RecordBatch out(final_schema);
+  for (const std::vector<Value>& row : out_rows) out.AppendRow(row);
+  result.batch = std::move(out);
+
+  // Compute time is total minus the separately attributed parse time
+  // accumulated during evaluation.
+  metrics.compute_seconds +=
+      std::max(0.0, compute_timer.ElapsedSeconds() - metrics.parse_seconds);
+  return result;
+}
+
+}  // namespace maxson::engine

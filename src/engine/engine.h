@@ -1,0 +1,86 @@
+#ifndef MAXSON_ENGINE_ENGINE_H_
+#define MAXSON_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "engine/plan.h"
+#include "json/mison_parser.h"
+#include "xml/xml_path.h"
+
+namespace maxson::engine {
+
+/// Which JSON parser backs get_json_object, mirroring the paper's Fig. 15
+/// configurations: kDom = Spark+Jackson (full deserialization), kMison =
+/// Spark+Mison (structural-index projection).
+enum class JsonBackend { kDom, kMison };
+
+struct EngineConfig {
+  JsonBackend json_backend = JsonBackend::kDom;
+  std::string default_database = "default";
+  /// Sparser-style raw-byte prefiltering: equality predicates over
+  /// get_json_object reject records by substring search before any parsing
+  /// happens. Sound for standard-encoded JSON (see json/raw_filter.h);
+  /// opt-in because exotic escape-encoded data could defeat the needle.
+  bool enable_raw_filter = false;
+};
+
+/// The mini analytical engine: SparkSQL's role in the paper. Parses SQL,
+/// plans (optionally letting a PlanRewriter — Maxson — modify the plan),
+/// and executes scan → [join] → filter → project/aggregate → sort → limit
+/// over CORC tables registered in the catalog.
+class QueryEngine {
+ public:
+  QueryEngine(const catalog::Catalog* catalog, EngineConfig config);
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Installs Maxson's plan modifier; pass nullptr to remove. Not owned.
+  void set_plan_rewriter(PlanRewriter* rewriter) { rewriter_ = rewriter; }
+
+  const catalog::Catalog* catalog() const { return catalog_; }
+  const EngineConfig& config() const { return config_; }
+
+  /// Parses and plans `sql` without executing (used by the Fig. 13 bench to
+  /// time plan generation with and without Maxson).
+  Result<PhysicalPlan> Plan(const std::string& sql);
+
+  /// Plans then executes.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Executes an already-built plan. `plan_seconds` is carried into the
+  /// result's metrics.
+  Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
+                                  double plan_seconds);
+
+  /// Speculation telemetry of the Mison backend (empty stats under kDom).
+  const json::MisonParser& mison() const { return mison_; }
+
+ private:
+  friend const ScalarFunction* LookupEngineFunction(const std::string& name,
+                                                    void* hook);
+
+  void RegisterBuiltinFunctions();
+
+  const catalog::Catalog* catalog_;
+  EngineConfig config_;
+  PlanRewriter* rewriter_ = nullptr;
+  json::MisonParser mison_;
+  std::unordered_map<std::string, ScalarFunction> functions_;
+  /// Parse-time accounting sink for the currently executing query; set by
+  /// ExecutePlan around evaluation (single-threaded execution).
+  QueryMetrics* active_metrics_ = nullptr;
+  /// Caches of parsed path objects keyed by text, to keep path parsing out
+  /// of the measured parse time.
+  std::unordered_map<std::string, json::JsonPath> path_cache_;
+  std::unordered_map<std::string, xml::XmlPath> xml_path_cache_;
+};
+
+}  // namespace maxson::engine
+
+#endif  // MAXSON_ENGINE_ENGINE_H_

@@ -1,0 +1,119 @@
+#ifndef MAXSON_ENGINE_PLAN_H_
+#define MAXSON_ENGINE_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/expr.h"
+#include "json/dom_parser.h"
+#include "storage/corc_reader.h"
+#include "storage/record_batch.h"
+#include "storage/sarg.h"
+#include "storage/schema.h"
+
+namespace maxson::engine {
+
+/// Request for one cached JSONPath column to be stitched into a scan's
+/// output by the value combiner: read `cache_field` from the cache table at
+/// `cache_table_dir` (file-per-split aligned with the raw table) and expose
+/// it as `output_name` (kString, get_json_object rendering; NULL when the
+/// path was absent).
+struct CacheColumnRequest {
+  std::string cache_table_dir;
+  std::string cache_field;
+  std::string output_name;
+};
+
+/// Leaf of a physical plan: one table scan, optionally combined with cache
+/// columns, with SARGs pushed down to the raw table and — after Maxson's
+/// rewrite — to the cache table (Algorithm 3).
+struct ScanNode {
+  std::string table_dir;
+  storage::Schema table_schema;
+  /// Qualifier used to prefix output columns in a join ("a" in "T a"); empty
+  /// for single-table queries.
+  std::string qualifier;
+  /// Names of raw table columns to read (unqualified).
+  std::vector<std::string> columns;
+  /// Cached JSONPath columns to stitch in (populated by MaxsonParser).
+  std::vector<CacheColumnRequest> cache_columns;
+  /// Pushdown on raw columns.
+  storage::SearchArgument raw_sarg;
+  /// Pushdown on cache fields; SargLeaf::column names a cache_field.
+  storage::SearchArgument cache_sarg;
+
+  /// Output column name for raw column `name` ("a.mall_id" when qualified).
+  std::string OutputName(const std::string& name) const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+/// Fully bound physical plan of one SELECT.
+struct PhysicalPlan {
+  ScanNode scan;
+  std::optional<ScanNode> join_scan;
+  /// Equi-join key expressions, pairwise (left[i] == right[i]); bound
+  /// against the respective scan outputs.
+  std::vector<ExprPtr> join_keys_left;
+  std::vector<ExprPtr> join_keys_right;
+
+  /// Residual filter over the (joined) scan output. SARGs are advisory row
+  /// group exclusions; this filter re-checks every surviving row.
+  ExprPtr where;
+
+  bool distinct = false;
+  std::vector<ExprPtr> projections;
+  std::vector<std::string> projection_names;
+  std::vector<ExprPtr> group_by;
+  /// Post-aggregation filter; may contain aggregate nodes.
+  ExprPtr having;
+  bool has_aggregates = false;
+  std::vector<std::pair<ExprPtr, bool>> order_by;  // expr, descending
+  int64_t limit = -1;
+};
+
+/// Time and volume accounting of one query execution, split the way the
+/// paper's Fig. 3 / Fig. 12 break down runtime: Read (I/O + decode), Parse
+/// (JSON work inside get_json_object), Compute (everything else).
+struct QueryMetrics {
+  double plan_seconds = 0;
+  double read_seconds = 0;
+  double parse_seconds = 0;
+  double compute_seconds = 0;
+  storage::ReadStats read;
+  json::ParseStats parse;
+  /// Row groups whose skipping was shared from the cache reader to the
+  /// primary reader (Algorithm 3 at work).
+  uint64_t shared_skips = 0;
+  uint64_t cache_columns_read = 0;
+  /// Rows rejected by the Sparser-style raw-byte prefilter before parsing.
+  uint64_t raw_filtered_rows = 0;
+
+  double TotalSeconds() const {
+    return read_seconds + parse_seconds + compute_seconds;
+  }
+};
+
+/// Result rows plus execution metrics.
+struct QueryResult {
+  storage::RecordBatch batch;
+  QueryMetrics metrics;
+};
+
+/// Hook invoked between logical planning and binding; Maxson's plan
+/// modifier (Algorithm 1) implements this to replace get_json_object calls
+/// with placeholders resolved from cache tables.
+class PlanRewriter {
+ public:
+  virtual ~PlanRewriter() = default;
+
+  /// Rewrites `plan` in place. Returns the number of placeholder
+  /// substitutions performed (0 = plan unchanged).
+  virtual Result<int> Rewrite(PhysicalPlan* plan) = 0;
+};
+
+}  // namespace maxson::engine
+
+#endif  // MAXSON_ENGINE_PLAN_H_

@@ -1,0 +1,56 @@
+#ifndef MAXSON_ENGINE_SQL_AST_H_
+#define MAXSON_ENGINE_SQL_AST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/expr.h"
+
+namespace maxson::engine {
+
+/// One table mentioned in FROM: "[db.]name [alias]".
+struct TableRef {
+  std::string database;  // empty = default database
+  std::string table;
+  std::string alias;  // empty = no alias
+
+  /// Name that qualifies this table's columns in a join ("a" or "T").
+  const std::string& Qualifier() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+/// A SELECT item: expression plus optional AS name.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // empty = derive from expression
+};
+
+/// Sort key of ORDER BY.
+struct OrderKey {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// Parsed form of one SELECT statement. Supported shape:
+///
+///   SELECT items FROM t [JOIN t2 ON expr] [WHERE expr]
+///     [GROUP BY exprs] [ORDER BY keys] [LIMIT n]
+struct SelectStatement {
+  bool distinct = false;  // SELECT DISTINCT
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::optional<TableRef> join;  // single inner join
+  ExprPtr join_condition;        // set iff join
+  ExprPtr where;                 // may be null
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;                // may be null; only with GROUP BY
+  std::vector<OrderKey> order_by;
+  int64_t limit = -1;  // -1 = no limit
+};
+
+}  // namespace maxson::engine
+
+#endif  // MAXSON_ENGINE_SQL_AST_H_

@@ -1,0 +1,121 @@
+#include "engine/sql_lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace maxson::engine {
+
+bool Token::IsKeyword(std::string_view keyword) const {
+  return kind == TokenKind::kIdentifier && EqualsIgnoreCase(text, keyword);
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t pos = 0;
+  const size_t n = sql.size();
+
+  auto error = [&](const std::string& what) {
+    return Status::ParseError(what + " at offset " + std::to_string(pos));
+  };
+
+  while (pos < n) {
+    const char c = sql[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    // Line comments.
+    if (c == '-' && pos + 1 < n && sql[pos + 1] == '-') {
+      while (pos < n && sql[pos] != '\n') ++pos;
+      continue;
+    }
+    Token token;
+    token.offset = pos;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos;
+      while (pos < n && (std::isalnum(static_cast<unsigned char>(sql[pos])) ||
+                         sql[pos] == '_')) {
+        ++pos;
+      }
+      token.kind = TokenKind::kIdentifier;
+      token.text = std::string(sql.substr(start, pos - start));
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos;
+      bool is_float = false;
+      while (pos < n && std::isdigit(static_cast<unsigned char>(sql[pos]))) {
+        ++pos;
+      }
+      if (pos < n && sql[pos] == '.' && pos + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[pos + 1]))) {
+        is_float = true;
+        ++pos;
+        while (pos < n && std::isdigit(static_cast<unsigned char>(sql[pos]))) {
+          ++pos;
+        }
+      }
+      token.kind = is_float ? TokenKind::kFloat : TokenKind::kInteger;
+      token.text = std::string(sql.substr(start, pos - start));
+    } else if (c == '\'') {
+      ++pos;
+      std::string text;
+      bool closed = false;
+      while (pos < n) {
+        if (sql[pos] == '\'') {
+          if (pos + 1 < n && sql[pos + 1] == '\'') {  // '' escape
+            text.push_back('\'');
+            pos += 2;
+            continue;
+          }
+          ++pos;
+          closed = true;
+          break;
+        }
+        text.push_back(sql[pos]);
+        ++pos;
+      }
+      if (!closed) return error("unterminated string literal");
+      token.kind = TokenKind::kString;
+      token.text = std::move(text);
+    } else {
+      token.kind = TokenKind::kOperator;
+      // Two-character operators first.
+      if (pos + 1 < n) {
+        const std::string_view two = sql.substr(pos, 2);
+        if (two == "!=" || two == "<>" || two == "<=" || two == ">=") {
+          token.text = two == "<>" ? "!=" : std::string(two);
+          pos += 2;
+          tokens.push_back(std::move(token));
+          continue;
+        }
+      }
+      switch (c) {
+        case '=':
+        case '<':
+        case '>':
+        case '(':
+        case ')':
+        case ',':
+        case '.':
+        case '*':
+        case '+':
+        case '-':
+        case '/':
+        case '%':
+          token.text = std::string(1, c);
+          ++pos;
+          break;
+        default:
+          return error(std::string("unexpected character '") + c + "'");
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace maxson::engine

@@ -1,0 +1,36 @@
+#ifndef MAXSON_ENGINE_SQL_LEXER_H_
+#define MAXSON_ENGINE_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace maxson::engine {
+
+enum class TokenKind {
+  kIdentifier,  // names and keywords (keywords recognized case-insensitively)
+  kInteger,
+  kFloat,
+  kString,     // '...' literal, quotes stripped, '' unescaped
+  kOperator,   // punctuation: = != < <= > >= ( ) , . * + - / %
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // identifier name / literal text / operator spelling
+  size_t offset = 0;
+
+  bool Is(TokenKind k) const { return kind == k; }
+  /// Case-insensitive keyword test; only meaningful for identifiers.
+  bool IsKeyword(std::string_view keyword) const;
+};
+
+/// Tokenizes a SQL string. Comments ("-- ...") are skipped.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace maxson::engine
+
+#endif  // MAXSON_ENGINE_SQL_LEXER_H_

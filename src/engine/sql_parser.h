@@ -1,0 +1,21 @@
+#ifndef MAXSON_ENGINE_SQL_PARSER_H_
+#define MAXSON_ENGINE_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "engine/sql_ast.h"
+
+namespace maxson::engine {
+
+/// Parses one SELECT statement (optionally ';'-terminated) into an AST.
+///
+/// The grammar covers the query shapes of the paper's workload: projections
+/// with AS aliases, `get_json_object` and other scalar calls, single inner
+/// JOIN ... ON, WHERE with AND/OR/NOT, comparisons, BETWEEN, IS [NOT] NULL,
+/// arithmetic, GROUP BY, ORDER BY ... [ASC|DESC], LIMIT.
+Result<SelectStatement> ParseSql(std::string_view sql);
+
+}  // namespace maxson::engine
+
+#endif  // MAXSON_ENGINE_SQL_PARSER_H_

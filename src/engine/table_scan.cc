@@ -1,0 +1,237 @@
+#include "engine/table_scan.h"
+
+#include "common/time_util.h"
+#include "engine/planner.h"
+#include "storage/corc_reader.h"
+#include "storage/file_system.h"
+
+namespace maxson::engine {
+
+using storage::CorcReader;
+using storage::FileSystem;
+using storage::RecordBatch;
+using storage::Schema;
+using storage::Split;
+
+namespace {
+
+using storage::SargLeaf;
+using storage::SargOp;
+using storage::SearchArgument;
+using storage::TypeKind;
+
+/// Reconciles a SARG with the column types of the file it will prune:
+/// a numeric literal against a numeric column passes through; a string
+/// literal against a numeric column is coerced to numeric; a numeric
+/// literal against a string column is dropped (string-ordered min/max
+/// statistics cannot soundly bound numeric comparisons). Dropping a leaf
+/// only loses pruning — the residual filter re-checks every row.
+SearchArgument ReconcileSargWithSchema(const SearchArgument& sarg,
+                                       const Schema& schema) {
+  SearchArgument out;
+  for (const SargLeaf& leaf : sarg.leaves()) {
+    if (leaf.op == SargOp::kIsNull || leaf.op == SargOp::kIsNotNull) {
+      out.AddLeaf(leaf);
+      continue;
+    }
+    const int idx = schema.FindField(leaf.column);
+    if (idx < 0) continue;
+    const TypeKind type = schema.field(static_cast<size_t>(idx)).type;
+    const bool numeric_column = type != TypeKind::kString;
+    const bool numeric_literal =
+        leaf.literal.is_int64() || leaf.literal.is_double() ||
+        leaf.literal.is_bool();
+    if (numeric_column == numeric_literal) {
+      out.AddLeaf(leaf);
+    } else if (numeric_column) {
+      SargLeaf coerced = leaf;
+      coerced.literal = storage::Value::Double(leaf.literal.AsDouble());
+      out.AddLeaf(std::move(coerced));
+    }
+    // numeric literal vs string column: dropped.
+  }
+  return out;
+}
+
+/// Reads one split, combining raw and cached columns row-by-row.
+Status ScanSplit(const ScanNode& scan, const Split& split,
+                 const Schema& out_schema, RecordBatch* out,
+                 QueryMetrics* metrics) {
+  CorcReader primary(split.path);
+  MAXSON_RETURN_NOT_OK(primary.Open());
+
+  // Resolve raw column indexes in the file schema.
+  std::vector<int> raw_indexes;
+  raw_indexes.reserve(scan.columns.size());
+  for (const std::string& name : scan.columns) {
+    const int idx = primary.schema().FindField(name);
+    if (idx < 0) {
+      return Status::NotFound("column " + name + " missing in " + split.path);
+    }
+    raw_indexes.push_back(idx);
+  }
+
+  // Open the synchronized cache reader when cache columns are requested.
+  std::unique_ptr<CorcReader> cache;
+  std::vector<int> cache_indexes;
+  if (!scan.cache_columns.empty()) {
+    const std::string cache_path = scan.cache_columns[0].cache_table_dir +
+                                   "/" + FileSystem::PartFileName(split.index);
+    cache = std::make_unique<CorcReader>(cache_path);
+    MAXSON_RETURN_NOT_OK(cache->Open());
+    if (cache->num_rows() != primary.num_rows()) {
+      return Status::Internal("cache/raw row count mismatch on split " +
+                              std::to_string(split.index));
+    }
+    for (const CacheColumnRequest& req : scan.cache_columns) {
+      const int idx = cache->schema().FindField(req.cache_field);
+      if (idx < 0) {
+        return Status::NotFound("cache field " + req.cache_field +
+                                " missing in " + cache_path);
+      }
+      cache_indexes.push_back(idx);
+    }
+  }
+
+  // The paper's single-stripe condition for sharing row-group skips: both
+  // files must have the same stripe structure and group size.
+  const bool aligned =
+      cache != nullptr && cache->num_stripes() == primary.num_stripes() &&
+      cache->footer().rows_per_group == primary.footer().rows_per_group;
+
+  const SearchArgument raw_sarg =
+      ReconcileSargWithSchema(scan.raw_sarg, primary.schema());
+  const SearchArgument cache_sarg =
+      cache != nullptr ? ReconcileSargWithSchema(scan.cache_sarg,
+                                                 cache->schema())
+                       : SearchArgument();
+
+  // When the two files' stripe structures diverge (the paper's alignment
+  // optimization only covers single-stripe files), fall back to positional
+  // combining: read the whole cache file once, disable row-group pruning on
+  // the primary (a skipped group would shift positions), and slice cache
+  // rows by absolute offset.
+  RecordBatch cache_full;
+  size_t cache_row_offset = 0;
+  if (cache != nullptr && !aligned) {
+    for (size_t cs = 0; cs < cache->num_stripes(); ++cs) {
+      MAXSON_ASSIGN_OR_RETURN(
+          RecordBatch part,
+          cache->ReadStripe(cs, cache_indexes, std::nullopt,
+                            metrics != nullptr ? &metrics->read : nullptr));
+      if (cs == 0) {
+        cache_full = std::move(part);
+      } else {
+        for (size_t r = 0; r < part.num_rows(); ++r) {
+          cache_full.AppendRow(part.GetRow(r));
+        }
+      }
+    }
+  }
+
+  for (size_t s = 0; s < primary.num_stripes(); ++s) {
+    // Row-group inclusion: start from the raw SARG's exclusions, then AND in
+    // the cache SARG's exclusions when alignment permits (Algorithm 3).
+    MAXSON_ASSIGN_OR_RETURN(
+        std::vector<bool> include,
+        primary.ComputeRowGroupInclusion(
+            s, (cache != nullptr && !aligned) ? SearchArgument() : raw_sarg));
+    if (aligned && !cache_sarg.empty()) {
+      MAXSON_ASSIGN_OR_RETURN(
+          std::vector<bool> cache_include,
+          cache->ComputeRowGroupInclusion(s, cache_sarg));
+      if (cache_include.size() == include.size()) {
+        for (size_t g = 0; g < include.size(); ++g) {
+          if (!cache_include[g] && include[g]) {
+            include[g] = false;
+            if (metrics != nullptr) ++metrics->shared_skips;
+          }
+        }
+      }
+    }
+
+    MAXSON_ASSIGN_OR_RETURN(
+        RecordBatch raw_batch,
+        primary.ReadStripe(s, raw_indexes, include,
+                           metrics != nullptr ? &metrics->read : nullptr));
+    RecordBatch cache_batch;
+    if (cache != nullptr) {
+      if (aligned) {
+        // The CacheReader honors the same inclusion vector, so the two
+        // readers stay on identical rows (Algorithm 2's alignment
+        // guarantee).
+        MAXSON_ASSIGN_OR_RETURN(
+            cache_batch,
+            cache->ReadStripe(s, cache_indexes, include,
+                              metrics != nullptr ? &metrics->read : nullptr));
+      } else {
+        // Positional fallback: slice the pre-read cache rows matching this
+        // stripe's absolute row range.
+        storage::Schema cache_schema;
+        for (size_t c = 0; c < cache_indexes.size(); ++c) {
+          cache_schema.AddField(cache_full.schema().field(c).name,
+                                cache_full.schema().field(c).type);
+        }
+        cache_batch = RecordBatch(cache_schema);
+        // Cache-only scans read no raw columns; the stripe's row count
+        // comes from the primary footer in that case.
+        const size_t stripe_rows =
+            raw_indexes.empty()
+                ? static_cast<size_t>(primary.footer().stripes[s].num_rows)
+                : raw_batch.num_rows();
+        for (size_t r = 0; r < stripe_rows; ++r) {
+          cache_batch.AppendRow(cache_full.GetRow(cache_row_offset + r));
+        }
+        cache_row_offset += stripe_rows;
+      }
+      // Cache-only reading (every requested value is cached, Section
+      // IV-B's relevance rationale) leaves the raw batch empty; row counts
+      // must agree whenever both readers produced columns.
+      if (!raw_indexes.empty() &&
+          cache_batch.num_rows() != raw_batch.num_rows()) {
+        return Status::Internal("value combiner row misalignment");
+      }
+      if (metrics != nullptr) {
+        metrics->cache_columns_read += cache_indexes.size();
+      }
+    }
+
+    // Value combiner: place each value at its position in the output schema
+    // (Algorithm 2's index-by-name step happened once, at schema build).
+    const size_t rows =
+        raw_indexes.empty() ? cache_batch.num_rows() : raw_batch.num_rows();
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<storage::Value> row;
+      row.reserve(out_schema.num_fields());
+      for (size_t c = 0; c < raw_indexes.size(); ++c) {
+        row.push_back(raw_batch.column(c).GetValue(r));
+      }
+      for (size_t c = 0; c < cache_indexes.size(); ++c) {
+        row.push_back(cache_batch.column(c).GetValue(r));
+      }
+      out->AppendRow(row);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<RecordBatch> ExecuteScan(const ScanNode& scan, QueryMetrics* metrics) {
+  Stopwatch timer;
+  const Schema out_schema = ScanOutputSchema(scan);
+  RecordBatch out(out_schema);
+
+  MAXSON_ASSIGN_OR_RETURN(std::vector<Split> splits,
+                          FileSystem::ListSplits(scan.table_dir));
+  if (splits.empty()) {
+    return Status::NotFound("no part files under " + scan.table_dir);
+  }
+  for (const Split& split : splits) {
+    MAXSON_RETURN_NOT_OK(ScanSplit(scan, split, out_schema, &out, metrics));
+  }
+  if (metrics != nullptr) metrics->read_seconds += timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace maxson::engine

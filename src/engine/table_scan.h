@@ -1,0 +1,27 @@
+#ifndef MAXSON_ENGINE_TABLE_SCAN_H_
+#define MAXSON_ENGINE_TABLE_SCAN_H_
+
+#include "common/result.h"
+#include "engine/plan.h"
+#include "storage/record_batch.h"
+
+namespace maxson::engine {
+
+/// Executes one ScanNode: enumerates the table's splits (one file = one
+/// split), and for each split runs the value combiner of Algorithm 2 —
+/// a PrimaryReader over the raw part file and, when cache columns are
+/// requested, a synchronized CacheReader over the cache part file with the
+/// same index. When a cache SARG is present and the two files' row groups
+/// align (same group size, single stripe — the paper's Section IV-F
+/// condition), the CacheReader's row-group exclusions are shared with the
+/// PrimaryReader so both skip the same groups (Algorithm 3).
+///
+/// Returns the concatenated scan output (raw columns, qualified when the
+/// scan has a qualifier, followed by cache columns). Metrics accumulate
+/// read time, bytes, and shared-skip counts into `metrics`.
+Result<storage::RecordBatch> ExecuteScan(const ScanNode& scan,
+                                         QueryMetrics* metrics);
+
+}  // namespace maxson::engine
+
+#endif  // MAXSON_ENGINE_TABLE_SCAN_H_

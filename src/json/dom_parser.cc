@@ -1,0 +1,293 @@
+#include "json/dom_parser.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace maxson::json {
+
+namespace {
+
+/// Single-pass cursor over the input text.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    MAXSON_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(what + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (AtEnd()) return Error("unexpected end of input");
+    switch (Peek()) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        MAXSON_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue::String(std::move(s));
+      }
+      case 't':
+        return ParseLiteral("true", JsonValue::Bool(true));
+      case 'f':
+        return ParseLiteral("false", JsonValue::Bool(false));
+      case 'n':
+        return ParseLiteral("null", JsonValue::Null());
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseLiteral(std::string_view literal, JsonValue value) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Error("invalid literal");
+    }
+    pos_ += literal.size();
+    return value;
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    ++pos_;  // consume '{'
+    JsonValue obj = JsonValue::Object();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') return Error("expected object key");
+      MAXSON_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (AtEnd() || Peek() != ':') return Error("expected ':'");
+      ++pos_;
+      SkipWhitespace();
+      MAXSON_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      obj.Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return obj;
+      }
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    ++pos_;  // consume '['
+    JsonValue arr = JsonValue::Array();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      SkipWhitespace();
+      MAXSON_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      arr.Append(std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return arr;
+      }
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // consume '"'
+    std::string out;
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (AtEnd()) return Error("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          MAXSON_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired surrogate");
+            }
+            pos_ += 2;
+            MAXSON_ASSIGN_OR_RETURN(uint32_t lo, ParseHex4());
+            if (lo < 0xDC00 || lo > 0xDFFF) return Error("invalid surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default:
+          return Error("invalid escape");
+      }
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit");
+      }
+    }
+    return v;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    bool any_digit = false;
+    while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+      ++pos_;
+      any_digit = true;
+    }
+    if (!any_digit) return Error("invalid number");
+    bool is_double = false;
+    if (!AtEnd() && Peek() == '.') {
+      is_double = true;
+      ++pos_;
+      bool frac_digit = false;
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+        ++pos_;
+        frac_digit = true;
+      }
+      if (!frac_digit) return Error("invalid fraction");
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      bool exp_digit = false;
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+        ++pos_;
+        exp_digit = true;
+      }
+      if (!exp_digit) return Error("invalid exponent");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return JsonValue::Int(v);
+      }
+      // Fall through: out-of-range integer becomes a double.
+    }
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Error("invalid number");
+    return JsonValue::Double(d);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace maxson::json

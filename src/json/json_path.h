@@ -1,0 +1,72 @@
+#ifndef MAXSON_JSON_JSON_PATH_H_
+#define MAXSON_JSON_JSON_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "json/json_value.h"
+
+namespace maxson::json {
+
+/// One step of a JSONPath: either a field name ("$.turnover" -> field
+/// "turnover") or an array index ("$.items[3]" -> index 3).
+struct JsonPathStep {
+  enum class Kind { kField, kIndex };
+  Kind kind = Kind::kField;
+  std::string field;
+  int64_t index = 0;
+
+  bool operator==(const JsonPathStep& other) const {
+    return kind == other.kind && field == other.field && index == other.index;
+  }
+};
+
+/// A parsed JSONPath such as `$.sale_logs.items[0].name`.
+///
+/// The supported grammar matches what `get_json_object` accepts in the paper's
+/// workload: `$` root, `.field` steps (also `['field']` bracket form), and
+/// non-negative `[N]` array subscripts. Wildcards/filters are out of scope —
+/// the Alibaba workload drives scalar extraction only.
+class JsonPath {
+ public:
+  JsonPath() = default;
+  explicit JsonPath(std::vector<JsonPathStep> steps)
+      : steps_(std::move(steps)) {}
+
+  /// Parses textual form. Returns ParseError on malformed input.
+  static Result<JsonPath> Parse(std::string_view text);
+
+  const std::vector<JsonPathStep>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+
+  /// Canonical textual form ("$.a.b[2]").
+  std::string ToString() const;
+
+  /// Evaluates against a parsed DOM. Returns nullptr when the path does not
+  /// resolve (missing field, index out of range, or type mismatch).
+  const JsonValue* Evaluate(const JsonValue& root) const;
+
+  bool operator==(const JsonPath& other) const {
+    return steps_ == other.steps_;
+  }
+
+ private:
+  std::vector<JsonPathStep> steps_;
+};
+
+/// Evaluates `path` against raw JSON text using full DOM parsing and returns
+/// the result rendered the way Hive/Spark's get_json_object renders it:
+/// scalars unquoted, objects/arrays re-serialized, missing -> std::nullopt
+/// encoded as an error status with code kNotFound.
+Result<std::string> GetJsonObject(std::string_view json_text,
+                                  const JsonPath& path);
+
+/// Renders an already-evaluated DOM node in get_json_object style.
+std::string RenderGetJsonObjectResult(const JsonValue& value);
+
+}  // namespace maxson::json
+
+#endif  // MAXSON_JSON_JSON_PATH_H_

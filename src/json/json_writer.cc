@@ -1,0 +1,127 @@
+#include "json/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace maxson::json {
+
+namespace {
+
+void WriteValue(const JsonValue& v, std::string* out);
+
+void AppendDouble(double d, std::string* out) {
+  if (std::isnan(d) || std::isinf(d)) {
+    // JSON has no NaN/Inf; emit null like most permissive serializers.
+    out->append("null");
+    return;
+  }
+  out->append(ShortestDoubleString(d));
+}
+
+void WriteValue(const JsonValue& v, std::string* out) {
+  switch (v.type()) {
+    case JsonType::kNull:
+      out->append("null");
+      break;
+    case JsonType::kBool:
+      out->append(v.bool_value() ? "true" : "false");
+      break;
+    case JsonType::kInt: {
+      char buf[24];
+      int n = std::snprintf(buf, sizeof(buf), "%lld",
+                            static_cast<long long>(v.int_value()));
+      out->append(buf, static_cast<size_t>(n));
+      break;
+    }
+    case JsonType::kDouble:
+      AppendDouble(v.double_value(), out);
+      break;
+    case JsonType::kString:
+      AppendEscapedString(v.string_value(), out);
+      break;
+    case JsonType::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < v.elements().size(); ++i) {
+        if (i > 0) out->push_back(',');
+        WriteValue(v.elements()[i], out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case JsonType::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : v.members()) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendEscapedString(key, out);
+        out->push_back(':');
+        WriteValue(member, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ShortestDoubleString(double d) {
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    const int n = std::snprintf(buf, sizeof(buf), "%.*g", precision, d);
+    char* end = nullptr;
+    if (std::strtod(buf, &end) == d && end == buf + n) {
+      return std::string(buf, static_cast<size_t>(n));
+    }
+  }
+  const int n = std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return std::string(buf, static_cast<size_t>(n));
+}
+
+void AppendEscapedString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string WriteJson(const JsonValue& value) {
+  std::string out;
+  WriteValue(value, &out);
+  return out;
+}
+
+}  // namespace maxson::json

@@ -1,0 +1,25 @@
+#ifndef MAXSON_JSON_JSON_WRITER_H_
+#define MAXSON_JSON_JSON_WRITER_H_
+
+#include <string>
+#include <string_view>
+
+#include "json/json_value.h"
+
+namespace maxson::json {
+
+/// Serializes a JsonValue to compact JSON text (no insignificant whitespace).
+std::string WriteJson(const JsonValue& value);
+
+/// Appends the JSON-escaped form of `s` (including surrounding quotes) to
+/// `*out`. Exposed for the raw-generation paths in workload/data_generator.
+void AppendEscapedString(std::string_view s, std::string* out);
+
+/// Shortest decimal string that parses back to exactly `d` ("16.307", not
+/// "16.306999999999999"). Both get_json_object backends render doubles
+/// through this so their outputs are textually identical.
+std::string ShortestDoubleString(double d);
+
+}  // namespace maxson::json
+
+#endif  // MAXSON_JSON_JSON_WRITER_H_

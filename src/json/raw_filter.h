@@ -1,0 +1,45 @@
+#ifndef MAXSON_JSON_RAW_FILTER_H_
+#define MAXSON_JSON_RAW_FILTER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace maxson::json {
+
+/// Sparser-style raw-byte prefilter (Palkar et al., VLDB 2018): before
+/// paying to parse a JSON record, reject it when a byte substring that any
+/// matching record must contain is absent. Absence of the needle proves
+/// the predicate false for standard-encoded JSON; presence means "maybe",
+/// and the real predicate still runs after parsing, so false positives
+/// only cost time.
+///
+/// Caveat (shared with Sparser): JSON may legally encode any character as
+/// a \uXXXX escape, in which case the needle would not appear literally.
+/// Callers therefore only build filters for literals the engine's own
+/// writers never escape (plain ASCII alphanumerics and safe punctuation),
+/// and the feature is opt-in (EngineConfig::enable_raw_filter).
+class RawFilter {
+ public:
+  /// `needle` must be non-empty.
+  explicit RawFilter(std::string needle);
+
+  /// True when `record` may satisfy the predicate (needle found).
+  bool MightMatch(std::string_view record) const;
+
+  const std::string& needle() const { return needle_; }
+
+ private:
+  std::string needle_;
+  /// Boyer-Moore-Horspool bad-character shift table.
+  size_t shift_[256];
+};
+
+/// True when `literal` is safe to search for literally in raw JSON bytes:
+/// long enough to be selective and made only of characters JSON encoders
+/// do not escape.
+bool IsRawFilterableLiteral(std::string_view literal);
+
+}  // namespace maxson::json
+
+#endif  // MAXSON_JSON_RAW_FILTER_H_

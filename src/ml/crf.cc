@@ -1,0 +1,176 @@
+#include "ml/crf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+#include "ml/matrix.h"
+
+namespace maxson::ml {
+
+LinearChainCrf::LinearChainCrf() {
+  std::memset(trans_, 0, sizeof(trans_));
+  std::memset(start_, 0, sizeof(start_));
+  std::memset(dtrans_, 0, sizeof(dtrans_));
+  std::memset(dstart_, 0, sizeof(dstart_));
+}
+
+double LinearChainCrf::NegLogLikelihood(
+    const std::vector<std::vector<double>>& emissions,
+    const std::vector<int>& labels,
+    std::vector<std::vector<double>>* demissions) {
+  const size_t seq = emissions.size();
+  MAXSON_CHECK(seq > 0);
+  MAXSON_CHECK(labels.size() == seq);
+
+  // Forward (alpha) and backward (beta) log-messages.
+  std::vector<std::vector<double>> alpha(seq,
+                                         std::vector<double>(kNumLabels));
+  std::vector<std::vector<double>> beta(seq, std::vector<double>(kNumLabels));
+
+  for (int k = 0; k < kNumLabels; ++k) {
+    alpha[0][k] = start_[k] + emissions[0][k];
+  }
+  for (size_t t = 1; t < seq; ++t) {
+    for (int k = 0; k < kNumLabels; ++k) {
+      std::vector<double> terms(kNumLabels);
+      for (int j = 0; j < kNumLabels; ++j) {
+        terms[j] = alpha[t - 1][j] + trans_[j][k];
+      }
+      alpha[t][k] = LogSumExp(terms) + emissions[t][k];
+    }
+  }
+  const double log_z = LogSumExp(alpha[seq - 1]);
+
+  for (int k = 0; k < kNumLabels; ++k) beta[seq - 1][k] = 0.0;
+  for (size_t t = seq - 1; t-- > 0;) {
+    for (int j = 0; j < kNumLabels; ++j) {
+      std::vector<double> terms(kNumLabels);
+      for (int k = 0; k < kNumLabels; ++k) {
+        terms[k] = trans_[j][k] + emissions[t + 1][k] + beta[t + 1][k];
+      }
+      beta[t][j] = LogSumExp(terms);
+    }
+  }
+
+  // Gold score.
+  double gold = start_[labels[0]] + emissions[0][labels[0]];
+  for (size_t t = 1; t < seq; ++t) {
+    gold += trans_[labels[t - 1]][labels[t]] + emissions[t][labels[t]];
+  }
+  const double nll = log_z - gold;
+
+  // Unary marginals -> emission gradients (and start gradient).
+  if (demissions != nullptr) {
+    demissions->assign(seq, std::vector<double>(kNumLabels, 0.0));
+  }
+  for (size_t t = 0; t < seq; ++t) {
+    for (int k = 0; k < kNumLabels; ++k) {
+      const double marginal = std::exp(alpha[t][k] + beta[t][k] - log_z);
+      const double grad = marginal - (labels[t] == k ? 1.0 : 0.0);
+      if (demissions != nullptr) (*demissions)[t][k] = grad;
+      if (t == 0) dstart_[k] += grad;
+    }
+  }
+  // Pairwise marginals -> transition gradients.
+  for (size_t t = 1; t < seq; ++t) {
+    for (int j = 0; j < kNumLabels; ++j) {
+      for (int k = 0; k < kNumLabels; ++k) {
+        const double pair = std::exp(alpha[t - 1][j] + trans_[j][k] +
+                                     emissions[t][k] + beta[t][k] - log_z);
+        double grad = pair;
+        if (labels[t - 1] == j && labels[t] == k) grad -= 1.0;
+        dtrans_[j][k] += grad;
+      }
+    }
+  }
+  return nll;
+}
+
+void LinearChainCrf::ApplyGradients(double lr, double clip) {
+  auto clamp = [clip](double v) { return std::max(-clip, std::min(clip, v)); };
+  for (int j = 0; j < kNumLabels; ++j) {
+    for (int k = 0; k < kNumLabels; ++k) {
+      trans_[j][k] -= lr * clamp(dtrans_[j][k]);
+      dtrans_[j][k] = 0.0;
+    }
+    start_[j] -= lr * clamp(dstart_[j]);
+    dstart_[j] = 0.0;
+  }
+}
+
+json::JsonValue LinearChainCrf::ToJson() const {
+  using json::JsonValue;
+  JsonValue out = JsonValue::Object();
+  JsonValue trans = JsonValue::Array();
+  for (int j = 0; j < kNumLabels; ++j) {
+    for (int k = 0; k < kNumLabels; ++k) {
+      trans.Append(JsonValue::Double(trans_[j][k]));
+    }
+  }
+  out.Set("transitions", std::move(trans));
+  JsonValue start = JsonValue::Array();
+  for (int k = 0; k < kNumLabels; ++k) {
+    start.Append(JsonValue::Double(start_[k]));
+  }
+  out.Set("start", std::move(start));
+  return out;
+}
+
+Result<LinearChainCrf> LinearChainCrf::FromJson(const json::JsonValue& j) {
+  if (!j.is_object()) return Status::ParseError("CRF JSON not an object");
+  const json::JsonValue* trans = j.Find("transitions");
+  const json::JsonValue* start = j.Find("start");
+  if (trans == nullptr || !trans->is_array() ||
+      trans->elements().size() != kNumLabels * kNumLabels ||
+      start == nullptr || !start->is_array() ||
+      start->elements().size() != kNumLabels) {
+    return Status::ParseError("CRF JSON missing/malformed fields");
+  }
+  LinearChainCrf crf;
+  for (int a = 0; a < kNumLabels; ++a) {
+    for (int b = 0; b < kNumLabels; ++b) {
+      crf.trans_[a][b] = trans->At(static_cast<size_t>(a * kNumLabels + b))
+                             .double_value();
+    }
+    crf.start_[a] = start->At(static_cast<size_t>(a)).double_value();
+  }
+  return crf;
+}
+
+std::vector<int> LinearChainCrf::Decode(
+    const std::vector<std::vector<double>>& emissions) const {
+  const size_t seq = emissions.size();
+  MAXSON_CHECK(seq > 0);
+  std::vector<std::vector<double>> best(seq, std::vector<double>(kNumLabels));
+  std::vector<std::vector<int>> backptr(seq, std::vector<int>(kNumLabels, 0));
+
+  for (int k = 0; k < kNumLabels; ++k) {
+    best[0][k] = start_[k] + emissions[0][k];
+  }
+  for (size_t t = 1; t < seq; ++t) {
+    for (int k = 0; k < kNumLabels; ++k) {
+      double best_score = best[t - 1][0] + trans_[0][k];
+      int best_prev = 0;
+      for (int j = 1; j < kNumLabels; ++j) {
+        const double score = best[t - 1][j] + trans_[j][k];
+        if (score > best_score) {
+          best_score = score;
+          best_prev = j;
+        }
+      }
+      best[t][k] = best_score + emissions[t][k];
+      backptr[t][k] = best_prev;
+    }
+  }
+  std::vector<int> path(seq);
+  path[seq - 1] =
+      best[seq - 1][1] > best[seq - 1][0] ? 1 : 0;
+  for (size_t t = seq - 1; t-- > 0;) {
+    path[t] = backptr[t + 1][path[t + 1]];
+  }
+  return path;
+}
+
+}  // namespace maxson::ml

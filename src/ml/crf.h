@@ -1,0 +1,55 @@
+#ifndef MAXSON_ML_CRF_H_
+#define MAXSON_ML_CRF_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "json/json_value.h"
+
+namespace maxson::ml {
+
+/// Linear-chain conditional random field over binary labels (MPJP /
+/// non-MPJP), layered on top of per-step emission scores.
+///
+/// Scores a label sequence y for emissions e as
+///   score(y) = start[y_0] + sum_t e_t[y_t] + sum_t trans[y_{t-1}][y_t]
+/// and models P(y|e) = exp(score(y)) / Z. Training minimizes the negative
+/// log-likelihood; the gradient w.r.t. emissions (unary marginals minus the
+/// gold one-hot) is returned so an upstream LSTM can backpropagate through
+/// the CRF layer. Decoding uses the Viterbi algorithm, as in the paper.
+class LinearChainCrf {
+ public:
+  static constexpr int kNumLabels = 2;
+
+  LinearChainCrf();
+
+  /// Negative log-likelihood of `labels` under `emissions`, with gradients:
+  /// `demissions` gets dNLL/de_t[k]; the CRF's own transition/start
+  /// gradients are accumulated internally and applied by ApplyGradients.
+  double NegLogLikelihood(const std::vector<std::vector<double>>& emissions,
+                          const std::vector<int>& labels,
+                          std::vector<std::vector<double>>* demissions);
+
+  /// SGD step on the accumulated transition gradients (clears them).
+  void ApplyGradients(double lr, double clip);
+
+  /// Viterbi decode: most probable label sequence.
+  std::vector<int> Decode(
+      const std::vector<std::vector<double>>& emissions) const;
+
+  const double* transitions() const { return &trans_[0][0]; }
+
+  /// Parameter (de)serialization.
+  json::JsonValue ToJson() const;
+  static Result<LinearChainCrf> FromJson(const json::JsonValue& j);
+
+ private:
+  double trans_[kNumLabels][kNumLabels];   // trans_[from][to]
+  double start_[kNumLabels];
+  double dtrans_[kNumLabels][kNumLabels];
+  double dstart_[kNumLabels];
+};
+
+}  // namespace maxson::ml
+
+#endif  // MAXSON_ML_CRF_H_

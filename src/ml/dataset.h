@@ -1,0 +1,60 @@
+#ifndef MAXSON_ML_DATASET_H_
+#define MAXSON_ML_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+
+namespace maxson::ml {
+
+/// One training/evaluation example for the MPJP predictor: a window of
+/// per-day observations of one JSONPath plus its location features.
+///
+/// * `steps[t]` is the feature vector of day t within the window (count,
+///   datediff, and any per-step encodings) — consumed by sequence models.
+/// * `labels[t]` is 1 when the JSONPath is an MPJP on day t+1 (i.e. each
+///   step is labeled with the *next* day's status, so the final step's
+///   label is exactly "is this path an MPJP tomorrow?").
+/// * `static_features` encode the location (database/table/column hashes)
+///   and orderless aggregates of the window — what a model that cannot see
+///   date sequences gets to work with.
+struct Sample {
+  std::vector<std::vector<double>> steps;
+  std::vector<int> labels;
+  std::vector<double> static_features;
+
+  int final_label() const { return labels.empty() ? 0 : labels.back(); }
+};
+
+/// Deterministic shuffled split into train/validation/test partitions
+/// (70/20/10 in the paper's evaluation).
+struct DatasetSplit {
+  std::vector<Sample> train;
+  std::vector<Sample> validation;
+  std::vector<Sample> test;
+};
+
+inline DatasetSplit SplitDataset(std::vector<Sample> samples,
+                                 double train_fraction,
+                                 double validation_fraction, Rng* rng) {
+  rng->Shuffle(&samples);
+  DatasetSplit split;
+  const size_t n = samples.size();
+  const size_t train_n = static_cast<size_t>(n * train_fraction);
+  const size_t val_n = static_cast<size_t>(n * validation_fraction);
+  for (size_t i = 0; i < n; ++i) {
+    if (i < train_n) {
+      split.train.push_back(std::move(samples[i]));
+    } else if (i < train_n + val_n) {
+      split.validation.push_back(std::move(samples[i]));
+    } else {
+      split.test.push_back(std::move(samples[i]));
+    }
+  }
+  return split;
+}
+
+}  // namespace maxson::ml
+
+#endif  // MAXSON_ML_DATASET_H_

@@ -1,0 +1,93 @@
+#include "ml/linear_models.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "ml/matrix.h"
+
+namespace maxson::ml {
+
+namespace {
+
+double Dot(const std::vector<double>& w, const std::vector<double>& x,
+           double bias) {
+  double acc = bias;
+  const size_t n = std::min(w.size(), x.size());
+  for (size_t i = 0; i < n; ++i) acc += w[i] * x[i];
+  return acc;
+}
+
+}  // namespace
+
+void LogisticRegression::Fit(const std::vector<Sample>& samples,
+                             const LinearTrainConfig& config) {
+  MAXSON_CHECK(!samples.empty());
+  const size_t dim = samples[0].static_features.size();
+  weights_.assign(dim, 0.0);
+  bias_ = 0.0;
+  Rng rng(config.seed);
+  std::vector<size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    const double lr =
+        config.learning_rate / (1.0 + 0.1 * static_cast<double>(epoch));
+    for (size_t i : order) {
+      const Sample& s = samples[i];
+      const double y = s.final_label();
+      const double p = Sigmoid(Dot(weights_, s.static_features, bias_));
+      const double err = p - y;  // d(CE)/d(logit)
+      for (size_t d = 0; d < dim; ++d) {
+        weights_[d] -= lr * (err * s.static_features[d] +
+                             config.l2 * weights_[d]);
+      }
+      bias_ -= lr * err;
+    }
+  }
+}
+
+double LogisticRegression::PredictProba(const Sample& sample) const {
+  return Sigmoid(Dot(weights_, sample.static_features, bias_));
+}
+
+void LinearSvm::Fit(const std::vector<Sample>& samples,
+                    const LinearTrainConfig& config) {
+  MAXSON_CHECK(!samples.empty());
+  const size_t dim = samples[0].static_features.size();
+  weights_.assign(dim, 0.0);
+  bias_ = 0.0;
+  Rng rng(config.seed);
+  std::vector<size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    const double lr =
+        config.learning_rate / (1.0 + 0.1 * static_cast<double>(epoch));
+    for (size_t i : order) {
+      const Sample& s = samples[i];
+      const double y = s.final_label() == 1 ? 1.0 : -1.0;
+      const double margin = y * Dot(weights_, s.static_features, bias_);
+      // Hinge subgradient: only violated margins contribute.
+      if (margin < 1.0) {
+        for (size_t d = 0; d < dim; ++d) {
+          weights_[d] -= lr * (-y * s.static_features[d] +
+                               config.l2 * weights_[d]);
+        }
+        bias_ += lr * y;
+      } else {
+        for (size_t d = 0; d < dim; ++d) {
+          weights_[d] -= lr * config.l2 * weights_[d];
+        }
+      }
+    }
+  }
+}
+
+double LinearSvm::Margin(const Sample& sample) const {
+  return Dot(weights_, sample.static_features, bias_);
+}
+
+}  // namespace maxson::ml

@@ -1,0 +1,56 @@
+#ifndef MAXSON_ML_LINEAR_MODELS_H_
+#define MAXSON_ML_LINEAR_MODELS_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "ml/dataset.h"
+
+namespace maxson::ml {
+
+/// Shared SGD hyperparameters for the static (non-sequence) baselines.
+struct LinearTrainConfig {
+  int epochs = 40;
+  double learning_rate = 0.05;
+  double l2 = 1e-4;
+  uint64_t seed = 7;
+};
+
+/// Binary logistic regression over Sample::static_features — the paper's LR
+/// baseline. Predicts 1 when the positive-class probability exceeds 0.5.
+class LogisticRegression {
+ public:
+  void Fit(const std::vector<Sample>& samples, const LinearTrainConfig& config);
+
+  /// Probability of class 1.
+  double PredictProba(const Sample& sample) const;
+  int Predict(const Sample& sample) const {
+    return PredictProba(sample) > 0.5 ? 1 : 0;
+  }
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+/// Linear SVM trained with hinge loss — the paper's SVM baseline.
+class LinearSvm {
+ public:
+  void Fit(const std::vector<Sample>& samples, const LinearTrainConfig& config);
+
+  /// Signed margin; Predict thresholds at 0.
+  double Margin(const Sample& sample) const;
+  int Predict(const Sample& sample) const {
+    return Margin(sample) > 0.0 ? 1 : 0;
+  }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace maxson::ml
+
+#endif  // MAXSON_ML_LINEAR_MODELS_H_

@@ -1,0 +1,333 @@
+#include "ml/lstm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "ml/serialize.h"
+
+namespace maxson::ml {
+
+namespace {
+
+double ClipValue(double v, double clip) {
+  return std::max(-clip, std::min(clip, v));
+}
+
+void ClipApply(Matrix* param, const Matrix& grad, double lr, double clip) {
+  auto& p = param->data();
+  const auto& g = grad.data();
+  for (size_t i = 0; i < p.size(); ++i) {
+    p[i] -= lr * ClipValue(g[i], clip);
+  }
+}
+
+void ClipApplyVec(std::vector<double>* param, const std::vector<double>& grad,
+                  double lr, double clip) {
+  for (size_t i = 0; i < param->size(); ++i) {
+    (*param)[i] -= lr * ClipValue(grad[i], clip);
+  }
+}
+
+}  // namespace
+
+void LstmTagger::Gradients::Initialize(int input_size, int hidden_size) {
+  const size_t z = static_cast<size_t>(hidden_size + input_size);
+  const size_t h = static_cast<size_t>(hidden_size);
+  w_i = Matrix::Zeros(h, z);
+  w_f = Matrix::Zeros(h, z);
+  w_o = Matrix::Zeros(h, z);
+  w_g = Matrix::Zeros(h, z);
+  w_y = Matrix::Zeros(kNumLabels, h);
+  b_i.assign(h, 0.0);
+  b_f.assign(h, 0.0);
+  b_o.assign(h, 0.0);
+  b_g.assign(h, 0.0);
+  b_y.assign(kNumLabels, 0.0);
+}
+
+void LstmTagger::Gradients::Clear() {
+  w_i.Fill(0.0);
+  w_f.Fill(0.0);
+  w_o.Fill(0.0);
+  w_g.Fill(0.0);
+  w_y.Fill(0.0);
+  b_i.assign(b_i.size(), 0.0);
+  b_f.assign(b_f.size(), 0.0);
+  b_o.assign(b_o.size(), 0.0);
+  b_g.assign(b_g.size(), 0.0);
+  b_y.assign(b_y.size(), 0.0);
+}
+
+void LstmTagger::Initialize(int input_size, const LstmConfig& config) {
+  input_size_ = input_size;
+  hidden_size_ = config.hidden_size;
+  Rng rng(config.seed);
+  const size_t z = static_cast<size_t>(hidden_size_ + input_size_);
+  const size_t h = static_cast<size_t>(hidden_size_);
+  const double scale = std::sqrt(1.0 / static_cast<double>(z));
+  w_i_ = Matrix::Random(h, z, scale, &rng);
+  w_f_ = Matrix::Random(h, z, scale, &rng);
+  w_o_ = Matrix::Random(h, z, scale, &rng);
+  w_g_ = Matrix::Random(h, z, scale, &rng);
+  b_i_.assign(h, 0.0);
+  // Forget-gate bias starts positive so early training retains memory.
+  b_f_.assign(h, 1.0);
+  b_o_.assign(h, 0.0);
+  b_g_.assign(h, 0.0);
+  w_y_ = Matrix::Random(kNumLabels, h,
+                        std::sqrt(1.0 / static_cast<double>(h)), &rng);
+  b_y_.assign(kNumLabels, 0.0);
+}
+
+void LstmTagger::Forward(const std::vector<std::vector<double>>& steps,
+                         Trace* trace) const {
+  const size_t h = static_cast<size_t>(hidden_size_);
+  std::vector<double> h_prev(h, 0.0);
+  std::vector<double> c_prev(h, 0.0);
+
+  trace->inputs = steps;
+  const size_t seq = steps.size();
+  trace->i_gate.resize(seq);
+  trace->f_gate.resize(seq);
+  trace->o_gate.resize(seq);
+  trace->g_cand.resize(seq);
+  trace->cell.resize(seq);
+  trace->hidden.resize(seq);
+  trace->logits.resize(seq);
+
+  for (size_t t = 0; t < seq; ++t) {
+    MAXSON_CHECK(steps[t].size() == static_cast<size_t>(input_size_));
+    std::vector<double> z(h + steps[t].size());
+    std::copy(h_prev.begin(), h_prev.end(), z.begin());
+    std::copy(steps[t].begin(), steps[t].end(), z.begin() + h);
+
+    std::vector<double> i = w_i_.MatVec(z);
+    std::vector<double> f = w_f_.MatVec(z);
+    std::vector<double> o = w_o_.MatVec(z);
+    std::vector<double> g = w_g_.MatVec(z);
+    for (size_t k = 0; k < h; ++k) {
+      i[k] = Sigmoid(i[k] + b_i_[k]);
+      f[k] = Sigmoid(f[k] + b_f_[k]);
+      o[k] = Sigmoid(o[k] + b_o_[k]);
+      g[k] = std::tanh(g[k] + b_g_[k]);
+    }
+    std::vector<double> c(h);
+    std::vector<double> hidden(h);
+    for (size_t k = 0; k < h; ++k) {
+      c[k] = f[k] * c_prev[k] + i[k] * g[k];
+      hidden[k] = o[k] * std::tanh(c[k]);
+    }
+    std::vector<double> logits = w_y_.MatVec(hidden);
+    for (int k = 0; k < kNumLabels; ++k) logits[k] += b_y_[k];
+
+    trace->i_gate[t] = std::move(i);
+    trace->f_gate[t] = std::move(f);
+    trace->o_gate[t] = std::move(o);
+    trace->g_cand[t] = std::move(g);
+    trace->cell[t] = c;
+    trace->hidden[t] = hidden;
+    trace->logits[t] = std::move(logits);
+    h_prev = std::move(hidden);
+    c_prev = std::move(c);
+  }
+}
+
+void LstmTagger::Backward(const Trace& trace,
+                          const std::vector<std::vector<double>>& dlogits,
+                          Gradients* grads) const {
+  const size_t h = static_cast<size_t>(hidden_size_);
+  const size_t seq = trace.inputs.size();
+  MAXSON_CHECK(dlogits.size() == seq);
+
+  std::vector<double> dh_next(h, 0.0);
+  std::vector<double> dc_next(h, 0.0);
+
+  for (size_t t = seq; t-- > 0;) {
+    // Output layer.
+    grads->w_y.AddOuter(dlogits[t], trace.hidden[t], 1.0);
+    for (int k = 0; k < kNumLabels; ++k) grads->b_y[k] += dlogits[t][k];
+    std::vector<double> dh = w_y_.TransposeMatVec(dlogits[t]);
+    for (size_t k = 0; k < h; ++k) dh[k] += dh_next[k];
+
+    const std::vector<double>& c = trace.cell[t];
+    const std::vector<double>& c_prev =
+        t > 0 ? trace.cell[t - 1] : std::vector<double>(h, 0.0);
+    const std::vector<double>& h_prev =
+        t > 0 ? trace.hidden[t - 1] : std::vector<double>(h, 0.0);
+
+    std::vector<double> di(h);
+    std::vector<double> df(h);
+    std::vector<double> do_(h);
+    std::vector<double> dg(h);
+    std::vector<double> dc(h);
+    for (size_t k = 0; k < h; ++k) {
+      const double tanh_c = std::tanh(c[k]);
+      do_[k] = dh[k] * tanh_c;
+      dc[k] = dh[k] * trace.o_gate[t][k] * (1.0 - tanh_c * tanh_c) +
+              dc_next[k];
+      di[k] = dc[k] * trace.g_cand[t][k];
+      df[k] = dc[k] * c_prev[k];
+      dg[k] = dc[k] * trace.i_gate[t][k];
+      // Through the activation derivatives.
+      di[k] *= trace.i_gate[t][k] * (1.0 - trace.i_gate[t][k]);
+      df[k] *= trace.f_gate[t][k] * (1.0 - trace.f_gate[t][k]);
+      do_[k] *= trace.o_gate[t][k] * (1.0 - trace.o_gate[t][k]);
+      dg[k] *= (1.0 - trace.g_cand[t][k] * trace.g_cand[t][k]);
+    }
+
+    std::vector<double> z(h + trace.inputs[t].size());
+    std::copy(h_prev.begin(), h_prev.end(), z.begin());
+    std::copy(trace.inputs[t].begin(), trace.inputs[t].end(), z.begin() + h);
+
+    grads->w_i.AddOuter(di, z, 1.0);
+    grads->w_f.AddOuter(df, z, 1.0);
+    grads->w_o.AddOuter(do_, z, 1.0);
+    grads->w_g.AddOuter(dg, z, 1.0);
+    for (size_t k = 0; k < h; ++k) {
+      grads->b_i[k] += di[k];
+      grads->b_f[k] += df[k];
+      grads->b_o[k] += do_[k];
+      grads->b_g[k] += dg[k];
+    }
+
+    // Accumulate gradient w.r.t. z, then split into dh_prev.
+    std::vector<double> dz = w_i_.TransposeMatVec(di);
+    const std::vector<double> dzf = w_f_.TransposeMatVec(df);
+    const std::vector<double> dzo = w_o_.TransposeMatVec(do_);
+    const std::vector<double> dzg = w_g_.TransposeMatVec(dg);
+    for (size_t k = 0; k < dz.size(); ++k) dz[k] += dzf[k] + dzo[k] + dzg[k];
+
+    for (size_t k = 0; k < h; ++k) {
+      dh_next[k] = dz[k];
+      dc_next[k] = dc[k] * trace.f_gate[t][k];
+    }
+  }
+}
+
+void LstmTagger::ApplyGradients(Gradients* grads, double lr, double clip) {
+  ClipApply(&w_i_, grads->w_i, lr, clip);
+  ClipApply(&w_f_, grads->w_f, lr, clip);
+  ClipApply(&w_o_, grads->w_o, lr, clip);
+  ClipApply(&w_g_, grads->w_g, lr, clip);
+  ClipApply(&w_y_, grads->w_y, lr, clip);
+  ClipApplyVec(&b_i_, grads->b_i, lr, clip);
+  ClipApplyVec(&b_f_, grads->b_f, lr, clip);
+  ClipApplyVec(&b_o_, grads->b_o, lr, clip);
+  ClipApplyVec(&b_g_, grads->b_g, lr, clip);
+  ClipApplyVec(&b_y_, grads->b_y, lr, clip);
+  grads->Clear();
+}
+
+void LstmTagger::Fit(const std::vector<Sample>& samples,
+                     const LstmConfig& config) {
+  MAXSON_CHECK(!samples.empty());
+  MAXSON_CHECK(!samples[0].steps.empty());
+  Initialize(static_cast<int>(samples[0].steps[0].size()), config);
+
+  Gradients grads;
+  grads.Initialize(input_size_, hidden_size_);
+  Rng rng(config.seed + 1);
+  std::vector<size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    const double lr =
+        config.learning_rate / (1.0 + 0.1 * static_cast<double>(epoch));
+    for (size_t idx : order) {
+      const Sample& s = samples[idx];
+      Trace trace;
+      Forward(s.steps, &trace);
+      // Per-step softmax cross-entropy.
+      std::vector<std::vector<double>> dlogits(s.steps.size());
+      for (size_t t = 0; t < s.steps.size(); ++t) {
+        std::vector<double> probs = trace.logits[t];
+        SoftmaxInPlace(&probs);
+        probs[static_cast<size_t>(s.labels[t])] -= 1.0;
+        dlogits[t] = std::move(probs);
+      }
+      Backward(trace, dlogits, &grads);
+      ApplyGradients(&grads, lr, config.clip);
+    }
+  }
+}
+
+int LstmTagger::Predict(const Sample& sample) const {
+  Trace trace;
+  Forward(sample.steps, &trace);
+  const std::vector<double>& last = trace.logits.back();
+  return last[1] > last[0] ? 1 : 0;
+}
+
+std::vector<std::vector<double>> LstmTagger::Emissions(
+    const std::vector<std::vector<double>>& steps) const {
+  Trace trace;
+  Forward(steps, &trace);
+  return trace.logits;
+}
+
+json::JsonValue LstmTagger::ToJson() const {
+  using json::JsonValue;
+  JsonValue out = JsonValue::Object();
+  out.Set("input_size", JsonValue::Int(input_size_));
+  out.Set("hidden_size", JsonValue::Int(hidden_size_));
+  out.Set("w_i", MatrixToJson(w_i_));
+  out.Set("w_f", MatrixToJson(w_f_));
+  out.Set("w_o", MatrixToJson(w_o_));
+  out.Set("w_g", MatrixToJson(w_g_));
+  out.Set("w_y", MatrixToJson(w_y_));
+  out.Set("b_i", VectorToJson(b_i_));
+  out.Set("b_f", VectorToJson(b_f_));
+  out.Set("b_o", VectorToJson(b_o_));
+  out.Set("b_g", VectorToJson(b_g_));
+  out.Set("b_y", VectorToJson(b_y_));
+  return out;
+}
+
+Result<LstmTagger> LstmTagger::FromJson(const json::JsonValue& j) {
+  if (!j.is_object()) return Status::ParseError("LSTM JSON not an object");
+  const json::JsonValue* input_size = j.Find("input_size");
+  const json::JsonValue* hidden_size = j.Find("hidden_size");
+  if (input_size == nullptr || hidden_size == nullptr) {
+    return Status::ParseError("LSTM JSON missing sizes");
+  }
+  LstmTagger lstm;
+  lstm.input_size_ = static_cast<int>(input_size->int_value());
+  lstm.hidden_size_ = static_cast<int>(hidden_size->int_value());
+  auto matrix = [&](const char* name, Matrix* out) -> Status {
+    const json::JsonValue* field = j.Find(name);
+    if (field == nullptr) {
+      return Status::ParseError(std::string("LSTM JSON missing ") + name);
+    }
+    MAXSON_ASSIGN_OR_RETURN(*out, MatrixFromJson(*field));
+    return Status::Ok();
+  };
+  auto vector = [&](const char* name, std::vector<double>* out) -> Status {
+    const json::JsonValue* field = j.Find(name);
+    if (field == nullptr) {
+      return Status::ParseError(std::string("LSTM JSON missing ") + name);
+    }
+    MAXSON_ASSIGN_OR_RETURN(*out, VectorFromJson(*field));
+    return Status::Ok();
+  };
+  MAXSON_RETURN_NOT_OK(matrix("w_i", &lstm.w_i_));
+  MAXSON_RETURN_NOT_OK(matrix("w_f", &lstm.w_f_));
+  MAXSON_RETURN_NOT_OK(matrix("w_o", &lstm.w_o_));
+  MAXSON_RETURN_NOT_OK(matrix("w_g", &lstm.w_g_));
+  MAXSON_RETURN_NOT_OK(matrix("w_y", &lstm.w_y_));
+  MAXSON_RETURN_NOT_OK(vector("b_i", &lstm.b_i_));
+  MAXSON_RETURN_NOT_OK(vector("b_f", &lstm.b_f_));
+  MAXSON_RETURN_NOT_OK(vector("b_o", &lstm.b_o_));
+  MAXSON_RETURN_NOT_OK(vector("b_g", &lstm.b_g_));
+  MAXSON_RETURN_NOT_OK(vector("b_y", &lstm.b_y_));
+  if (lstm.b_i_.size() != static_cast<size_t>(lstm.hidden_size_) ||
+      lstm.w_i_.cols() !=
+          static_cast<size_t>(lstm.hidden_size_ + lstm.input_size_)) {
+    return Status::ParseError("LSTM JSON shape mismatch");
+  }
+  return lstm;
+}
+
+}  // namespace maxson::ml

@@ -1,0 +1,112 @@
+#ifndef MAXSON_ML_LSTM_H_
+#define MAXSON_ML_LSTM_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "json/json_value.h"
+#include "ml/dataset.h"
+#include "ml/matrix.h"
+
+namespace maxson::ml {
+
+/// Hyperparameters of the sequence models (Uni-LSTM and LSTM+CRF).
+struct LstmConfig {
+  int hidden_size = 24;
+  int epochs = 30;
+  double learning_rate = 0.05;
+  double clip = 5.0;  // per-element gradient clip
+  uint64_t seed = 13;
+};
+
+/// Single-layer unidirectional LSTM emitting per-step 2-class logits.
+///
+/// This is both the paper's Uni-LSTM baseline (trained with per-step
+/// softmax cross-entropy; prediction = argmax at the final step) and the
+/// emission layer of the LSTM+CRF hybrid (which replaces the loss with a
+/// CRF negative log-likelihood; see lstm_crf.h).
+class LstmTagger {
+ public:
+  static constexpr int kNumLabels = 2;
+
+  /// Per-step cached activations of one forward pass, retained for BPTT.
+  struct Trace {
+    std::vector<std::vector<double>> inputs;   // x_t
+    std::vector<std::vector<double>> i_gate;
+    std::vector<std::vector<double>> f_gate;
+    std::vector<std::vector<double>> o_gate;
+    std::vector<std::vector<double>> g_cand;
+    std::vector<std::vector<double>> cell;     // c_t
+    std::vector<std::vector<double>> hidden;   // h_t
+    std::vector<std::vector<double>> logits;   // per-step emissions
+  };
+
+  /// Accumulated gradients mirroring the parameter set.
+  struct Gradients;
+
+  void Initialize(int input_size, const LstmConfig& config);
+
+  /// Runs the recurrence over `steps` and fills `trace`.
+  void Forward(const std::vector<std::vector<double>>& steps,
+               Trace* trace) const;
+
+  /// Backpropagates given dLoss/dlogits per step (same length as the
+  /// sequence), accumulating into `grads`.
+  void Backward(const Trace& trace,
+                const std::vector<std::vector<double>>& dlogits,
+                Gradients* grads) const;
+
+  /// Applies accumulated gradients with clipping, then zeroes them.
+  void ApplyGradients(Gradients* grads, double lr, double clip);
+
+  /// Trains with per-step softmax cross-entropy (the Uni-LSTM baseline).
+  void Fit(const std::vector<Sample>& samples, const LstmConfig& config);
+
+  /// Predicts the final step's label by per-step argmax.
+  int Predict(const Sample& sample) const;
+
+  /// Emission logits for every step (used by the CRF layer).
+  std::vector<std::vector<double>> Emissions(
+      const std::vector<std::vector<double>>& steps) const;
+
+  int input_size() const { return input_size_; }
+  int hidden_size() const { return hidden_size_; }
+
+  /// Parameter access, for serialization and for gradient-check tests.
+  Matrix& w_i() { return w_i_; }
+  Matrix& w_f() { return w_f_; }
+  Matrix& w_o() { return w_o_; }
+  Matrix& w_g() { return w_g_; }
+  Matrix& w_y() { return w_y_; }
+  std::vector<double>& b_i() { return b_i_; }
+  std::vector<double>& b_f() { return b_f_; }
+  std::vector<double>& b_o() { return b_o_; }
+  std::vector<double>& b_g() { return b_g_; }
+  std::vector<double>& b_y() { return b_y_; }
+
+  /// Weight (de)serialization; FromJson restores a fully usable tagger.
+  json::JsonValue ToJson() const;
+  static Result<LstmTagger> FromJson(const json::JsonValue& j);
+
+  struct Gradients {
+    Matrix w_i, w_f, w_o, w_g, w_y;
+    std::vector<double> b_i, b_f, b_o, b_g, b_y;
+    void Initialize(int input_size, int hidden_size);
+    void Clear();
+  };
+
+ private:
+  int input_size_ = 0;
+  int hidden_size_ = 0;
+  // Gate weights operate on z = [h_prev ; x ] (size hidden+input).
+  Matrix w_i_, w_f_, w_o_, w_g_;
+  std::vector<double> b_i_, b_f_, b_o_, b_g_;
+  // Output projection hidden -> kNumLabels.
+  Matrix w_y_;
+  std::vector<double> b_y_;
+};
+
+}  // namespace maxson::ml
+
+#endif  // MAXSON_ML_LSTM_H_

@@ -1,0 +1,68 @@
+#include "ml/lstm_crf.h"
+
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace maxson::ml {
+
+void LstmCrf::Fit(const std::vector<Sample>& samples,
+                  const LstmConfig& config) {
+  MAXSON_CHECK(!samples.empty());
+  MAXSON_CHECK(!samples[0].steps.empty());
+  lstm_.Initialize(static_cast<int>(samples[0].steps[0].size()), config);
+
+  LstmTagger::Gradients grads;
+  grads.Initialize(lstm_.input_size(), lstm_.hidden_size());
+  Rng rng(config.seed + 2);
+  std::vector<size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    const double lr =
+        config.learning_rate / (1.0 + 0.1 * static_cast<double>(epoch));
+    for (size_t idx : order) {
+      const Sample& s = samples[idx];
+      LstmTagger::Trace trace;
+      lstm_.Forward(s.steps, &trace);
+      std::vector<std::vector<double>> demissions;
+      crf_.NegLogLikelihood(trace.logits, s.labels, &demissions);
+      lstm_.Backward(trace, demissions, &grads);
+      lstm_.ApplyGradients(&grads, lr, config.clip);
+      crf_.ApplyGradients(lr, config.clip);
+    }
+  }
+}
+
+int LstmCrf::Predict(const Sample& sample) const {
+  return DecodeSequence(sample).back();
+}
+
+std::vector<int> LstmCrf::DecodeSequence(const Sample& sample) const {
+  const std::vector<std::vector<double>> emissions =
+      lstm_.Emissions(sample.steps);
+  return crf_.Decode(emissions);
+}
+
+json::JsonValue LstmCrf::ToJson() const {
+  json::JsonValue out = json::JsonValue::Object();
+  out.Set("lstm", lstm_.ToJson());
+  out.Set("crf", crf_.ToJson());
+  return out;
+}
+
+Result<LstmCrf> LstmCrf::FromJson(const json::JsonValue& j) {
+  if (!j.is_object()) return Status::ParseError("LSTM+CRF JSON not an object");
+  const json::JsonValue* lstm = j.Find("lstm");
+  const json::JsonValue* crf = j.Find("crf");
+  if (lstm == nullptr || crf == nullptr) {
+    return Status::ParseError("LSTM+CRF JSON missing layers");
+  }
+  LstmCrf model;
+  MAXSON_ASSIGN_OR_RETURN(model.lstm_, LstmTagger::FromJson(*lstm));
+  MAXSON_ASSIGN_OR_RETURN(model.crf_, LinearChainCrf::FromJson(*crf));
+  return model;
+}
+
+}  // namespace maxson::ml

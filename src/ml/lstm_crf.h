@@ -1,0 +1,41 @@
+#ifndef MAXSON_ML_LSTM_CRF_H_
+#define MAXSON_ML_LSTM_CRF_H_
+
+#include <vector>
+
+#include "ml/crf.h"
+#include "ml/dataset.h"
+#include "ml/lstm.h"
+
+namespace maxson::ml {
+
+/// The paper's hybrid predictor: an LSTM produces per-step label emissions
+/// which a linear-chain CRF layer scores jointly, learning the transition
+/// rules between MPJP / non-MPJP labels. Training minimizes the CRF
+/// negative log-likelihood end-to-end (the CRF's emission gradients are
+/// backpropagated through the LSTM); inference runs Viterbi and takes the
+/// final step's label as "MPJP tomorrow".
+class LstmCrf {
+ public:
+  void Fit(const std::vector<Sample>& samples, const LstmConfig& config);
+
+  /// Viterbi-decoded label of the final step.
+  int Predict(const Sample& sample) const;
+
+  /// Full decoded sequence (diagnostics / tests).
+  std::vector<int> DecodeSequence(const Sample& sample) const;
+
+  const LinearChainCrf& crf() const { return crf_; }
+
+  /// Parameter (de)serialization of both layers.
+  json::JsonValue ToJson() const;
+  static Result<LstmCrf> FromJson(const json::JsonValue& j);
+
+ private:
+  LstmTagger lstm_;
+  LinearChainCrf crf_;
+};
+
+}  // namespace maxson::ml
+
+#endif  // MAXSON_ML_LSTM_CRF_H_

@@ -1,0 +1,90 @@
+#include "ml/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace maxson::ml {
+
+Matrix Matrix::Random(size_t rows, size_t cols, double scale, Rng* rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = (2.0 * rng->NextDouble() - 1.0) * scale;
+  return m;
+}
+
+std::vector<double> Matrix::MatVec(const std::vector<double>& x) const {
+  MAXSON_CHECK(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+std::vector<double> Matrix::TransposeMatVec(
+    const std::vector<double>& x) const {
+  MAXSON_CHECK(x.size() == rows_);
+  std::vector<double> y(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    const double xr = x[r];
+    for (size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+void Matrix::AddOuter(const std::vector<double>& a,
+                      const std::vector<double>& b, double scale) {
+  MAXSON_CHECK(a.size() == rows_);
+  MAXSON_CHECK(b.size() == cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double* row = &data_[r * cols_];
+    const double ar = a[r] * scale;
+    for (size_t c = 0; c < cols_; ++c) row[c] += ar * b[c];
+  }
+}
+
+void Matrix::AddScaled(const Matrix& other, double scale) {
+  MAXSON_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+double Sigmoid(double x) {
+  if (x >= 0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double LogSumExp(const std::vector<double>& xs) {
+  double max = xs[0];
+  for (double x : xs) max = std::max(max, x);
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - max);
+  return max + std::log(sum);
+}
+
+void SoftmaxInPlace(std::vector<double>* xs) {
+  double max = (*xs)[0];
+  for (double x : *xs) max = std::max(max, x);
+  double sum = 0.0;
+  for (double& x : *xs) {
+    x = std::exp(x - max);
+    sum += x;
+  }
+  for (double& x : *xs) x /= sum;
+}
+
+}  // namespace maxson::ml

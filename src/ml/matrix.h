@@ -1,0 +1,66 @@
+#ifndef MAXSON_ML_MATRIX_H_
+#define MAXSON_ML_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+
+namespace maxson::ml {
+
+/// Dense row-major matrix of doubles; the only linear-algebra primitive the
+/// ml/ models need. Deliberately minimal: shapes are asserted, storage is a
+/// flat vector, and all hot loops live in the models themselves.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static Matrix Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
+
+  /// Xavier/Glorot-style uniform initialization in [-scale, scale].
+  static Matrix Random(size_t rows, size_t cols, double scale, Rng* rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// y = this * x (matrix-vector product). x.size() must equal cols().
+  std::vector<double> MatVec(const std::vector<double>& x) const;
+
+  /// y = this^T * x. x.size() must equal rows().
+  std::vector<double> TransposeMatVec(const std::vector<double>& x) const;
+
+  /// this += scale * (a outer b), where a.size()==rows, b.size()==cols.
+  /// The rank-1 update at the heart of every SGD weight gradient here.
+  void AddOuter(const std::vector<double>& a, const std::vector<double>& b,
+                double scale);
+
+  /// this += scale * other (shapes must match).
+  void AddScaled(const Matrix& other, double scale);
+
+  void Fill(double v) { data_.assign(data_.size(), v); }
+
+  /// Largest absolute entry (used for gradient-clipping decisions).
+  double MaxAbs() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Numerically stable helpers shared by the models.
+double Sigmoid(double x);
+double LogSumExp(const std::vector<double>& xs);
+void SoftmaxInPlace(std::vector<double>* xs);
+
+}  // namespace maxson::ml
+
+#endif  // MAXSON_ML_MATRIX_H_

@@ -1,0 +1,51 @@
+#ifndef MAXSON_ML_METRICS_H_
+#define MAXSON_ML_METRICS_H_
+
+#include <cstdint>
+
+namespace maxson::ml {
+
+/// Binary-classification confusion counts with the derived scores the
+/// paper's Tables III/IV report.
+struct BinaryMetrics {
+  uint64_t tp = 0;
+  uint64_t fp = 0;
+  uint64_t fn = 0;
+  uint64_t tn = 0;
+
+  void Add(int predicted, int actual) {
+    if (predicted == 1 && actual == 1) {
+      ++tp;
+    } else if (predicted == 1 && actual == 0) {
+      ++fp;
+    } else if (predicted == 0 && actual == 1) {
+      ++fn;
+    } else {
+      ++tn;
+    }
+  }
+
+  double Precision() const {
+    return tp + fp == 0 ? 0.0
+                        : static_cast<double>(tp) / static_cast<double>(tp + fp);
+  }
+  double Recall() const {
+    return tp + fn == 0 ? 0.0
+                        : static_cast<double>(tp) / static_cast<double>(tp + fn);
+  }
+  double F1() const {
+    const double p = Precision();
+    const double r = Recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  double Accuracy() const {
+    const uint64_t total = tp + fp + fn + tn;
+    return total == 0 ? 0.0
+                      : static_cast<double>(tp + tn) /
+                            static_cast<double>(total);
+  }
+};
+
+}  // namespace maxson::ml
+
+#endif  // MAXSON_ML_METRICS_H_

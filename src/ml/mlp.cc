@@ -1,0 +1,93 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace maxson::ml {
+
+double MlpClassifier::Forward(
+    const std::vector<double>& x,
+    std::vector<std::vector<double>>* activations) const {
+  std::vector<double> current = x;
+  if (activations != nullptr) activations->push_back(current);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    std::vector<double> z = layers_[l].weights.MatVec(current);
+    for (size_t i = 0; i < z.size(); ++i) z[i] += layers_[l].bias[i];
+    const bool is_output = l + 1 == layers_.size();
+    if (!is_output) {
+      for (double& v : z) v = v > 0.0 ? v : 0.0;  // ReLU
+    }
+    current = std::move(z);
+    if (activations != nullptr) activations->push_back(current);
+  }
+  return Sigmoid(current[0]);
+}
+
+void MlpClassifier::Fit(const std::vector<Sample>& samples,
+                        const MlpConfig& config) {
+  MAXSON_CHECK(!samples.empty());
+  const size_t input_dim = samples[0].static_features.size();
+  Rng rng(config.seed);
+
+  layers_.clear();
+  size_t prev = input_dim;
+  for (int hidden : config.hidden_sizes) {
+    Layer layer;
+    const double scale = std::sqrt(6.0 / static_cast<double>(prev + hidden));
+    layer.weights = Matrix::Random(hidden, prev, scale, &rng);
+    layer.bias.assign(hidden, 0.0);
+    layers_.push_back(std::move(layer));
+    prev = static_cast<size_t>(hidden);
+  }
+  Layer out;
+  out.weights = Matrix::Random(1, prev, std::sqrt(6.0 / (prev + 1.0)), &rng);
+  out.bias.assign(1, 0.0);
+  layers_.push_back(std::move(out));
+
+  std::vector<size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    const double lr =
+        config.learning_rate / (1.0 + 0.05 * static_cast<double>(epoch));
+    for (size_t idx : order) {
+      const Sample& s = samples[idx];
+      std::vector<std::vector<double>> activations;
+      const double p = Forward(s.static_features, &activations);
+      const double y = s.final_label();
+      // dLoss/dlogit for sigmoid+CE.
+      std::vector<double> delta = {p - y};
+      for (size_t l = layers_.size(); l-- > 0;) {
+        const std::vector<double>& input = activations[l];
+        // Gradient w.r.t. this layer's input, before applying ReLU mask.
+        std::vector<double> prev_delta =
+            layers_[l].weights.TransposeMatVec(delta);
+        // Weight update.
+        layers_[l].weights.AddOuter(delta, input, -lr);
+        if (config.l2 > 0.0) {
+          layers_[l].weights.AddScaled(layers_[l].weights, -lr * config.l2);
+        }
+        for (size_t i = 0; i < delta.size(); ++i) {
+          layers_[l].bias[i] -= lr * delta[i];
+        }
+        if (l > 0) {
+          // ReLU derivative: zero where the previous layer's output was
+          // clamped (post-ReLU activation <= 0).
+          for (size_t i = 0; i < prev_delta.size(); ++i) {
+            if (activations[l][i] <= 0.0) prev_delta[i] = 0.0;
+          }
+          delta = std::move(prev_delta);
+        }
+      }
+    }
+  }
+}
+
+double MlpClassifier::PredictProba(const Sample& sample) const {
+  return Forward(sample.static_features, nullptr);
+}
+
+}  // namespace maxson::ml

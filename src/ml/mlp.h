@@ -1,0 +1,49 @@
+#ifndef MAXSON_ML_MLP_H_
+#define MAXSON_ML_MLP_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "ml/dataset.h"
+#include "ml/matrix.h"
+
+namespace maxson::ml {
+
+/// Hyperparameters for the MLP baseline; defaults mirror the paper's
+/// hidden_layer_sizes=(50, 10, 2)-style configuration.
+struct MlpConfig {
+  std::vector<int> hidden_sizes = {50, 10};
+  int epochs = 60;
+  double learning_rate = 0.02;
+  double l2 = 1e-5;
+  uint64_t seed = 11;
+};
+
+/// Feed-forward network with ReLU hidden layers and a sigmoid output over
+/// Sample::static_features — the paper's MLPClassifier baseline.
+class MlpClassifier {
+ public:
+  void Fit(const std::vector<Sample>& samples, const MlpConfig& config);
+
+  double PredictProba(const Sample& sample) const;
+  int Predict(const Sample& sample) const {
+    return PredictProba(sample) > 0.5 ? 1 : 0;
+  }
+
+ private:
+  struct Layer {
+    Matrix weights;             // out x in
+    std::vector<double> bias;   // out
+  };
+
+  /// Forward pass storing per-layer pre-activations; returns the final
+  /// probability.
+  double Forward(const std::vector<double>& x,
+                 std::vector<std::vector<double>>* activations) const;
+
+  std::vector<Layer> layers_;
+};
+
+}  // namespace maxson::ml
+
+#endif  // MAXSON_ML_MLP_H_

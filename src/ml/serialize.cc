@@ -1,0 +1,51 @@
+#include "ml/serialize.h"
+
+namespace maxson::ml {
+
+using json::JsonValue;
+
+JsonValue MatrixToJson(const Matrix& m) {
+  JsonValue out = JsonValue::Object();
+  out.Set("rows", JsonValue::Int(static_cast<int64_t>(m.rows())));
+  out.Set("cols", JsonValue::Int(static_cast<int64_t>(m.cols())));
+  JsonValue data = JsonValue::Array();
+  for (double v : m.data()) data.Append(JsonValue::Double(v));
+  out.Set("data", std::move(data));
+  return out;
+}
+
+Result<Matrix> MatrixFromJson(const JsonValue& j) {
+  if (!j.is_object()) return Status::ParseError("matrix JSON not an object");
+  const JsonValue* rows = j.Find("rows");
+  const JsonValue* cols = j.Find("cols");
+  const JsonValue* data = j.Find("data");
+  if (rows == nullptr || cols == nullptr || data == nullptr ||
+      !data->is_array()) {
+    return Status::ParseError("matrix JSON missing fields");
+  }
+  Matrix m(static_cast<size_t>(rows->int_value()),
+           static_cast<size_t>(cols->int_value()));
+  if (data->elements().size() != m.rows() * m.cols()) {
+    return Status::ParseError("matrix JSON data size mismatch");
+  }
+  for (size_t i = 0; i < data->elements().size(); ++i) {
+    m.data()[i] = data->At(i).double_value();
+  }
+  return m;
+}
+
+JsonValue VectorToJson(const std::vector<double>& v) {
+  JsonValue out = JsonValue::Array();
+  for (double x : v) out.Append(JsonValue::Double(x));
+  return out;
+}
+
+Result<std::vector<double>> VectorFromJson(const JsonValue& j) {
+  if (!j.is_array()) return Status::ParseError("vector JSON not an array");
+  std::vector<double> out;
+  out.reserve(j.elements().size());
+  for (const JsonValue& x : j.elements()) out.push_back(x.double_value());
+  return out;
+}
+
+}  // namespace maxson::ml

@@ -1,0 +1,26 @@
+#ifndef MAXSON_ML_SERIALIZE_H_
+#define MAXSON_ML_SERIALIZE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "json/json_value.h"
+#include "ml/matrix.h"
+
+namespace maxson::ml {
+
+/// JSON (de)serialization helpers for model parameters. Models store their
+/// weights as JSON objects — human-inspectable and free of endianness
+/// concerns; the matrices involved are small (predictor-scale, not
+/// deep-learning-scale).
+
+/// {"rows": R, "cols": C, "data": [ ... R*C doubles ... ]}
+json::JsonValue MatrixToJson(const Matrix& m);
+Result<Matrix> MatrixFromJson(const json::JsonValue& j);
+
+json::JsonValue VectorToJson(const std::vector<double>& v);
+Result<std::vector<double>> VectorFromJson(const json::JsonValue& j);
+
+}  // namespace maxson::ml
+
+#endif  // MAXSON_ML_SERIALIZE_H_

@@ -1,0 +1,61 @@
+#include "storage/column_vector.h"
+
+namespace maxson::storage {
+
+void ColumnVector::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case TypeKind::kBool:
+      AppendBool(v.bool_value());
+      break;
+    case TypeKind::kInt64:
+      AppendInt64(v.is_int64() ? v.int64_value()
+                               : static_cast<int64_t>(v.AsDouble()));
+      break;
+    case TypeKind::kDouble:
+      AppendDouble(v.AsDouble());
+      break;
+    case TypeKind::kString:
+      AppendString(v.is_string() ? v.string_value() : v.ToString());
+      break;
+  }
+}
+
+Value ColumnVector::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (type_) {
+    case TypeKind::kBool:
+      return Value::Bool(GetBool(i));
+    case TypeKind::kInt64:
+      return Value::Int64(GetInt64(i));
+    case TypeKind::kDouble:
+      return Value::Double(GetDouble(i));
+    case TypeKind::kString:
+      return Value::String(GetString(i));
+  }
+  return Value::Null();
+}
+
+uint64_t ColumnVector::ByteSize() const {
+  uint64_t total = nulls_.size();  // one byte of validity per row
+  switch (type_) {
+    case TypeKind::kBool:
+      total += bools_.size();
+      break;
+    case TypeKind::kInt64:
+      total += ints_.size() * sizeof(int64_t);
+      break;
+    case TypeKind::kDouble:
+      total += doubles_.size() * sizeof(double);
+      break;
+    case TypeKind::kString:
+      for (const std::string& s : strings_) total += s.size() + 4;
+      break;
+  }
+  return total;
+}
+
+}  // namespace maxson::storage

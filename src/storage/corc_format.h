@@ -1,0 +1,65 @@
+#ifndef MAXSON_STORAGE_CORC_FORMAT_H_
+#define MAXSON_STORAGE_CORC_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/sarg.h"
+#include "storage/schema.h"
+
+namespace maxson::storage {
+
+/// On-disk layout shared by the CORC writer and reader.
+///
+/// CORC ("Columnar ORC-like") is this repository's stand-in for Apache ORC:
+///
+///   magic "CORC1"
+///   stripe 0: column 0 chunk stream, column 1 chunk stream, ...
+///   stripe 1: ...
+///   footer (JSON): schema, per-stripe/per-column/per-row-group directory
+///                  with byte ranges and min/max/null statistics
+///   footer length (u32 LE)
+///   magic "CORC1"
+///
+/// Each column stream is the concatenation of independently decodable
+/// row-group chunks (default 10,000 rows per group, Section IV-F), so a
+/// reader can skip a row group without fetching its bytes — which is what
+/// makes SARG pushdown save real I/O.
+inline constexpr char kCorcMagic[] = "CORC1";
+inline constexpr size_t kCorcMagicLen = 5;
+inline constexpr uint32_t kDefaultRowsPerGroup = 10000;
+
+/// Directory entry for one row group of one column.
+struct RowGroupInfo {
+  uint64_t offset = 0;  // absolute file offset of the chunk
+  uint64_t length = 0;  // chunk length in bytes
+  ColumnStats stats;
+};
+
+/// Directory entry for one column within a stripe.
+struct ColumnChunkInfo {
+  std::vector<RowGroupInfo> row_groups;
+};
+
+/// Directory entry for one stripe.
+struct StripeInfo {
+  uint64_t num_rows = 0;
+  std::vector<ColumnChunkInfo> columns;
+
+  size_t num_row_groups() const {
+    return columns.empty() ? 0 : columns[0].row_groups.size();
+  }
+};
+
+/// Decoded footer of a CORC file.
+struct CorcFooter {
+  Schema schema;
+  uint32_t rows_per_group = kDefaultRowsPerGroup;
+  uint64_t num_rows = 0;
+  std::vector<StripeInfo> stripes;
+};
+
+}  // namespace maxson::storage
+
+#endif  // MAXSON_STORAGE_CORC_FORMAT_H_

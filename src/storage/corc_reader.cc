@@ -1,0 +1,299 @@
+#include "storage/corc_reader.h"
+
+#include <cstring>
+
+#include "json/dom_parser.h"
+#include "json/json_value.h"
+
+namespace maxson::storage {
+
+namespace {
+
+Value JsonToValue(const json::JsonValue& j) {
+  using json::JsonType;
+  switch (j.type()) {
+    case JsonType::kNull:
+      return Value::Null();
+    case JsonType::kBool:
+      return Value::Bool(j.bool_value());
+    case JsonType::kInt:
+      return Value::Int64(j.int_value());
+    case JsonType::kDouble:
+      return Value::Double(j.double_value());
+    case JsonType::kString:
+      return Value::String(j.string_value());
+    default:
+      return Value::Null();
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+double GetDouble(const char* p) {
+  double v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+CorcReader::CorcReader(std::string path) : path_(std::move(path)) {}
+
+Status CorcReader::Open() {
+  file_.open(path_, std::ios::binary);
+  if (!file_.is_open()) {
+    return Status::IoError("cannot open " + path_ + " for reading");
+  }
+  file_.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(file_.tellg());
+  if (file_size < kCorcMagicLen * 2 + 4) {
+    return Status::IoError(path_ + " is too small to be a CORC file");
+  }
+
+  char tail[kCorcMagicLen + 4];
+  file_.seekg(static_cast<std::streamoff>(file_size - sizeof(tail)));
+  file_.read(tail, sizeof(tail));
+  if (std::memcmp(tail + 4, kCorcMagic, kCorcMagicLen) != 0) {
+    return Status::IoError(path_ + " has a bad trailing magic");
+  }
+  const uint32_t footer_len = GetU32(tail);
+  if (footer_len + sizeof(tail) + kCorcMagicLen > file_size) {
+    return Status::IoError(path_ + " footer length out of range");
+  }
+
+  std::string footer_text(footer_len, '\0');
+  file_.seekg(
+      static_cast<std::streamoff>(file_size - sizeof(tail) - footer_len));
+  file_.read(footer_text.data(), footer_len);
+  if (!file_.good()) return Status::IoError("footer read failed on " + path_);
+
+  MAXSON_ASSIGN_OR_RETURN(json::JsonValue footer,
+                          json::ParseJson(footer_text));
+  if (!footer.is_object()) return Status::IoError("footer is not an object");
+
+  const json::JsonValue* fields = footer.Find("fields");
+  const json::JsonValue* rows_per_group = footer.Find("rows_per_group");
+  const json::JsonValue* num_rows = footer.Find("num_rows");
+  const json::JsonValue* stripes = footer.Find("stripes");
+  if (fields == nullptr || !fields->is_array() || rows_per_group == nullptr ||
+      num_rows == nullptr || stripes == nullptr || !stripes->is_array()) {
+    return Status::IoError("footer missing required keys in " + path_);
+  }
+
+  Schema schema;
+  for (const json::JsonValue& fj : fields->elements()) {
+    const json::JsonValue* name = fj.Find("name");
+    const json::JsonValue* type = fj.Find("type");
+    if (name == nullptr || type == nullptr) {
+      return Status::IoError("bad field entry in footer of " + path_);
+    }
+    schema.AddField(name->string_value(),
+                    static_cast<TypeKind>(type->int_value()));
+  }
+  footer_.schema = std::move(schema);
+  footer_.rows_per_group = static_cast<uint32_t>(rows_per_group->int_value());
+  footer_.num_rows = static_cast<uint64_t>(num_rows->int_value());
+
+  for (const json::JsonValue& sj : stripes->elements()) {
+    StripeInfo stripe;
+    const json::JsonValue* srows = sj.Find("num_rows");
+    const json::JsonValue* cols = sj.Find("columns");
+    if (srows == nullptr || cols == nullptr || !cols->is_array()) {
+      return Status::IoError("bad stripe entry in footer of " + path_);
+    }
+    stripe.num_rows = static_cast<uint64_t>(srows->int_value());
+    for (const json::JsonValue& cj : cols->elements()) {
+      ColumnChunkInfo chunk;
+      const json::JsonValue* groups = cj.Find("row_groups");
+      if (groups == nullptr || !groups->is_array()) {
+        return Status::IoError("bad column entry in footer of " + path_);
+      }
+      for (const json::JsonValue& gj : groups->elements()) {
+        RowGroupInfo rg;
+        const json::JsonValue* offset = gj.Find("offset");
+        const json::JsonValue* length = gj.Find("length");
+        const json::JsonValue* min = gj.Find("min");
+        const json::JsonValue* max = gj.Find("max");
+        const json::JsonValue* nulls = gj.Find("nulls");
+        const json::JsonValue* values = gj.Find("values");
+        if (offset == nullptr || length == nullptr || min == nullptr ||
+            max == nullptr || nulls == nullptr || values == nullptr) {
+          return Status::IoError("bad row group entry in footer of " + path_);
+        }
+        rg.offset = static_cast<uint64_t>(offset->int_value());
+        rg.length = static_cast<uint64_t>(length->int_value());
+        rg.stats.min = JsonToValue(*min);
+        rg.stats.max = JsonToValue(*max);
+        rg.stats.null_count = static_cast<uint64_t>(nulls->int_value());
+        rg.stats.value_count = static_cast<uint64_t>(values->int_value());
+        chunk.row_groups.push_back(std::move(rg));
+      }
+      stripe.columns.push_back(std::move(chunk));
+    }
+    footer_.stripes.push_back(std::move(stripe));
+  }
+  open_ = true;
+  return Status::Ok();
+}
+
+Result<std::vector<bool>> CorcReader::ComputeRowGroupInclusion(
+    size_t stripe, const SearchArgument& sarg) const {
+  if (stripe >= footer_.stripes.size()) {
+    return Status::OutOfRange("stripe index out of range");
+  }
+  const StripeInfo& info = footer_.stripes[stripe];
+  const size_t groups = info.num_row_groups();
+  std::vector<bool> include(groups, true);
+  if (sarg.empty()) return include;
+  for (size_t g = 0; g < groups; ++g) {
+    auto stats_for_column = [&](const std::string& name) -> const ColumnStats* {
+      const int c = footer_.schema.FindField(name);
+      if (c < 0) return nullptr;
+      return &info.columns[static_cast<size_t>(c)].row_groups[g].stats;
+    };
+    include[g] = sarg.Evaluate(stats_for_column) != SargResult::kNo;
+  }
+  return include;
+}
+
+Status CorcReader::DecodeRowGroup(const RowGroupInfo& rg, TypeKind type,
+                                  size_t rows, ColumnVector* out,
+                                  ReadStats* stats) {
+  std::string chunk(rg.length, '\0');
+  file_.seekg(static_cast<std::streamoff>(rg.offset));
+  file_.read(chunk.data(), static_cast<std::streamsize>(rg.length));
+  if (!file_.good()) return Status::IoError("row group read failed");
+  if (stats != nullptr) {
+    stats->bytes_read += rg.length;
+    ++stats->row_groups_read;
+  }
+
+  if (chunk.size() < rows) return Status::IoError("row group underflow");
+  const char* nulls = chunk.data();
+  const char* p = chunk.data() + rows;
+  const char* chunk_end = chunk.data() + chunk.size();
+
+  for (size_t i = 0; i < rows; ++i) {
+    const bool is_null = nulls[i] != 0;
+    switch (type) {
+      case TypeKind::kBool: {
+        if (p + 1 > chunk_end) return Status::IoError("bool decode overflow");
+        const bool v = *p != 0;
+        ++p;
+        if (is_null) {
+          out->AppendNull();
+        } else {
+          out->AppendBool(v);
+        }
+        break;
+      }
+      case TypeKind::kInt64: {
+        if (p + 8 > chunk_end) return Status::IoError("int decode overflow");
+        const int64_t v = static_cast<int64_t>(GetU64(p));
+        p += 8;
+        if (is_null) {
+          out->AppendNull();
+        } else {
+          out->AppendInt64(v);
+        }
+        break;
+      }
+      case TypeKind::kDouble: {
+        if (p + 8 > chunk_end) return Status::IoError("double decode overflow");
+        const double v = GetDouble(p);
+        p += 8;
+        if (is_null) {
+          out->AppendNull();
+        } else {
+          out->AppendDouble(v);
+        }
+        break;
+      }
+      case TypeKind::kString: {
+        if (p + 4 > chunk_end) return Status::IoError("string decode overflow");
+        const uint32_t len = GetU32(p);
+        p += 4;
+        if (p + len > chunk_end) return Status::IoError("string data overflow");
+        if (is_null) {
+          out->AppendNull();
+        } else {
+          out->AppendString(std::string(p, len));
+        }
+        p += len;
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<RecordBatch> CorcReader::ReadStripe(
+    size_t stripe, const std::vector<int>& columns,
+    const std::optional<std::vector<bool>>& include, ReadStats* stats) {
+  if (!open_) return Status::Internal("CorcReader not opened");
+  if (stripe >= footer_.stripes.size()) {
+    return Status::OutOfRange("stripe index out of range");
+  }
+  const StripeInfo& info = footer_.stripes[stripe];
+  const size_t groups = info.num_row_groups();
+  if (include.has_value() && include->size() != groups) {
+    return Status::InvalidArgument("inclusion vector size mismatch");
+  }
+
+  Schema out_schema;
+  for (int c : columns) {
+    if (c < 0 || static_cast<size_t>(c) >= footer_.schema.num_fields()) {
+      return Status::OutOfRange("column index out of range");
+    }
+    out_schema.AddField(footer_.schema.field(static_cast<size_t>(c)).name,
+                        footer_.schema.field(static_cast<size_t>(c)).type);
+  }
+  RecordBatch batch(out_schema);
+
+  for (size_t g = 0; g < groups; ++g) {
+    const size_t group_rows = std::min<size_t>(
+        footer_.rows_per_group,
+        info.num_rows - g * static_cast<size_t>(footer_.rows_per_group));
+    if (include.has_value() && !(*include)[g]) {
+      if (stats != nullptr) ++stats->row_groups_skipped;
+      continue;
+    }
+    for (size_t ci = 0; ci < columns.size(); ++ci) {
+      const size_t c = static_cast<size_t>(columns[ci]);
+      MAXSON_RETURN_NOT_OK(DecodeRowGroup(info.columns[c].row_groups[g],
+                                          out_schema.field(ci).type,
+                                          group_rows, &batch.column(ci),
+                                          stats));
+    }
+    if (stats != nullptr) stats->rows_read += group_rows;
+  }
+  return batch;
+}
+
+Result<RecordBatch> CorcReader::ReadAll(ReadStats* stats) {
+  std::vector<int> columns;
+  for (size_t i = 0; i < footer_.schema.num_fields(); ++i) {
+    columns.push_back(static_cast<int>(i));
+  }
+  RecordBatch out(footer_.schema);
+  for (size_t s = 0; s < footer_.stripes.size(); ++s) {
+    MAXSON_ASSIGN_OR_RETURN(RecordBatch part,
+                            ReadStripe(s, columns, std::nullopt, stats));
+    for (size_t r = 0; r < part.num_rows(); ++r) {
+      out.AppendRow(part.GetRow(r));
+    }
+  }
+  return out;
+}
+
+}  // namespace maxson::storage

@@ -1,0 +1,83 @@
+#ifndef MAXSON_STORAGE_CORC_READER_H_
+#define MAXSON_STORAGE_CORC_READER_H_
+
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/corc_format.h"
+#include "storage/record_batch.h"
+#include "storage/sarg.h"
+
+namespace maxson::storage {
+
+/// Byte- and row-level accounting of a read, surfaced by the engine's
+/// metrics (Fig. 12's "Input Size" comparison).
+struct ReadStats {
+  uint64_t bytes_read = 0;
+  uint64_t rows_read = 0;
+  uint64_t row_groups_read = 0;
+  uint64_t row_groups_skipped = 0;
+
+  void Add(const ReadStats& other) {
+    bytes_read += other.bytes_read;
+    rows_read += other.rows_read;
+    row_groups_read += other.row_groups_read;
+    row_groups_skipped += other.row_groups_skipped;
+  }
+};
+
+/// Reader for one CORC file.
+///
+/// Supports column projection, SARG-driven row-group skipping, and —
+/// crucially for Maxson's Algorithm 3 — reading with an externally supplied
+/// row-group inclusion vector, so a PrimaryReader can skip exactly the row
+/// groups that the CacheReader's SARG evaluation excluded.
+class CorcReader {
+ public:
+  explicit CorcReader(std::string path);
+
+  CorcReader(const CorcReader&) = delete;
+  CorcReader& operator=(const CorcReader&) = delete;
+
+  /// Opens the file and decodes the footer.
+  Status Open();
+
+  const CorcFooter& footer() const { return footer_; }
+  const Schema& schema() const { return footer_.schema; }
+  uint64_t num_rows() const { return footer_.num_rows; }
+  size_t num_stripes() const { return footer_.stripes.size(); }
+
+  /// Evaluates `sarg` against the row-group statistics of stripe `stripe`
+  /// and returns one include/exclude flag per row group (true = must read).
+  /// This is the array that Algorithm 3 shares between readers.
+  Result<std::vector<bool>> ComputeRowGroupInclusion(
+      size_t stripe, const SearchArgument& sarg) const;
+
+  /// Reads the projected `columns` (indexes into the schema) of stripe
+  /// `stripe`. When `include` is provided, only the flagged row groups are
+  /// fetched and decoded; rows from skipped groups are absent from the
+  /// output batch. Read accounting accumulates into `stats` when non-null.
+  Result<RecordBatch> ReadStripe(size_t stripe,
+                                 const std::vector<int>& columns,
+                                 const std::optional<std::vector<bool>>& include,
+                                 ReadStats* stats);
+
+  /// Convenience: read every column of every stripe (no skipping).
+  Result<RecordBatch> ReadAll(ReadStats* stats);
+
+ private:
+  Status DecodeRowGroup(const RowGroupInfo& rg, TypeKind type, size_t rows,
+                        ColumnVector* out, ReadStats* stats);
+
+  std::string path_;
+  std::ifstream file_;
+  CorcFooter footer_;
+  bool open_ = false;
+};
+
+}  // namespace maxson::storage
+
+#endif  // MAXSON_STORAGE_CORC_READER_H_

@@ -1,0 +1,228 @@
+#include "storage/corc_writer.h"
+
+#include <cstring>
+
+#include "json/json_value.h"
+#include "json/json_writer.h"
+
+namespace maxson::storage {
+
+namespace {
+
+void PutU32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutDouble(double v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+json::JsonValue ValueToJson(const Value& v) {
+  using json::JsonValue;
+  if (v.is_null()) return JsonValue::Null();
+  if (v.is_bool()) return JsonValue::Bool(v.bool_value());
+  if (v.is_int64()) return JsonValue::Int(v.int64_value());
+  if (v.is_double()) return JsonValue::Double(v.double_value());
+  return JsonValue::String(v.string_value());
+}
+
+}  // namespace
+
+CorcWriter::CorcWriter(std::string path, Schema schema,
+                       CorcWriterOptions options)
+    : path_(std::move(path)),
+      schema_(std::move(schema)),
+      options_(options),
+      buffer_(schema_) {}
+
+CorcWriter::~CorcWriter() {
+  if (open_ && !closed_) {
+    Status st = Close();
+    if (!st.ok()) {
+      MAXSON_LOG(Error) << "CorcWriter::Close in destructor failed: " << st;
+    }
+  }
+}
+
+Status CorcWriter::Open() {
+  file_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!file_.is_open()) {
+    return Status::IoError("cannot open " + path_ + " for writing");
+  }
+  file_.write(kCorcMagic, kCorcMagicLen);
+  file_offset_ = kCorcMagicLen;
+  open_ = true;
+  return Status::Ok();
+}
+
+Status CorcWriter::WriteBatch(const RecordBatch& batch) {
+  if (!open_) return Status::Internal("CorcWriter not opened");
+  if (batch.num_columns() != schema_.num_fields()) {
+    return Status::InvalidArgument("batch column count mismatch");
+  }
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    MAXSON_RETURN_NOT_OK(AppendRow(batch.GetRow(r)));
+  }
+  return Status::Ok();
+}
+
+Status CorcWriter::AppendRow(const std::vector<Value>& row) {
+  if (!open_) return Status::Internal("CorcWriter not opened");
+  if (row.size() != schema_.num_fields()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  buffer_.AppendRow(row);
+  ++rows_written_;
+  if (buffer_.num_rows() >= options_.rows_per_stripe) {
+    return FlushStripe();
+  }
+  return Status::Ok();
+}
+
+void CorcWriter::EncodeRowGroup(const ColumnVector& column, size_t begin,
+                                size_t end, std::string* out,
+                                ColumnStats* stats) const {
+  for (size_t i = begin; i < end; ++i) {
+    out->push_back(column.IsNull(i) ? 1 : 0);
+  }
+  for (size_t i = begin; i < end; ++i) {
+    const Value v = column.GetValue(i);
+    stats->Update(v);
+    if (column.IsNull(i)) {
+      // Null slots still occupy fixed-width space for fixed types so the
+      // decoder stays positional; strings encode a zero length.
+      switch (column.type()) {
+        case TypeKind::kBool:
+          out->push_back(0);
+          break;
+        case TypeKind::kInt64:
+          PutU64(0, out);
+          break;
+        case TypeKind::kDouble:
+          PutDouble(0.0, out);
+          break;
+        case TypeKind::kString:
+          PutU32(0, out);
+          break;
+      }
+      continue;
+    }
+    switch (column.type()) {
+      case TypeKind::kBool:
+        out->push_back(column.GetBool(i) ? 1 : 0);
+        break;
+      case TypeKind::kInt64:
+        PutU64(static_cast<uint64_t>(column.GetInt64(i)), out);
+        break;
+      case TypeKind::kDouble:
+        PutDouble(column.GetDouble(i), out);
+        break;
+      case TypeKind::kString: {
+        const std::string& s = column.GetString(i);
+        PutU32(static_cast<uint32_t>(s.size()), out);
+        out->append(s);
+        break;
+      }
+    }
+  }
+}
+
+Status CorcWriter::FlushStripe() {
+  const size_t rows = buffer_.num_rows();
+  if (rows == 0) return Status::Ok();
+
+  StripeInfo stripe;
+  stripe.num_rows = rows;
+  stripe.columns.resize(schema_.num_fields());
+
+  for (size_t c = 0; c < schema_.num_fields(); ++c) {
+    const ColumnVector& column = buffer_.column(c);
+    for (size_t begin = 0; begin < rows; begin += options_.rows_per_group) {
+      const size_t end = std::min<size_t>(begin + options_.rows_per_group, rows);
+      std::string chunk;
+      RowGroupInfo rg;
+      EncodeRowGroup(column, begin, end, &chunk, &rg.stats);
+      rg.offset = file_offset_;
+      rg.length = chunk.size();
+      file_.write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+      file_offset_ += chunk.size();
+      stripe.columns[c].row_groups.push_back(std::move(rg));
+    }
+  }
+  stripes_.push_back(std::move(stripe));
+  buffer_ = RecordBatch(schema_);
+  if (!file_.good()) return Status::IoError("write failed on " + path_);
+  return Status::Ok();
+}
+
+Status CorcWriter::Close() {
+  if (closed_) return Status::Ok();
+  if (!open_) return Status::Internal("CorcWriter not opened");
+  MAXSON_RETURN_NOT_OK(FlushStripe());
+
+  using json::JsonValue;
+  JsonValue footer = JsonValue::Object();
+  JsonValue fields = JsonValue::Array();
+  for (const Field& f : schema_.fields()) {
+    JsonValue fj = JsonValue::Object();
+    fj.Set("name", JsonValue::String(f.name));
+    fj.Set("type", JsonValue::Int(static_cast<int>(f.type)));
+    fields.Append(std::move(fj));
+  }
+  footer.Set("fields", std::move(fields));
+  footer.Set("rows_per_group",
+             JsonValue::Int(static_cast<int64_t>(options_.rows_per_group)));
+  footer.Set("num_rows", JsonValue::Int(static_cast<int64_t>(rows_written_)));
+
+  JsonValue stripes = JsonValue::Array();
+  for (const StripeInfo& s : stripes_) {
+    JsonValue sj = JsonValue::Object();
+    sj.Set("num_rows", JsonValue::Int(static_cast<int64_t>(s.num_rows)));
+    JsonValue cols = JsonValue::Array();
+    for (const ColumnChunkInfo& c : s.columns) {
+      JsonValue groups = JsonValue::Array();
+      for (const RowGroupInfo& rg : c.row_groups) {
+        JsonValue gj = JsonValue::Object();
+        gj.Set("offset", JsonValue::Int(static_cast<int64_t>(rg.offset)));
+        gj.Set("length", JsonValue::Int(static_cast<int64_t>(rg.length)));
+        gj.Set("min", ValueToJson(rg.stats.min));
+        gj.Set("max", ValueToJson(rg.stats.max));
+        gj.Set("nulls",
+               JsonValue::Int(static_cast<int64_t>(rg.stats.null_count)));
+        gj.Set("values",
+               JsonValue::Int(static_cast<int64_t>(rg.stats.value_count)));
+        groups.Append(std::move(gj));
+      }
+      JsonValue cj = JsonValue::Object();
+      cj.Set("row_groups", std::move(groups));
+      cols.Append(std::move(cj));
+    }
+    sj.Set("columns", std::move(cols));
+    stripes.Append(std::move(sj));
+  }
+  footer.Set("stripes", std::move(stripes));
+
+  const std::string footer_text = json::WriteJson(footer);
+  file_.write(footer_text.data(),
+              static_cast<std::streamsize>(footer_text.size()));
+  std::string tail;
+  PutU32(static_cast<uint32_t>(footer_text.size()), &tail);
+  tail.append(kCorcMagic, kCorcMagicLen);
+  file_.write(tail.data(), static_cast<std::streamsize>(tail.size()));
+  file_.close();
+  closed_ = true;
+  if (file_.fail()) return Status::IoError("close failed on " + path_);
+  return Status::Ok();
+}
+
+}  // namespace maxson::storage

@@ -1,0 +1,80 @@
+#include "storage/file_system.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "common/string_util.h"
+
+namespace maxson::storage {
+
+namespace fs = std::filesystem;
+
+Status FileSystem::MakeDirs(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IoError("mkdir " + dir + ": " + ec.message());
+  return Status::Ok();
+}
+
+Status FileSystem::RemoveAll(const std::string& dir) {
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  if (ec) return Status::IoError("rm -r " + dir + ": " + ec.message());
+  return Status::Ok();
+}
+
+bool FileSystem::Exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Result<std::vector<std::string>> FileSystem::ListFiles(
+    const std::string& dir, const std::string& suffix) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return Status::IoError("list " + dir + ": " + ec.message());
+  std::vector<std::string> files;
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!suffix.empty() && !EndsWith(name, suffix)) continue;
+    files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+Result<std::vector<Split>> FileSystem::ListSplits(const std::string& dir) {
+  MAXSON_ASSIGN_OR_RETURN(std::vector<std::string> files,
+                          ListFiles(dir, ".corc"));
+  std::vector<Split> splits;
+  splits.reserve(files.size());
+  for (size_t i = 0; i < files.size(); ++i) {
+    splits.push_back(Split{files[i], i});
+  }
+  return splits;
+}
+
+std::string FileSystem::PartFileName(size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "part-%05zu.corc", index);
+  return buf;
+}
+
+Result<uint64_t> FileSystem::DirectorySize(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return uint64_t{0};
+  uint64_t total = 0;
+  for (const fs::directory_entry& entry :
+       fs::recursive_directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) {
+      total += entry.file_size(ec);
+    }
+  }
+  if (ec) return Status::IoError("du " + dir + ": " + ec.message());
+  return total;
+}
+
+}  // namespace maxson::storage

@@ -1,0 +1,49 @@
+#ifndef MAXSON_STORAGE_FILE_SYSTEM_H_
+#define MAXSON_STORAGE_FILE_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace maxson::storage {
+
+/// One input split of a table scan. Following the paper (Section IV-C), one
+/// file == one split, so cache-table files and raw-table files with the same
+/// sorted index describe the same rows.
+struct Split {
+  std::string path;
+  size_t index = 0;  // position in the sorted file list
+};
+
+/// Minimal stand-in for HDFS: a table is a directory of part files. File
+/// listings are returned sorted by name, mirroring the paper's modified
+/// Spark naming function that keeps raw and cache files in the same order.
+class FileSystem {
+ public:
+  /// Creates `dir` (and parents). Idempotent.
+  static Status MakeDirs(const std::string& dir);
+
+  /// Deletes `dir` recursively. Missing directory is not an error.
+  static Status RemoveAll(const std::string& dir);
+
+  static bool Exists(const std::string& path);
+
+  /// Lists regular files in `dir` with the given suffix, sorted by name.
+  static Result<std::vector<std::string>> ListFiles(const std::string& dir,
+                                                    const std::string& suffix);
+
+  /// Lists the splits of a table directory: its ".corc" part files in name
+  /// order, each annotated with its index.
+  static Result<std::vector<Split>> ListSplits(const std::string& dir);
+
+  /// Canonical name of the i-th part file of a table ("part-00042.corc").
+  static std::string PartFileName(size_t index);
+
+  /// Total size in bytes of all regular files under `dir`.
+  static Result<uint64_t> DirectorySize(const std::string& dir);
+};
+
+}  // namespace maxson::storage
+
+#endif  // MAXSON_STORAGE_FILE_SYSTEM_H_

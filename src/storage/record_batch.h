@@ -1,0 +1,63 @@
+#ifndef MAXSON_STORAGE_RECORD_BATCH_H_
+#define MAXSON_STORAGE_RECORD_BATCH_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "storage/column_vector.h"
+#include "storage/schema.h"
+
+namespace maxson::storage {
+
+/// A horizontal slice of a table: a schema plus one ColumnVector per field,
+/// all the same length. The unit of data flow between engine operators.
+class RecordBatch {
+ public:
+  RecordBatch() = default;
+  explicit RecordBatch(Schema schema) : schema_(std::move(schema)) {
+    columns_.reserve(schema_.num_fields());
+    for (const Field& f : schema_.fields()) {
+      columns_.emplace_back(f.type);
+    }
+  }
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+
+  ColumnVector& column(size_t i) { return columns_[i]; }
+  const ColumnVector& column(size_t i) const { return columns_[i]; }
+
+  /// Appends a full row of boxed values (one per column).
+  void AppendRow(const std::vector<Value>& row) {
+    MAXSON_CHECK(row.size() == columns_.size());
+    for (size_t i = 0; i < row.size(); ++i) {
+      columns_[i].AppendValue(row[i]);
+    }
+  }
+
+  /// Extracts row `i` as boxed values.
+  std::vector<Value> GetRow(size_t i) const {
+    std::vector<Value> row;
+    row.reserve(columns_.size());
+    for (const ColumnVector& c : columns_) row.push_back(c.GetValue(i));
+    return row;
+  }
+
+  uint64_t ByteSize() const {
+    uint64_t total = 0;
+    for (const ColumnVector& c : columns_) total += c.ByteSize();
+    return total;
+  }
+
+ private:
+  Schema schema_;
+  std::vector<ColumnVector> columns_;
+};
+
+}  // namespace maxson::storage
+
+#endif  // MAXSON_STORAGE_RECORD_BATCH_H_

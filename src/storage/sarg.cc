@@ -1,0 +1,53 @@
+#include "storage/sarg.h"
+
+namespace maxson::storage {
+
+void ColumnStats::Update(const Value& v) {
+  ++value_count;
+  if (v.is_null()) {
+    ++null_count;
+    return;
+  }
+  if (min.is_null() || v.Compare(min) < 0) min = v;
+  if (max.is_null() || v.Compare(max) > 0) max = v;
+}
+
+SargResult SearchArgument::EvaluateLeaf(const SargLeaf& leaf,
+                                        const ColumnStats& stats) {
+  switch (leaf.op) {
+    case SargOp::kIsNull:
+      return stats.null_count > 0 ? SargResult::kMaybe : SargResult::kNo;
+    case SargOp::kIsNotNull:
+      return stats.all_null() ? SargResult::kNo : SargResult::kMaybe;
+    default:
+      break;
+  }
+  if (stats.all_null()) return SargResult::kNo;  // comparisons never match NULL
+  const Value& lit = leaf.literal;
+  const int cmp_min = stats.min.Compare(lit);  // min vs literal
+  const int cmp_max = stats.max.Compare(lit);  // max vs literal
+  switch (leaf.op) {
+    case SargOp::kEq:
+      // Match possible iff min <= lit <= max.
+      return (cmp_min <= 0 && cmp_max >= 0) ? SargResult::kMaybe
+                                            : SargResult::kNo;
+    case SargOp::kNe:
+      // Only excludable when every value equals the literal.
+      return (cmp_min == 0 && cmp_max == 0) ? SargResult::kNo
+                                            : SargResult::kMaybe;
+    case SargOp::kLt:
+      return cmp_min < 0 ? SargResult::kMaybe : SargResult::kNo;
+    case SargOp::kLe:
+      return cmp_min <= 0 ? SargResult::kMaybe : SargResult::kNo;
+    case SargOp::kGt:
+      return cmp_max > 0 ? SargResult::kMaybe : SargResult::kNo;
+    case SargOp::kGe:
+      return cmp_max >= 0 ? SargResult::kMaybe : SargResult::kNo;
+    case SargOp::kIsNull:
+    case SargOp::kIsNotNull:
+      break;
+  }
+  return SargResult::kMaybe;
+}
+
+}  // namespace maxson::storage

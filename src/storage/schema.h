@@ -1,0 +1,55 @@
+#ifndef MAXSON_STORAGE_SCHEMA_H_
+#define MAXSON_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace maxson::storage {
+
+/// One column of a table schema.
+struct Field {
+  std::string name;
+  TypeKind type = TypeKind::kString;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered set of fields. Lookup is by exact (case-sensitive) name, which
+/// matches how the mini-engine resolves column references after lowering.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  void AddField(std::string name, TypeKind type) {
+    fields_.push_back(Field{std::move(name), type});
+  }
+
+  /// Index of the named field, or -1 when absent.
+  int FindField(std::string_view name) const {
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace maxson::storage
+
+#endif  // MAXSON_STORAGE_SCHEMA_H_

@@ -1,0 +1,192 @@
+#include "workload/data_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "json/json_writer.h"
+#include "storage/corc_writer.h"
+#include "storage/file_system.h"
+
+namespace maxson::workload {
+
+using storage::Schema;
+using storage::TypeKind;
+using storage::Value;
+
+namespace {
+
+/// Deterministic per-row generator state.
+Rng RowRng(uint64_t seed, uint64_t row_id) {
+  return Rng(seed * 0x9E3779B97F4A7C15ULL + row_id * 0xC2B2AE3D27D4EB4FULL +
+             1);
+}
+
+std::string RandomWord(Rng* rng, size_t len) {
+  static const char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(kAlphabet[rng->NextBounded(26)]);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string GenerateJsonRecord(const JsonTableSpec& spec, uint64_t row_id) {
+  Rng rng = RowRng(spec.seed, row_id);
+
+  // Budget: aim at avg_json_bytes by padding one filler string. Base fields
+  // cost roughly 18 bytes each ("\"fNN\":\"wordword\",").
+  const int props = std::max(2, spec.num_properties);
+  const int base_cost_per_field = 18;
+  const int filler = std::max(
+      0, spec.avg_json_bytes - props * base_cost_per_field);
+
+  // Field ordering: stable by default; permuted for schema-variable tables.
+  std::vector<int> order(static_cast<size_t>(props));
+  for (int i = 0; i < props; ++i) order[static_cast<size_t>(i)] = i;
+  const bool vary = rng.NextBool(spec.schema_variability);
+  if (vary) rng.Shuffle(&order);
+
+  // Fields beyond the first few can be dropped in variable-schema records.
+  std::string out;
+  out.reserve(static_cast<size_t>(spec.avg_json_bytes) + 64);
+  out.push_back('{');
+  bool first = true;
+  auto append_field = [&](const std::string& name, const std::string& value,
+                          bool quote) {
+    if (!first) out.push_back(',');
+    first = false;
+    json::AppendEscapedString(name, &out);
+    out.push_back(':');
+    if (quote) {
+      json::AppendEscapedString(value, &out);
+    } else {
+      out.append(value);
+    }
+  };
+
+  // How many top-level slots are nested containers.
+  const int nested_fields =
+      spec.nesting_level > 1 ? std::max(1, props / 6) : 0;
+
+  for (int slot = 0; slot < props; ++slot) {
+    const int f = order[static_cast<size_t>(slot)];
+    const std::string name = "f" + std::to_string(f);
+    if (vary && f >= 4 && rng.NextBool(0.3)) continue;  // drop optional field
+    if (f == 0) {
+      // Monotone row counter: predicates on $.f0 have known selectivity.
+      append_field(name, std::to_string(row_id), false);
+    } else if (f == 1) {
+      // Low-cardinality category for GROUP BY.
+      append_field(name, "cat" + std::to_string(row_id % 10), true);
+    } else if (f == 2) {
+      // Numeric metric (e.g. turnover).
+      append_field(name, std::to_string((row_id * 7 + f) % 1000), false);
+    } else if (nested_fields > 0 && f > 2 && f <= 2 + nested_fields) {
+      // Nested object, depth = spec.nesting_level.
+      std::string nested;
+      int depth = spec.nesting_level - 1;
+      for (int d = 0; d < depth; ++d) {
+        nested += "{\"n" + std::to_string(d) + "\":";
+      }
+      nested += "{\"leaf\":" + std::to_string(rng.NextBounded(100)) + "}";
+      for (int d = 0; d < depth; ++d) nested.push_back('}');
+      append_field(name, nested, false);
+    } else {
+      switch (rng.NextBounded(3)) {
+        case 0:
+          append_field(name, std::to_string(rng.NextInt(0, 100000)), false);
+          break;
+        case 1: {
+          char buf[24];
+          std::snprintf(buf, sizeof(buf), "%.3f", rng.NextDouble() * 100.0);
+          append_field(name, buf, false);
+          break;
+        }
+        default:
+          append_field(name, RandomWord(&rng, 6 + rng.NextBounded(6)), true);
+      }
+    }
+  }
+  if (filler > 0) {
+    // Pad with one long blob field so the average size hits the target.
+    const size_t pad = static_cast<size_t>(
+        std::max<int>(0, filler - 12 + static_cast<int>(rng.NextBounded(9)) -
+                             4));
+    append_field("blob", RandomWord(&rng, pad), true);
+  }
+  out.push_back('}');
+  return out;
+}
+
+Result<GeneratedTable> GenerateJsonTable(const JsonTableSpec& spec,
+                                         const std::string& warehouse_dir,
+                                         int date_days,
+                                         catalog::Catalog* catalog) {
+  GeneratedTable result;
+  const std::string dir =
+      warehouse_dir + "/" + spec.database + "/" + spec.table;
+  MAXSON_RETURN_NOT_OK(storage::FileSystem::RemoveAll(dir));
+  MAXSON_RETURN_NOT_OK(storage::FileSystem::MakeDirs(dir));
+
+  Schema schema;
+  schema.AddField("id", TypeKind::kInt64);
+  schema.AddField("date", TypeKind::kInt64);
+  schema.AddField("payload", TypeKind::kString);
+
+  uint64_t row = 0;
+  size_t file_index = 0;
+  while (row < spec.rows) {
+    const uint64_t rows_this_file =
+        std::min<uint64_t>(spec.rows_per_file, spec.rows - row);
+    storage::CorcWriterOptions options;
+    options.rows_per_group = spec.rows_per_group;
+    storage::CorcWriter writer(
+        dir + "/" + storage::FileSystem::PartFileName(file_index), schema,
+        options);
+    MAXSON_RETURN_NOT_OK(writer.Open());
+    for (uint64_t i = 0; i < rows_this_file; ++i, ++row) {
+      const std::string payload = GenerateJsonRecord(spec, row);
+      result.total_json_bytes += payload.size();
+      const int64_t date =
+          20190101 + static_cast<int64_t>(row % static_cast<uint64_t>(
+                                                    std::max(1, date_days)));
+      MAXSON_RETURN_NOT_OK(
+          writer.AppendRow({Value::Int64(static_cast<int64_t>(row)),
+                            Value::Int64(date), Value::String(payload)}));
+    }
+    MAXSON_RETURN_NOT_OK(writer.Close());
+    ++file_index;
+  }
+
+  if (catalog != nullptr) {
+    if (!catalog->HasDatabase(spec.database)) {
+      MAXSON_RETURN_NOT_OK(catalog->CreateDatabase(spec.database));
+    }
+    if (catalog->HasTable(spec.database, spec.table)) {
+      MAXSON_RETURN_NOT_OK(catalog->DropTable(spec.database, spec.table));
+    }
+    catalog::TableInfo info;
+    info.database = spec.database;
+    info.name = spec.table;
+    info.schema = schema;
+    info.location = dir;
+    info.last_modified = 0;
+    MAXSON_RETURN_NOT_OK(catalog->CreateTable(std::move(info)));
+  }
+
+  result.location = dir;
+  result.rows = spec.rows;
+  result.avg_json_bytes = spec.rows == 0
+                              ? 0.0
+                              : static_cast<double>(result.total_json_bytes) /
+                                    static_cast<double>(spec.rows);
+  for (int f = 0; f < spec.num_properties; ++f) {
+    result.field_names.push_back("f" + std::to_string(f));
+  }
+  return result;
+}
+
+}  // namespace maxson::workload

@@ -1,0 +1,60 @@
+#ifndef MAXSON_WORKLOAD_DATA_GENERATOR_H_
+#define MAXSON_WORKLOAD_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/random.h"
+#include "common/result.h"
+
+namespace maxson::workload {
+
+/// Shape of one generated JSON table, after Table II of the paper: each
+/// benchmark table Ti carries JSON records with a given property count,
+/// nesting level, and average serialized size, in the spirit of Nobench.
+struct JsonTableSpec {
+  std::string database = "mydb";
+  std::string table;
+  int num_properties = 17;  // distinct fields in a record
+  int nesting_level = 1;    // maximum object depth
+  int avg_json_bytes = 500; // target average serialized record size
+  /// Probability that a record drops optional fields / permutes field
+  /// order, degrading Mison's speculative parsing (Fig. 15's Q6 note).
+  double schema_variability = 0.0;
+  uint64_t rows = 10000;
+  uint64_t rows_per_file = 5000;  // one file = one split
+  uint32_t rows_per_group = 1000;
+  uint64_t seed = 1;
+};
+
+/// Summary of a generated table.
+struct GeneratedTable {
+  std::string location;
+  uint64_t rows = 0;
+  uint64_t total_json_bytes = 0;
+  std::vector<std::string> field_names;  // top-level JSON fields ("f0"...)
+  double avg_json_bytes = 0.0;
+};
+
+/// Generates one record's JSON text for `spec` (row `row_id`), determinism
+/// guaranteed by (seed, row_id). Numeric field f0 counts rows (useful for
+/// verifiable predicates); f1 is a category string with ~10 distinct
+/// values; remaining fields mix strings/ints/doubles and, at nesting > 1,
+/// nested objects under "nested".
+std::string GenerateJsonRecord(const JsonTableSpec& spec, uint64_t row_id);
+
+/// Writes the table under `warehouse_dir` (location =
+/// warehouse_dir/db/table) with schema (id int64, date int64, payload
+/// string), registers it in `catalog`, and returns its summary. The date
+/// column cycles over `date_days` distinct day stamps so window predicates
+/// have selectivity.
+Result<GeneratedTable> GenerateJsonTable(const JsonTableSpec& spec,
+                                         const std::string& warehouse_dir,
+                                         int date_days,
+                                         catalog::Catalog* catalog);
+
+}  // namespace maxson::workload
+
+#endif  // MAXSON_WORKLOAD_DATA_GENERATOR_H_

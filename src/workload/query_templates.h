@@ -1,0 +1,54 @@
+#ifndef MAXSON_WORKLOAD_QUERY_TEMPLATES_H_
+#define MAXSON_WORKLOAD_QUERY_TEMPLATES_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/data_generator.h"
+#include "workload/trace.h"
+
+namespace maxson::workload {
+
+/// One of the ten benchmark queries of the paper's Table II: its table
+/// specification (JSON shape), the SQL text, and the JSONPaths it parses.
+struct BenchmarkQuery {
+  std::string name;  // "Q1" ... "Q10"
+  JsonTableSpec table_spec;
+  std::string sql;
+  std::vector<JsonPathLocation> paths;
+  /// True when the query filters on a JSON property (Q2, Q9 in Fig. 12 —
+  /// the pushdown-eligible ones).
+  bool has_json_predicate = false;
+};
+
+/// Scaling options for the Table II suite. The paper ran 20M rows/table on
+/// a 22-node cluster; `bytes_per_table` scales each table so laptop runs
+/// stay minutes-long while preserving the relative cost structure (row
+/// counts derive from each table's average JSON size).
+struct BenchmarkSuiteOptions {
+  uint64_t bytes_per_table = 8ull << 20;  // ~8 MiB of JSON per table
+  uint64_t max_rows = 40000;
+  uint64_t rows_per_file = 10000;
+  uint32_t rows_per_group = 1000;
+  int date_days = 3;
+  uint64_t seed = 99;
+};
+
+/// Builds the ten Table II queries. Table shapes follow the paper's Table
+/// II columns (JSONPath count, property count, nesting level, average JSON
+/// size); query shapes are representative: projections of the listed
+/// number of JSONPaths, with a group-by for Q2, a JSON predicate for Q2 and
+/// Q9, and an ORDER BY ... LIMIT for Q1.
+std::vector<BenchmarkQuery> MakeTableIIQueries(
+    const BenchmarkSuiteOptions& options);
+
+/// Generates the data for every query's table into `warehouse_dir` and
+/// registers the tables in `catalog`.
+Status GenerateBenchmarkTables(const std::vector<BenchmarkQuery>& queries,
+                               const std::string& warehouse_dir,
+                               const BenchmarkSuiteOptions& options,
+                               catalog::Catalog* catalog);
+
+}  // namespace maxson::workload
+
+#endif  // MAXSON_WORKLOAD_QUERY_TEMPLATES_H_

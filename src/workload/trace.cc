@@ -1,0 +1,19 @@
+#include "workload/trace.h"
+
+namespace maxson::workload {
+
+DailyPathCounts CollectDailyCounts(const Trace& trace) {
+  DailyPathCounts counts;
+  for (const QueryRecord& query : trace.queries) {
+    for (const JsonPathLocation& path : query.paths) {
+      std::vector<int>& days = counts[path.Key()];
+      if (days.empty()) days.resize(trace.num_days, 0);
+      if (query.date >= 0 && query.date < trace.num_days) {
+        ++days[query.date];
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace maxson::workload

@@ -1,0 +1,81 @@
+#ifndef MAXSON_WORKLOAD_TRACE_H_
+#define MAXSON_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time_util.h"
+
+namespace maxson::workload {
+
+/// Fully-qualified identity of one JSONPath access site: the paper's
+/// (database, table, column, JSONPath) quadruple.
+struct JsonPathLocation {
+  std::string database;
+  std::string table;
+  std::string column;
+  std::string path;  // "$.field" textual JSONPath
+
+  /// Canonical key used in statistics maps ("db.table.column:$.path").
+  std::string Key() const {
+    return database + "." + table + "." + column + ":" + path;
+  }
+
+  bool operator==(const JsonPathLocation& other) const {
+    return database == other.database && table == other.table &&
+           column == other.column && path == other.path;
+  }
+  bool operator<(const JsonPathLocation& other) const {
+    return Key() < other.Key();
+  }
+};
+
+/// How a query recurs over the trace, used by the generator and reported by
+/// the recurrence analyzer.
+enum class Recurrence {
+  kDaily,     // repeats every day (71% of recurring queries in the paper)
+  kWeekly,    // repeats weekly (17%)
+  kMultiDay,  // daily with a multi-day window (7%)
+  kAdHoc,     // not recurring (18% of all queries)
+};
+
+/// One executed query in the trace.
+struct QueryRecord {
+  int64_t query_id = 0;
+  int user_id = 0;
+  DateId date = 0;  // submission day
+  int hour = 0;     // submission hour of day [0, 24)
+  int template_id = -1;  // generator template; -1 for ad-hoc queries
+  Recurrence recurrence = Recurrence::kAdHoc;
+  std::vector<JsonPathLocation> paths;  // JSONPaths this query parses
+};
+
+/// One table-update event (data load), with its time of day (Fig. 2).
+struct TableUpdate {
+  std::string database;
+  std::string table;
+  DateId date = 0;
+  int hour = 0;
+};
+
+/// A complete synthetic production trace, the stand-in for the paper's
+/// five-month, ~3M-query Alibaba workload.
+struct Trace {
+  int num_days = 0;
+  std::vector<QueryRecord> queries;
+  std::vector<TableUpdate> updates;
+};
+
+/// Per-path daily access counts: the JSONPath Collector's statistics table.
+/// counts[d] is the number of parses of the path on day d.
+using DailyPathCounts = std::map<std::string, std::vector<int>>;
+
+/// Aggregates the trace into per-path daily parse counts (each query parses
+/// each of its JSONPaths once per execution).
+DailyPathCounts CollectDailyCounts(const Trace& trace);
+
+}  // namespace maxson::workload
+
+#endif  // MAXSON_WORKLOAD_TRACE_H_

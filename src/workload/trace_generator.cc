@@ -1,0 +1,199 @@
+#include "workload/trace_generator.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace maxson::workload {
+
+namespace {
+
+/// One recurring query template owned by a user.
+struct Template {
+  int user_id = 0;
+  Recurrence recurrence = Recurrence::kDaily;
+  int weekday = 0;  // firing day for weekly templates
+  int hour = 9;     // usual submission hour
+  std::vector<JsonPathLocation> paths;
+};
+
+JsonPathLocation MakeLocation(int table_id, int path_id) {
+  JsonPathLocation loc;
+  loc.database = "mydb";
+  loc.table = "t" + std::to_string(table_id);
+  loc.column = "payload";
+  loc.path = "$.f" + std::to_string(path_id);
+  return loc;
+}
+
+/// Samples an hour of day from a noon-peaked distribution (Fig. 2: updates
+/// frequent around noon, rare at midnight).
+int NoonPeakedHour(Rng* rng) {
+  const double h = rng->NextGaussian(12.5, 3.5);
+  const int hour = static_cast<int>(h + 0.5);
+  return std::clamp(hour, 0, 23);
+}
+
+/// Business-hours-peaked submission time for queries.
+int BusinessHour(Rng* rng) {
+  const double h = rng->NextGaussian(14.0, 4.5);
+  const int hour = static_cast<int>(h + 0.5);
+  return std::clamp(hour, 0, 23);
+}
+
+}  // namespace
+
+Trace GenerateTrace(const TraceGeneratorConfig& config) {
+  Rng rng(config.seed);
+  Trace trace;
+  trace.num_days = config.num_days;
+
+  // Popularity skew: tables and, within a table, paths follow Zipf ranks.
+  ZipfSampler table_zipf(static_cast<size_t>(config.num_tables),
+                         config.zipf_skew);
+  ZipfSampler path_zipf(static_cast<size_t>(config.paths_per_table),
+                        config.zipf_skew);
+
+  // Build each user's recurring templates. Users concentrate on a handful
+  // of tables (data-access-control realism) and templates on the same table
+  // share popular paths — the source of spatial correlation.
+  std::vector<Template> templates;
+  // The configured daily/weekly/multiday fractions are shares of *executed*
+  // recurring queries. A daily template fires num_days times but a weekly
+  // one only num_days/7 times, so template-type probabilities must be the
+  // execution shares divided by expected firings.
+  const double days = static_cast<double>(std::max(1, config.num_days));
+  double p_daily = config.daily_fraction / days;
+  double p_weekly = config.weekly_fraction / (days / 7.0);
+  double p_multiday = config.multiday_fraction / days;
+  {
+    const double norm = p_daily + p_weekly + p_multiday;
+    p_daily /= norm;
+    p_weekly /= norm;
+    p_multiday /= norm;
+  }
+  (void)p_multiday;
+  for (int user = 0; user < config.num_users; ++user) {
+    // Each user works on a small personal pool of tables.
+    std::vector<int> user_tables;
+    const int pool = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int i = 0; i < pool; ++i) {
+      user_tables.push_back(static_cast<int>(table_zipf.Sample(&rng)));
+    }
+    for (int t = 0; t < config.templates_per_user; ++t) {
+      Template tpl;
+      tpl.user_id = user;
+      const double r = rng.NextDouble();
+      if (r < p_daily) {
+        tpl.recurrence = Recurrence::kDaily;
+      } else if (r < p_daily + p_weekly) {
+        tpl.recurrence = Recurrence::kWeekly;
+        tpl.weekday = static_cast<int>(rng.NextBounded(7));
+      } else {
+        tpl.recurrence = Recurrence::kMultiDay;
+      }
+      tpl.hour = BusinessHour(&rng);
+      const int table_id =
+          user_tables[rng.NextBounded(user_tables.size())];
+      const int num_paths = static_cast<int>(
+          rng.NextInt(config.min_paths_per_query, config.max_paths_per_query));
+      std::vector<int> chosen;
+      for (int p = 0; p < num_paths; ++p) {
+        const int path_id = static_cast<int>(path_zipf.Sample(&rng));
+        if (std::find(chosen.begin(), chosen.end(), path_id) == chosen.end()) {
+          chosen.push_back(path_id);
+        }
+      }
+      for (int path_id : chosen) {
+        tpl.paths.push_back(MakeLocation(table_id, path_id));
+      }
+      templates.push_back(std::move(tpl));
+    }
+  }
+
+  // Emit scheduled executions.
+  int64_t query_id = 0;
+  for (int day = 0; day < config.num_days; ++day) {
+    for (size_t t = 0; t < templates.size(); ++t) {
+      const Template& tpl = templates[t];
+      bool fires = false;
+      switch (tpl.recurrence) {
+        case Recurrence::kDaily:
+        case Recurrence::kMultiDay:
+          fires = true;
+          break;
+        case Recurrence::kWeekly:
+          fires = (day % 7) == tpl.weekday;
+          break;
+        case Recurrence::kAdHoc:
+          fires = false;
+          break;
+      }
+      if (!fires) continue;
+      QueryRecord query;
+      query.query_id = query_id++;
+      query.user_id = tpl.user_id;
+      query.date = day;
+      // Jitter the submission hour slightly around the template's habit.
+      query.hour = std::clamp(
+          tpl.hour + static_cast<int>(rng.NextInt(-1, 1)), 0, 23);
+      query.template_id = static_cast<int>(t);
+      query.recurrence = tpl.recurrence;
+      query.paths = tpl.paths;
+      trace.queries.push_back(std::move(query));
+    }
+  }
+
+  // Ad-hoc exploration queries: sized so the recurring share of the final
+  // trace matches the configured fraction (paper: 82% recurring), spread
+  // uniformly over days. `adhoc_queries_per_day` acts as a floor.
+  const size_t recurring = trace.queries.size();
+  const size_t desired_adhoc = std::max<size_t>(
+      static_cast<size_t>(static_cast<double>(config.adhoc_queries_per_day)),
+      static_cast<size_t>(static_cast<double>(recurring) *
+                          (1.0 - config.recurring_fraction) /
+                          config.recurring_fraction));
+  for (size_t q = 0; q < desired_adhoc; ++q) {
+    QueryRecord query;
+    query.query_id = query_id++;
+    query.user_id = static_cast<int>(rng.NextBounded(config.num_users));
+    query.date = static_cast<DateId>(q % static_cast<size_t>(config.num_days));
+    query.hour = BusinessHour(&rng);
+    query.recurrence = Recurrence::kAdHoc;
+    const int table_id = static_cast<int>(table_zipf.Sample(&rng));
+    const int num_paths = static_cast<int>(
+        rng.NextInt(config.min_paths_per_query, config.max_paths_per_query));
+    for (int p = 0; p < num_paths; ++p) {
+      query.paths.push_back(
+          MakeLocation(table_id, static_cast<int>(path_zipf.Sample(&rng))));
+    }
+    trace.queries.push_back(std::move(query));
+  }
+
+  // Table updates: each table is appended daily (new data loaded on a daily
+  // basis), at a noon-peaked hour.
+  for (int day = 0; day < config.num_days; ++day) {
+    for (int table = 0; table < config.num_tables; ++table) {
+      TableUpdate update;
+      update.database = "mydb";
+      update.table = "t" + std::to_string(table);
+      update.date = day;
+      update.hour = NoonPeakedHour(&rng);
+      trace.updates.push_back(update);
+    }
+  }
+
+  // Stable ordering: by (date, hour, id) — the replay order for the online
+  // cache comparison.
+  std::stable_sort(trace.queries.begin(), trace.queries.end(),
+                   [](const QueryRecord& a, const QueryRecord& b) {
+                     if (a.date != b.date) return a.date < b.date;
+                     if (a.hour != b.hour) return a.hour < b.hour;
+                     return a.query_id < b.query_id;
+                   });
+  return trace;
+}
+
+}  // namespace maxson::workload

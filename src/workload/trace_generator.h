@@ -1,0 +1,54 @@
+#ifndef MAXSON_WORKLOAD_TRACE_GENERATOR_H_
+#define MAXSON_WORKLOAD_TRACE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "workload/trace.h"
+
+namespace maxson::workload {
+
+/// Knobs of the synthetic trace, calibrated so the generated workload
+/// reproduces every distributional statistic the paper reports about the
+/// Alibaba trace (Section II-D); the defaults are a laptop-scale model of
+/// the original (3M queries / 24k tables / 1.9k users / 150 days).
+struct TraceGeneratorConfig {
+  uint64_t seed = 42;
+  int num_days = 60;
+  int num_users = 50;
+  int num_tables = 60;
+  int paths_per_table = 24;  // distinct JSONPaths available per table
+
+  /// Recurring templates per user (each template is a set of JSONPaths on
+  /// one table that a user queries on a schedule).
+  int templates_per_user = 12;
+
+  /// Share of query volume that is recurring (paper: 82%).
+  double recurring_fraction = 0.82;
+  /// Split of recurring queries by schedule (paper: 71% daily, 17% weekly,
+  /// ~7% daily-with-multiday-window; remainder lumped into daily).
+  double daily_fraction = 0.71;
+  double weekly_fraction = 0.17;
+  double multiday_fraction = 0.07;
+
+  /// Zipf skew of table/path popularity; tuned so that roughly 27% of the
+  /// JSONPaths absorb ~89% of the parsing traffic (Fig. 4's power law).
+  double zipf_skew = 1.25;
+
+  /// Mean JSONPaths per query (the paper's queries parse up to 29; Table II
+  /// averages ~9).
+  int min_paths_per_query = 1;
+  int max_paths_per_query = 12;
+
+  /// Ad-hoc queries per day, in addition to scheduled templates.
+  int adhoc_queries_per_day = 40;
+};
+
+/// Generates a synthetic trace with the paper's temporal correlations
+/// (recurring daily/weekly templates), spatial correlations (Zipf path
+/// popularity, shared paths across a table's templates), and noon-peaked
+/// table update times. Deterministic in the seed.
+Trace GenerateTrace(const TraceGeneratorConfig& config);
+
+}  // namespace maxson::workload
+
+#endif  // MAXSON_WORKLOAD_TRACE_GENERATOR_H_

@@ -1,0 +1,118 @@
+#include "workload/workload_stats.h"
+
+#include <algorithm>
+#include <map>
+
+namespace maxson::workload {
+
+std::array<uint64_t, 24> UpdateHourHistogram(const Trace& trace) {
+  std::array<uint64_t, 24> histogram{};
+  for (const TableUpdate& update : trace.updates) {
+    if (update.hour >= 0 && update.hour < 24) {
+      ++histogram[static_cast<size_t>(update.hour)];
+    }
+  }
+  return histogram;
+}
+
+std::vector<PathPopularity> PathQueryCounts(const Trace& trace) {
+  std::map<std::string, uint64_t> counts;
+  for (const QueryRecord& query : trace.queries) {
+    for (const JsonPathLocation& path : query.paths) {
+      ++counts[path.Key()];
+    }
+  }
+  std::vector<PathPopularity> out;
+  out.reserve(counts.size());
+  for (const auto& [key, count] : counts) {
+    out.push_back(PathPopularity{key, count});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PathPopularity& a, const PathPopularity& b) {
+              if (a.query_count != b.query_count) {
+                return a.query_count > b.query_count;
+              }
+              return a.key < b.key;
+            });
+  return out;
+}
+
+PowerLawSummary SummarizePowerLaw(const std::vector<PathPopularity>& counts,
+                                  double top_fraction) {
+  PowerLawSummary summary;
+  summary.top_fraction = top_fraction;
+  if (counts.empty()) return summary;
+  uint64_t total = 0;
+  for (const PathPopularity& p : counts) total += p.query_count;
+  const size_t top_n = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(counts.size()) * top_fraction));
+  uint64_t top_traffic = 0;
+  for (size_t i = 0; i < top_n && i < counts.size(); ++i) {
+    top_traffic += counts[i].query_count;
+  }
+  summary.traffic_share =
+      total == 0 ? 0.0
+                 : static_cast<double>(top_traffic) / static_cast<double>(total);
+  summary.mean_queries_per_path =
+      static_cast<double>(total) / static_cast<double>(counts.size());
+  return summary;
+}
+
+RecurrenceSummary SummarizeRecurrence(const Trace& trace) {
+  RecurrenceSummary summary;
+  if (trace.queries.empty()) return summary;
+  uint64_t recurring = 0;
+  uint64_t daily = 0;
+  uint64_t weekly = 0;
+  uint64_t multiday = 0;
+  for (const QueryRecord& query : trace.queries) {
+    switch (query.recurrence) {
+      case Recurrence::kDaily:
+        ++recurring;
+        ++daily;
+        break;
+      case Recurrence::kWeekly:
+        ++recurring;
+        ++weekly;
+        break;
+      case Recurrence::kMultiDay:
+        ++recurring;
+        ++multiday;
+        break;
+      case Recurrence::kAdHoc:
+        break;
+    }
+  }
+  summary.recurring_fraction =
+      static_cast<double>(recurring) / static_cast<double>(trace.queries.size());
+  if (recurring > 0) {
+    summary.daily_fraction =
+        static_cast<double>(daily) / static_cast<double>(recurring);
+    summary.weekly_fraction =
+        static_cast<double>(weekly) / static_cast<double>(recurring);
+    summary.multiday_fraction =
+        static_cast<double>(multiday) / static_cast<double>(recurring);
+  }
+  return summary;
+}
+
+double DuplicateParseTrafficShare(const Trace& trace) {
+  const DailyPathCounts daily = CollectDailyCounts(trace);
+  uint64_t total_parses = 0;
+  uint64_t duplicate_parses = 0;
+  for (const auto& [key, counts] : daily) {
+    for (int c : counts) {
+      total_parses += static_cast<uint64_t>(c);
+      // Every parse of a path hit >= 2 times that day beyond the first is
+      // redundant work a cache would have saved; count the whole multi-hit
+      // traffic as repetitive, matching the paper's framing.
+      if (c >= 2) duplicate_parses += static_cast<uint64_t>(c);
+    }
+  }
+  return total_parses == 0
+             ? 0.0
+             : static_cast<double>(duplicate_parses) /
+                   static_cast<double>(total_parses);
+}
+
+}  // namespace maxson::workload

@@ -1,0 +1,52 @@
+#ifndef MAXSON_WORKLOAD_WORKLOAD_STATS_H_
+#define MAXSON_WORKLOAD_WORKLOAD_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/trace.h"
+
+namespace maxson::workload {
+
+/// Histogram of table-update times of day (Fig. 2).
+std::array<uint64_t, 24> UpdateHourHistogram(const Trace& trace);
+
+/// Per-JSONPath total query counts, sorted descending (Fig. 4's series).
+struct PathPopularity {
+  std::string key;
+  uint64_t query_count = 0;
+};
+std::vector<PathPopularity> PathQueryCounts(const Trace& trace);
+
+/// Power-law summary over PathQueryCounts: the share of total parsing
+/// traffic carried by the most popular `top_fraction` of paths (the paper:
+/// 89% of traffic on 27% of paths), and the mean queries per path (~14).
+struct PowerLawSummary {
+  double top_fraction = 0.0;
+  double traffic_share = 0.0;
+  double mean_queries_per_path = 0.0;
+};
+PowerLawSummary SummarizePowerLaw(const std::vector<PathPopularity>& counts,
+                                  double top_fraction);
+
+/// Recurrence shares (Section II-D-1): fraction of queries that are
+/// recurring, and within recurring, the daily/weekly/multi-day split.
+struct RecurrenceSummary {
+  double recurring_fraction = 0.0;
+  double daily_fraction = 0.0;
+  double weekly_fraction = 0.0;
+  double multiday_fraction = 0.0;
+};
+RecurrenceSummary SummarizeRecurrence(const Trace& trace);
+
+/// Fraction of per-path-day observations where a path parsed at least once
+/// was parsed >= 2 times — the share of traffic that is duplicate work and
+/// therefore cacheable (the paper: "over 89% of JSON parsing traffic is
+/// spent on repetitive JSONPath executions").
+double DuplicateParseTrafficShare(const Trace& trace);
+
+}  // namespace maxson::workload
+
+#endif  // MAXSON_WORKLOAD_WORKLOAD_STATS_H_

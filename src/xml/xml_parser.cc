@@ -1,0 +1,277 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace maxson::xml {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<std::unique_ptr<XmlElement>> Parse() {
+    SkipProlog();
+    MAXSON_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> root, ParseElement(0));
+    SkipMisc();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(what + " at offset " + std::to_string(pos_));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool StartsWithHere(std::string_view s) const {
+    return text_.substr(pos_, s.size()) == s;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  /// Skips the XML declaration, comments, PIs and whitespace before (and
+  /// after) the root element.
+  void SkipProlog() {
+    while (true) {
+      SkipWhitespace();
+      if (StartsWithHere("<?")) {
+        const size_t end = text_.find("?>", pos_);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 2;
+      } else if (StartsWithHere("<!--")) {
+        const size_t end = text_.find("-->", pos_);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 3;
+      } else if (StartsWithHere("<!DOCTYPE")) {
+        const size_t end = text_.find('>', pos_);
+        pos_ = end == std::string_view::npos ? text_.size() : end + 1;
+      } else {
+        return;
+      }
+    }
+  }
+  void SkipMisc() { SkipProlog(); }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  Result<std::string> ParseName() {
+    const size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    if (pos_ == start) return Error("expected name");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  /// Decodes entities in `raw` into `out`.
+  Status DecodeText(std::string_view raw, std::string* out) const {
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out->push_back(raw[i++]);
+        continue;
+      }
+      const size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Status::ParseError("unterminated entity");
+      }
+      const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "lt") {
+        out->push_back('<');
+      } else if (entity == "gt") {
+        out->push_back('>');
+      } else if (entity == "amp") {
+        out->push_back('&');
+      } else if (entity == "apos") {
+        out->push_back('\'');
+      } else if (entity == "quot") {
+        out->push_back('"');
+      } else if (!entity.empty() && entity[0] == '#') {
+        const bool hex = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X');
+        const long code = std::strtol(
+            std::string(entity.substr(hex ? 2 : 1)).c_str(), nullptr,
+            hex ? 16 : 10);
+        // Encode as UTF-8.
+        const uint32_t cp = static_cast<uint32_t>(code);
+        if (cp < 0x80) {
+          out->push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+          out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+          out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+          out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+      } else {
+        return Status::ParseError("unknown entity &" + std::string(entity) +
+                                  ";");
+      }
+      i = semi + 1;
+    }
+    return Status::Ok();
+  }
+
+  Result<std::unique_ptr<XmlElement>> ParseElement(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (AtEnd() || Peek() != '<') return Error("expected '<'");
+    ++pos_;
+    MAXSON_ASSIGN_OR_RETURN(std::string tag, ParseName());
+    auto element = std::make_unique<XmlElement>(std::move(tag));
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      if (Peek() == '>' || StartsWithHere("/>")) break;
+      MAXSON_ASSIGN_OR_RETURN(std::string name, ParseName());
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') return Error("expected '='");
+      ++pos_;
+      SkipWhitespace();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Error("expected quoted attribute value");
+      }
+      const char quote = Peek();
+      ++pos_;
+      const size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) ++pos_;
+      if (AtEnd()) return Error("unterminated attribute value");
+      std::string value;
+      MAXSON_RETURN_NOT_OK(
+          DecodeText(text_.substr(start, pos_ - start), &value));
+      ++pos_;
+      element->AddAttribute(std::move(name), std::move(value));
+    }
+
+    if (StartsWithHere("/>")) {
+      pos_ += 2;
+      return element;
+    }
+    ++pos_;  // '>'
+
+    // Content: text, children, comments, CDATA, until the end tag.
+    while (true) {
+      if (AtEnd()) return Error("unterminated element <" + element->tag() + ">");
+      if (StartsWithHere("</")) {
+        pos_ += 2;
+        MAXSON_ASSIGN_OR_RETURN(std::string end_tag, ParseName());
+        if (end_tag != element->tag()) {
+          return Error("mismatched end tag </" + end_tag + ">");
+        }
+        SkipWhitespace();
+        if (AtEnd() || Peek() != '>') return Error("expected '>' in end tag");
+        ++pos_;
+        return element;
+      }
+      if (StartsWithHere("<!--")) {
+        const size_t end = text_.find("-->", pos_);
+        if (end == std::string_view::npos) return Error("unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      if (StartsWithHere("<![CDATA[")) {
+        const size_t start = pos_ + 9;
+        const size_t end = text_.find("]]>", start);
+        if (end == std::string_view::npos) return Error("unterminated CDATA");
+        element->AppendText(text_.substr(start, end - start));
+        pos_ = end + 3;
+        continue;
+      }
+      if (Peek() == '<') {
+        MAXSON_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> child,
+                                ParseElement(depth + 1));
+        // Transfer ownership into the parent.
+        XmlElement* slot = element->AddChild(child->tag());
+        *slot = std::move(*child);
+        continue;
+      }
+      const size_t start = pos_;
+      while (!AtEnd() && Peek() != '<') ++pos_;
+      std::string decoded;
+      MAXSON_RETURN_NOT_OK(
+          DecodeText(text_.substr(start, pos_ - start), &decoded));
+      // Trim pure-whitespace runs between elements but keep real text.
+      bool all_space = true;
+      for (char c : decoded) {
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          all_space = false;
+          break;
+        }
+      }
+      if (!all_space) element->AppendText(decoded);
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void EscapeInto(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        out->append("&lt;");
+        break;
+      case '>':
+        out->append("&gt;");
+        break;
+      case '&':
+        out->append("&amp;");
+        break;
+      case '"':
+        out->append("&quot;");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void WriteElement(const XmlElement& element, std::string* out) {
+  out->push_back('<');
+  out->append(element.tag());
+  for (const auto& [name, value] : element.attributes()) {
+    out->push_back(' ');
+    out->append(name);
+    out->append("=\"");
+    EscapeInto(value, out);
+    out->push_back('"');
+  }
+  if (element.text().empty() && element.children().empty()) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+  EscapeInto(element.text(), out);
+  for (const auto& child : element.children()) {
+    WriteElement(*child, out);
+  }
+  out->append("</");
+  out->append(element.tag());
+  out->push_back('>');
+}
+
+}  // namespace
+
+Result<std::unique_ptr<XmlElement>> ParseXml(std::string_view text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+std::string WriteXml(const XmlElement& root) {
+  std::string out;
+  WriteElement(root, &out);
+  return out;
+}
+
+}  // namespace maxson::xml

@@ -1,0 +1,28 @@
+#ifndef MAXSON_XML_XML_PARSER_H_
+#define MAXSON_XML_XML_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/xml_value.h"
+
+namespace maxson::xml {
+
+/// Parses one XML document into an element tree.
+///
+/// Supported: elements with attributes (single- or double-quoted),
+/// self-closing tags, character data, the five predefined entities
+/// (&lt; &gt; &amp; &apos; &quot;) plus numeric character references,
+/// comments, CDATA sections, processing instructions and an XML
+/// declaration (both skipped). Out of scope (not needed for data records):
+/// DTDs and namespaces-aware validation — prefixes are kept verbatim in
+/// tag names.
+Result<std::unique_ptr<XmlElement>> ParseXml(std::string_view text);
+
+/// Serializes an element tree back to XML text (escaping as needed).
+std::string WriteXml(const XmlElement& root);
+
+}  // namespace maxson::xml
+
+#endif  // MAXSON_XML_XML_PARSER_H_

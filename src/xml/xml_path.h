@@ -1,0 +1,62 @@
+#ifndef MAXSON_XML_XML_PATH_H_
+#define MAXSON_XML_XML_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/xml_value.h"
+
+namespace maxson::xml {
+
+/// One step of an XPath-lite expression.
+struct XmlPathStep {
+  enum class Kind { kElement, kAttribute };
+  Kind kind = Kind::kElement;
+  std::string name;
+  /// 0-based ordinal among same-tag siblings; from `tag[N]` (1-based in the
+  /// textual form, per XPath convention).
+  int64_t index = 0;
+};
+
+/// Absolute, downward-only XPath subset mirroring what JsonPath covers for
+/// JSON: `/root/child[2]/leaf/@attr`. Steps select child elements by tag
+/// (optionally with a 1-based positional predicate); a final `@name` step
+/// selects an attribute. Evaluation returns the element's text content or
+/// the attribute value — the same "scalar extraction" contract as
+/// get_json_object.
+class XmlPath {
+ public:
+  XmlPath() = default;
+  explicit XmlPath(std::vector<XmlPathStep> steps) : steps_(std::move(steps)) {}
+
+  static Result<XmlPath> Parse(std::string_view text);
+
+  const std::vector<XmlPathStep>& steps() const { return steps_; }
+
+  std::string ToString() const;
+
+  /// Evaluates against a parsed document. `root` is the document's root
+  /// element; the first step must match its tag. Returns kNotFound when
+  /// any step fails to resolve.
+  Result<std::string> Evaluate(const XmlElement& root) const;
+
+ private:
+  std::vector<XmlPathStep> steps_;
+};
+
+/// One-shot helper: parse `xml_text` and extract `path` (get_xml_object).
+Result<std::string> GetXmlObject(std::string_view xml_text,
+                                 const XmlPath& path);
+
+/// Heuristic used by the format-agnostic caching layer: XPaths start with
+/// '/', JSONPaths with '$'.
+inline bool IsXmlPathText(std::string_view path) {
+  return !path.empty() && path[0] == '/';
+}
+
+}  // namespace maxson::xml
+
+#endif  // MAXSON_XML_XML_PATH_H_

@@ -1,0 +1,74 @@
+#ifndef MAXSON_XML_XML_VALUE_H_
+#define MAXSON_XML_XML_VALUE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace maxson::xml {
+
+/// One element of an XML document tree: tag, attributes, text content
+/// (concatenated character data directly under this element), and child
+/// elements in document order.
+///
+/// This is the substrate for the paper's future-work claim that "Maxson's
+/// pre-caching technique can also be applied to other data formats, such
+/// as XML": the cacher and plan rewriter treat XPath-addressed values
+/// exactly like JSONPath-addressed ones.
+class XmlElement {
+ public:
+  XmlElement() = default;
+  explicit XmlElement(std::string tag) : tag_(std::move(tag)) {}
+
+  const std::string& tag() const { return tag_; }
+  void set_tag(std::string tag) { tag_ = std::move(tag); }
+
+  const std::string& text() const { return text_; }
+  void AppendText(std::string_view text) { text_.append(text); }
+
+  const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attributes_;
+  }
+  void AddAttribute(std::string name, std::string value) {
+    attributes_.emplace_back(std::move(name), std::move(value));
+  }
+  /// Returns nullptr when the attribute is absent.
+  const std::string* FindAttribute(std::string_view name) const {
+    for (const auto& [attr, value] : attributes_) {
+      if (attr == name) return &value;
+    }
+    return nullptr;
+  }
+
+  const std::vector<std::unique_ptr<XmlElement>>& children() const {
+    return children_;
+  }
+  XmlElement* AddChild(std::string tag) {
+    children_.push_back(std::make_unique<XmlElement>(std::move(tag)));
+    return children_.back().get();
+  }
+
+  /// The i-th (0-based) child with the given tag, or nullptr.
+  const XmlElement* FindChild(std::string_view tag, size_t index = 0) const {
+    size_t seen = 0;
+    for (const auto& child : children_) {
+      if (child->tag() == tag) {
+        if (seen == index) return child.get();
+        ++seen;
+      }
+    }
+    return nullptr;
+  }
+
+ private:
+  std::string tag_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<std::unique_ptr<XmlElement>> children_;
+};
+
+}  // namespace maxson::xml
+
+#endif  // MAXSON_XML_XML_VALUE_H_

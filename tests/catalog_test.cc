@@ -1,0 +1,118 @@
+#include <cstdio>
+#include <filesystem>
+
+#include "catalog/catalog.h"
+#include "gtest/gtest.h"
+
+namespace maxson::catalog {
+namespace {
+
+TableInfo MakeTable(const std::string& db, const std::string& name) {
+  TableInfo info;
+  info.database = db;
+  info.name = name;
+  info.schema.AddField("mall_id", storage::TypeKind::kString);
+  info.schema.AddField("date", storage::TypeKind::kInt64);
+  info.schema.AddField("sale_logs", storage::TypeKind::kString);
+  info.location = "/tmp/warehouse/" + db + "/" + name;
+  info.last_modified = 100;
+  return info;
+}
+
+TEST(CatalogTest, CreateAndLookup) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateDatabase("mydb").ok());
+  ASSERT_TRUE(catalog.CreateTable(MakeTable("mydb", "T")).ok());
+  auto table = catalog.GetTable("mydb", "T");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->QualifiedName(), "mydb.T");
+  EXPECT_EQ((*table)->schema.num_fields(), 3u);
+  EXPECT_TRUE(catalog.HasTable("mydb", "T"));
+  EXPECT_FALSE(catalog.HasTable("mydb", "absent"));
+}
+
+TEST(CatalogTest, DuplicateDetection) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateDatabase("db").ok());
+  EXPECT_EQ(catalog.CreateDatabase("db").code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(catalog.CreateTable(MakeTable("db", "t")).ok());
+  EXPECT_EQ(catalog.CreateTable(MakeTable("db", "t")).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, TableRequiresDatabase) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.CreateTable(MakeTable("nodb", "t")).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, DropTable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateDatabase("db").ok());
+  ASSERT_TRUE(catalog.CreateTable(MakeTable("db", "t")).ok());
+  ASSERT_TRUE(catalog.DropTable("db", "t").ok());
+  EXPECT_FALSE(catalog.HasTable("db", "t"));
+  EXPECT_EQ(catalog.DropTable("db", "t").code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, TouchAdvancesModificationTime) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateDatabase("db").ok());
+  ASSERT_TRUE(catalog.CreateTable(MakeTable("db", "t")).ok());
+  ASSERT_TRUE(catalog.TouchTable("db", "t", 555).ok());
+  EXPECT_EQ((*catalog.GetTable("db", "t"))->last_modified, 555);
+  EXPECT_EQ(catalog.TouchTable("db", "missing", 1).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, ListTablesFiltersByDatabase) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateDatabase("a").ok());
+  ASSERT_TRUE(catalog.CreateDatabase("b").ok());
+  ASSERT_TRUE(catalog.CreateTable(MakeTable("a", "t1")).ok());
+  ASSERT_TRUE(catalog.CreateTable(MakeTable("a", "t2")).ok());
+  ASSERT_TRUE(catalog.CreateTable(MakeTable("b", "t3")).ok());
+  EXPECT_EQ(catalog.ListTables("a").size(), 2u);
+  EXPECT_EQ(catalog.ListTables("b").size(), 1u);
+  EXPECT_EQ(catalog.ListDatabases().size(), 2u);
+}
+
+TEST(CatalogTest, JsonRoundTrip) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateDatabase("mydb").ok());
+  ASSERT_TRUE(catalog.CreateTable(MakeTable("mydb", "T")).ok());
+  ASSERT_TRUE(catalog.TouchTable("mydb", "T", 777).ok());
+
+  auto restored = Catalog::FromJson(catalog.ToJson());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_TRUE(restored->HasDatabase("mydb"));
+  auto table = restored->GetTable("mydb", "T");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->last_modified, 777);
+  EXPECT_EQ((*table)->schema, MakeTable("mydb", "T").schema);
+  EXPECT_EQ((*table)->location, MakeTable("mydb", "T").location);
+}
+
+TEST(CatalogTest, SaveAndLoad) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("maxson_catalog_" + std::to_string(::getpid()) + ".json"))
+          .string();
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateDatabase("db").ok());
+  ASSERT_TRUE(catalog.CreateTable(MakeTable("db", "t")).ok());
+  ASSERT_TRUE(catalog.Save(path).ok());
+  auto loaded = Catalog::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->HasTable("db", "t"));
+  std::filesystem::remove(path);
+}
+
+TEST(CatalogTest, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(Catalog::FromJson("not json").ok());
+  EXPECT_FALSE(Catalog::FromJson("[]").ok());
+  EXPECT_FALSE(Catalog::FromJson("{}").ok());
+}
+
+}  // namespace
+}  // namespace maxson::catalog

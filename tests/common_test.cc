@@ -1,0 +1,225 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/time_util.h"
+#include "gtest/gtest.h"
+
+namespace maxson {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing table");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "missing table");
+  EXPECT_EQ(st.ToString(), "not found: missing table");
+}
+
+TEST(StatusTest, EveryFactoryProducesMatchingCode) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status UsesReturnNotOk(int x) {
+  MAXSON_RETURN_NOT_OK(FailsWhenNegative(x));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(UsesReturnNotOk(1).ok());
+  EXPECT_EQ(UsesReturnNotOk(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok = ParsePositive(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_EQ(*ok, 7);
+
+  Result<int> bad = ParsePositive(0);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(bad.value_or(42), 42);
+}
+
+Result<int> DoubledOrFail(int x) {
+  MAXSON_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(DoubledOrFail(4).value(), 8);
+  EXPECT_FALSE(DoubledOrFail(-4).ok());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+    const int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianHasRoughlyCorrectMoments) {
+  Rng rng(17);
+  const int n = 20000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian(3.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(3);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler zipf(100, 1.1);
+  double total = 0.0;
+  for (size_t r = 0; r < zipf.n(); ++r) total += zipf.Pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, HeadDominatesTail) {
+  ZipfSampler zipf(1000, 1.2);
+  Rng rng(5);
+  std::vector<int> counts(1000, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  // Top 10% of ranks should absorb well over half of the samples.
+  int head = 0;
+  for (int r = 0; r < 100; ++r) head += counts[r];
+  EXPECT_GT(head, n / 2);
+  // Rank 0 must be the most frequent.
+  EXPECT_EQ(std::max_element(counts.begin(), counts.end()) - counts.begin(), 0);
+}
+
+TEST(ZipfTest, SamplesWithinDomain) {
+  ZipfSampler zipf(7, 0.8);
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(&rng), 7u);
+}
+
+TEST(StringUtilTest, SplitAndJoinRoundTrip) {
+  const std::vector<std::string> parts = {"a", "", "bc", "d"};
+  EXPECT_EQ(SplitString("a,,bc,d", ','), parts);
+  EXPECT_EQ(JoinStrings(parts, ","), "a,,bc,d");
+}
+
+TEST(StringUtilTest, SplitSingleToken) {
+  EXPECT_EQ(SplitString("abc", ','), std::vector<std::string>{"abc"});
+  EXPECT_EQ(SplitString("", ','), std::vector<std::string>{""});
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StringUtilTest, PrefixSuffix) {
+  EXPECT_TRUE(StartsWith("part-00001.corc", "part-"));
+  EXPECT_FALSE(StartsWith("x", "part-"));
+  EXPECT_TRUE(EndsWith("part-00001.corc", ".corc"));
+  EXPECT_FALSE(EndsWith("a.orc", ".corc"));
+}
+
+TEST(StringUtilTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("SELECT Foo"), "select foo");
+  EXPECT_TRUE(EqualsIgnoreCase("SeLeCt", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("selec", "select"));
+}
+
+TEST(StringUtilTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.5 KiB");
+  EXPECT_EQ(FormatBytes(3u << 20), "3.0 MiB");
+}
+
+TEST(TimeUtilTest, FormatDate) {
+  EXPECT_EQ(FormatDate(0), "2019-01-01");
+  EXPECT_EQ(FormatDate(31), "2019-02-01");
+  EXPECT_EQ(FormatDate(365), "2020-01-01");
+  EXPECT_EQ(FormatDate(-1), "unknown");
+}
+
+TEST(TimeUtilTest, StopwatchAdvances) {
+  Stopwatch sw;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  ASSERT_GT(sink, 0.0);  // prevent the loop from being optimized away
+  EXPECT_GT(sw.ElapsedSeconds(), 0.0);
+  EXPECT_GE(sw.ElapsedMillis(), sw.ElapsedSeconds() * 1000.0 * 0.5);
+}
+
+}  // namespace
+}  // namespace maxson

