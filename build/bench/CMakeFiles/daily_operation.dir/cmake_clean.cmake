@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daily_operation.dir/daily_operation.cc.o"
+  "CMakeFiles/daily_operation.dir/daily_operation.cc.o.d"
+  "daily_operation"
+  "daily_operation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daily_operation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_update_times.dir/fig02_update_times.cc.o"
+  "CMakeFiles/fig02_update_times.dir/fig02_update_times.cc.o.d"
+  "fig02_update_times"
+  "fig02_update_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_update_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_parse_cost.dir/fig03_parse_cost.cc.o"
+  "CMakeFiles/fig03_parse_cost.dir/fig03_parse_cost.cc.o.d"
+  "fig03_parse_cost"
+  "fig03_parse_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_parse_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_path_popularity.dir/fig04_path_popularity.cc.o"
+  "CMakeFiles/fig04_path_popularity.dir/fig04_path_popularity.cc.o.d"
+  "fig04_path_popularity"
+  "fig04_path_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_path_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

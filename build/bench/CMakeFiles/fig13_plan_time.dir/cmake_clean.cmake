@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_plan_time.dir/fig13_plan_time.cc.o"
+  "CMakeFiles/fig13_plan_time.dir/fig13_plan_time.cc.o.d"
+  "fig13_plan_time"
+  "fig13_plan_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_plan_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_online_lru.dir/fig14_online_lru.cc.o"
+  "CMakeFiles/fig14_online_lru.dir/fig14_online_lru.cc.o.d"
+  "fig14_online_lru"
+  "fig14_online_lru.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_online_lru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_online_lru.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_parsers.dir/fig15_parsers.cc.o"
+  "CMakeFiles/fig15_parsers.dir/fig15_parsers.cc.o.d"
+  "fig15_parsers"
+  "fig15_parsers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_parsers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_parsers.dir/micro_parsers.cc.o"
+  "CMakeFiles/micro_parsers.dir/micro_parsers.cc.o.d"
+  "micro_parsers"
+  "micro_parsers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_parsers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_windows.dir/table4_windows.cc.o"
+  "CMakeFiles/table4_windows.dir/table4_windows.cc.o.d"
+  "table4_windows"
+  "table4_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

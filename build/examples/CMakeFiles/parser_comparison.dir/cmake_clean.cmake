@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_comparison.dir/parser_comparison.cpp.o"
+  "CMakeFiles/parser_comparison.dir/parser_comparison.cpp.o.d"
+  "parser_comparison"
+  "parser_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

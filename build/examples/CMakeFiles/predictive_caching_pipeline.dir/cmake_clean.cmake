@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictive_caching_pipeline.dir/predictive_caching_pipeline.cpp.o"
+  "CMakeFiles/predictive_caching_pipeline.dir/predictive_caching_pipeline.cpp.o.d"
+  "predictive_caching_pipeline"
+  "predictive_caching_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictive_caching_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

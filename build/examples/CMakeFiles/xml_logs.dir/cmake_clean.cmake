@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_logs.dir/xml_logs.cpp.o"
+  "CMakeFiles/xml_logs.dir/xml_logs.cpp.o.d"
+  "xml_logs"
+  "xml_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxson_catalog.dir/catalog.cc.o"
+  "CMakeFiles/maxson_catalog.dir/catalog.cc.o.d"
+  "libmaxson_catalog.a"
+  "libmaxson_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxson_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxson_common.dir/logging.cc.o"
+  "CMakeFiles/maxson_common.dir/logging.cc.o.d"
+  "CMakeFiles/maxson_common.dir/random.cc.o"
+  "CMakeFiles/maxson_common.dir/random.cc.o.d"
+  "CMakeFiles/maxson_common.dir/status.cc.o"
+  "CMakeFiles/maxson_common.dir/status.cc.o.d"
+  "CMakeFiles/maxson_common.dir/string_util.cc.o"
+  "CMakeFiles/maxson_common.dir/string_util.cc.o.d"
+  "CMakeFiles/maxson_common.dir/time_util.cc.o"
+  "CMakeFiles/maxson_common.dir/time_util.cc.o.d"
+  "libmaxson_common.a"
+  "libmaxson_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxson_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

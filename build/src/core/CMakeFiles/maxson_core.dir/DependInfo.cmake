@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache_registry.cc" "src/core/CMakeFiles/maxson_core.dir/cache_registry.cc.o" "gcc" "src/core/CMakeFiles/maxson_core.dir/cache_registry.cc.o.d"
+  "/root/repo/src/core/cacher.cc" "src/core/CMakeFiles/maxson_core.dir/cacher.cc.o" "gcc" "src/core/CMakeFiles/maxson_core.dir/cacher.cc.o.d"
+  "/root/repo/src/core/collector.cc" "src/core/CMakeFiles/maxson_core.dir/collector.cc.o" "gcc" "src/core/CMakeFiles/maxson_core.dir/collector.cc.o.d"
+  "/root/repo/src/core/lru_cache.cc" "src/core/CMakeFiles/maxson_core.dir/lru_cache.cc.o" "gcc" "src/core/CMakeFiles/maxson_core.dir/lru_cache.cc.o.d"
+  "/root/repo/src/core/maxson.cc" "src/core/CMakeFiles/maxson_core.dir/maxson.cc.o" "gcc" "src/core/CMakeFiles/maxson_core.dir/maxson.cc.o.d"
+  "/root/repo/src/core/maxson_parser.cc" "src/core/CMakeFiles/maxson_core.dir/maxson_parser.cc.o" "gcc" "src/core/CMakeFiles/maxson_core.dir/maxson_parser.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/core/CMakeFiles/maxson_core.dir/predictor.cc.o" "gcc" "src/core/CMakeFiles/maxson_core.dir/predictor.cc.o.d"
+  "/root/repo/src/core/scoring.cc" "src/core/CMakeFiles/maxson_core.dir/scoring.cc.o" "gcc" "src/core/CMakeFiles/maxson_core.dir/scoring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/maxson_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/maxson_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/maxson_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/maxson_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/maxson_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/maxson_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/maxson_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/maxson_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

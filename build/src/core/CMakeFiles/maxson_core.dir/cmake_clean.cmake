@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxson_core.dir/cache_registry.cc.o"
+  "CMakeFiles/maxson_core.dir/cache_registry.cc.o.d"
+  "CMakeFiles/maxson_core.dir/cacher.cc.o"
+  "CMakeFiles/maxson_core.dir/cacher.cc.o.d"
+  "CMakeFiles/maxson_core.dir/collector.cc.o"
+  "CMakeFiles/maxson_core.dir/collector.cc.o.d"
+  "CMakeFiles/maxson_core.dir/lru_cache.cc.o"
+  "CMakeFiles/maxson_core.dir/lru_cache.cc.o.d"
+  "CMakeFiles/maxson_core.dir/maxson.cc.o"
+  "CMakeFiles/maxson_core.dir/maxson.cc.o.d"
+  "CMakeFiles/maxson_core.dir/maxson_parser.cc.o"
+  "CMakeFiles/maxson_core.dir/maxson_parser.cc.o.d"
+  "CMakeFiles/maxson_core.dir/predictor.cc.o"
+  "CMakeFiles/maxson_core.dir/predictor.cc.o.d"
+  "CMakeFiles/maxson_core.dir/scoring.cc.o"
+  "CMakeFiles/maxson_core.dir/scoring.cc.o.d"
+  "libmaxson_core.a"
+  "libmaxson_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxson_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

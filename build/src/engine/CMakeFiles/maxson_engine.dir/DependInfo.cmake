@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/engine.cc" "src/engine/CMakeFiles/maxson_engine.dir/engine.cc.o" "gcc" "src/engine/CMakeFiles/maxson_engine.dir/engine.cc.o.d"
+  "/root/repo/src/engine/expr.cc" "src/engine/CMakeFiles/maxson_engine.dir/expr.cc.o" "gcc" "src/engine/CMakeFiles/maxson_engine.dir/expr.cc.o.d"
+  "/root/repo/src/engine/planner.cc" "src/engine/CMakeFiles/maxson_engine.dir/planner.cc.o" "gcc" "src/engine/CMakeFiles/maxson_engine.dir/planner.cc.o.d"
+  "/root/repo/src/engine/sql_lexer.cc" "src/engine/CMakeFiles/maxson_engine.dir/sql_lexer.cc.o" "gcc" "src/engine/CMakeFiles/maxson_engine.dir/sql_lexer.cc.o.d"
+  "/root/repo/src/engine/sql_parser.cc" "src/engine/CMakeFiles/maxson_engine.dir/sql_parser.cc.o" "gcc" "src/engine/CMakeFiles/maxson_engine.dir/sql_parser.cc.o.d"
+  "/root/repo/src/engine/table_scan.cc" "src/engine/CMakeFiles/maxson_engine.dir/table_scan.cc.o" "gcc" "src/engine/CMakeFiles/maxson_engine.dir/table_scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/maxson_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/maxson_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/maxson_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/maxson_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/maxson_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxson_engine.dir/engine.cc.o"
+  "CMakeFiles/maxson_engine.dir/engine.cc.o.d"
+  "CMakeFiles/maxson_engine.dir/expr.cc.o"
+  "CMakeFiles/maxson_engine.dir/expr.cc.o.d"
+  "CMakeFiles/maxson_engine.dir/planner.cc.o"
+  "CMakeFiles/maxson_engine.dir/planner.cc.o.d"
+  "CMakeFiles/maxson_engine.dir/sql_lexer.cc.o"
+  "CMakeFiles/maxson_engine.dir/sql_lexer.cc.o.d"
+  "CMakeFiles/maxson_engine.dir/sql_parser.cc.o"
+  "CMakeFiles/maxson_engine.dir/sql_parser.cc.o.d"
+  "CMakeFiles/maxson_engine.dir/table_scan.cc.o"
+  "CMakeFiles/maxson_engine.dir/table_scan.cc.o.d"
+  "libmaxson_engine.a"
+  "libmaxson_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxson_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

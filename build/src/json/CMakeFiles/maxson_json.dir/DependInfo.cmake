@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/json/dom_parser.cc" "src/json/CMakeFiles/maxson_json.dir/dom_parser.cc.o" "gcc" "src/json/CMakeFiles/maxson_json.dir/dom_parser.cc.o.d"
+  "/root/repo/src/json/json_path.cc" "src/json/CMakeFiles/maxson_json.dir/json_path.cc.o" "gcc" "src/json/CMakeFiles/maxson_json.dir/json_path.cc.o.d"
+  "/root/repo/src/json/json_value.cc" "src/json/CMakeFiles/maxson_json.dir/json_value.cc.o" "gcc" "src/json/CMakeFiles/maxson_json.dir/json_value.cc.o.d"
+  "/root/repo/src/json/json_writer.cc" "src/json/CMakeFiles/maxson_json.dir/json_writer.cc.o" "gcc" "src/json/CMakeFiles/maxson_json.dir/json_writer.cc.o.d"
+  "/root/repo/src/json/mison_parser.cc" "src/json/CMakeFiles/maxson_json.dir/mison_parser.cc.o" "gcc" "src/json/CMakeFiles/maxson_json.dir/mison_parser.cc.o.d"
+  "/root/repo/src/json/raw_filter.cc" "src/json/CMakeFiles/maxson_json.dir/raw_filter.cc.o" "gcc" "src/json/CMakeFiles/maxson_json.dir/raw_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/maxson_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

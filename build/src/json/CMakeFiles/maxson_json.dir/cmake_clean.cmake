@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxson_json.dir/dom_parser.cc.o"
+  "CMakeFiles/maxson_json.dir/dom_parser.cc.o.d"
+  "CMakeFiles/maxson_json.dir/json_path.cc.o"
+  "CMakeFiles/maxson_json.dir/json_path.cc.o.d"
+  "CMakeFiles/maxson_json.dir/json_value.cc.o"
+  "CMakeFiles/maxson_json.dir/json_value.cc.o.d"
+  "CMakeFiles/maxson_json.dir/json_writer.cc.o"
+  "CMakeFiles/maxson_json.dir/json_writer.cc.o.d"
+  "CMakeFiles/maxson_json.dir/mison_parser.cc.o"
+  "CMakeFiles/maxson_json.dir/mison_parser.cc.o.d"
+  "CMakeFiles/maxson_json.dir/raw_filter.cc.o"
+  "CMakeFiles/maxson_json.dir/raw_filter.cc.o.d"
+  "libmaxson_json.a"
+  "libmaxson_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxson_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/crf.cc" "src/ml/CMakeFiles/maxson_ml.dir/crf.cc.o" "gcc" "src/ml/CMakeFiles/maxson_ml.dir/crf.cc.o.d"
+  "/root/repo/src/ml/linear_models.cc" "src/ml/CMakeFiles/maxson_ml.dir/linear_models.cc.o" "gcc" "src/ml/CMakeFiles/maxson_ml.dir/linear_models.cc.o.d"
+  "/root/repo/src/ml/lstm.cc" "src/ml/CMakeFiles/maxson_ml.dir/lstm.cc.o" "gcc" "src/ml/CMakeFiles/maxson_ml.dir/lstm.cc.o.d"
+  "/root/repo/src/ml/lstm_crf.cc" "src/ml/CMakeFiles/maxson_ml.dir/lstm_crf.cc.o" "gcc" "src/ml/CMakeFiles/maxson_ml.dir/lstm_crf.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/ml/CMakeFiles/maxson_ml.dir/matrix.cc.o" "gcc" "src/ml/CMakeFiles/maxson_ml.dir/matrix.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/maxson_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/maxson_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/serialize.cc" "src/ml/CMakeFiles/maxson_ml.dir/serialize.cc.o" "gcc" "src/ml/CMakeFiles/maxson_ml.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/maxson_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/maxson_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxson_ml.dir/crf.cc.o"
+  "CMakeFiles/maxson_ml.dir/crf.cc.o.d"
+  "CMakeFiles/maxson_ml.dir/linear_models.cc.o"
+  "CMakeFiles/maxson_ml.dir/linear_models.cc.o.d"
+  "CMakeFiles/maxson_ml.dir/lstm.cc.o"
+  "CMakeFiles/maxson_ml.dir/lstm.cc.o.d"
+  "CMakeFiles/maxson_ml.dir/lstm_crf.cc.o"
+  "CMakeFiles/maxson_ml.dir/lstm_crf.cc.o.d"
+  "CMakeFiles/maxson_ml.dir/matrix.cc.o"
+  "CMakeFiles/maxson_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/maxson_ml.dir/mlp.cc.o"
+  "CMakeFiles/maxson_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/maxson_ml.dir/serialize.cc.o"
+  "CMakeFiles/maxson_ml.dir/serialize.cc.o.d"
+  "libmaxson_ml.a"
+  "libmaxson_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxson_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

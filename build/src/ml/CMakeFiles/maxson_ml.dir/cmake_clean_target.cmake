@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmaxson_ml.a"
+)

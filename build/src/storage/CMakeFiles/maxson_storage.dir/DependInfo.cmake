@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/column_vector.cc" "src/storage/CMakeFiles/maxson_storage.dir/column_vector.cc.o" "gcc" "src/storage/CMakeFiles/maxson_storage.dir/column_vector.cc.o.d"
+  "/root/repo/src/storage/corc_reader.cc" "src/storage/CMakeFiles/maxson_storage.dir/corc_reader.cc.o" "gcc" "src/storage/CMakeFiles/maxson_storage.dir/corc_reader.cc.o.d"
+  "/root/repo/src/storage/corc_writer.cc" "src/storage/CMakeFiles/maxson_storage.dir/corc_writer.cc.o" "gcc" "src/storage/CMakeFiles/maxson_storage.dir/corc_writer.cc.o.d"
+  "/root/repo/src/storage/file_system.cc" "src/storage/CMakeFiles/maxson_storage.dir/file_system.cc.o" "gcc" "src/storage/CMakeFiles/maxson_storage.dir/file_system.cc.o.d"
+  "/root/repo/src/storage/sarg.cc" "src/storage/CMakeFiles/maxson_storage.dir/sarg.cc.o" "gcc" "src/storage/CMakeFiles/maxson_storage.dir/sarg.cc.o.d"
+  "/root/repo/src/storage/types.cc" "src/storage/CMakeFiles/maxson_storage.dir/types.cc.o" "gcc" "src/storage/CMakeFiles/maxson_storage.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/maxson_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/maxson_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

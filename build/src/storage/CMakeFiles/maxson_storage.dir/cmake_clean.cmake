@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxson_storage.dir/column_vector.cc.o"
+  "CMakeFiles/maxson_storage.dir/column_vector.cc.o.d"
+  "CMakeFiles/maxson_storage.dir/corc_reader.cc.o"
+  "CMakeFiles/maxson_storage.dir/corc_reader.cc.o.d"
+  "CMakeFiles/maxson_storage.dir/corc_writer.cc.o"
+  "CMakeFiles/maxson_storage.dir/corc_writer.cc.o.d"
+  "CMakeFiles/maxson_storage.dir/file_system.cc.o"
+  "CMakeFiles/maxson_storage.dir/file_system.cc.o.d"
+  "CMakeFiles/maxson_storage.dir/sarg.cc.o"
+  "CMakeFiles/maxson_storage.dir/sarg.cc.o.d"
+  "CMakeFiles/maxson_storage.dir/types.cc.o"
+  "CMakeFiles/maxson_storage.dir/types.cc.o.d"
+  "libmaxson_storage.a"
+  "libmaxson_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxson_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

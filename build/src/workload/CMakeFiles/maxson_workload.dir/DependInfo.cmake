@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/data_generator.cc" "src/workload/CMakeFiles/maxson_workload.dir/data_generator.cc.o" "gcc" "src/workload/CMakeFiles/maxson_workload.dir/data_generator.cc.o.d"
+  "/root/repo/src/workload/query_templates.cc" "src/workload/CMakeFiles/maxson_workload.dir/query_templates.cc.o" "gcc" "src/workload/CMakeFiles/maxson_workload.dir/query_templates.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/maxson_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/maxson_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/trace_generator.cc" "src/workload/CMakeFiles/maxson_workload.dir/trace_generator.cc.o" "gcc" "src/workload/CMakeFiles/maxson_workload.dir/trace_generator.cc.o.d"
+  "/root/repo/src/workload/workload_stats.cc" "src/workload/CMakeFiles/maxson_workload.dir/workload_stats.cc.o" "gcc" "src/workload/CMakeFiles/maxson_workload.dir/workload_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/maxson_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/maxson_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/maxson_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/maxson_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxson_workload.dir/data_generator.cc.o"
+  "CMakeFiles/maxson_workload.dir/data_generator.cc.o.d"
+  "CMakeFiles/maxson_workload.dir/query_templates.cc.o"
+  "CMakeFiles/maxson_workload.dir/query_templates.cc.o.d"
+  "CMakeFiles/maxson_workload.dir/trace.cc.o"
+  "CMakeFiles/maxson_workload.dir/trace.cc.o.d"
+  "CMakeFiles/maxson_workload.dir/trace_generator.cc.o"
+  "CMakeFiles/maxson_workload.dir/trace_generator.cc.o.d"
+  "CMakeFiles/maxson_workload.dir/workload_stats.cc.o"
+  "CMakeFiles/maxson_workload.dir/workload_stats.cc.o.d"
+  "libmaxson_workload.a"
+  "libmaxson_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxson_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

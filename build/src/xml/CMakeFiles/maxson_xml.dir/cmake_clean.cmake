@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxson_xml.dir/xml_parser.cc.o"
+  "CMakeFiles/maxson_xml.dir/xml_parser.cc.o.d"
+  "CMakeFiles/maxson_xml.dir/xml_path.cc.o"
+  "CMakeFiles/maxson_xml.dir/xml_path.cc.o.d"
+  "libmaxson_xml.a"
+  "libmaxson_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxson_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

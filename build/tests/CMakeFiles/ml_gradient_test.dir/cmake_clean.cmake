@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_gradient_test.dir/ml_gradient_test.cc.o"
+  "CMakeFiles/ml_gradient_test.dir/ml_gradient_test.cc.o.d"
+  "ml_gradient_test"
+  "ml_gradient_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_gradient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

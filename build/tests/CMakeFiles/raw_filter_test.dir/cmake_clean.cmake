@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_filter_test.dir/raw_filter_test.cc.o"
+  "CMakeFiles/raw_filter_test.dir/raw_filter_test.cc.o.d"
+  "raw_filter_test"
+  "raw_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/workload_test.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/maxson_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/maxson_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/maxson_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/maxson_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/maxson_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/maxson_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/maxson_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/maxson_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/maxson_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_demo_warehouse.dir/make_demo_warehouse.cpp.o"
+  "CMakeFiles/make_demo_warehouse.dir/make_demo_warehouse.cpp.o.d"
+  "make_demo_warehouse"
+  "make_demo_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_demo_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

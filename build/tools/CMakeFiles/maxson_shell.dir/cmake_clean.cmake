@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxson_shell.dir/maxson_shell.cpp.o"
+  "CMakeFiles/maxson_shell.dir/maxson_shell.cpp.o.d"
+  "maxson_shell"
+  "maxson_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxson_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
