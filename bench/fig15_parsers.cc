@@ -89,7 +89,7 @@ int main() {
     return 1;
   }
   // Mirror the registry into the Mison session (shared cache tables).
-  for (const auto& [key, entry] : dom.registry()->entries()) {
+  for (const auto& entry : dom.registry()->Snapshot()) {
     mison.registry()->Put(entry);
   }
   std::set<std::string> cached_keys;

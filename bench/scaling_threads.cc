@@ -1,0 +1,182 @@
+// Thread-scaling curve of the parallel execution runtime: Q1–Q3 of the
+// Table II suite at 1/2/4/8 threads, uncached (raw parsing is the work
+// being parallelized), verifying byte-identical results at every degree.
+//
+// Writes BENCH_scaling.json with the per-query speedup curve. Speedups are
+// only meaningful up to the machine's core count (reported in the JSON);
+// on a single-core container every degree measures ~1x by construction.
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "catalog/catalog.h"
+#include "common/time_util.h"
+#include "core/maxson.h"
+#include "storage/record_batch.h"
+#include "workload/query_templates.h"
+
+using maxson::core::MaxsonConfig;
+using maxson::core::MaxsonSession;
+using maxson::workload::BenchmarkQuery;
+
+namespace {
+
+/// Cell-exact rendering (doubles at %.17g round-trip IEEE-754), so equal
+/// fingerprints mean byte-identical results.
+std::string Fingerprint(const maxson::storage::RecordBatch& batch) {
+  std::string out;
+  char buffer[64];
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      const maxson::storage::ColumnVector& col = batch.column(c);
+      if (col.IsNull(r)) {
+        out += "NULL";
+      } else {
+        switch (col.type()) {
+          case maxson::storage::TypeKind::kBool:
+            out += col.GetBool(r) ? "t" : "f";
+            break;
+          case maxson::storage::TypeKind::kInt64:
+            std::snprintf(buffer, sizeof(buffer), "%" PRId64, col.GetInt64(r));
+            out += buffer;
+            break;
+          case maxson::storage::TypeKind::kDouble:
+            std::snprintf(buffer, sizeof(buffer), "%.17g", col.GetDouble(r));
+            out += buffer;
+            break;
+          case maxson::storage::TypeKind::kString:
+            out += col.GetString(r);
+            break;
+        }
+      }
+      out += "|";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  maxson::bench::PrintHeader(
+      "Thread scaling — Q1-Q3 wall time at 1/2/4/8 execution threads",
+      "split- and chunk-parallel execution shortens the read+parse critical "
+      "path while keeping results byte-identical");
+
+  maxson::bench::BenchWorkspace workspace("scaling");
+  maxson::catalog::Catalog catalog;
+  maxson::workload::BenchmarkSuiteOptions suite;
+  suite.bytes_per_table = 6ull << 20;
+  suite.max_rows = 30000;
+  // Several files per table so split parallelism has units to fan out.
+  suite.rows_per_file = 5000;
+  auto all_queries = maxson::workload::MakeTableIIQueries(suite);
+  std::vector<BenchmarkQuery> queries;
+  for (auto& q : all_queries) {
+    if (q.name == "Q1" || q.name == "Q2" || q.name == "Q3") {
+      queries.push_back(std::move(q));
+    }
+  }
+  if (auto st = maxson::workload::GenerateBenchmarkTables(
+          queries, workspace.dir() + "/warehouse", suite, &catalog);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  MaxsonConfig config;
+  config.cache_root = workspace.dir() + "/cache";
+  config.engine.default_database = "bench";
+  config.engine.num_threads = 1;
+  MaxsonSession session(&catalog, config);
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  const std::vector<size_t> degrees = {1, 2, 4, 8};
+  constexpr int kReps = 3;
+
+  struct Point {
+    size_t threads;
+    double seconds;
+  };
+  struct Curve {
+    std::string name;
+    std::vector<Point> points;
+  };
+  std::vector<Curve> curves;
+
+  std::printf("machine: %u hardware thread(s)\n\n", cores);
+  std::printf("%-6s %8s %12s %9s\n", "query", "threads", "wall(ms)",
+              "speedup");
+  bool identical = true;
+  for (const BenchmarkQuery& q : queries) {
+    Curve curve;
+    curve.name = q.name;
+    std::string baseline_fp;
+    double baseline_seconds = 0;
+    for (const size_t threads : degrees) {
+      session.set_num_threads(threads);
+      // Warmup (first run pays page-cache and speculation-training costs),
+      // then best-of-kReps.
+      auto warm = session.Execute(q.sql);
+      if (!warm.ok()) {
+        std::fprintf(stderr, "%s: %s\n", q.name.c_str(),
+                     warm.status().ToString().c_str());
+        return 1;
+      }
+      const std::string fp = Fingerprint(warm->batch);
+      if (threads == 1) {
+        baseline_fp = fp;
+      } else if (fp != baseline_fp) {
+        identical = false;
+        std::fprintf(stderr, "%s: result diverged at %zu threads!\n",
+                     q.name.c_str(), threads);
+      }
+      double best = 1e30;
+      for (int rep = 0; rep < kReps; ++rep) {
+        maxson::Stopwatch timer;
+        auto result = session.Execute(q.sql);
+        const double elapsed = timer.ElapsedSeconds();
+        if (!result.ok()) {
+          std::fprintf(stderr, "%s: %s\n", q.name.c_str(),
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        if (elapsed < best) best = elapsed;
+      }
+      if (threads == 1) baseline_seconds = best;
+      curve.points.push_back(Point{threads, best});
+      std::printf("%-6s %8zu %12.2f %8.2fx\n", q.name.c_str(), threads,
+                  best * 1e3, baseline_seconds / best);
+    }
+    curves.push_back(std::move(curve));
+  }
+  std::printf("\nresults byte-identical across degrees: %s\n",
+              identical ? "yes" : "NO");
+
+  // Machine-readable curve for CI trend tracking.
+  std::ofstream json("BENCH_scaling.json", std::ios::trunc);
+  json << "{\n  \"bench\": \"scaling_threads\",\n";
+  json << "  \"hardware_concurrency\": " << cores << ",\n";
+  json << "  \"results_identical\": " << (identical ? "true" : "false")
+       << ",\n  \"queries\": [\n";
+  for (size_t i = 0; i < curves.size(); ++i) {
+    json << "    {\"name\": \"" << curves[i].name << "\", \"curve\": [";
+    for (size_t p = 0; p < curves[i].points.size(); ++p) {
+      const Point& point = curves[i].points[p];
+      json << (p ? ", " : "") << "{\"threads\": " << point.threads
+           << ", \"seconds\": " << point.seconds << ", \"speedup\": "
+           << curves[i].points[0].seconds / point.seconds << "}";
+    }
+    json << "]}" << (i + 1 < curves.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::printf("wrote BENCH_scaling.json\n");
+  return identical ? 0 : 1;
+}

@@ -1,11 +1,20 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <mutex>
 
 namespace maxson {
 
 namespace {
 std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+// Serializes sink writes so concurrent MAXSON_LOG records never interleave
+// mid-line. Each record is formatted into its LogMessage's private buffer
+// first; the lock covers only the final write.
+std::mutex& SinkMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -43,11 +52,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::cerr << stream_.str();
-  if (level_ == LogLevel::kFatal) {
-    std::cerr.flush();
-    std::abort();
+  {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    std::cerr << stream_.str();
+    if (level_ == LogLevel::kFatal) std::cerr.flush();
   }
+  if (level_ == LogLevel::kFatal) std::abort();
 }
 
 }  // namespace internal_logging

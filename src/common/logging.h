@@ -19,7 +19,10 @@ void SetLogLevel(LogLevel level);
 namespace internal_logging {
 
 /// Streams one log record and flushes it (with file:line prefix) at scope
-/// exit. Used only through the MAXSON_LOG macro.
+/// exit. Used only through the MAXSON_LOG macro. Thread-safe: each record
+/// builds in a private buffer and the single sink write is serialized by a
+/// process-wide mutex, so records from concurrent workers never interleave
+/// within a line.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

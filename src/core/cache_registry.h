@@ -3,6 +3,9 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -25,20 +28,57 @@ struct CacheEntry {
 /// JsonPathCacher repopulates it at each midnight cycle (invalid entries
 /// are dropped then, matching "invalid cache tables would be deleted when
 /// we perform caching operations next time").
+///
+/// Locking contract: every member function takes the registry's internal
+/// shared_mutex (readers shared, writers exclusive), so plan rewrites may
+/// race freely with a concurrent midnight cycle's Clear/Put sequence.
+/// Lookup() returns the entry *by value* — a pointer into the map would
+/// dangle the moment Clear() runs on another thread. The window between a
+/// successful Lookup() and the scan reading the cache files is inherently
+/// unsynchronized: a midnight cycle may delete the files in between, and
+/// the query then fails with IoError and must be retried (it re-plans
+/// against the new registry state). Entries are never mutated in place
+/// except Invalidate's valid flag, which is only ever set false, so a
+/// stale read of it is benign (one extra raw parse).
 class CacheRegistry {
  public:
+  CacheRegistry() = default;
+
+  // shared_mutex is immovable; moving a registry moves only its entries.
+  // Used by Load/FromJson returning by value and by session restore; the
+  // moved-from registry must be otherwise idle.
+  CacheRegistry(CacheRegistry&& other) noexcept {
+    std::unique_lock<std::shared_mutex> lock(other.mutex_);
+    entries_ = std::move(other.entries_);
+    other.entries_.clear();
+  }
+  CacheRegistry& operator=(CacheRegistry&& other) noexcept {
+    if (this != &other) {
+      std::scoped_lock lock(mutex_, other.mutex_);
+      entries_ = std::move(other.entries_);
+      other.entries_.clear();
+    }
+    return *this;
+  }
+
   void Put(CacheEntry entry) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     entries_[entry.location.Key()] = std::move(entry);
   }
 
-  /// Returns nullptr when the path has no (possibly invalid) entry.
-  const CacheEntry* Find(const workload::JsonPathLocation& location) const {
+  /// Returns a copy of the entry, or nullopt when the path has none. A copy
+  /// (not a pointer) so a concurrent Clear() cannot invalidate the result.
+  std::optional<CacheEntry> Lookup(
+      const workload::JsonPathLocation& location) const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     auto it = entries_.find(location.Key());
-    return it == entries_.end() ? nullptr : &it->second;
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
   }
 
   /// Marks an entry invalid (raw table modified after caching).
   void Invalidate(const workload::JsonPathLocation& location) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     auto it = entries_.find(location.Key());
     if (it != entries_.end()) it->second.valid = false;
   }
@@ -48,9 +88,20 @@ class CacheRegistry {
   /// stale files.
   std::vector<std::string> Clear();
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return entries_.size();
+  }
 
-  const std::map<std::string, CacheEntry>& entries() const { return entries_; }
+  /// Copies the current entries in key order (for display and iteration;
+  /// a live reference would race with concurrent mutation).
+  std::vector<CacheEntry> Snapshot() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    std::vector<CacheEntry> out;
+    out.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) out.push_back(entry);
+    return out;
+  }
 
   /// Serializes the registry to JSON / restores it, so a deployment's
   /// cache state survives process restarts (cache tables live on disk; the
@@ -61,6 +112,7 @@ class CacheRegistry {
   static Result<CacheRegistry> Load(const std::string& path);
 
  private:
+  mutable std::shared_mutex mutex_;
   std::map<std::string, CacheEntry> entries_;
 };
 

@@ -100,12 +100,13 @@ Status JsonPathCacher::CacheTablePaths(
   MAXSON_RETURN_NOT_OK(FileSystem::RemoveAll(cache_dir));
   MAXSON_RETURN_NOT_OK(FileSystem::MakeDirs(cache_dir));
 
+  // Immutable once built: split tasks read the work list concurrently, so
+  // nothing split-specific (like resolved column indexes) may live here.
   struct PathWork {
     workload::JsonPathLocation location;
     bool is_xml = false;   // XPath ('/..') vs JSONPath ('$..')
     json::JsonPath parsed;
     xml::XmlPath xpath;
-    int column_index = -1;
     std::string field;
     TypeKind type = TypeKind::kString;
   };
@@ -164,94 +165,112 @@ Status JsonPathCacher::CacheTablePaths(
     cache_schema.AddField(w.field, w.type);
   }
 
-  json::MisonParser mison;
-  for (const Split& split : splits) {
-    CorcReader reader(split.path);
-    MAXSON_RETURN_NOT_OK(reader.Open());
-    // Resolve source column indexes within this file.
-    std::vector<int> source_columns;
-    for (PathWork& w : work) {
-      const int idx = reader.schema().FindField(w.location.column);
-      if (idx < 0) {
-        return Status::NotFound("column " + w.location.column +
-                                " missing in " + split.path);
-      }
-      w.column_index = idx;
-      source_columns.push_back(idx);
-    }
-    // Deduplicate source columns for the read.
-    std::vector<int> unique_columns;
-    std::map<int, int> column_slot;  // file column index -> batch slot
-    for (int c : source_columns) {
-      if (column_slot.emplace(c, static_cast<int>(unique_columns.size()))
-              .second) {
-        unique_columns.push_back(c);
-      }
-    }
-
-    // The cache file mirrors the raw file: same index in the sorted
-    // listing, same row count, same row-group size (alignment guarantee).
-    CorcWriterOptions options;
-    options.rows_per_group = reader.footer().rows_per_group;
-    CorcWriter writer(cache_dir + "/" + FileSystem::PartFileName(split.index),
-                      cache_schema, options);
-    MAXSON_RETURN_NOT_OK(writer.Open());
-
-    for (size_t s = 0; s < reader.num_stripes(); ++s) {
-      MAXSON_ASSIGN_OR_RETURN(
-          storage::RecordBatch batch,
-          reader.ReadStripe(s, unique_columns, std::nullopt, nullptr));
-      Stopwatch parse_timer;
-      for (size_t r = 0; r < batch.num_rows(); ++r) {
-        // Parse each source JSON column once per row and evaluate every
-        // requested path against it (the whole point of pre-parsing is to
-        // pay the deserialization once).
-        std::map<int, Result<json::JsonValue>> doms;
-        std::vector<Value> row;
-        row.reserve(work.size());
+  // One task per split: each owns its reader, writer, column resolution,
+  // speculative parser, and stats partial, so split pre-parsing fans out
+  // on the shared pool with no shared mutable state. Partials merge in
+  // split order below, keeping the stats totals deterministic.
+  std::vector<CachingStats> split_stats(splits.size());
+  MAXSON_RETURN_NOT_OK(exec::ParallelFor(
+      pool_.get(), splits.size(), [&](size_t split_i) -> Status {
+        const Split& split = splits[split_i];
+        CachingStats* split_out =
+            stats != nullptr ? &split_stats[split_i] : nullptr;
+        CorcReader reader(split.path);
+        MAXSON_RETURN_NOT_OK(reader.Open());
+        // Resolve source column indexes within this file (per split: part
+        // files may order their fields differently).
+        std::vector<int> source_columns;
+        source_columns.reserve(work.size());
         for (const PathWork& w : work) {
-          const int slot = column_slot[w.column_index];
-          if (batch.column(static_cast<size_t>(slot)).IsNull(r)) {
-            row.push_back(Value::Null());
-            continue;
+          const int idx = reader.schema().FindField(w.location.column);
+          if (idx < 0) {
+            return Status::NotFound("column " + w.location.column +
+                                    " missing in " + split.path);
           }
-          const std::string& text =
-              batch.column(static_cast<size_t>(slot)).GetString(r);
-          Result<std::string> value = Status::NotFound("");
-          if (w.is_xml) {
-            value = xml::GetXmlObject(text, w.xpath);
-          } else if (backend_ == engine::JsonBackend::kMison) {
-            value = mison.Extract(text, w.parsed);
-          } else {
-            auto dom_it = doms.find(slot);
-            if (dom_it == doms.end()) {
-              dom_it = doms.emplace(slot, json::ParseJson(text)).first;
-            }
-            if (dom_it->second.ok()) {
-              const json::JsonValue* node =
-                  w.parsed.Evaluate(*dom_it->second);
-              if (node != nullptr) {
-                value = json::RenderGetJsonObjectResult(*node);
-              }
-            }
-          }
-          if (value.ok()) {
-            if (stats != nullptr) stats->bytes_written += value->size();
-            row.push_back(Value::String(std::move(*value)));
-          } else {
-            // Absent path: cached as NULL, matching get_json_object's
-            // NULL-on-missing semantics.
-            row.push_back(Value::Null());
+          source_columns.push_back(idx);
+        }
+        // Deduplicate source columns for the read.
+        std::vector<int> unique_columns;
+        std::map<int, int> column_slot;  // file column index -> batch slot
+        for (int c : source_columns) {
+          if (column_slot.emplace(c, static_cast<int>(unique_columns.size()))
+                  .second) {
+            unique_columns.push_back(c);
           }
         }
-        MAXSON_RETURN_NOT_OK(writer.AppendRow(row));
-        if (stats != nullptr) ++stats->rows_parsed;
-      }
-      if (stats != nullptr) {
-        stats->parse_seconds += parse_timer.ElapsedSeconds();
-      }
-    }
-    MAXSON_RETURN_NOT_OK(writer.Close());
+
+        // The cache file mirrors the raw file: same index in the sorted
+        // listing, same row count, same row-group size (alignment
+        // guarantee).
+        CorcWriterOptions options;
+        options.rows_per_group = reader.footer().rows_per_group;
+        CorcWriter writer(
+            cache_dir + "/" + FileSystem::PartFileName(split.index),
+            cache_schema, options);
+        MAXSON_RETURN_NOT_OK(writer.Open());
+
+        json::MisonParser mison;
+        for (size_t s = 0; s < reader.num_stripes(); ++s) {
+          MAXSON_ASSIGN_OR_RETURN(
+              storage::RecordBatch batch,
+              reader.ReadStripe(s, unique_columns, std::nullopt, nullptr));
+          Stopwatch parse_timer;
+          for (size_t r = 0; r < batch.num_rows(); ++r) {
+            // Parse each source JSON column once per row and evaluate every
+            // requested path against it (the whole point of pre-parsing is
+            // to pay the deserialization once).
+            std::map<int, Result<json::JsonValue>> doms;
+            std::vector<Value> row;
+            row.reserve(work.size());
+            for (size_t wi = 0; wi < work.size(); ++wi) {
+              const PathWork& w = work[wi];
+              const int slot = column_slot.at(source_columns[wi]);
+              if (batch.column(static_cast<size_t>(slot)).IsNull(r)) {
+                row.push_back(Value::Null());
+                continue;
+              }
+              const std::string& text =
+                  batch.column(static_cast<size_t>(slot)).GetString(r);
+              Result<std::string> value = Status::NotFound("");
+              if (w.is_xml) {
+                value = xml::GetXmlObject(text, w.xpath);
+              } else if (backend_ == engine::JsonBackend::kMison) {
+                value = mison.Extract(text, w.parsed);
+              } else {
+                auto dom_it = doms.find(slot);
+                if (dom_it == doms.end()) {
+                  dom_it = doms.emplace(slot, json::ParseJson(text)).first;
+                }
+                if (dom_it->second.ok()) {
+                  const json::JsonValue* node =
+                      w.parsed.Evaluate(*dom_it->second);
+                  if (node != nullptr) {
+                    value = json::RenderGetJsonObjectResult(*node);
+                  }
+                }
+              }
+              if (value.ok()) {
+                if (split_out != nullptr) {
+                  split_out->bytes_written += value->size();
+                }
+                row.push_back(Value::String(std::move(*value)));
+              } else {
+                // Absent path: cached as NULL, matching get_json_object's
+                // NULL-on-missing semantics.
+                row.push_back(Value::Null());
+              }
+            }
+            MAXSON_RETURN_NOT_OK(writer.AppendRow(row));
+            if (split_out != nullptr) ++split_out->rows_parsed;
+          }
+          if (split_out != nullptr) {
+            split_out->parse_seconds += parse_timer.ElapsedSeconds();
+          }
+        }
+        return writer.Close();
+      }));
+  if (stats != nullptr) {
+    for (const CachingStats& s : split_stats) stats->Add(s);
   }
 
   for (const PathWork& w : work) {

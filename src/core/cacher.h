@@ -4,11 +4,14 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "core/cache_registry.h"
 #include "core/scoring.h"
 #include "engine/engine.h"
+#include "exec/thread_pool.h"
 #include "workload/trace.h"
 
 namespace maxson::core {
@@ -37,6 +40,17 @@ struct CachingStats {
   uint64_t bytes_written = 0;
   double parse_seconds = 0.0;
   double total_seconds = 0.0;
+
+  /// Folds a per-split partial into this total (splits pre-parse in
+  /// parallel into private stats, merged in split order). parse_seconds
+  /// then sums CPU time across workers and may exceed wall time.
+  void Add(const CachingStats& other) {
+    paths_cached += other.paths_cached;
+    rows_parsed += other.rows_parsed;
+    bytes_written += other.bytes_written;
+    parse_seconds += other.parse_seconds;
+    total_seconds += other.total_seconds;
+  }
 };
 
 /// The JSONPath Cacher of Section IV-C: at cache-population time (midnight)
@@ -46,6 +60,11 @@ struct CachingStats {
 /// align rows by split index and share row-group skips. All MPJPs of one
 /// raw table land in one cache table; fields are named after the column
 /// and JSONPath; the registry is updated with cache_time = `cache_time`.
+///
+/// Splits pre-parse in parallel on the session's shared pool (set_pool);
+/// each split task owns its reader, writer, speculative parser, and stats,
+/// so tasks share nothing but the immutable path work list. Without a pool
+/// splits run sequentially, matching the single-threaded cacher exactly.
 class JsonPathCacher {
  public:
   JsonPathCacher(const catalog::Catalog* catalog, std::string cache_root,
@@ -53,6 +72,12 @@ class JsonPathCacher {
       : catalog_(catalog),
         cache_root_(std::move(cache_root)),
         backend_(backend) {}
+
+  /// Installs the thread pool split pre-parsing fans out on (shared with
+  /// the query engine; null reverts to sequential caching).
+  void set_pool(std::shared_ptr<exec::ThreadPool> pool) {
+    pool_ = std::move(pool);
+  }
 
   /// Empties the registry and deletes existing cache tables (the nightly
   /// "emptied and re-populated" step), then caches `selected` in order.
@@ -69,6 +94,7 @@ class JsonPathCacher {
   const catalog::Catalog* catalog_;
   std::string cache_root_;
   engine::JsonBackend backend_;
+  std::shared_ptr<exec::ThreadPool> pool_;
 };
 
 }  // namespace maxson::core

@@ -15,6 +15,10 @@ MaxsonSession::MaxsonSession(const catalog::Catalog* catalog,
   engine_->set_plan_rewriter(parser_.get());
   cacher_ = std::make_unique<JsonPathCacher>(catalog_, config_.cache_root,
                                              config_.engine.json_backend);
+  // Queries and midnight pre-parsing share one pool, so a deployment's
+  // worker count is a single knob and the two workloads interleave instead
+  // of oversubscribing.
+  cacher_->set_pool(engine_->pool());
   if (!config_.registry_path.empty()) {
     auto loaded = CacheRegistry::Load(config_.registry_path);
     if (loaded.ok()) {

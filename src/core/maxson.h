@@ -77,6 +77,20 @@ class MaxsonSession {
   /// the same engine), regardless of cache state.
   Result<engine::QueryResult> ExecuteWithoutCache(const std::string& sql);
 
+  /// Replaces the execution pool with one of `num_threads` workers (0 =
+  /// hardware concurrency, 1 = inline) and re-points the cacher at it.
+  /// Not thread-safe against in-flight queries or midnight cycles.
+  void set_num_threads(size_t num_threads) {
+    engine_->set_num_threads(num_threads);
+    cacher_->set_pool(engine_->pool());
+  }
+
+  /// The shared execution pool (query scans, operators, and midnight
+  /// pre-parsing all fan out on it).
+  const std::shared_ptr<exec::ThreadPool>& pool() const {
+    return engine_->pool();
+  }
+
   JsonPathCollector* collector() { return &collector_; }
   CacheRegistry* registry() { return &registry_; }
   engine::QueryEngine* engine() { return engine_.get(); }

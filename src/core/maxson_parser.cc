@@ -88,8 +88,11 @@ Result<int> MaxsonParser::RewriteForScan(PhysicalPlan* plan, ScanNode* scan) {
     location.column = column;
     location.path = path_arg->literal.string_value();
 
-    const CacheEntry* entry = registry_->Find(location);
-    if (entry == nullptr || !entry->valid) {
+    // Lookup copies the entry out under the registry's lock: a concurrent
+    // midnight cycle may Clear() the registry at any point after this line,
+    // and a pointer into it would dangle.
+    const std::optional<CacheEntry> entry = registry_->Lookup(location);
+    if (!entry.has_value() || !entry->valid) {
       ++cache_misses_;
       return;  // cache miss: normal parsing path
     }

@@ -1,6 +1,7 @@
 #ifndef MAXSON_CORE_MAXSON_PARSER_H_
 #define MAXSON_CORE_MAXSON_PARSER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -29,10 +30,11 @@ class MaxsonParser : public engine::PlanRewriter {
 
   Result<int> Rewrite(engine::PhysicalPlan* plan) override;
 
-  /// Cumulative telemetry across rewrites.
-  uint64_t cache_hits() const { return cache_hits_; }
-  uint64_t cache_misses() const { return cache_misses_; }
-  uint64_t invalidations() const { return invalidations_; }
+  /// Cumulative telemetry across rewrites. Atomic: rewrites may run while
+  /// another thread (a midnight cycle, a stats probe) reads the counters.
+  uint64_t cache_hits() const { return cache_hits_.load(); }
+  uint64_t cache_misses() const { return cache_misses_.load(); }
+  uint64_t invalidations() const { return invalidations_.load(); }
 
  private:
   /// Rewrites all expressions owned by one scan. Returns substitutions.
@@ -41,9 +43,9 @@ class MaxsonParser : public engine::PlanRewriter {
 
   const catalog::Catalog* catalog_;
   CacheRegistry* registry_;
-  uint64_t cache_hits_ = 0;
-  uint64_t cache_misses_ = 0;
-  uint64_t invalidations_ = 0;
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> invalidations_{0};
 };
 
 }  // namespace maxson::core

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 
 #include "common/string_util.h"
 #include "common/time_util.h"
@@ -29,40 +31,68 @@ const ScalarFunction* LookupEngineFunction(const std::string& name,
 }
 
 QueryEngine::QueryEngine(const catalog::Catalog* catalog, EngineConfig config)
-    : catalog_(catalog), config_(std::move(config)) {
+    : catalog_(catalog),
+      config_(std::move(config)),
+      pool_(std::make_shared<exec::ThreadPool>(config_.num_threads)) {
   RegisterBuiltinFunctions();
 }
 
 QueryEngine::~QueryEngine() = default;
 
+void QueryEngine::set_num_threads(size_t num_threads) {
+  config_.num_threads = num_threads;
+  pool_ = std::make_shared<exec::ThreadPool>(num_threads);
+}
+
+const json::JsonPath* QueryEngine::CachedJsonPath(const std::string& text) {
+  {
+    std::shared_lock<std::shared_mutex> lock(path_cache_mutex_);
+    auto it = path_cache_.find(text);
+    if (it != path_cache_.end()) return &it->second;
+  }
+  auto parsed = json::JsonPath::Parse(text);
+  if (!parsed.ok()) return nullptr;
+  std::unique_lock<std::shared_mutex> lock(path_cache_mutex_);
+  // Another worker may have inserted meanwhile; emplace keeps the first.
+  return &path_cache_.emplace(text, std::move(*parsed)).first->second;
+}
+
+const xml::XmlPath* QueryEngine::CachedXmlPath(const std::string& text) {
+  {
+    std::shared_lock<std::shared_mutex> lock(path_cache_mutex_);
+    auto it = xml_path_cache_.find(text);
+    if (it != xml_path_cache_.end()) return &it->second;
+  }
+  auto parsed = xml::XmlPath::Parse(text);
+  if (!parsed.ok()) return nullptr;
+  std::unique_lock<std::shared_mutex> lock(path_cache_mutex_);
+  return &xml_path_cache_.emplace(text, std::move(*parsed)).first->second;
+}
+
 void QueryEngine::RegisterBuiltinFunctions() {
   // get_json_object(json_string, json_path): the workhorse of the paper's
-  // workload. Its wall time is attributed to the Parse phase.
-  functions_["get_json_object"] = [this](const std::vector<Value>& args)
-      -> Value {
+  // workload. Its wall time is attributed to the Parse phase, into the
+  // calling worker's metrics accumulator.
+  functions_["get_json_object"] = [this](const std::vector<Value>& args,
+                                         const EvalContext& ctx) -> Value {
     if (args.size() != 2 || args[0].is_null() || args[1].is_null()) {
       return Value::Null();
     }
     const std::string& text = args[0].is_string() ? args[0].string_value()
                                                   : args[0].ToString();
-    const std::string& path_text = args[1].string_value();
-
-    auto path_it = path_cache_.find(path_text);
-    if (path_it == path_cache_.end()) {
-      auto parsed = json::JsonPath::Parse(path_text);
-      if (!parsed.ok()) return Value::Null();
-      path_it = path_cache_.emplace(path_text, std::move(*parsed)).first;
-    }
+    const json::JsonPath* path = CachedJsonPath(args[1].string_value());
+    if (path == nullptr) return Value::Null();
 
     Stopwatch timer;
+    json::MisonParser* mison = ctx.mison != nullptr ? ctx.mison : &mison_;
     Result<std::string> extracted =
         config_.json_backend == JsonBackend::kMison
-            ? mison_.Extract(text, path_it->second)
-            : json::GetJsonObject(text, path_it->second);
-    if (active_metrics_ != nullptr) {
-      active_metrics_->parse_seconds += timer.ElapsedSeconds();
-      ++active_metrics_->parse.records_parsed;
-      active_metrics_->parse.bytes_parsed += text.size();
+            ? mison->Extract(text, *path)
+            : json::GetJsonObject(text, *path);
+    if (ctx.metrics != nullptr) {
+      ctx.metrics->parse_seconds += timer.ElapsedSeconds();
+      ++ctx.metrics->parse.records_parsed;
+      ctx.metrics->parse.bytes_parsed += text.size();
     }
     if (!extracted.ok()) return Value::Null();
     return Value::String(std::move(*extracted));
@@ -70,41 +100,38 @@ void QueryEngine::RegisterBuiltinFunctions() {
 
   // get_xml_object(xml_string, xpath): the XML counterpart the paper names
   // as future work; same contract as get_json_object (NULL on missing).
-  functions_["get_xml_object"] = [this](const std::vector<Value>& args)
-      -> Value {
+  functions_["get_xml_object"] = [this](const std::vector<Value>& args,
+                                        const EvalContext& ctx) -> Value {
     if (args.size() != 2 || args[0].is_null() || args[1].is_null()) {
       return Value::Null();
     }
     const std::string& text = args[0].is_string() ? args[0].string_value()
                                                   : args[0].ToString();
-    auto xpath_it = xml_path_cache_.find(args[1].string_value());
-    if (xpath_it == xml_path_cache_.end()) {
-      auto parsed = xml::XmlPath::Parse(args[1].string_value());
-      if (!parsed.ok()) return Value::Null();
-      xpath_it =
-          xml_path_cache_.emplace(args[1].string_value(), std::move(*parsed))
-              .first;
-    }
+    const xml::XmlPath* xpath = CachedXmlPath(args[1].string_value());
+    if (xpath == nullptr) return Value::Null();
     Stopwatch timer;
-    Result<std::string> extracted = xml::GetXmlObject(text, xpath_it->second);
-    if (active_metrics_ != nullptr) {
-      active_metrics_->parse_seconds += timer.ElapsedSeconds();
-      ++active_metrics_->parse.records_parsed;
-      active_metrics_->parse.bytes_parsed += text.size();
+    Result<std::string> extracted = xml::GetXmlObject(text, *xpath);
+    if (ctx.metrics != nullptr) {
+      ctx.metrics->parse_seconds += timer.ElapsedSeconds();
+      ++ctx.metrics->parse.records_parsed;
+      ctx.metrics->parse.bytes_parsed += text.size();
     }
     if (!extracted.ok()) return Value::Null();
     return Value::String(std::move(*extracted));
   };
 
-  functions_["length"] = [](const std::vector<Value>& args) -> Value {
+  functions_["length"] = [](const std::vector<Value>& args,
+                            const EvalContext&) -> Value {
     if (args.size() != 1 || args[0].is_null()) return Value::Null();
     return Value::Int64(static_cast<int64_t>(args[0].ToString().size()));
   };
-  functions_["lower"] = [](const std::vector<Value>& args) -> Value {
+  functions_["lower"] = [](const std::vector<Value>& args,
+                           const EvalContext&) -> Value {
     if (args.size() != 1 || args[0].is_null()) return Value::Null();
     return Value::String(ToLower(args[0].ToString()));
   };
-  functions_["concat"] = [](const std::vector<Value>& args) -> Value {
+  functions_["concat"] = [](const std::vector<Value>& args,
+                            const EvalContext&) -> Value {
     std::string out;
     for (const Value& v : args) {
       if (v.is_null()) return Value::Null();
@@ -112,14 +139,16 @@ void QueryEngine::RegisterBuiltinFunctions() {
     }
     return Value::String(std::move(out));
   };
-  functions_["coalesce"] = [](const std::vector<Value>& args) -> Value {
+  functions_["coalesce"] = [](const std::vector<Value>& args,
+                              const EvalContext&) -> Value {
     for (const Value& v : args) {
       if (!v.is_null()) return v;
     }
     return Value::Null();
   };
   // SQL LIKE with % (any run) and _ (any char) wildcards.
-  functions_["like"] = [](const std::vector<Value>& args) -> Value {
+  functions_["like"] = [](const std::vector<Value>& args,
+                          const EvalContext&) -> Value {
     if (args.size() != 2 || args[0].is_null() || args[1].is_null()) {
       return Value::Null();
     }
@@ -149,7 +178,8 @@ void QueryEngine::RegisterBuiltinFunctions() {
     return Value::Bool(p == pattern.size());
   };
   // Membership test backing the SQL IN list: args[0] IN args[1..].
-  functions_["in"] = [](const std::vector<Value>& args) -> Value {
+  functions_["in"] = [](const std::vector<Value>& args,
+                        const EvalContext&) -> Value {
     if (args.empty() || args[0].is_null()) return Value::Null();
     for (size_t i = 1; i < args.size(); ++i) {
       if (!args[i].is_null() && args[0].Compare(args[i]) == 0) {
@@ -159,11 +189,13 @@ void QueryEngine::RegisterBuiltinFunctions() {
     return Value::Bool(false);
   };
   // cast helpers used by benches to force numeric comparisons.
-  functions_["to_double"] = [](const std::vector<Value>& args) -> Value {
+  functions_["to_double"] = [](const std::vector<Value>& args,
+                               const EvalContext&) -> Value {
     if (args.size() != 1 || args[0].is_null()) return Value::Null();
     return Value::Double(args[0].AsDouble());
   };
-  functions_["to_int"] = [](const std::vector<Value>& args) -> Value {
+  functions_["to_int"] = [](const std::vector<Value>& args,
+                            const EvalContext&) -> Value {
     if (args.size() != 1 || args[0].is_null()) return Value::Null();
     return Value::Int64(static_cast<int64_t>(args[0].AsDouble()));
   };
@@ -182,6 +214,21 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
 }
 
 namespace {
+
+/// Rows per parallel work unit of the row-oriented operators. Fixed — never
+/// derived from the thread count — so the chunk decomposition, and with it
+/// every chunk-merged accumulation (including the floating-point partial
+/// sums of aggregates), is byte-identical at every parallelism degree.
+constexpr size_t kRowsPerChunk = 1024;
+
+/// Worker-private execution state of one row chunk: a metrics accumulator
+/// (replacing the engine-global sink of the single-threaded engine) and a
+/// speculative parser whose memoization the chunk mutates freely. Both are
+/// folded back in chunk order after the barrier.
+struct ChunkState {
+  QueryMetrics metrics;
+  json::MisonParser mison;
+};
 
 /// Serialized grouping key: values rendered with a type tag and separator so
 /// distinct tuples never collide.
@@ -217,6 +264,29 @@ struct AggState {
     has_value = true;
   }
 
+  /// Folds a chunk-partial state into this one (parallel aggregation);
+  /// merge order is fixed by chunk index, so SUM/AVG stay deterministic.
+  void Merge(const AggState& other) {
+    count += other.count;
+    sum += other.sum;
+    if (!other.has_value) return;
+    if (!has_value) {
+      min = other.min;
+      max = other.max;
+      has_value = true;
+      return;
+    }
+    // COUNT(*) states carry null min/max (Update never ran); guard them.
+    if (!other.min.is_null() &&
+        (min.is_null() || other.min.Compare(min) < 0)) {
+      min = other.min;
+    }
+    if (!other.max.is_null() &&
+        (max.is_null() || other.max.Compare(max) > 0)) {
+      max = other.max;
+    }
+  }
+
   Value Finish(AggKind kind) const {
     switch (kind) {
       case AggKind::kCount:
@@ -242,24 +312,25 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
   QueryResult result;
   result.metrics.plan_seconds = plan_seconds;
   QueryMetrics& metrics = result.metrics;
-  active_metrics_ = &metrics;
-  // Clear the sink on every exit path.
-  struct SinkGuard {
-    QueryMetrics** sink;
-    ~SinkGuard() { *sink = nullptr; }
-  } guard{&active_metrics_};
+  exec::ThreadPool* pool = pool_.get();
 
+  // Context of the sequential sections (join build/probe, group
+  // finalization); parallel sections give each chunk a private copy with
+  // its own metrics/parser and fold the accumulators back in chunk order.
   EvalContext ctx;
   ctx.lookup_function = &LookupEngineFunction;
   ctx.lookup_hook = this;
+  ctx.metrics = &metrics;
+  ctx.mison = &mison_;
 
   // ---- Scan (and join) ----
-  MAXSON_ASSIGN_OR_RETURN(RecordBatch left, ExecuteScan(plan.scan, &metrics));
+  MAXSON_ASSIGN_OR_RETURN(RecordBatch left,
+                          ExecuteScan(plan.scan, &metrics, pool));
 
   RecordBatch input;
   if (plan.join_scan.has_value()) {
     MAXSON_ASSIGN_OR_RETURN(RecordBatch right,
-                            ExecuteScan(*plan.join_scan, &metrics));
+                            ExecuteScan(*plan.join_scan, &metrics, pool));
     Stopwatch compute_timer;
     // Hash join: build on the right side.
     std::multimap<std::string, size_t> build;
@@ -355,24 +426,44 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
   Stopwatch compute_timer;
   RecordBatch filtered(input.schema());
   if (plan.where != nullptr) {
-    for (size_t r = 0; r < input.num_rows(); ++r) {
-      bool rejected = false;
-      for (const RowPrefilter& pf : prefilters) {
-        const storage::ColumnVector& col =
-            input.column(static_cast<size_t>(pf.column_index));
-        if (col.IsNull(r) || !pf.filter.MightMatch(col.GetString(r))) {
-          rejected = true;
-          break;
-        }
-      }
-      if (rejected) {
-        ++metrics.raw_filtered_rows;
-        continue;
-      }
-      ctx.batch = &input;
-      ctx.row = r;
-      MAXSON_ASSIGN_OR_RETURN(Value keep, EvaluateExpr(*plan.where, ctx));
-      if (IsTruthy(keep)) filtered.AppendRow(input.GetRow(r));
+    // Row chunks are filtered in parallel, each into a private list of
+    // surviving row indexes; lists are concatenated in chunk order, so the
+    // surviving-row order matches sequential execution.
+    const std::vector<exec::ChunkRange> chunks =
+        exec::MakeChunks(input.num_rows(), kRowsPerChunk);
+    std::vector<ChunkState> states(chunks.size());
+    std::vector<std::vector<size_t>> kept(chunks.size());
+    MAXSON_RETURN_NOT_OK(exec::ParallelFor(
+        pool, chunks.size(), [&](size_t c) -> Status {
+          EvalContext wctx = ctx;
+          wctx.batch = &input;
+          wctx.metrics = &states[c].metrics;
+          wctx.mison = &states[c].mison;
+          for (size_t r = chunks[c].begin; r < chunks[c].end; ++r) {
+            bool rejected = false;
+            for (const RowPrefilter& pf : prefilters) {
+              const storage::ColumnVector& col =
+                  input.column(static_cast<size_t>(pf.column_index));
+              if (col.IsNull(r) || !pf.filter.MightMatch(col.GetString(r))) {
+                rejected = true;
+                break;
+              }
+            }
+            if (rejected) {
+              ++states[c].metrics.raw_filtered_rows;
+              continue;
+            }
+            wctx.row = r;
+            MAXSON_ASSIGN_OR_RETURN(Value keep,
+                                    EvaluateExpr(*plan.where, wctx));
+            if (IsTruthy(keep)) kept[c].push_back(r);
+          }
+          return Status::Ok();
+        }));
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      metrics.Accumulate(states[c].metrics);
+      mison_.AbsorbTelemetry(states[c].mison);
+      for (size_t r : kept[c]) filtered.AppendRow(input.GetRow(r));
     }
   } else {
     filtered = std::move(input);
@@ -396,7 +487,6 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
       std::vector<AggState> states;
       size_t first_row;
     };
-    std::map<std::string, Group> groups;
     // Collect aggregate nodes per projection (top-level or nested); the
     // HAVING clause rides along as a pseudo-projection at the end.
     const size_t having_slot = plan.projections.size();
@@ -418,32 +508,64 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
         }
       });
     }
-    for (size_t r = 0; r < filtered.num_rows(); ++r) {
-      ctx.batch = &filtered;
-      ctx.row = r;
-      std::vector<Value> key_values;
-      for (const ExprPtr& g : plan.group_by) {
-        MAXSON_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*g, ctx));
-        key_values.push_back(std::move(v));
-      }
-      const std::string key = GroupKey(key_values);
-      auto [it, inserted] = groups.try_emplace(key);
-      Group& group = it->second;
-      if (inserted) {
-        group.key_values = key_values;
-        group.states.resize(all_aggs.size());
-        group.first_row = r;
-      }
-      for (size_t a = 0; a < all_aggs.size(); ++a) {
-        const Expr* agg = all_aggs[a];
-        if (agg->children.empty()) {
-          // COUNT(*): count the row unconditionally.
-          ++group.states[a].count;
-          group.states[a].has_value = true;
+
+    // Chunk-parallel partial aggregation: each chunk groups its rows into a
+    // private ordered map; partials merge below in chunk order, so the
+    // exemplar row of every group (its first occurrence) and the aggregate
+    // accumulation order are the same at every thread count.
+    const std::vector<exec::ChunkRange> chunks =
+        exec::MakeChunks(filtered.num_rows(), kRowsPerChunk);
+    std::vector<ChunkState> states(chunks.size());
+    std::vector<std::map<std::string, Group>> partials(chunks.size());
+    MAXSON_RETURN_NOT_OK(exec::ParallelFor(
+        pool, chunks.size(), [&](size_t c) -> Status {
+          EvalContext wctx = ctx;
+          wctx.batch = &filtered;
+          wctx.metrics = &states[c].metrics;
+          wctx.mison = &states[c].mison;
+          std::map<std::string, Group>& local = partials[c];
+          for (size_t r = chunks[c].begin; r < chunks[c].end; ++r) {
+            wctx.row = r;
+            std::vector<Value> key_values;
+            for (const ExprPtr& g : plan.group_by) {
+              MAXSON_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*g, wctx));
+              key_values.push_back(std::move(v));
+            }
+            const std::string key = GroupKey(key_values);
+            auto [it, inserted] = local.try_emplace(key);
+            Group& group = it->second;
+            if (inserted) {
+              group.key_values = key_values;
+              group.states.resize(all_aggs.size());
+              group.first_row = r;
+            }
+            for (size_t a = 0; a < all_aggs.size(); ++a) {
+              const Expr* agg = all_aggs[a];
+              if (agg->children.empty()) {
+                // COUNT(*): count the row unconditionally.
+                ++group.states[a].count;
+                group.states[a].has_value = true;
+              } else {
+                MAXSON_ASSIGN_OR_RETURN(
+                    Value v, EvaluateExpr(*agg->children[0], wctx));
+                group.states[a].Update(v);
+              }
+            }
+          }
+          return Status::Ok();
+        }));
+    std::map<std::string, Group> groups;
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      metrics.Accumulate(states[c].metrics);
+      mison_.AbsorbTelemetry(states[c].mison);
+      for (auto& [key, group] : partials[c]) {
+        auto it = groups.find(key);
+        if (it == groups.end()) {
+          groups.emplace(key, std::move(group));
         } else {
-          MAXSON_ASSIGN_OR_RETURN(Value v,
-                                  EvaluateExpr(*agg->children[0], ctx));
-          group.states[a].Update(v);
+          for (size_t a = 0; a < it->second.states.size(); ++a) {
+            it->second.states[a].Merge(group.states[a]);
+          }
         }
       }
     }
@@ -558,15 +680,31 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
     std::vector<size_t> order(filtered.num_rows());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
     if (!plan.order_by.empty()) {
-      // Precompute sort keys.
+      // Precompute sort keys, chunk-parallel: every row owns its slot in
+      // `sort_keys`, and the stable sort below sees the same key array
+      // regardless of which worker filled which slot.
       std::vector<std::vector<Value>> sort_keys(filtered.num_rows());
-      for (size_t r = 0; r < filtered.num_rows(); ++r) {
-        ctx.batch = &filtered;
-        ctx.row = r;
-        for (const auto& [expr, desc] : plan.order_by) {
-          MAXSON_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*expr, ctx));
-          sort_keys[r].push_back(std::move(v));
-        }
+      const std::vector<exec::ChunkRange> chunks =
+          exec::MakeChunks(filtered.num_rows(), kRowsPerChunk);
+      std::vector<ChunkState> states(chunks.size());
+      MAXSON_RETURN_NOT_OK(exec::ParallelFor(
+          pool, chunks.size(), [&](size_t c) -> Status {
+            EvalContext wctx = ctx;
+            wctx.batch = &filtered;
+            wctx.metrics = &states[c].metrics;
+            wctx.mison = &states[c].mison;
+            for (size_t r = chunks[c].begin; r < chunks[c].end; ++r) {
+              wctx.row = r;
+              for (const auto& [expr, desc] : plan.order_by) {
+                MAXSON_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*expr, wctx));
+                sort_keys[r].push_back(std::move(v));
+              }
+            }
+            return Status::Ok();
+          }));
+      for (size_t c = 0; c < chunks.size(); ++c) {
+        metrics.Accumulate(states[c].metrics);
+        mison_.AbsorbTelemetry(states[c].mison);
       }
       std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
         for (size_t k = 0; k < plan.order_by.size(); ++k) {
@@ -581,15 +719,32 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
         (plan.limit >= 0 && !plan.distinct)
             ? std::min<size_t>(order.size(), static_cast<size_t>(plan.limit))
             : order.size();
-    for (size_t i = 0; i < take; ++i) {
-      ctx.batch = &filtered;
-      ctx.row = order[i];
-      std::vector<Value> row;
-      for (const ExprPtr& p : plan.projections) {
-        MAXSON_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*p, ctx));
-        row.push_back(std::move(v));
-      }
-      out_rows.push_back(std::move(row));
+    // Chunk-parallel projection into preassigned output slots.
+    out_rows.resize(take);
+    const std::vector<exec::ChunkRange> chunks =
+        exec::MakeChunks(take, kRowsPerChunk);
+    std::vector<ChunkState> states(chunks.size());
+    MAXSON_RETURN_NOT_OK(exec::ParallelFor(
+        pool, chunks.size(), [&](size_t c) -> Status {
+          EvalContext wctx = ctx;
+          wctx.batch = &filtered;
+          wctx.metrics = &states[c].metrics;
+          wctx.mison = &states[c].mison;
+          for (size_t i = chunks[c].begin; i < chunks[c].end; ++i) {
+            wctx.row = order[i];
+            std::vector<Value> row;
+            row.reserve(plan.projections.size());
+            for (const ExprPtr& p : plan.projections) {
+              MAXSON_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*p, wctx));
+              row.push_back(std::move(v));
+            }
+            out_rows[i] = std::move(row);
+          }
+          return Status::Ok();
+        }));
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      metrics.Accumulate(states[c].metrics);
+      mison_.AbsorbTelemetry(states[c].mison);
     }
   }
 

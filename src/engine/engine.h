@@ -2,12 +2,14 @@
 #define MAXSON_ENGINE_ENGINE_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "engine/plan.h"
+#include "exec/thread_pool.h"
 #include "json/mison_parser.h"
 #include "xml/xml_path.h"
 
@@ -26,12 +28,21 @@ struct EngineConfig {
   /// happens. Sound for standard-encoded JSON (see json/raw_filter.h);
   /// opt-in because exotic escape-encoded data could defeat the needle.
   bool enable_raw_filter = false;
+  /// Parallelism degree of query execution (the paper's splits-across-
+  /// executors model, in process): splits are scanned and row chunks are
+  /// evaluated on this many threads. 0 = hardware concurrency; 1 runs
+  /// everything inline on the calling thread (the pre-parallel behaviour).
+  /// Results are byte-identical at every setting; see exec/thread_pool.h.
+  size_t num_threads = 0;
 };
 
 /// The mini analytical engine: SparkSQL's role in the paper. Parses SQL,
 /// plans (optionally letting a PlanRewriter — Maxson — modify the plan),
 /// and executes scan → [join] → filter → project/aggregate → sort → limit
-/// over CORC tables registered in the catalog.
+/// over CORC tables registered in the catalog. Scans fan their splits and
+/// the row-oriented operators fan fixed-size row chunks across the engine's
+/// thread pool; per-chunk buffers are merged in chunk order so query
+/// results do not depend on the thread count.
 class QueryEngine {
  public:
   QueryEngine(const catalog::Catalog* catalog, EngineConfig config);
@@ -46,6 +57,16 @@ class QueryEngine {
   const catalog::Catalog* catalog() const { return catalog_; }
   const EngineConfig& config() const { return config_; }
 
+  /// The pool executing this engine's parallel operators; shared with the
+  /// midnight cacher through MaxsonSession so queries and cache population
+  /// draw from one set of workers.
+  const std::shared_ptr<exec::ThreadPool>& pool() const { return pool_; }
+
+  /// Replaces the thread pool with one of degree `num_threads` (0 =
+  /// hardware concurrency). Must not be called while a query is executing;
+  /// holders of the previous pool (shared_ptr) keep it alive and usable.
+  void set_num_threads(size_t num_threads);
+
   /// Parses and plans `sql` without executing (used by the Fig. 13 bench to
   /// time plan generation with and without Maxson).
   Result<PhysicalPlan> Plan(const std::string& sql);
@@ -59,6 +80,9 @@ class QueryEngine {
                                   double plan_seconds);
 
   /// Speculation telemetry of the Mison backend (empty stats under kDom).
+  /// Workers extract with private parsers; their counters are folded in
+  /// here after each query, so this is cumulative across queries but must
+  /// not be read concurrently with a running Execute.
   const json::MisonParser& mison() const { return mison_; }
 
  private:
@@ -67,16 +91,27 @@ class QueryEngine {
 
   void RegisterBuiltinFunctions();
 
+  /// Returns the parsed JSONPath for `text` from the shared cache,
+  /// parsing and inserting on first sight; nullptr when the text is not a
+  /// valid path. Thread-safe; the returned pointer stays valid for the
+  /// engine's lifetime (unordered_map element references are stable).
+  const json::JsonPath* CachedJsonPath(const std::string& text);
+  const xml::XmlPath* CachedXmlPath(const std::string& text);
+
   const catalog::Catalog* catalog_;
   EngineConfig config_;
   PlanRewriter* rewriter_ = nullptr;
+  std::shared_ptr<exec::ThreadPool> pool_;
+  /// Long-lived telemetry accumulator and single-threaded fallback parser
+  /// (used only when an EvalContext carries no per-worker parser).
   json::MisonParser mison_;
   std::unordered_map<std::string, ScalarFunction> functions_;
-  /// Parse-time accounting sink for the currently executing query; set by
-  /// ExecutePlan around evaluation (single-threaded execution).
-  QueryMetrics* active_metrics_ = nullptr;
   /// Caches of parsed path objects keyed by text, to keep path parsing out
-  /// of the measured parse time.
+  /// of the measured parse time. Shared across worker threads: lookups
+  /// take the mutex shared, first-sight inserts take it exclusive — after
+  /// the first few rows every access is a shared-lock read, so the hot
+  /// extraction path sees no exclusive-lock contention.
+  std::shared_mutex path_cache_mutex_;
   std::unordered_map<std::string, json::JsonPath> path_cache_;
   std::unordered_map<std::string, xml::XmlPath> xml_path_cache_;
 };

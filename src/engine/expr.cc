@@ -321,7 +321,7 @@ Result<Value> EvaluateExpr(const Expr& expr, const EvalContext& ctx) {
         MAXSON_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*child, ctx));
         args.push_back(std::move(v));
       }
-      return (*fn)(args);
+      return (*fn)(args, ctx);
     }
     case ExprKind::kAggregate:
       return Status::Internal(

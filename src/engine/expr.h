@@ -10,7 +10,13 @@
 #include "storage/record_batch.h"
 #include "storage/types.h"
 
+namespace maxson::json {
+class MisonParser;
+}  // namespace maxson::json
+
 namespace maxson::engine {
+
+struct QueryMetrics;
 
 enum class ExprKind {
   kLiteral,
@@ -111,13 +117,19 @@ struct Expr {
   }
 };
 
-/// Callback evaluating a scalar function: given argument values, produce the
-/// function result. Registered per-engine so get_json_object can carry the
-/// configured parser backend and metrics sink.
-using ScalarFunction = std::function<storage::Value(
-    const std::vector<storage::Value>& args)>;
+struct EvalContext;
 
-/// Evaluation environment: the input batch/row plus the function registry.
+/// Callback evaluating a scalar function: given argument values and the
+/// evaluation environment, produce the function result. Registered
+/// per-engine so get_json_object can carry the configured parser backend;
+/// the context supplies the per-worker metrics sink and speculative parser
+/// so one engine can evaluate rows on many threads at once.
+using ScalarFunction = std::function<storage::Value(
+    const std::vector<storage::Value>& args, const EvalContext& ctx)>;
+
+/// Evaluation environment: the input batch/row plus the function registry
+/// and the per-worker execution state. One EvalContext is private to one
+/// worker; parallel operators hand each row chunk its own copy.
 struct EvalContext {
   const storage::RecordBatch* batch = nullptr;
   size_t row = 0;
@@ -125,6 +137,12 @@ struct EvalContext {
   const ScalarFunction* (*lookup_function)(const std::string& name,
                                            void* hook) = nullptr;
   void* lookup_hook = nullptr;
+  /// Per-worker parse accounting sink; null when parse time is unmeasured.
+  QueryMetrics* metrics = nullptr;
+  /// Per-worker speculative Mison parser (its pattern memoization mutates
+  /// on every extraction, so workers must not share one); null falls back
+  /// to the engine's single-threaded parser.
+  json::MisonParser* mison = nullptr;
 };
 
 /// Evaluates a bound, aggregate-free expression for one row. NULL propagates

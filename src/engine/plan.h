@@ -94,6 +94,23 @@ struct QueryMetrics {
   double TotalSeconds() const {
     return read_seconds + parse_seconds + compute_seconds;
   }
+
+  /// Folds another accumulator into this one; parallel operators give every
+  /// split/chunk its own QueryMetrics and merge them in split order after
+  /// the barrier, so counter totals are deterministic. Note that under
+  /// parallel execution the *_seconds fields are summed CPU time across
+  /// workers and can exceed the query's wall time.
+  void Accumulate(const QueryMetrics& other) {
+    plan_seconds += other.plan_seconds;
+    read_seconds += other.read_seconds;
+    parse_seconds += other.parse_seconds;
+    compute_seconds += other.compute_seconds;
+    read.Add(other.read);
+    parse.Add(other.parse);
+    shared_skips += other.shared_skips;
+    cache_columns_read += other.cache_columns_read;
+    raw_filtered_rows += other.raw_filtered_rows;
+  }
 };
 
 /// Result rows plus execution metrics.

@@ -217,7 +217,8 @@ Status ScanSplit(const ScanNode& scan, const Split& split,
 
 }  // namespace
 
-Result<RecordBatch> ExecuteScan(const ScanNode& scan, QueryMetrics* metrics) {
+Result<RecordBatch> ExecuteScan(const ScanNode& scan, QueryMetrics* metrics,
+                                exec::ThreadPool* pool) {
   Stopwatch timer;
   const Schema out_schema = ScanOutputSchema(scan);
   RecordBatch out(out_schema);
@@ -227,8 +228,21 @@ Result<RecordBatch> ExecuteScan(const ScanNode& scan, QueryMetrics* metrics) {
   if (splits.empty()) {
     return Status::NotFound("no part files under " + scan.table_dir);
   }
-  for (const Split& split : splits) {
-    MAXSON_RETURN_NOT_OK(ScanSplit(scan, split, out_schema, &out, metrics));
+  // One task per split, each running the full value-combiner pipeline into
+  // a private buffer with a private metrics accumulator; the merge below
+  // happens in split order, so row order and counter totals match
+  // sequential execution exactly.
+  std::vector<RecordBatch> buffers(splits.size());
+  std::vector<QueryMetrics> split_metrics(splits.size());
+  MAXSON_RETURN_NOT_OK(exec::ParallelFor(
+      pool, splits.size(), [&](size_t i) -> Status {
+        buffers[i] = RecordBatch(out_schema);
+        return ScanSplit(scan, splits[i], out_schema, &buffers[i],
+                         metrics != nullptr ? &split_metrics[i] : nullptr);
+      }));
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    if (metrics != nullptr) metrics->Accumulate(split_metrics[i]);
+    out.AppendBatch(std::move(buffers[i]));
   }
   if (metrics != nullptr) metrics->read_seconds += timer.ElapsedSeconds();
   return out;

@@ -3,6 +3,7 @@
 
 #include "common/result.h"
 #include "engine/plan.h"
+#include "exec/thread_pool.h"
 #include "storage/record_batch.h"
 
 namespace maxson::engine {
@@ -16,11 +17,17 @@ namespace maxson::engine {
 /// condition), the CacheReader's row-group exclusions are shared with the
 /// PrimaryReader so both skip the same groups (Algorithm 3).
 ///
+/// Splits execute in parallel on `pool` (one split = one task, the paper's
+/// unit of parallelism; null pool = sequential), each into a private
+/// buffer with private metrics; buffers and counters are merged in split
+/// order, so the output is byte-identical at every parallelism degree.
+///
 /// Returns the concatenated scan output (raw columns, qualified when the
 /// scan has a qualifier, followed by cache columns). Metrics accumulate
 /// read time, bytes, and shared-skip counts into `metrics`.
 Result<storage::RecordBatch> ExecuteScan(const ScanNode& scan,
-                                         QueryMetrics* metrics);
+                                         QueryMetrics* metrics,
+                                         exec::ThreadPool* pool = nullptr);
 
 }  // namespace maxson::engine
 

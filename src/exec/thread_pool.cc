@@ -1,0 +1,150 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace maxson::exec {
+
+namespace {
+
+size_t ResolveThreads(size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(ResolveThreads(num_threads)) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::EnsureStarted() {
+  if (started_) return;
+  started_ = true;
+  workers_.reserve(num_threads_ - 1);
+  for (size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (num_threads_ <= 1) {
+    task();  // degenerate pool: inline execution, no threads at all
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    EnsureStarted();
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool TaskGroup::State::RunOne() {
+  // Move the task out under the lock: a concurrent Spawn may reallocate
+  // `tasks`, so no reference into the vector can outlive the critical
+  // section.
+  std::function<Status()> task;
+  size_t index = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (pending.empty()) return false;
+    index = pending.front();
+    pending.pop_front();
+    task = std::move(tasks[index]);
+  }
+  Status status = task();
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    statuses[index] = std::move(status);
+    ++done;
+  }
+  cv.notify_all();
+  return true;
+}
+
+void TaskGroup::Spawn(std::function<Status()> fn) {
+  size_t index;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    index = state_->tasks.size();
+    state_->tasks.push_back(std::move(fn));
+    state_->statuses.push_back(Status::Ok());
+    state_->pending.push_back(index);
+  }
+  if (pool_ != nullptr && pool_->num_threads() > 1) {
+    // One pump per task: each pump runs at most one pending task (possibly
+    // a different one than was spawned with it, or none if Wait() already
+    // stole it). The shared_ptr keeps the state alive past the group.
+    std::shared_ptr<State> state = state_;
+    pool_->Submit([state] { state->RunOne(); });
+  }
+}
+
+Status TaskGroup::Wait() {
+  // Help: run pending tasks on the caller until none are left unstarted.
+  while (state_->RunOne()) {
+  }
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock,
+                  [this] { return state_->done == state_->tasks.size(); });
+  for (const Status& status : state_->statuses) {
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+Status ParallelFor(ThreadPool* pool, size_t n,
+                   const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::Ok();
+  if (pool == nullptr || pool->num_threads() <= 1 || n == 1) {
+    // Sequential mode still runs every index (matching the parallel error
+    // contract) and reports the first failure by index.
+    Status first = Status::Ok();
+    for (size_t i = 0; i < n; ++i) {
+      Status status = fn(i);
+      if (first.ok() && !status.ok()) first = std::move(status);
+    }
+    return first;
+  }
+  TaskGroup group(pool);
+  for (size_t i = 0; i < n; ++i) {
+    group.Spawn([&fn, i] { return fn(i); });
+  }
+  return group.Wait();
+}
+
+std::vector<ChunkRange> MakeChunks(size_t n, size_t chunk_rows) {
+  std::vector<ChunkRange> chunks;
+  if (n == 0) return chunks;
+  const size_t step = std::max<size_t>(1, chunk_rows);
+  chunks.reserve((n + step - 1) / step);
+  for (size_t begin = 0; begin < n; begin += step) {
+    chunks.push_back(ChunkRange{begin, std::min(n, begin + step)});
+  }
+  return chunks;
+}
+
+}  // namespace maxson::exec

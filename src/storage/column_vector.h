@@ -2,6 +2,7 @@
 #define MAXSON_STORAGE_COLUMN_VECTOR_H_
 
 #include <cstdint>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,21 @@ class ColumnVector {
   }
   /// Appends any Value; NULL and type-matching values only.
   void AppendValue(const Value& v);
+
+  /// Moves every cell of `other` (same type) onto the end of this column;
+  /// `other` is left empty. Bulk path for merging per-split scan buffers.
+  void AppendColumn(ColumnVector&& other) {
+    MAXSON_CHECK(type_ == other.type_);
+    nulls_.insert(nulls_.end(), other.nulls_.begin(), other.nulls_.end());
+    bools_.insert(bools_.end(), other.bools_.begin(), other.bools_.end());
+    ints_.insert(ints_.end(), other.ints_.begin(), other.ints_.end());
+    doubles_.insert(doubles_.end(), other.doubles_.begin(),
+                    other.doubles_.end());
+    strings_.insert(strings_.end(),
+                    std::make_move_iterator(other.strings_.begin()),
+                    std::make_move_iterator(other.strings_.end()));
+    other = ColumnVector(type_);
+  }
 
   bool GetBool(size_t i) const { return bools_[i] != 0; }
   int64_t GetInt64(size_t i) const { return ints_[i]; }

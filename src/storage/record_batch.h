@@ -39,6 +39,16 @@ class RecordBatch {
     }
   }
 
+  /// Moves all rows of `other` (same schema shape) onto the end of this
+  /// batch column-wise; `other` is left empty. Used to merge per-split /
+  /// per-chunk buffers in deterministic order after parallel execution.
+  void AppendBatch(RecordBatch&& other) {
+    MAXSON_CHECK(other.columns_.size() == columns_.size());
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      columns_[i].AppendColumn(std::move(other.columns_[i]));
+    }
+  }
+
   /// Extracts row `i` as boxed values.
   std::vector<Value> GetRow(size_t i) const {
     std::vector<Value> row;

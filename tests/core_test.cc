@@ -1,4 +1,5 @@
 #include <filesystem>
+#include <optional>
 #include <set>
 #include <string>
 
@@ -40,13 +41,13 @@ TEST(CacheRegistryTest, PutFindInvalidateClear) {
   entry.cache_time = 5;
   registry.Put(entry);
 
-  const CacheEntry* found = registry.Find(Loc("t", "$.a"));
-  ASSERT_NE(found, nullptr);
+  const std::optional<CacheEntry> found = registry.Lookup(Loc("t", "$.a"));
+  ASSERT_TRUE(found.has_value());
   EXPECT_TRUE(found->valid);
-  EXPECT_EQ(registry.Find(Loc("t", "$.b")), nullptr);
+  EXPECT_FALSE(registry.Lookup(Loc("t", "$.b")).has_value());
 
   registry.Invalidate(Loc("t", "$.a"));
-  EXPECT_FALSE(registry.Find(Loc("t", "$.a"))->valid);
+  EXPECT_FALSE(registry.Lookup(Loc("t", "$.a"))->valid);
 
   const std::vector<std::string> dirs = registry.Clear();
   ASSERT_EQ(dirs.size(), 1u);
@@ -70,13 +71,13 @@ TEST(CacheRegistryTest, JsonRoundTripPreservesEntries) {
   auto restored = CacheRegistry::FromJson(registry.ToJson());
   ASSERT_TRUE(restored.ok()) << restored.status();
   EXPECT_EQ(restored->size(), 2u);
-  const CacheEntry* a = restored->Find(Loc("t", "$.a.b"));
-  ASSERT_NE(a, nullptr);
+  const std::optional<CacheEntry> a = restored->Lookup(Loc("t", "$.a.b"));
+  ASSERT_TRUE(a.has_value());
   EXPECT_TRUE(a->valid);
   EXPECT_EQ(a->cache_time, 12);
   EXPECT_EQ(a->cache_table_dir, "/cache/mydb.t");
-  const CacheEntry* c = restored->Find(Loc("t", "$.c"));
-  ASSERT_NE(c, nullptr);
+  const std::optional<CacheEntry> c = restored->Lookup(Loc("t", "$.c"));
+  ASSERT_TRUE(c.has_value());
   EXPECT_FALSE(c->valid);
 }
 
@@ -94,7 +95,7 @@ TEST(CacheRegistryTest, SaveLoadAndRejectGarbage) {
   ASSERT_TRUE(registry.Save(path).ok());
   auto loaded = CacheRegistry::Load(path);
   ASSERT_TRUE(loaded.ok());
-  EXPECT_NE(loaded->Find(Loc("t", "$.x")), nullptr);
+  EXPECT_TRUE(loaded->Lookup(Loc("t", "$.x")).has_value());
   std::filesystem::remove(path);
 
   EXPECT_FALSE(CacheRegistry::FromJson("not json").ok());

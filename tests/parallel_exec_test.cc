@@ -1,0 +1,288 @@
+// Determinism and concurrency tests of the parallel execution runtime:
+// Execute() must return byte-identical results at every parallelism degree
+// (scan order, aggregate values including floating-point sums, and integer
+// metric counters), and a midnight caching cycle racing query execution
+// must never corrupt state — queries either succeed with correct rows or
+// fail cleanly when the cycle deletes cache files under them.
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/maxson.h"
+#include "gtest/gtest.h"
+#include "storage/file_system.h"
+#include "workload/data_generator.h"
+#include "workload/query_templates.h"
+
+namespace maxson {
+namespace {
+
+using catalog::Catalog;
+using core::MaxsonConfig;
+using core::MaxsonSession;
+using storage::FileSystem;
+using workload::JsonPathLocation;
+using workload::JsonTableSpec;
+
+/// Renders a batch (schema + every cell) into one string. Doubles use %.17g
+/// so distinct IEEE-754 values render distinctly: equal strings mean
+/// byte-identical results, including floating-point accumulation order.
+std::string BatchFingerprint(const storage::RecordBatch& batch) {
+  std::string out;
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    out += batch.schema().field(c).name + "|";
+  }
+  out += "\n";
+  char buffer[64];
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      const storage::ColumnVector& col = batch.column(c);
+      if (col.IsNull(r)) {
+        out += "NULL";
+      } else {
+        switch (col.type()) {
+          case storage::TypeKind::kBool:
+            out += col.GetBool(r) ? "true" : "false";
+            break;
+          case storage::TypeKind::kInt64:
+            std::snprintf(buffer, sizeof(buffer), "%" PRId64, col.GetInt64(r));
+            out += buffer;
+            break;
+          case storage::TypeKind::kDouble:
+            std::snprintf(buffer, sizeof(buffer), "%.17g", col.GetDouble(r));
+            out += buffer;
+            break;
+          case storage::TypeKind::kString:
+            out += col.GetString(r);
+            break;
+        }
+      }
+      out += "|";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+/// The integer metric counters that must be independent of the parallelism
+/// degree (the *_seconds fields are wall/CPU time and naturally vary).
+std::string CounterFingerprint(const engine::QueryMetrics& m) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "read_bytes=%llu rows=%llu groups=%llu skipped=%llu "
+                "parsed=%llu parse_bytes=%llu shared=%llu cache_cols=%llu "
+                "prefiltered=%llu",
+                static_cast<unsigned long long>(m.read.bytes_read),
+                static_cast<unsigned long long>(m.read.rows_read),
+                static_cast<unsigned long long>(m.read.row_groups_read),
+                static_cast<unsigned long long>(m.read.row_groups_skipped),
+                static_cast<unsigned long long>(m.parse.records_parsed),
+                static_cast<unsigned long long>(m.parse.bytes_parsed),
+                static_cast<unsigned long long>(m.shared_skips),
+                static_cast<unsigned long long>(m.cache_columns_read),
+                static_cast<unsigned long long>(m.raw_filtered_rows));
+  return buffer;
+}
+
+class ParallelExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (std::filesystem::temp_directory_path() /
+             ("maxson_parallel_" + std::to_string(::getpid())))
+                .string();
+    ASSERT_TRUE(FileSystem::RemoveAll(root_).ok());
+  }
+  void TearDown() override { ASSERT_TRUE(FileSystem::RemoveAll(root_).ok()); }
+
+  /// Multi-split table: 2800 rows at 700 rows/file = 4 splits, 100-row
+  /// groups, with schema variability so some paths are NULL.
+  void MakeTable(const std::string& table, uint64_t rows = 2800) {
+    JsonTableSpec spec;
+    spec.database = "db";
+    spec.table = table;
+    spec.num_properties = 12;
+    spec.avg_json_bytes = 300;
+    spec.schema_variability = 0.3;
+    spec.rows = rows;
+    spec.rows_per_file = 700;
+    spec.rows_per_group = 100;
+    spec.seed = 91;
+    auto generated =
+        workload::GenerateJsonTable(spec, root_ + "/warehouse", 3, &catalog_);
+    ASSERT_TRUE(generated.ok()) << generated.status();
+  }
+
+  MaxsonSession MakeSession(size_t num_threads) {
+    MaxsonConfig config;
+    config.cache_root = root_ + "/cache_t" + std::to_string(num_threads);
+    config.engine.default_database = "db";
+    config.engine.num_threads = num_threads;
+    config.predictor.epochs = 5;
+    return MaxsonSession(&catalog_, config);
+  }
+
+  std::string root_;
+  Catalog catalog_;
+};
+
+TEST_F(ParallelExecTest, ExecuteIsByteIdenticalAcrossThreadCounts) {
+  MakeTable("t");
+  const std::vector<std::string> queries = {
+      // Plain ORDER BY-less scan: row order must follow split order.
+      "SELECT id, get_json_object(payload, '$.f1') FROM db.t",
+      // Filter + projection.
+      "SELECT id FROM db.t WHERE get_json_object(payload, '$.f2') IS NOT "
+      "NULL",
+      // Aggregation with floating-point SUM/AVG: accumulation association
+      // must not depend on the worker count.
+      "SELECT get_json_object(payload, '$.f0') AS k, COUNT(*), "
+      "SUM(length(get_json_object(payload, '$.f1'))), "
+      "AVG(length(payload)) FROM db.t GROUP BY k",
+      // Global aggregate.
+      "SELECT COUNT(*), MIN(id), MAX(id) FROM db.t",
+      // Sort over a computed key.
+      "SELECT id FROM db.t ORDER BY get_json_object(payload, '$.f3') DESC, "
+      "id LIMIT 50",
+  };
+
+  std::vector<std::string> baseline_batches;
+  std::vector<std::string> baseline_counters;
+  for (const size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    MaxsonSession session = MakeSession(threads);
+    for (size_t q = 0; q < queries.size(); ++q) {
+      auto result = session.Execute(queries[q]);
+      ASSERT_TRUE(result.ok())
+          << "threads=" << threads << " q=" << q << ": " << result.status();
+      const std::string batch = BatchFingerprint(result->batch);
+      const std::string counters = CounterFingerprint(result->metrics);
+      if (threads == 1) {
+        baseline_batches.push_back(batch);
+        baseline_counters.push_back(counters);
+      } else {
+        EXPECT_EQ(batch, baseline_batches[q])
+            << "batch diverged at threads=" << threads << " q=" << q;
+        EXPECT_EQ(counters, baseline_counters[q])
+            << "counters diverged at threads=" << threads << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST_F(ParallelExecTest, CachedExecutionIsByteIdenticalAcrossThreadCounts) {
+  MakeTable("t");
+  const std::string query =
+      "SELECT id, get_json_object(payload, '$.f0') AS a, "
+      "get_json_object(payload, '$.f1') AS b FROM db.t "
+      "WHERE get_json_object(payload, '$.f0') IS NOT NULL";
+
+  std::string baseline;
+  for (const size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    MaxsonSession session = MakeSession(threads);
+    // Feed history so the midnight cycle caches $.f0/$.f1, then query
+    // through the rewritten (cache-reading) path.
+    for (int day = 0; day < 14; ++day) {
+      for (int rep = 0; rep < 3; ++rep) {
+        workload::QueryRecord record;
+        record.date = day;
+        for (const char* path : {"$.f0", "$.f1"}) {
+          JsonPathLocation loc;
+          loc.database = "db";
+          loc.table = "t";
+          loc.column = "payload";
+          loc.path = path;
+          record.paths.push_back(loc);
+        }
+        session.collector()->Record(record);
+      }
+    }
+    ASSERT_TRUE(session.TrainPredictor(8, 13).ok());
+    auto report = session.RunMidnightCycle(14);
+    ASSERT_TRUE(report.ok()) << report.status();
+    ASSERT_GT(report->selected.size(), 0u);
+
+    auto result = session.Execute(query);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_GT(result->metrics.cache_columns_read, 0u)
+        << "query did not hit the cache at threads=" << threads;
+    const std::string batch = BatchFingerprint(result->batch);
+    if (threads == 1) {
+      baseline = batch;
+    } else {
+      EXPECT_EQ(batch, baseline) << "diverged at threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ParallelExecTest, MidnightCycleRacingQueriesIsSafe) {
+  MakeTable("t", 1400);  // 2 splits: keeps the race iterations fast
+  MaxsonSession session = MakeSession(4);
+  for (int day = 0; day < 14; ++day) {
+    for (int rep = 0; rep < 3; ++rep) {
+      workload::QueryRecord record;
+      record.date = day;
+      JsonPathLocation loc;
+      loc.database = "db";
+      loc.table = "t";
+      loc.column = "payload";
+      loc.path = "$.f0";
+      record.paths.push_back(loc);
+      session.collector()->Record(record);
+    }
+  }
+  ASSERT_TRUE(session.TrainPredictor(8, 13).ok());
+  ASSERT_TRUE(session.RunMidnightCycle(14).ok());
+
+  // Uncached truth for correctness checks of successful racing queries.
+  const std::string query =
+      "SELECT id, get_json_object(payload, '$.f0') FROM db.t";
+  auto truth = session.ExecuteWithoutCache(query);
+  ASSERT_TRUE(truth.ok()) << truth.status();
+  const std::string expected = BatchFingerprint(truth->batch);
+
+  // One thread re-runs midnight cycles (each Clear()s the registry and
+  // deletes + rewrites the cache tables) while this thread hammers queries
+  // whose plans rewrite against that registry.
+  std::atomic<bool> stop{false};
+  std::atomic<int> cycles{0};
+  std::thread midnight([&] {
+    int day = 15;
+    while (!stop.load()) {
+      auto report = session.RunMidnightCycle(day++);
+      EXPECT_TRUE(report.ok()) << report.status();
+      ++cycles;
+    }
+  });
+
+  int ok_queries = 0;
+  int failed_queries = 0;
+  for (int i = 0; i < 60; ++i) {
+    auto result = session.Execute(query);
+    if (result.ok()) {
+      // A successful execution must be correct regardless of whether it
+      // read cached or raw values.
+      EXPECT_EQ(BatchFingerprint(result->batch), expected) << "iteration " << i;
+      ++ok_queries;
+    } else {
+      // The cycle deleted cache files between plan rewrite and scan: the
+      // documented transient failure mode. Must be a clean Status, which
+      // reaching this branch already proves.
+      ++failed_queries;
+    }
+  }
+  stop.store(true);
+  midnight.join();
+
+  EXPECT_GT(ok_queries, 0);
+  EXPECT_GT(cycles.load(), 0);
+  // Informational: transient failures are legal, silence unused warnings.
+  (void)failed_queries;
+}
+
+}  // namespace
+}  // namespace maxson

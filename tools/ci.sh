@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# CI entry point: Release build + full test suite, then a ThreadSanitizer
+# build + full test suite (the parallel execution runtime must be clean
+# under TSan), then the thread-scaling bench (emits BENCH_scaling.json).
+#
+# Usage: tools/ci.sh [--skip-tsan] [--skip-bench]
+# Runs from anywhere; build trees land in build-ci/ and build-tsan/.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+run_tsan=1
+run_bench=1
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) run_tsan=0 ;;
+    --skip-bench) run_bench=0 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "=== Release build + tests ==="
+cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-ci -j "$JOBS"
+ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "=== ThreadSanitizer build + tests ==="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMAXSON_SANITIZE=thread
+  cmake --build build-tsan -j "$JOBS"
+  # halt_on_error surfaces the first race as a test failure instead of a
+  # warning buried in the log.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$run_bench" == 1 ]]; then
+  echo "=== Thread-scaling bench ==="
+  ./build-ci/bench/scaling_threads
+fi
+
+echo "CI OK"

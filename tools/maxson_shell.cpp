@@ -15,9 +15,11 @@
 //   .midnight DAY             run the predict -> score -> cache cycle
 //   .cache                    show current cache registry entries
 //   .metrics on|off           toggle per-query metric printing
+//   .threads N                resize the execution pool (also: set threads N)
 //   .quit
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -40,6 +42,7 @@ struct ShellOptions {
   std::string registry;
   std::string database = "default";
   bool mison = false;
+  size_t threads = 1;  // 0 = hardware concurrency
 };
 
 void PrintHelp() {
@@ -50,6 +53,8 @@ void PrintHelp() {
       ".midnight DAY        run the nightly predict/score/cache cycle\n"
       ".cache               show cache registry entries\n"
       ".metrics on|off      toggle per-query metrics\n"
+      ".threads N           resize the execution pool (0 = all cores);\n"
+      "                     `set threads N` works too\n"
       ".quit                exit\n"
       "anything else        executed as SQL\n");
 }
@@ -86,6 +91,7 @@ int Run(const ShellOptions& options) {
   config.engine.json_backend = options.mison
                                    ? maxson::engine::JsonBackend::kMison
                                    : maxson::engine::JsonBackend::kDom;
+  config.engine.num_threads = options.threads;
   MaxsonSession session(&*catalog, config);
   bool show_metrics = true;
 
@@ -137,8 +143,8 @@ int Run(const ShellOptions& options) {
                     report->predicted_mpjps.size(), report->selected.size(),
                     report->caching.total_seconds);
       } else if (cmd == ".cache") {
-        for (const auto& [key, entry] : session.registry()->entries()) {
-          std::printf("  %-50s %s t=%lld %s\n", key.c_str(),
+        for (const auto& entry : session.registry()->Snapshot()) {
+          std::printf("  %-50s %s t=%lld %s\n", entry.location.Key().c_str(),
                       entry.cache_field.c_str(),
                       static_cast<long long>(entry.cache_time),
                       entry.valid ? "valid" : "INVALID");
@@ -148,8 +154,30 @@ int Run(const ShellOptions& options) {
         std::string mode;
         args >> mode;
         show_metrics = mode != "off";
+      } else if (cmd == ".threads") {
+        size_t n = 0;
+        if (!(args >> n)) {
+          std::printf("threads: %zu\n", session.pool()->num_threads());
+          continue;
+        }
+        session.set_num_threads(n);
+        std::printf("threads: %zu\n", session.pool()->num_threads());
       } else {
         std::printf("unknown command %s; try .help\n", cmd.c_str());
+      }
+      continue;
+    }
+
+    // `set threads N` — SQL-flavored spelling of .threads for scripts.
+    if (trimmed.rfind("set threads", 0) == 0 ||
+        trimmed.rfind("SET THREADS", 0) == 0) {
+      std::istringstream args(trimmed.substr(std::strlen("set threads")));
+      size_t n = 0;
+      if (args >> n) {
+        session.set_num_threads(n);
+        std::printf("threads: %zu\n", session.pool()->num_threads());
+      } else {
+        std::printf("usage: set threads N\n");
       }
       continue;
     }
@@ -194,9 +222,12 @@ int main(int argc, char** argv) {
       if (const char* v = next()) options.database = v;
     } else if (arg == "--mison") {
       options.mison = true;
+    } else if (arg == "--threads") {
+      if (const char* v = next()) options.threads = std::strtoul(v, nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: maxson_shell --warehouse DIR [--cache DIR] "
-                  "[--registry FILE] [--database NAME] [--mison]\n");
+                  "[--registry FILE] [--database NAME] [--mison] "
+                  "[--threads N]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
