@@ -94,7 +94,7 @@ int main() {
       maxson::workload::QueryRecord q;
       q.date = day;
       q.paths = {f1, f2};
-      session.collector()->Record(q);
+      session.RecordQuery(q);
     }
   }
   if (!session.TrainPredictor(8, 13).ok() ||

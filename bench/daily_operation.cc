@@ -119,7 +119,7 @@ int main() {
       QueryRecord q;
       q.date = day;
       q.paths = query_paths;
-      session.collector()->Record(q);
+      session.RecordQuery(q);
     }
   }
   if (!session.TrainPredictor(8, 13).ok()) {
@@ -151,7 +151,7 @@ int main() {
       QueryRecord q;
       q.date = day;
       q.paths = query_paths;
-      session.collector()->Record(q);
+      session.RecordQuery(q);
     }
     auto midnight = session.RunMidnightCycle(day + 1);
     if (!midnight.ok()) {

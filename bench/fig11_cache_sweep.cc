@@ -17,12 +17,10 @@
 
 #include "bench/bench_util.h"
 #include "catalog/catalog.h"
-#include "core/cacher.h"
 #include "core/maxson.h"
 #include "core/scoring.h"
 #include "workload/query_templates.h"
 
-using maxson::core::JsonPathCacher;
 using maxson::core::MaxsonConfig;
 using maxson::core::MaxsonSession;
 using maxson::core::ScoredMpjp;
@@ -110,7 +108,7 @@ int main() {
         maxson::workload::QueryRecord record;
         record.date = day;
         record.paths = q.paths;
-        session.collector()->Record(record);
+        session.RecordQuery(record);
       }
     }
   }
@@ -120,8 +118,7 @@ int main() {
   }
 
   // Predict + score once; selection then varies by budget and strategy.
-  const auto predicted =
-      session.predictor()->PredictMpjps(*session.collector(), 14);
+  const auto predicted = session.PredictMpjps(14);
   auto scored_or = session.ScoreCandidates(predicted, 14);
   if (!scored_or.ok()) {
     std::fprintf(stderr, "%s\n", scored_or.status().ToString().c_str());
@@ -139,8 +136,6 @@ int main() {
   const double no_cache_total = RunSuite(&session, queries, false, nullptr);
   std::printf("no cache: total %.2f s\n\n", no_cache_total);
 
-  JsonPathCacher cacher(&catalog, config.cache_root);
-
   struct Row {
     std::string label;
     double total;
@@ -155,7 +150,7 @@ int main() {
     const uint64_t budget = static_cast<uint64_t>(
         static_cast<double>(total_mpjp_bytes) * fraction + 0.5);
     auto selected = maxson::core::SelectWithinBudget(std::move(ordered), budget);
-    auto stats = cacher.RepopulateCache(selected, 14, session.registry());
+    auto stats = session.CacheSelected(selected, 14);
     if (!stats.ok()) {
       std::fprintf(stderr, "caching failed: %s\n",
                    stats.status().ToString().c_str());

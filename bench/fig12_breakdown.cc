@@ -55,7 +55,7 @@ int main() {
         maxson::workload::QueryRecord record;
         record.date = day;
         record.paths = q.paths;
-        session.collector()->Record(record);
+        session.RecordQuery(record);
       }
     }
   }

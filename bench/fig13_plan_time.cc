@@ -49,7 +49,7 @@ int main() {
         maxson::workload::QueryRecord record;
         record.date = day;
         record.paths = q.paths;
-        session.collector()->Record(record);
+        session.RecordQuery(record);
       }
     }
   }
@@ -68,10 +68,9 @@ int main() {
   double total_overhead_us = 0;
   for (const BenchmarkQuery& q : queries) {
     // Spark-style planning: rewriter disabled.
-    session.engine()->set_plan_rewriter(nullptr);
     maxson::Stopwatch spark_timer;
     for (int i = 0; i < kRepeats; ++i) {
-      auto plan = session.engine()->Plan(q.sql);
+      auto plan = session.PlanWithoutCache(q.sql);
       if (!plan.ok()) {
         std::fprintf(stderr, "%s plan failed: %s\n", q.name.c_str(),
                      plan.status().ToString().c_str());
@@ -80,10 +79,9 @@ int main() {
     }
     const double spark_us = spark_timer.ElapsedSeconds() * 1e6 / kRepeats;
 
-    session.engine()->set_plan_rewriter(session.parser());
     maxson::Stopwatch maxson_timer;
     for (int i = 0; i < kRepeats; ++i) {
-      auto plan = session.engine()->Plan(q.sql);
+      auto plan = session.Plan(q.sql);
       if (!plan.ok()) {
         std::fprintf(stderr, "%s maxson plan failed: %s\n", q.name.c_str(),
                      plan.status().ToString().c_str());

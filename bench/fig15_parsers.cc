@@ -14,7 +14,6 @@
 
 #include "bench/bench_util.h"
 #include "catalog/catalog.h"
-#include "core/cacher.h"
 #include "core/maxson.h"
 #include "workload/query_templates.h"
 
@@ -64,7 +63,7 @@ int main() {
         maxson::workload::QueryRecord record;
         record.date = day;
         record.paths = q.paths;
-        dom.collector()->Record(record);
+        dom.RecordQuery(record);
       }
     }
   }
@@ -72,7 +71,7 @@ int main() {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  const auto predicted = dom.predictor()->PredictMpjps(*dom.collector(), 14);
+  const auto predicted = dom.PredictMpjps(14);
   auto scored = dom.ScoreCandidates(predicted, 14);
   if (!scored.ok()) {
     std::fprintf(stderr, "%s\n", scored.status().ToString().c_str());
@@ -82,16 +81,13 @@ int main() {
   for (const auto& s : *scored) total_bytes += s.candidate.estimated_cache_bytes;
   auto selected = maxson::core::SelectWithinBudget(
       *scored, static_cast<uint64_t>(total_bytes * 0.75));
-  maxson::core::JsonPathCacher cacher(&catalog, dom_config.cache_root);
-  auto stats = cacher.RepopulateCache(selected, 14, dom.registry());
+  auto stats = dom.CacheSelected(selected, 14);
   if (!stats.ok()) {
     std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
     return 1;
   }
   // Mirror the registry into the Mison session (shared cache tables).
-  for (const auto& entry : dom.registry()->Snapshot()) {
-    mison.registry()->Put(entry);
-  }
+  mison.ImportCacheEntries(dom.registry().Snapshot());
   std::set<std::string> cached_keys;
   for (const auto& s : selected) cached_keys.insert(s.candidate.location.Key());
   std::printf("cached %zu/%zu MPJPs at the 75%%-footprint budget\n\n",

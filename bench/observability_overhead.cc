@@ -1,0 +1,133 @@
+// Instrumentation overhead of the observability layer on a Fig.-12-style
+// cached query (Q2): per-operator stats, metric publication, and — when
+// enabled — trace spans all run inside Execute(), so their cost must stay
+// in the noise (<5% of query time).
+//
+// Writes BENCH_observability.json with the measured medians and the
+// overhead of tracing on vs off.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "catalog/catalog.h"
+#include "common/time_util.h"
+#include "core/maxson.h"
+#include "workload/query_templates.h"
+
+using maxson::core::MaxsonConfig;
+using maxson::core::MaxsonSession;
+using maxson::workload::BenchmarkQuery;
+
+namespace {
+
+/// Median wall seconds of `repeats` executions of `sql`.
+double MedianSeconds(MaxsonSession* session, const std::string& sql,
+                     int repeats) {
+  std::vector<double> times;
+  times.reserve(repeats);
+  for (int i = 0; i < repeats; ++i) {
+    maxson::Stopwatch timer;
+    auto result = session->Execute(sql);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      std::exit(1);
+    }
+    times.push_back(timer.ElapsedSeconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  maxson::bench::PrintHeader(
+      "Observability overhead — instrumented query time, tracing off vs on",
+      "per-operator stats, metric publication and trace spans must cost "
+      "<5% of a Fig.-12-style cached query");
+
+  maxson::bench::BenchWorkspace workspace("obs_overhead");
+  maxson::catalog::Catalog catalog;
+  maxson::workload::BenchmarkSuiteOptions suite;
+  suite.bytes_per_table = 6ull << 20;
+  suite.max_rows = 30000;
+  auto all_queries = maxson::workload::MakeTableIIQueries(suite);
+  std::vector<BenchmarkQuery> queries;
+  for (auto& q : all_queries) {
+    if (q.name == "Q2") queries.push_back(std::move(q));
+  }
+  if (auto st = maxson::workload::GenerateBenchmarkTables(
+          queries, workspace.dir() + "/warehouse", suite, &catalog);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  maxson::obs::MetricsRegistry registry;
+  MaxsonConfig config;
+  config.cache_root = workspace.dir() + "/cache";
+  config.engine.default_database = "bench";
+  config.predictor.epochs = 6;
+  config.metrics = &registry;
+  MaxsonSession session(&catalog, config);
+  for (int day = 0; day < 14; ++day) {
+    for (const BenchmarkQuery& q : queries) {
+      for (int rep = 0; rep < 2; ++rep) {
+        maxson::workload::QueryRecord record;
+        record.date = day;
+        record.paths = q.paths;
+        session.RecordQuery(record);
+      }
+    }
+  }
+  if (auto st = session.TrainPredictor(8, 13); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (auto report = session.RunMidnightCycle(14); !report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::string& sql = queries[0].sql;
+  const int kRepeats = 31;
+  MedianSeconds(&session, sql, 5);  // warm up page cache and code paths
+
+  const double off_s = MedianSeconds(&session, sql, kRepeats);
+
+  maxson::core::SessionUpdate enable_tracing;
+  enable_tracing.tracing = true;
+  if (auto st = session.UpdateConfig(enable_tracing); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const double on_s = MedianSeconds(&session, sql, kRepeats);
+  session.ClearTrace();
+
+  const double overhead_pct = off_s <= 0 ? 0 : (on_s - off_s) / off_s * 100.0;
+  const bool pass = overhead_pct < 5.0;
+  std::printf("Q2 cached, median of %d runs:\n", kRepeats);
+  std::printf("  metrics only (tracing off): %8.2f ms\n", off_s * 1e3);
+  std::printf("  metrics + trace spans:      %8.2f ms\n", on_s * 1e3);
+  std::printf("  tracing overhead:           %+7.1f%%  (budget <5%%: %s)\n",
+              overhead_pct, pass ? "PASS" : "FAIL");
+  std::printf("  counter series published:   %zu\n",
+              registry.CounterTotals().size());
+
+  std::ofstream json("BENCH_observability.json", std::ios::trunc);
+  json << "{\n  \"bench\": \"observability_overhead\",\n"
+       << "  \"query\": \"Q2\",\n"
+       << "  \"repeats\": " << kRepeats << ",\n"
+       << "  \"tracing_off_ms\": " << off_s * 1e3 << ",\n"
+       << "  \"tracing_on_ms\": " << on_s * 1e3 << ",\n"
+       << "  \"overhead_percent\": " << overhead_pct << ",\n"
+       << "  \"budget_percent\": 5.0,\n"
+       << "  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+  json.close();
+  std::printf("wrote BENCH_observability.json\n");
+  return pass ? 0 : 1;
+}

@@ -120,7 +120,12 @@ int main() {
     std::string baseline_fp;
     double baseline_seconds = 0;
     for (const size_t threads : degrees) {
-      session.set_num_threads(threads);
+      maxson::core::SessionUpdate update;
+      update.num_threads = threads;
+      if (auto st = session.UpdateConfig(update); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
       // Warmup (first run pays page-cache and speculation-training costs),
       // then best-of-kReps.
       auto warm = session.Execute(q.sql);

@@ -67,7 +67,7 @@ int main() {
       QueryRecord q;
       q.date = day;
       q.paths = {loc("$.f1"), loc("$.f2")};
-      session.collector()->Record(q);
+      session.RecordQuery(q);
     }
   }
 

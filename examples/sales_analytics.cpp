@@ -100,13 +100,13 @@ int main() {
       QueryRecord q;
       q.date = day;
       q.paths = r.paths;
-      session.collector()->Record(q);
+      session.RecordQuery(q);
     }
     if (day % 7 == 6) {
       QueryRecord audit;
       audit.date = day;
       audit.paths = {Loc("$.f9")};
-      session.collector()->Record(audit);
+      session.RecordQuery(audit);
     }
   }
 

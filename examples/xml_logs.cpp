@@ -88,7 +88,7 @@ int main() {
       q.date = day;
       q.paths = {loc("/machine/@host"), loc("/machine/cpu/load"),
                  loc("/machine/status")};
-      session.collector()->Record(q);
+      session.RecordQuery(q);
     }
   }
   if (!session.TrainPredictor(8, 13).ok()) return 1;

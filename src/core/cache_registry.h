@@ -1,6 +1,7 @@
 #ifndef MAXSON_CORE_CACHE_REGISTRY_H_
 #define MAXSON_CORE_CACHE_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -71,9 +72,22 @@ class CacheRegistry {
   std::optional<CacheEntry> Lookup(
       const workload::JsonPathLocation& location) const {
     std::shared_lock<std::shared_mutex> lock(mutex_);
+    lookups_.fetch_add(1, std::memory_order_relaxed);
     auto it = entries_.find(location.Key());
     if (it == entries_.end()) return std::nullopt;
+    if (it->second.valid) {
+      lookup_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
     return it->second;
+  }
+
+  /// Lifetime Lookup() traffic: total probes and probes that found a valid
+  /// entry. Observability only — the registry itself never acts on these.
+  uint64_t lookups() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+  uint64_t lookup_hits() const {
+    return lookup_hits_.load(std::memory_order_relaxed);
   }
 
   /// Marks an entry invalid (raw table modified after caching).
@@ -114,6 +128,10 @@ class CacheRegistry {
  private:
   mutable std::shared_mutex mutex_;
   std::map<std::string, CacheEntry> entries_;
+  /// Mutable: Lookup is logically const; counting probes does not mutate
+  /// the registry's observable cache state.
+  mutable std::atomic<uint64_t> lookups_{0};
+  mutable std::atomic<uint64_t> lookup_hits_{0};
 };
 
 /// Canonical field name of a cached JSONPath inside a cache table file:

@@ -3,16 +3,23 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/time_util.h"
 
 namespace maxson::core {
 
 MaxsonSession::MaxsonSession(const catalog::Catalog* catalog,
                              MaxsonConfig config)
     : catalog_(catalog), config_(std::move(config)) {
+  metrics_ = config_.metrics != nullptr ? config_.metrics
+                                        : &obs::MetricsRegistry::Global();
+  trace_recorder_.set_enabled(config_.enable_tracing);
   predictor_ = std::make_unique<JsonPathPredictor>(config_.predictor);
   parser_ = std::make_unique<MaxsonParser>(catalog_, &registry_);
+  parser_->set_metrics_registry(metrics_);
   engine_ = std::make_unique<engine::QueryEngine>(catalog_, config_.engine);
   engine_->set_plan_rewriter(parser_.get());
+  engine_->set_metrics_registry(metrics_);
+  engine_->set_tracer(&trace_recorder_);
   cacher_ = std::make_unique<JsonPathCacher>(catalog_, config_.cache_root,
                                              config_.engine.json_backend);
   // Queries and midnight pre-parsing share one pool, so a deployment's
@@ -67,25 +74,77 @@ Result<std::vector<ScoredMpjp>> MaxsonSession::ScoreCandidates(
 }
 
 Result<MidnightReport> MaxsonSession::RunMidnightCycle(DateId target_day) {
+  obs::TraceSpan cycle_span(&trace_recorder_, "midnight", "midnight");
+  Stopwatch cycle_timer;
   MidnightReport report;
-  report.predicted_mpjps = predictor_->PredictMpjps(collector_, target_day);
-  MAXSON_ASSIGN_OR_RETURN(
-      std::vector<ScoredMpjp> scored,
-      ScoreCandidates(report.predicted_mpjps, target_day));
+  {
+    obs::TraceSpan span(&trace_recorder_, "midnight.predict", "midnight");
+    report.predicted_mpjps = predictor_->PredictMpjps(collector_, target_day);
+  }
+  std::vector<ScoredMpjp> scored;
+  {
+    obs::TraceSpan span(&trace_recorder_, "midnight.score", "midnight");
+    MAXSON_ASSIGN_OR_RETURN(
+        scored, ScoreCandidates(report.predicted_mpjps, target_day));
+  }
   report.selected =
       config_.random_selection
           ? SelectRandomWithinBudget(std::move(scored),
                                      config_.cache_budget_bytes,
                                      config_.random_seed)
           : SelectWithinBudget(std::move(scored), config_.cache_budget_bytes);
-  MAXSON_ASSIGN_OR_RETURN(
-      report.caching,
-      cacher_->RepopulateCache(report.selected,
-                               static_cast<int64_t>(target_day), &registry_));
+  {
+    obs::TraceSpan span(&trace_recorder_, "midnight.cache", "midnight");
+    MAXSON_ASSIGN_OR_RETURN(
+        report.caching,
+        cacher_->RepopulateCache(report.selected,
+                                 static_cast<int64_t>(target_day),
+                                 &registry_));
+  }
   if (!config_.registry_path.empty()) {
     MAXSON_RETURN_NOT_OK(registry_.Save(config_.registry_path));
   }
+
+  // Midnight outcome metrics. Counters carry only deterministic outcomes
+  // (path and row counts, bytes written — merged in split order by the
+  // cacher); the measured times go to gauges.
+  ++midnight_cycles_;
+  metrics_->GetCounter("maxson_midnight_cycles_total")->Increment();
+  metrics_->GetCounter("maxson_midnight_paths_predicted_total")
+      ->Increment(report.predicted_mpjps.size());
+  metrics_->GetCounter("maxson_midnight_paths_selected_total")
+      ->Increment(report.selected.size());
+  metrics_->GetCounter("maxson_midnight_paths_cached_total")
+      ->Increment(report.caching.paths_cached);
+  metrics_->GetCounter("maxson_midnight_rows_parsed_total")
+      ->Increment(report.caching.rows_parsed);
+  metrics_->GetCounter("maxson_midnight_bytes_written_total")
+      ->Increment(report.caching.bytes_written);
+  metrics_->GetGauge("maxson_midnight_last_parse_seconds")
+      ->Set(report.caching.parse_seconds);
+  metrics_->GetGauge("maxson_midnight_last_total_seconds")
+      ->Set(cycle_timer.ElapsedSeconds());
+  metrics_->GetGauge("maxson_cache_entries")
+      ->Set(static_cast<double>(registry_.size()));
   return report;
+}
+
+Result<CachingStats> MaxsonSession::CacheSelected(
+    const std::vector<ScoredMpjp>& selected, DateId cache_time) {
+  obs::TraceSpan span(&trace_recorder_, "midnight.cache", "midnight");
+  MAXSON_ASSIGN_OR_RETURN(
+      CachingStats stats,
+      cacher_->RepopulateCache(selected, static_cast<int64_t>(cache_time),
+                               &registry_));
+  metrics_->GetCounter("maxson_midnight_paths_cached_total")
+      ->Increment(stats.paths_cached);
+  metrics_->GetCounter("maxson_midnight_rows_parsed_total")
+      ->Increment(stats.rows_parsed);
+  metrics_->GetCounter("maxson_midnight_bytes_written_total")
+      ->Increment(stats.bytes_written);
+  metrics_->GetGauge("maxson_cache_entries")
+      ->Set(static_cast<double>(registry_.size()));
+  return stats;
 }
 
 Result<engine::QueryResult> MaxsonSession::ExecuteWithoutCache(
@@ -94,6 +153,56 @@ Result<engine::QueryResult> MaxsonSession::ExecuteWithoutCache(
   Result<engine::QueryResult> result = engine_->Execute(sql);
   engine_->set_plan_rewriter(parser_.get());
   return result;
+}
+
+Result<engine::PhysicalPlan> MaxsonSession::PlanWithoutCache(
+    const std::string& sql) {
+  engine_->set_plan_rewriter(nullptr);
+  Result<engine::PhysicalPlan> plan = engine_->Plan(sql);
+  engine_->set_plan_rewriter(parser_.get());
+  return plan;
+}
+
+Status MaxsonSession::UpdateConfig(const SessionUpdate& update) {
+  // Validate the whole update first so a rejection leaves no partial state.
+  if (update.num_threads.has_value() && *update.num_threads > 1024) {
+    return Status::InvalidArgument(
+        "num_threads must be <= 1024 (0 = hardware concurrency), got " +
+        std::to_string(*update.num_threads));
+  }
+  if (update.num_threads.has_value()) {
+    engine_->set_num_threads(*update.num_threads);
+    cacher_->set_pool(engine_->pool());
+    config_.engine.num_threads = *update.num_threads;
+  }
+  if (update.tracing.has_value()) {
+    trace_recorder_.set_enabled(*update.tracing);
+    config_.enable_tracing = *update.tracing;
+  }
+  if (update.raw_filter.has_value()) {
+    config_.engine.enable_raw_filter = *update.raw_filter;
+    engine_->set_raw_filter(*update.raw_filter);
+  }
+  if (update.cache_budget_bytes.has_value()) {
+    config_.cache_budget_bytes = *update.cache_budget_bytes;
+  }
+  return Status::Ok();
+}
+
+SessionStats MaxsonSession::stats() const {
+  SessionStats stats;
+  stats.rewrite_cache_hits = parser_->cache_hits();
+  stats.rewrite_cache_misses = parser_->cache_misses();
+  stats.rewrite_invalidations = parser_->invalidations();
+  stats.registry_entries = registry_.size();
+  stats.registry_lookups = registry_.lookups();
+  stats.registry_lookup_hits = registry_.lookup_hits();
+  stats.num_threads = engine_->pool()->num_threads();
+  stats.pool_tasks_submitted = engine_->pool()->tasks_submitted();
+  stats.midnight_cycles = midnight_cycles_;
+  stats.trace_events = trace_recorder_.size();
+  stats.tracing_enabled = trace_recorder_.enabled();
+  return stats;
 }
 
 }  // namespace maxson::core

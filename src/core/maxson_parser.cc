@@ -2,6 +2,7 @@
 
 #include "common/string_util.h"
 #include "engine/expr.h"
+#include "obs/metrics_registry.h"
 
 namespace maxson::core {
 
@@ -88,26 +89,41 @@ Result<int> MaxsonParser::RewriteForScan(PhysicalPlan* plan, ScanNode* scan) {
     location.column = column;
     location.path = path_arg->literal.string_value();
 
+    // Per-path outcome series: rewrites run single-threaded at plan time,
+    // so these labeled counters are as deterministic as the plan itself.
+    const obs::LabelSet labels = {{"path", location.path},
+                                  {"table", identity.table}};
+    auto bump = [&](const char* name) {
+      if (metrics_ != nullptr) metrics_->GetCounter(name, labels)->Increment();
+    };
+
     // Lookup copies the entry out under the registry's lock: a concurrent
     // midnight cycle may Clear() the registry at any point after this line,
     // and a pointer into it would dangle.
     const std::optional<CacheEntry> entry = registry_->Lookup(location);
     if (!entry.has_value() || !entry->valid) {
       ++cache_misses_;
+      ++plan->rewrite_cache_misses;
+      bump("maxson_rewrite_misses_total");
       return;  // cache miss: normal parsing path
     }
     // Validity check: a table modified after the cache was populated makes
-    // the cached values stale (Algorithm 1 lines 16-20).
+    // the cached values stale (Algorithm 1 lines 16-20). The query falls
+    // back to raw parsing: a fallback, counted apart from plain misses.
     if (info->last_modified > entry->cache_time) {
       registry_->Invalidate(location);
       ++invalidations_;
       ++cache_misses_;
+      ++plan->rewrite_cache_fallbacks;
+      bump("maxson_rewrite_fallbacks_total");
       return;
     }
 
     // Cache hit: replace the call with a placeholder column reference and
     // request the cache column from the scan.
     ++cache_hits_;
+    ++plan->rewrite_cache_hits;
+    bump("maxson_rewrite_hits_total");
     const std::string output_name =
         scan->qualifier.empty() ? entry->cache_field
                                 : scan->qualifier + "." + entry->cache_field;

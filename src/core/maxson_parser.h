@@ -9,6 +9,10 @@
 #include "core/cache_registry.h"
 #include "engine/plan.h"
 
+namespace maxson::obs {
+class MetricsRegistry;
+}  // namespace maxson::obs
+
 namespace maxson::core {
 
 /// The plan modifier of Section IV-D (Algorithm 1), installed into the
@@ -30,6 +34,15 @@ class MaxsonParser : public engine::PlanRewriter {
 
   Result<int> Rewrite(engine::PhysicalPlan* plan) override;
 
+  /// Registry receiving per-JSONPath rewrite outcomes
+  /// (maxson_rewrite_{hits,misses,fallbacks}_total{table=...,path=...}).
+  /// Rewrites run single-threaded at plan time, so publication order — and
+  /// with it every counter total — is deterministic. Pass nullptr to
+  /// disable. Not owned.
+  void set_metrics_registry(obs::MetricsRegistry* registry) {
+    metrics_ = registry;
+  }
+
   /// Cumulative telemetry across rewrites. Atomic: rewrites may run while
   /// another thread (a midnight cycle, a stats probe) reads the counters.
   uint64_t cache_hits() const { return cache_hits_.load(); }
@@ -43,6 +56,7 @@ class MaxsonParser : public engine::PlanRewriter {
 
   const catalog::Catalog* catalog_;
   CacheRegistry* registry_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
   std::atomic<uint64_t> invalidations_{0};

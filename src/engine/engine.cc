@@ -8,12 +8,15 @@
 
 #include "common/string_util.h"
 #include "common/time_util.h"
+#include "engine/explain.h"
 #include "engine/planner.h"
 #include "engine/sql_parser.h"
 #include "engine/table_scan.h"
 #include "json/dom_parser.h"
 #include "json/json_path.h"
 #include "json/raw_filter.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "xml/xml_path.h"
 
 namespace maxson::engine {
@@ -207,10 +210,90 @@ Result<PhysicalPlan> QueryEngine::Plan(const std::string& sql) {
   return planner.Plan(stmt, rewriter_);
 }
 
+namespace {
+
+/// Wraps rendered plan lines as a one-column batch so EXPLAIN output flows
+/// through the same display path as query results.
+RecordBatch PlanTextBatch(const std::vector<std::string>& lines) {
+  Schema schema;
+  schema.AddField("plan", TypeKind::kString);
+  RecordBatch batch(schema);
+  for (const std::string& line : lines) {
+    batch.AppendRow({Value::String(line)});
+  }
+  return batch;
+}
+
+}  // namespace
+
 Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
+  MAXSON_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   Stopwatch plan_timer;
-  MAXSON_ASSIGN_OR_RETURN(PhysicalPlan plan, Plan(sql));
-  return ExecutePlan(plan, plan_timer.ElapsedSeconds());
+  Planner planner(catalog_, config_.default_database);
+  MAXSON_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                          planner.Plan(stmt.select, rewriter_));
+  const double plan_seconds = plan_timer.ElapsedSeconds();
+
+  if (stmt.kind == StatementKind::kExplain) {
+    QueryResult result;
+    result.metrics.plan_seconds = plan_seconds;
+    result.metrics.plan_cache_hits = plan.rewrite_cache_hits;
+    result.metrics.plan_cache_misses = plan.rewrite_cache_misses;
+    result.metrics.plan_cache_fallbacks = plan.rewrite_cache_fallbacks;
+    result.batch = PlanTextBatch(RenderPlanTree(plan, nullptr));
+    return result;
+  }
+
+  MAXSON_ASSIGN_OR_RETURN(QueryResult executed,
+                          ExecutePlan(plan, plan_seconds));
+  if (stmt.kind == StatementKind::kExplainAnalyze) {
+    QueryResult result;
+    result.metrics = executed.metrics;
+    result.batch = PlanTextBatch(RenderPlanTree(plan, &executed.metrics));
+    return result;
+  }
+  return executed;
+}
+
+void QueryEngine::PublishMetrics(const QueryMetrics& metrics) {
+  if (metrics_registry_ == nullptr) return;
+  obs::MetricsRegistry& reg = *metrics_registry_;
+  reg.GetCounter("maxson_queries_total")->Increment();
+  reg.GetCounter("maxson_query_rows_read_total")
+      ->Increment(metrics.read.rows_read);
+  reg.GetCounter("maxson_query_bytes_read_total")
+      ->Increment(metrics.read.bytes_read);
+  reg.GetCounter("maxson_query_row_groups_read_total")
+      ->Increment(metrics.read.row_groups_read);
+  reg.GetCounter("maxson_query_row_groups_skipped_total")
+      ->Increment(metrics.read.row_groups_skipped);
+  reg.GetCounter("maxson_query_shared_skips_total")
+      ->Increment(metrics.shared_skips);
+  reg.GetCounter("maxson_query_records_parsed_total")
+      ->Increment(metrics.parse.records_parsed);
+  reg.GetCounter("maxson_query_bytes_parsed_total")
+      ->Increment(metrics.parse.bytes_parsed);
+  reg.GetCounter("maxson_query_cache_columns_read_total")
+      ->Increment(metrics.cache_columns_read);
+  reg.GetCounter("maxson_query_raw_filtered_rows_total")
+      ->Increment(metrics.raw_filtered_rows);
+  reg.GetCounter("maxson_plan_cache_hits_total")
+      ->Increment(metrics.plan_cache_hits);
+  reg.GetCounter("maxson_plan_cache_misses_total")
+      ->Increment(metrics.plan_cache_misses);
+  reg.GetCounter("maxson_plan_cache_fallbacks_total")
+      ->Increment(metrics.plan_cache_fallbacks);
+  // Time distributions: measured, so histograms — excluded from the
+  // determinism comparison (CounterTotals reports counters only).
+  const std::vector<double> bounds = obs::Histogram::DefaultSecondsBounds();
+  reg.GetHistogram("maxson_query_plan_seconds", bounds)
+      ->Observe(metrics.plan_seconds);
+  reg.GetHistogram("maxson_query_read_seconds", bounds)
+      ->Observe(metrics.read_seconds);
+  reg.GetHistogram("maxson_query_parse_seconds", bounds)
+      ->Observe(metrics.parse_seconds);
+  reg.GetHistogram("maxson_query_compute_seconds", bounds)
+      ->Observe(metrics.compute_seconds);
 }
 
 namespace {
@@ -228,7 +311,17 @@ constexpr size_t kRowsPerChunk = 1024;
 struct ChunkState {
   QueryMetrics metrics;
   json::MisonParser mison;
+  /// Wall time of this chunk's task on its worker; chunk times sum (in
+  /// chunk order) into the owning operator's cpu_seconds.
+  double seconds = 0;
 };
+
+/// Sums the per-chunk task times accumulated in `states`, in chunk order.
+double SumChunkSeconds(const std::vector<ChunkState>& states) {
+  double total = 0;
+  for (const ChunkState& s : states) total += s.seconds;
+  return total;
+}
 
 /// Serialized grouping key: values rendered with a type tag and separator so
 /// distinct tuples never collide.
@@ -312,6 +405,12 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
   QueryResult result;
   result.metrics.plan_seconds = plan_seconds;
   QueryMetrics& metrics = result.metrics;
+  // Plan-time cache accounting rides into the runtime metrics so EXPLAIN
+  // ANALYZE and the registry see it alongside the execution counters.
+  metrics.plan_cache_hits = plan.rewrite_cache_hits;
+  metrics.plan_cache_misses = plan.rewrite_cache_misses;
+  metrics.plan_cache_fallbacks = plan.rewrite_cache_fallbacks;
+  obs::TraceSpan query_span(tracer_, "execute", "query");
   exec::ThreadPool* pool = pool_.get();
 
   // Context of the sequential sections (join build/probe, group
@@ -324,13 +423,20 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
   ctx.mison = &mison_;
 
   // ---- Scan (and join) ----
+  std::optional<obs::TraceSpan> scan_span;
+  scan_span.emplace(tracer_, "scan", "query");
   MAXSON_ASSIGN_OR_RETURN(RecordBatch left,
                           ExecuteScan(plan.scan, &metrics, pool));
+  scan_span.reset();
 
   RecordBatch input;
   if (plan.join_scan.has_value()) {
+    scan_span.emplace(tracer_, "scan.join", "query");
     MAXSON_ASSIGN_OR_RETURN(RecordBatch right,
                             ExecuteScan(*plan.join_scan, &metrics, pool));
+    scan_span.reset();
+    obs::TraceSpan join_span(tracer_, "join", "query");
+    Stopwatch join_timer;
     Stopwatch compute_timer;
     // Hash join: build on the right side.
     std::multimap<std::string, size_t> build;
@@ -375,6 +481,13 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
       }
     }
     metrics.compute_seconds += probe_timer.ElapsedSeconds();
+    OperatorStats join_op;
+    join_op.name = "HashJoin";
+    join_op.rows_in = left.num_rows() + right.num_rows();
+    join_op.rows_out = joined.num_rows();
+    join_op.wall_seconds = join_timer.ElapsedSeconds();
+    join_op.cpu_seconds = join_op.wall_seconds;  // build/probe run inline
+    metrics.operators.push_back(std::move(join_op));
     // Subtract parse time attributed during join evaluation from compute
     // (parse has its own bucket and must not be double counted).
     input = std::move(joined);
@@ -426,6 +539,9 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
   Stopwatch compute_timer;
   RecordBatch filtered(input.schema());
   if (plan.where != nullptr) {
+    obs::TraceSpan filter_span(tracer_, "filter", "query");
+    Stopwatch filter_timer;
+    const uint64_t filter_rows_in = input.num_rows();
     // Row chunks are filtered in parallel, each into a private list of
     // surviving row indexes; lists are concatenated in chunk order, so the
     // surviving-row order matches sequential execution.
@@ -435,6 +551,7 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
     std::vector<std::vector<size_t>> kept(chunks.size());
     MAXSON_RETURN_NOT_OK(exec::ParallelFor(
         pool, chunks.size(), [&](size_t c) -> Status {
+          Stopwatch chunk_timer;
           EvalContext wctx = ctx;
           wctx.batch = &input;
           wctx.metrics = &states[c].metrics;
@@ -458,6 +575,7 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
                                     EvaluateExpr(*plan.where, wctx));
             if (IsTruthy(keep)) kept[c].push_back(r);
           }
+          states[c].seconds = chunk_timer.ElapsedSeconds();
           return Status::Ok();
         }));
     for (size_t c = 0; c < chunks.size(); ++c) {
@@ -465,6 +583,14 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
       mison_.AbsorbTelemetry(states[c].mison);
       for (size_t r : kept[c]) filtered.AppendRow(input.GetRow(r));
     }
+    OperatorStats filter_op;
+    filter_op.name = "Filter";
+    filter_op.rows_in = filter_rows_in;
+    filter_op.rows_out = filtered.num_rows();
+    filter_op.units = chunks.size();
+    filter_op.wall_seconds = filter_timer.ElapsedSeconds();
+    filter_op.cpu_seconds = SumChunkSeconds(states);
+    metrics.operators.push_back(std::move(filter_op));
   } else {
     filtered = std::move(input);
   }
@@ -481,6 +607,9 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
   std::vector<std::vector<Value>> out_rows;
 
   if (plan.has_aggregates || !plan.group_by.empty()) {
+    obs::TraceSpan agg_span(tracer_, "aggregate", "query");
+    Stopwatch agg_timer;
+    const uint64_t agg_rows_in = filtered.num_rows();
     // Group rows.
     struct Group {
       std::vector<Value> key_values;
@@ -523,6 +652,7 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
           wctx.batch = &filtered;
           wctx.metrics = &states[c].metrics;
           wctx.mison = &states[c].mison;
+          Stopwatch chunk_timer;
           std::map<std::string, Group>& local = partials[c];
           for (size_t r = chunks[c].begin; r < chunks[c].end; ++r) {
             wctx.row = r;
@@ -552,6 +682,7 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
               }
             }
           }
+          states[c].seconds = chunk_timer.ElapsedSeconds();
           return Status::Ok();
         }));
     std::map<std::string, Group> groups;
@@ -629,10 +760,20 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
       }
       out_rows.push_back(std::move(row));
     }
+    OperatorStats agg_op;
+    agg_op.name = "Aggregate";
+    agg_op.rows_in = agg_rows_in;
+    agg_op.rows_out = out_rows.size();
+    agg_op.units = chunks.size();
+    agg_op.wall_seconds = agg_timer.ElapsedSeconds();
+    agg_op.cpu_seconds = SumChunkSeconds(states);
+    metrics.operators.push_back(std::move(agg_op));
     // ORDER BY over aggregated output operates on projection aliases.
     // (Sorting below handles the non-aggregate path; for aggregates we sort
     // by matching the order key against projection names.)
     if (!plan.order_by.empty()) {
+      obs::TraceSpan sort_span(tracer_, "sort", "query");
+      Stopwatch sort_timer;
       std::vector<size_t> order(out_rows.size());
       for (size_t i = 0; i < order.size(); ++i) order[i] = i;
       // Resolve each order key to a projection index by textual match.
@@ -674,12 +815,21 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
       sorted.reserve(out_rows.size());
       for (size_t i : order) sorted.push_back(std::move(out_rows[i]));
       out_rows = std::move(sorted);
+      OperatorStats sort_op;
+      sort_op.name = "Sort";
+      sort_op.rows_in = out_rows.size();
+      sort_op.rows_out = out_rows.size();
+      sort_op.wall_seconds = sort_timer.ElapsedSeconds();
+      sort_op.cpu_seconds = sort_op.wall_seconds;  // runs inline
+      metrics.operators.push_back(std::move(sort_op));
     }
   } else {
     // Plain projection; ORDER BY keys are evaluated against input rows.
     std::vector<size_t> order(filtered.num_rows());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
     if (!plan.order_by.empty()) {
+      obs::TraceSpan sort_span(tracer_, "sort", "query");
+      Stopwatch sort_timer;
       // Precompute sort keys, chunk-parallel: every row owns its slot in
       // `sort_keys`, and the stable sort below sees the same key array
       // regardless of which worker filled which slot.
@@ -689,6 +839,7 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
       std::vector<ChunkState> states(chunks.size());
       MAXSON_RETURN_NOT_OK(exec::ParallelFor(
           pool, chunks.size(), [&](size_t c) -> Status {
+            Stopwatch chunk_timer;
             EvalContext wctx = ctx;
             wctx.batch = &filtered;
             wctx.metrics = &states[c].metrics;
@@ -700,6 +851,7 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
                 sort_keys[r].push_back(std::move(v));
               }
             }
+            states[c].seconds = chunk_timer.ElapsedSeconds();
             return Status::Ok();
           }));
       for (size_t c = 0; c < chunks.size(); ++c) {
@@ -713,6 +865,14 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
         }
         return false;
       });
+      OperatorStats sort_op;
+      sort_op.name = "Sort";
+      sort_op.rows_in = filtered.num_rows();
+      sort_op.rows_out = filtered.num_rows();
+      sort_op.units = chunks.size();
+      sort_op.wall_seconds = sort_timer.ElapsedSeconds();
+      sort_op.cpu_seconds = SumChunkSeconds(states);
+      metrics.operators.push_back(std::move(sort_op));
     }
     // DISTINCT must see every row before the limit truncates.
     const size_t take =
@@ -720,12 +880,15 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
             ? std::min<size_t>(order.size(), static_cast<size_t>(plan.limit))
             : order.size();
     // Chunk-parallel projection into preassigned output slots.
+    obs::TraceSpan project_span(tracer_, "project", "query");
+    Stopwatch project_timer;
     out_rows.resize(take);
     const std::vector<exec::ChunkRange> chunks =
         exec::MakeChunks(take, kRowsPerChunk);
     std::vector<ChunkState> states(chunks.size());
     MAXSON_RETURN_NOT_OK(exec::ParallelFor(
         pool, chunks.size(), [&](size_t c) -> Status {
+          Stopwatch chunk_timer;
           EvalContext wctx = ctx;
           wctx.batch = &filtered;
           wctx.metrics = &states[c].metrics;
@@ -740,17 +903,28 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
             }
             out_rows[i] = std::move(row);
           }
+          states[c].seconds = chunk_timer.ElapsedSeconds();
           return Status::Ok();
         }));
     for (size_t c = 0; c < chunks.size(); ++c) {
       metrics.Accumulate(states[c].metrics);
       mison_.AbsorbTelemetry(states[c].mison);
     }
+    OperatorStats project_op;
+    project_op.name = "Project";
+    project_op.rows_in = filtered.num_rows();
+    project_op.rows_out = take;
+    project_op.units = chunks.size();
+    project_op.wall_seconds = project_timer.ElapsedSeconds();
+    project_op.cpu_seconds = SumChunkSeconds(states);
+    metrics.operators.push_back(std::move(project_op));
   }
 
   // DISTINCT: drop duplicate output rows, keeping first occurrences (order
   // is already established, so this preserves ORDER BY semantics).
   if (plan.distinct) {
+    Stopwatch distinct_timer;
+    const uint64_t distinct_rows_in = out_rows.size();
     std::set<std::string> seen;
     std::vector<std::vector<Value>> unique;
     unique.reserve(out_rows.size());
@@ -760,12 +934,26 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
       }
     }
     out_rows = std::move(unique);
+    OperatorStats distinct_op;
+    distinct_op.name = "Distinct";
+    distinct_op.rows_in = distinct_rows_in;
+    distinct_op.rows_out = out_rows.size();
+    distinct_op.wall_seconds = distinct_timer.ElapsedSeconds();
+    distinct_op.cpu_seconds = distinct_op.wall_seconds;  // runs inline
+    metrics.operators.push_back(std::move(distinct_op));
   }
 
   // LIMIT for the aggregate and DISTINCT paths (the plain projection path
   // applied it during evaluation).
-  if (plan.limit >= 0 && out_rows.size() > static_cast<size_t>(plan.limit)) {
-    out_rows.resize(static_cast<size_t>(plan.limit));
+  if (plan.limit >= 0) {
+    OperatorStats limit_op;
+    limit_op.name = "Limit";
+    limit_op.rows_in = out_rows.size();
+    if (out_rows.size() > static_cast<size_t>(plan.limit)) {
+      out_rows.resize(static_cast<size_t>(plan.limit));
+    }
+    limit_op.rows_out = out_rows.size();
+    metrics.operators.push_back(std::move(limit_op));
   }
 
   // Materialize the output batch. Column types are derived from the first
@@ -791,6 +979,7 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
   // accumulated during evaluation.
   metrics.compute_seconds +=
       std::max(0.0, compute_timer.ElapsedSeconds() - metrics.parse_seconds);
+  PublishMetrics(metrics);
   return result;
 }
 

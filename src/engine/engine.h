@@ -13,6 +13,11 @@
 #include "json/mison_parser.h"
 #include "xml/xml_path.h"
 
+namespace maxson::obs {
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace maxson::obs
+
 namespace maxson::engine {
 
 /// Which JSON parser backs get_json_object, mirroring the paper's Fig. 15
@@ -54,6 +59,19 @@ class QueryEngine {
   /// Installs Maxson's plan modifier; pass nullptr to remove. Not owned.
   void set_plan_rewriter(PlanRewriter* rewriter) { rewriter_ = rewriter; }
 
+  /// Registry receiving this engine's per-query observability series
+  /// (maxson_query_* counters and time histograms), published once per
+  /// query after the merge barrier so counter totals are independent of the
+  /// thread count. Pass nullptr to disable. Not owned.
+  void set_metrics_registry(obs::MetricsRegistry* registry) {
+    metrics_registry_ = registry;
+  }
+
+  /// Recorder receiving per-stage trace spans (scan, filter, aggregate, …).
+  /// Pass nullptr to disable. Not owned.
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+  obs::TraceRecorder* tracer() const { return tracer_; }
+
   const catalog::Catalog* catalog() const { return catalog_; }
   const EngineConfig& config() const { return config_; }
 
@@ -67,11 +85,20 @@ class QueryEngine {
   /// holders of the previous pool (shared_ptr) keep it alive and usable.
   void set_num_threads(size_t num_threads);
 
+  /// Toggles the Sparser-style raw-byte prefilter; consulted per query, so
+  /// the change applies from the next Execute on. Same thread-safety
+  /// contract as set_num_threads.
+  void set_raw_filter(bool enabled) { config_.enable_raw_filter = enabled; }
+
   /// Parses and plans `sql` without executing (used by the Fig. 13 bench to
   /// time plan generation with and without Maxson).
   Result<PhysicalPlan> Plan(const std::string& sql);
 
-  /// Plans then executes.
+  /// Plans then executes. Accepts SELECT and EXPLAIN [ANALYZE] SELECT; the
+  /// EXPLAIN forms return the rendered plan tree as a one-column batch of
+  /// text rows (ANALYZE executes the query first and annotates the tree
+  /// with per-operator statistics, carrying the execution's metrics in the
+  /// result).
   Result<QueryResult> Execute(const std::string& sql);
 
   /// Executes an already-built plan. `plan_seconds` is carried into the
@@ -91,6 +118,11 @@ class QueryEngine {
 
   void RegisterBuiltinFunctions();
 
+  /// Publishes one executed query's deterministic counters and measured
+  /// time distributions to `metrics_registry_` (no-op when unset). Runs on
+  /// the coordinating thread after all accumulators merged.
+  void PublishMetrics(const QueryMetrics& metrics);
+
   /// Returns the parsed JSONPath for `text` from the shared cache,
   /// parsing and inserting on first sight; nullptr when the text is not a
   /// valid path. Thread-safe; the returned pointer stays valid for the
@@ -101,6 +133,8 @@ class QueryEngine {
   const catalog::Catalog* catalog_;
   EngineConfig config_;
   PlanRewriter* rewriter_ = nullptr;
+  obs::MetricsRegistry* metrics_registry_ = nullptr;
+  obs::TraceRecorder* tracer_ = nullptr;
   std::shared_ptr<exec::ThreadPool> pool_;
   /// Long-lived telemetry accumulator and single-threaded fallback parser
   /// (used only when an EvalContext carries no per-worker parser).

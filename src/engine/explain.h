@@ -1,0 +1,34 @@
+#ifndef MAXSON_ENGINE_EXPLAIN_H_
+#define MAXSON_ENGINE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/plan.h"
+
+namespace maxson::engine {
+
+/// Renders a physical plan as an indented operator tree (the output of the
+/// EXPLAIN statement), top operator first:
+///
+///   Limit (3)
+///   +- Sort (f1 DESC)
+///      +- Project (f1)
+///         +- Filter (f1 > 'cat8')
+///            +- Scan sales (columns: payload; cache: payload___f1)
+///
+/// When `metrics` is non-null (EXPLAIN ANALYZE), each node is annotated
+/// with the matching OperatorStats — rows in/out, split/chunk counts, wall
+/// and summed-CPU time — and footer lines report the query's cache, parse,
+/// and read counters. Static structure and row counts are deterministic at
+/// every thread count; the time annotations are measured.
+std::vector<std::string> RenderPlanTree(const PhysicalPlan& plan,
+                                        const QueryMetrics* metrics);
+
+/// Last path component of a table directory — the stable display name of a
+/// scan target ("/tmp/x/warehouse/mydb/sales" -> "sales").
+std::string TableDisplayName(const std::string& table_dir);
+
+}  // namespace maxson::engine
+
+#endif  // MAXSON_ENGINE_EXPLAIN_H_

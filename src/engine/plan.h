@@ -53,6 +53,14 @@ struct ScanNode {
 /// Fully bound physical plan of one SELECT.
 struct PhysicalPlan {
   ScanNode scan;
+  /// Plan-rewrite cache accounting, filled by the PlanRewriter (MaxsonParser)
+  /// during planning: get_json_object sites replaced by cache columns (hits),
+  /// sites with no cache entry (misses), and sites whose entry was stale so
+  /// the query fell back to raw parsing (fallbacks). Deterministic — rewrite
+  /// runs single-threaded at plan time.
+  uint64_t rewrite_cache_hits = 0;
+  uint64_t rewrite_cache_misses = 0;
+  uint64_t rewrite_cache_fallbacks = 0;
   std::optional<ScanNode> join_scan;
   /// Equi-join key expressions, pairwise (left[i] == right[i]); bound
   /// against the respective scan outputs.
@@ -74,6 +82,26 @@ struct PhysicalPlan {
   int64_t limit = -1;
 };
 
+/// Runtime accounting of one physical operator, in pipeline execution
+/// order (scan(s) first, limit last); EXPLAIN ANALYZE renders these onto
+/// the plan tree. Counts (rows, units) are deterministic at every thread
+/// count; the time fields are measured and therefore are not.
+struct OperatorStats {
+  std::string name;    // "Scan", "HashJoin", "Filter", "Aggregate", ...
+  std::string detail;  // table name, predicate text, sort keys, ...
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  /// Work units fanned across the pool: splits for scans, row chunks for
+  /// the row-oriented operators.
+  uint64_t units = 0;
+  /// Cache columns stitched into a scan's output (nonzero = Maxson hit).
+  uint64_t cache_columns = 0;
+  /// Operator wall time on the coordinating thread.
+  double wall_seconds = 0;
+  /// Summed per-worker task time; exceeds wall_seconds under parallelism.
+  double cpu_seconds = 0;
+};
+
 /// Time and volume accounting of one query execution, split the way the
 /// paper's Fig. 3 / Fig. 12 break down runtime: Read (I/O + decode), Parse
 /// (JSON work inside get_json_object), Compute (everything else).
@@ -90,6 +118,14 @@ struct QueryMetrics {
   uint64_t cache_columns_read = 0;
   /// Rows rejected by the Sparser-style raw-byte prefilter before parsing.
   uint64_t raw_filtered_rows = 0;
+  /// Plan-rewrite cache accounting, copied from the PhysicalPlan when the
+  /// plan executes (see PhysicalPlan::rewrite_cache_*).
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t plan_cache_fallbacks = 0;
+  /// Per-operator runtime breakdown in pipeline order (filled by the
+  /// executing engine; empty for the per-chunk partial accumulators).
+  std::vector<OperatorStats> operators;
 
   double TotalSeconds() const {
     return read_seconds + parse_seconds + compute_seconds;
@@ -110,6 +146,10 @@ struct QueryMetrics {
     shared_skips += other.shared_skips;
     cache_columns_read += other.cache_columns_read;
     raw_filtered_rows += other.raw_filtered_rows;
+    plan_cache_hits += other.plan_cache_hits;
+    plan_cache_misses += other.plan_cache_misses;
+    plan_cache_fallbacks += other.plan_cache_fallbacks;
+    for (const OperatorStats& op : other.operators) operators.push_back(op);
   }
 };
 

@@ -51,6 +51,17 @@ struct SelectStatement {
   int64_t limit = -1;  // -1 = no limit
 };
 
+/// Top-level statement kinds the engine executes. EXPLAIN renders the plan
+/// tree without executing; EXPLAIN ANALYZE executes and annotates the tree
+/// with per-operator runtime statistics.
+enum class StatementKind { kSelect, kExplain, kExplainAnalyze };
+
+/// One parsed statement: a SELECT, optionally wrapped in EXPLAIN [ANALYZE].
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+  SelectStatement select;
+};
+
 }  // namespace maxson::engine
 
 #endif  // MAXSON_ENGINE_SQL_AST_H_

@@ -466,15 +466,43 @@ class Parser {
 
 }  // namespace
 
-Result<SelectStatement> ParseSql(std::string_view sql) {
-  // Trim a trailing semicolon before lexing.
+namespace {
+
+/// Trims whitespace and a trailing semicolon, then tokenizes.
+Result<std::vector<Token>> TokenizeStatement(std::string_view sql) {
   std::string_view trimmed = StripWhitespace(sql);
   if (!trimmed.empty() && trimmed.back() == ';') {
     trimmed = StripWhitespace(trimmed.substr(0, trimmed.size() - 1));
   }
-  MAXSON_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(trimmed));
+  return Tokenize(trimmed);
+}
+
+}  // namespace
+
+Result<SelectStatement> ParseSql(std::string_view sql) {
+  MAXSON_ASSIGN_OR_RETURN(std::vector<Token> tokens, TokenizeStatement(sql));
   Parser parser(std::move(tokens));
   return parser.ParseSelect();
+}
+
+Result<Statement> ParseStatement(std::string_view sql) {
+  MAXSON_ASSIGN_OR_RETURN(std::vector<Token> tokens, TokenizeStatement(sql));
+  Statement stmt;
+  // Peel an EXPLAIN [ANALYZE] prefix off the token stream, then hand the
+  // remainder to the SELECT grammar.
+  size_t skip = 0;
+  if (!tokens.empty() && tokens[0].IsKeyword("explain")) {
+    stmt.kind = StatementKind::kExplain;
+    skip = 1;
+    if (tokens.size() > 1 && tokens[1].IsKeyword("analyze")) {
+      stmt.kind = StatementKind::kExplainAnalyze;
+      skip = 2;
+    }
+  }
+  if (skip > 0) tokens.erase(tokens.begin(), tokens.begin() + skip);
+  Parser parser(std::move(tokens));
+  MAXSON_ASSIGN_OR_RETURN(stmt.select, parser.ParseSelect());
+  return stmt;
 }
 
 }  // namespace maxson::engine

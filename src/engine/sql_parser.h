@@ -16,6 +16,9 @@ namespace maxson::engine {
 /// arithmetic, GROUP BY, ORDER BY ... [ASC|DESC], LIMIT.
 Result<SelectStatement> ParseSql(std::string_view sql);
 
+/// Parses one top-level statement: a SELECT, or EXPLAIN [ANALYZE] SELECT.
+Result<Statement> ParseStatement(std::string_view sql);
+
 }  // namespace maxson::engine
 
 #endif  // MAXSON_ENGINE_SQL_PARSER_H_

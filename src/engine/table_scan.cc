@@ -234,17 +234,33 @@ Result<RecordBatch> ExecuteScan(const ScanNode& scan, QueryMetrics* metrics,
   // sequential execution exactly.
   std::vector<RecordBatch> buffers(splits.size());
   std::vector<QueryMetrics> split_metrics(splits.size());
+  std::vector<double> split_seconds(splits.size(), 0.0);
   MAXSON_RETURN_NOT_OK(exec::ParallelFor(
       pool, splits.size(), [&](size_t i) -> Status {
+        Stopwatch split_timer;
         buffers[i] = RecordBatch(out_schema);
-        return ScanSplit(scan, splits[i], out_schema, &buffers[i],
-                         metrics != nullptr ? &split_metrics[i] : nullptr);
+        Status status =
+            ScanSplit(scan, splits[i], out_schema, &buffers[i],
+                      metrics != nullptr ? &split_metrics[i] : nullptr);
+        split_seconds[i] = split_timer.ElapsedSeconds();
+        return status;
       }));
   for (size_t i = 0; i < buffers.size(); ++i) {
     if (metrics != nullptr) metrics->Accumulate(split_metrics[i]);
     out.AppendBatch(std::move(buffers[i]));
   }
-  if (metrics != nullptr) metrics->read_seconds += timer.ElapsedSeconds();
+  if (metrics != nullptr) {
+    metrics->read_seconds += timer.ElapsedSeconds();
+    OperatorStats op;
+    op.name = "Scan";
+    op.detail = scan.table_dir;
+    op.rows_out = out.num_rows();
+    op.units = splits.size();
+    op.cache_columns = scan.cache_columns.size();
+    op.wall_seconds = timer.ElapsedSeconds();
+    for (double s : split_seconds) op.cpu_seconds += s;
+    metrics->operators.push_back(std::move(op));
+  }
   return out;
 }
 

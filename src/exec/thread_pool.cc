@@ -50,6 +50,7 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   if (num_threads_ <= 1) {
     task();  // degenerate pool: inline execution, no threads at all
     return;

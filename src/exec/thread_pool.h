@@ -1,8 +1,10 @@
 #ifndef MAXSON_EXEC_THREAD_POOL_H_
 #define MAXSON_EXEC_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -44,11 +46,20 @@ class ThreadPool {
   /// use. With a degree of 1 there are no workers: the task runs inline.
   void Submit(std::function<void()> task);
 
+  /// Lifetime count of tasks handed to Submit. Observability only — the
+  /// count depends on the parallelism degree (TaskGroup::Wait steals work
+  /// before it is submitted), so it is exported as a gauge, never folded
+  /// into the deterministic counter totals.
+  uint64_t tasks_submitted() const {
+    return tasks_submitted_.load(std::memory_order_relaxed);
+  }
+
  private:
   void EnsureStarted();  // caller must hold mutex_
   void WorkerLoop();
 
   const size_t num_threads_;
+  std::atomic<uint64_t> tasks_submitted_{0};
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;

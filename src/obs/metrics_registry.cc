@@ -1,0 +1,203 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace maxson::obs {
+
+namespace {
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+/// Renders a double the way Prometheus clients do: integral values without
+/// a fractional part, everything else with enough precision to round-trip.
+std::string RenderNumber(double value) {
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      value < 1e15 && value > -1e15) {
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderLabels(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + EscapeLabelValue(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_([&] {
+        std::sort(bounds.begin(), bounds.end());
+        return std::move(bounds);
+      }()),
+      per_bucket_(bounds_.size() + 1) {}
+
+void Histogram::Observe(double value) {
+  // First bound >= value; past-the-end = the implicit +Inf bucket.
+  size_t bucket = bounds_.size();
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  per_bucket_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(sum_mutex_);
+  sum_ += value;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(sum_mutex_);
+  return sum_;
+}
+
+std::vector<uint64_t> Histogram::CumulativeCounts() const {
+  std::vector<uint64_t> out(bounds_.size());
+  uint64_t running = 0;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    running += per_bucket_[i].load(std::memory_order_relaxed);
+    out[i] = running;
+  }
+  return out;
+}
+
+std::vector<double> Histogram::DefaultSecondsBounds() {
+  return {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+std::string MetricsRegistry::SeriesKey(const std::string& name,
+                                       const LabelSet& labels) {
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return name + RenderLabels(sorted);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const LabelSet& labels) {
+  const std::string key = SeriesKey(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series& series = series_[key];
+  if (series.counter == nullptr) {
+    series.name = name;
+    series.labels = labels;
+    std::sort(series.labels.begin(), series.labels.end());
+    series.counter = std::make_unique<Counter>();
+  }
+  return series.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const LabelSet& labels) {
+  const std::string key = SeriesKey(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series& series = series_[key];
+  if (series.gauge == nullptr) {
+    series.name = name;
+    series.labels = labels;
+    std::sort(series.labels.begin(), series.labels.end());
+    series.gauge = std::make_unique<Gauge>();
+  }
+  return series.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds,
+                                         const LabelSet& labels) {
+  const std::string key = SeriesKey(name, labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Series& series = series_[key];
+  if (series.histogram == nullptr) {
+    series.name = name;
+    series.labels = labels;
+    std::sort(series.labels.begin(), series.labels.end());
+    series.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return series.histogram.get();
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::CounterTotals() const {
+  std::map<std::string, uint64_t> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, series] : series_) {
+    if (series.counter != nullptr) out[key] = series.counter->value();
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::ostringstream out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // series_ is keyed by "name{labels}", so all series of one metric are
+  // adjacent; emit one # TYPE header per metric name.
+  std::string last_name;
+  for (const auto& [key, series] : series_) {
+    const std::string labels = RenderLabels(series.labels);
+    if (series.counter != nullptr) {
+      if (series.name != last_name) {
+        out << "# TYPE " << series.name << " counter\n";
+        last_name = series.name;
+      }
+      out << series.name << labels << " " << series.counter->value() << "\n";
+    } else if (series.gauge != nullptr) {
+      if (series.name != last_name) {
+        out << "# TYPE " << series.name << " gauge\n";
+        last_name = series.name;
+      }
+      out << series.name << labels << " "
+          << RenderNumber(series.gauge->value()) << "\n";
+    } else if (series.histogram != nullptr) {
+      if (series.name != last_name) {
+        out << "# TYPE " << series.name << " histogram\n";
+        last_name = series.name;
+      }
+      const Histogram& h = *series.histogram;
+      const std::vector<uint64_t> cumulative = h.CumulativeCounts();
+      for (size_t i = 0; i < h.bounds().size(); ++i) {
+        LabelSet bucket_labels = series.labels;
+        bucket_labels.emplace_back("le", RenderNumber(h.bounds()[i]));
+        out << series.name << "_bucket" << RenderLabels(bucket_labels) << " "
+            << cumulative[i] << "\n";
+      }
+      LabelSet inf_labels = series.labels;
+      inf_labels.emplace_back("le", "+Inf");
+      out << series.name << "_bucket" << RenderLabels(inf_labels) << " "
+          << h.count() << "\n";
+      out << series.name << "_sum" << labels << " " << RenderNumber(h.sum())
+          << "\n";
+      out << series.name << "_count" << labels << " " << h.count() << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace maxson::obs

@@ -1,0 +1,131 @@
+#ifndef MAXSON_OBS_METRICS_REGISTRY_H_
+#define MAXSON_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace maxson::obs {
+
+/// Label set of one metric series, e.g. {{"path", "$.f1"}}. Stored sorted so
+/// the same labels always address the same series.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing integer counter. Counters carry only
+/// deterministic quantities (rows, bytes, events) — never wall time — so
+/// their totals are byte-identical at every parallelism degree: per-worker
+/// values are merged into QueryMetrics in split/chunk order before a single
+/// thread publishes them here.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (pool size, seconds of the most
+/// recent midnight cycle). Gauges may carry nondeterministic quantities.
+class Gauge {
+ public:
+  void Set(double value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket cumulative histogram (Prometheus semantics: bucket `le=b`
+/// counts observations <= b; an implicit +Inf bucket counts everything).
+/// Bucket bounds are fixed at creation and never depend on the data.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  /// Cumulative count of each bound (same order as bounds()), excluding the
+  /// implicit +Inf bucket (whose cumulative count is count()).
+  std::vector<uint64_t> CumulativeCounts() const;
+
+  /// Default latency buckets (seconds): 100us .. 10s, decade steps.
+  static std::vector<double> DefaultSecondsBounds();
+
+ private:
+  const std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> per_bucket_;  // non-cumulative
+  std::atomic<uint64_t> count_{0};
+  mutable std::mutex sum_mutex_;
+  double sum_ = 0.0;
+};
+
+/// Process-wide metric registry with Prometheus-style text exposition.
+///
+/// Series are addressed by (name, labels); the first Get* call creates the
+/// series, later calls return the same object. Returned pointers stay valid
+/// for the registry's lifetime (series are never removed, matching the
+/// Prometheus client-library contract). All members are thread-safe; the
+/// hot path (bumping an existing counter) is one shared-lock map probe plus
+/// one relaxed atomic add.
+///
+/// `Global()` is the process-wide instance a default-configured
+/// MaxsonSession publishes into; tests hand each session a private registry
+/// instead so runs can be compared in isolation.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name, const LabelSet& labels = {});
+  Gauge* GetGauge(const std::string& name, const LabelSet& labels = {});
+  /// `bounds` is consulted only on first creation of the series.
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
+                          const LabelSet& labels = {});
+
+  /// Counter totals keyed by "name{labels}" — the determinism-test view
+  /// (counters only; gauges and histograms may carry wall time).
+  std::map<std::string, uint64_t> CounterTotals() const;
+
+  /// Prometheus text exposition format (counters, gauges, histograms, with
+  /// # TYPE headers), series sorted by name for stable output.
+  std::string RenderPrometheus() const;
+
+ private:
+  struct Series {
+    std::string name;
+    LabelSet labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  /// Canonical series key: name + sorted rendered labels.
+  static std::string SeriesKey(const std::string& name, const LabelSet& labels);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Series> series_;
+};
+
+/// Renders a label set as `{k="v",...}` with values escaped; empty labels
+/// render as an empty string.
+std::string RenderLabels(const LabelSet& labels);
+
+}  // namespace maxson::obs
+
+#endif  // MAXSON_OBS_METRICS_REGISTRY_H_

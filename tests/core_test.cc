@@ -345,14 +345,14 @@ class MaxsonEndToEndTest : public ::testing::Test {
         q.date = day;
         q.recurrence = workload::Recurrence::kDaily;
         q.paths = {Loc("sales", "$.f1"), Loc("sales", "$.f2")};
-        session->collector()->Record(q);
+        session->RecordQuery(q);
       }
       if (day % 7 == 0) {
         workload::QueryRecord q;
         q.date = day;
         q.recurrence = workload::Recurrence::kWeekly;
         q.paths = {Loc("sales", "$.f9")};
-        session->collector()->Record(q);
+        session->RecordQuery(q);
       }
     }
   }
@@ -449,7 +449,7 @@ TEST_F(MaxsonEndToEndTest, PredicatePushdownSharesSkipsAcrossReaders) {
   EXPECT_EQ(result->batch.num_rows(), 300u);
   // The rewritten plan must carry a cache SARG (pushdown happened), even if
   // min/max can't skip groups on this data distribution.
-  auto plan = session.engine()->Plan(sql);
+  auto plan = session.Plan(sql);
   ASSERT_TRUE(plan.ok());
   EXPECT_FALSE(plan->scan.cache_sarg.empty());
   EXPECT_EQ(plan->scan.cache_columns.size(), 1u);
@@ -473,7 +473,7 @@ TEST_F(MaxsonEndToEndTest, ModificationInvalidatesCache) {
   ASSERT_TRUE(after.ok());
   // Cache invalid: the engine must parse raw JSON again.
   EXPECT_GT(after->metrics.parse.records_parsed, 0u);
-  EXPECT_GT(session.parser()->invalidations(), 0u);
+  EXPECT_GT(session.parser().invalidations(), 0u);
   // The entry stays invalid for later queries too.
   auto again = session.Execute(sql);
   ASSERT_TRUE(again.ok());
@@ -484,8 +484,7 @@ TEST_F(MaxsonEndToEndTest, PredictorFindsDailyMpjps) {
   MaxsonSession session(&catalog_, Config());
   FeedHistory(&session, 21);
   ASSERT_TRUE(session.TrainPredictor(8, 20).ok());
-  const auto predicted = session.predictor()->PredictMpjps(
-      *session.collector(), 21);
+  const auto predicted = session.PredictMpjps(21);
   const std::set<std::string> set(predicted.begin(), predicted.end());
   // Daily paths parsed 3x/day are trivially MPJPs.
   EXPECT_TRUE(set.count(Loc("sales", "$.f1").Key()) != 0);
@@ -499,10 +498,10 @@ TEST_F(MaxsonEndToEndTest, MidnightCycleIsRepeatable) {
   FeedHistory(&session, 14);
   ASSERT_TRUE(session.TrainPredictor(8, 13).ok());
   ASSERT_TRUE(session.RunMidnightCycle(14).ok());
-  const size_t first_size = session.registry()->size();
+  const size_t first_size = session.registry().size();
   // Re-populating (next midnight) must not leak stale entries or files.
   ASSERT_TRUE(session.RunMidnightCycle(15).ok());
-  EXPECT_EQ(session.registry()->size(), first_size);
+  EXPECT_EQ(session.registry().size(), first_size);
   auto result = session.Execute(
       "SELECT get_json_object(payload, '$.f1') FROM mydb.sales LIMIT 3");
   ASSERT_TRUE(result.ok());
@@ -534,8 +533,8 @@ TEST_F(MaxsonEndToEndTest, MaxsonParserCountsHitsAndMisses) {
       "SELECT get_json_object(payload, '$.f1'), "
       "get_json_object(payload, '$.f7') FROM mydb.sales LIMIT 3");
   ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_GE(session.parser()->cache_hits(), 1u);
-  EXPECT_GE(session.parser()->cache_misses(), 1u);
+  EXPECT_GE(session.parser().cache_hits(), 1u);
+  EXPECT_GE(session.parser().cache_misses(), 1u);
 }
 
 }  // namespace

@@ -82,7 +82,7 @@ class IntegrationTest : public ::testing::Test {
         for (const std::string& p : paths) {
           q.paths.push_back(Loc("db", table, p));
         }
-        session->collector()->Record(q);
+        session->RecordQuery(q);
       }
     }
   }
@@ -280,7 +280,7 @@ TEST_F(IntegrationTest, SelfJoinUsesCacheOnBothSides) {
   // Join keys on both sides resolved from cache: no JSON parsing at all.
   EXPECT_EQ(cached->metrics.parse.records_parsed, 0u);
   // Both scans carry a cache column request.
-  auto plan = session.engine()->Plan(sql);
+  auto plan = session.Plan(sql);
   ASSERT_TRUE(plan.ok());
   EXPECT_EQ(plan->scan.cache_columns.size(), 1u);
   ASSERT_TRUE(plan->join_scan.has_value());

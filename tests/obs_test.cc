@@ -1,0 +1,343 @@
+// Observability-layer tests: the metrics registry and trace recorder units,
+// EXPLAIN's golden rendering, EXPLAIN ANALYZE's per-operator annotations,
+// and the determinism contract — counter totals published by a session must
+// be byte-identical at every parallelism degree, cached and uncached.
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/maxson.h"
+#include "gtest/gtest.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "storage/file_system.h"
+#include "workload/data_generator.h"
+
+namespace maxson {
+namespace {
+
+using catalog::Catalog;
+using core::MaxsonConfig;
+using core::MaxsonSession;
+using obs::Counter;
+using obs::Histogram;
+using obs::LabelSet;
+using obs::MetricsRegistry;
+using obs::TraceRecorder;
+using obs::TraceSpan;
+using storage::FileSystem;
+using workload::JsonPathLocation;
+using workload::JsonTableSpec;
+
+// ---- registry units ----
+
+TEST(MetricsRegistryTest, CountersAreSharedByNameAndLabels) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("requests_total");
+  a->Increment();
+  a->Increment(4);
+  // Same (name, labels) → same series.
+  EXPECT_EQ(registry.GetCounter("requests_total"), a);
+  EXPECT_EQ(a->value(), 5u);
+  // A label distinguishes the series.
+  Counter* labeled =
+      registry.GetCounter("requests_total", {{"path", "$.f0"}});
+  EXPECT_NE(labeled, a);
+  labeled->Increment(2);
+  EXPECT_EQ(a->value(), 5u);
+  EXPECT_EQ(labeled->value(), 2u);
+}
+
+TEST(MetricsRegistryTest, CounterTotalsListsCountersOnly) {
+  MetricsRegistry registry;
+  registry.GetCounter("rows_total")->Increment(7);
+  registry.GetCounter("rows_total", {{"table", "t"}})->Increment(3);
+  registry.GetGauge("pool_threads")->Set(8);
+  registry.GetHistogram("latency_seconds", {0.1, 1.0})->Observe(0.5);
+  const std::map<std::string, uint64_t> totals = registry.CounterTotals();
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals.at("rows_total"), 7u);
+  EXPECT_EQ(totals.at("rows_total{table=\"t\"}"), 3u);
+}
+
+TEST(MetricsRegistryTest, HistogramCumulativeBuckets) {
+  Histogram histogram({0.001, 0.01, 0.1});
+  histogram.Observe(0.0005);  // first bucket
+  histogram.Observe(0.05);    // third bucket
+  histogram.Observe(5.0);     // +Inf only
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.0005 + 0.05 + 5.0);
+  const std::vector<uint64_t> cumulative = histogram.CumulativeCounts();
+  ASSERT_EQ(cumulative.size(), 3u);
+  EXPECT_EQ(cumulative[0], 1u);
+  EXPECT_EQ(cumulative[1], 1u);
+  EXPECT_EQ(cumulative[2], 2u);
+}
+
+TEST(MetricsRegistryTest, PrometheusRendering) {
+  MetricsRegistry registry;
+  registry.GetCounter("maxson_queries_total")->Increment(2);
+  registry.GetCounter("maxson_rewrite_hits_total", {{"path", "$.f0"}})
+      ->Increment();
+  registry.GetGauge("maxson_cache_entries")->Set(3);
+  registry.GetHistogram("maxson_query_seconds", {0.1})->Observe(0.05);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE maxson_queries_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("maxson_queries_total 2"), std::string::npos);
+  EXPECT_NE(text.find("maxson_rewrite_hits_total{path=\"$.f0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE maxson_cache_entries gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE maxson_query_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("maxson_query_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("maxson_query_seconds_count 1"), std::string::npos);
+}
+
+// ---- trace units ----
+
+TEST(TraceTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder recorder;
+  { TraceSpan span(&recorder, "scan", "query"); }
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+TEST(TraceTest, EnabledSpansAppearInChromeTraceJson) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  { TraceSpan span(&recorder, "execute", "query"); }
+  { TraceSpan span(&recorder, "midnight.cache", "midnight"); }
+  ASSERT_EQ(recorder.size(), 2u);
+  const auto events = recorder.Snapshot();
+  EXPECT_EQ(events[0].name, "execute");
+  EXPECT_EQ(events[1].category, "midnight");
+  const std::string json = recorder.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"midnight.cache\""), std::string::npos);
+  recorder.Clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_TRUE(recorder.enabled());
+}
+
+// ---- EXPLAIN / determinism over a real warehouse ----
+
+class ObsQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (std::filesystem::temp_directory_path() /
+             ("maxson_obs_" + std::to_string(::getpid())))
+                .string();
+    ASSERT_TRUE(FileSystem::RemoveAll(root_).ok());
+    JsonTableSpec spec;
+    spec.database = "db";
+    spec.table = "t";
+    spec.num_properties = 8;
+    spec.avg_json_bytes = 250;
+    spec.schema_variability = 0.2;
+    spec.rows = 1400;
+    spec.rows_per_file = 700;
+    spec.rows_per_group = 100;
+    spec.seed = 17;
+    auto generated =
+        workload::GenerateJsonTable(spec, root_ + "/warehouse", 3, &catalog_);
+    ASSERT_TRUE(generated.ok()) << generated.status();
+  }
+  void TearDown() override { ASSERT_TRUE(FileSystem::RemoveAll(root_).ok()); }
+
+  /// A session with a private metrics registry so counter totals can be
+  /// compared across sessions in isolation.
+  MaxsonSession MakeSession(size_t num_threads, MetricsRegistry* registry) {
+    MaxsonConfig config;
+    config.cache_root = root_ + "/cache_t" + std::to_string(num_threads);
+    config.engine.default_database = "db";
+    config.engine.num_threads = num_threads;
+    config.predictor.epochs = 5;
+    config.metrics = registry;
+    return MaxsonSession(&catalog_, config);
+  }
+
+  /// Records 14 days of history over $.f0/$.f1 and runs the midnight cycle
+  /// so those paths land in the cache.
+  void WarmCache(MaxsonSession* session) {
+    for (int day = 0; day < 14; ++day) {
+      for (int rep = 0; rep < 3; ++rep) {
+        workload::QueryRecord record;
+        record.date = day;
+        for (const char* path : {"$.f0", "$.f1"}) {
+          JsonPathLocation loc;
+          loc.database = "db";
+          loc.table = "t";
+          loc.column = "payload";
+          loc.path = path;
+          record.paths.push_back(loc);
+        }
+        session->RecordQuery(record);
+      }
+    }
+    ASSERT_TRUE(session->TrainPredictor(8, 13).ok());
+    auto report = session->RunMidnightCycle(14);
+    ASSERT_TRUE(report.ok()) << report.status();
+    ASSERT_GT(report->selected.size(), 0u);
+  }
+
+  /// Joins the one-column "plan" result batch back into one text block.
+  static std::string PlanText(const storage::RecordBatch& batch) {
+    std::string text;
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      text += batch.column(0).GetString(r);
+      text += "\n";
+    }
+    return text;
+  }
+
+  std::string root_;
+  Catalog catalog_;
+};
+
+TEST_F(ObsQueryTest, ExplainRendersGoldenTree) {
+  MetricsRegistry registry;
+  MaxsonSession session = MakeSession(1, &registry);
+  auto result = session.Execute(
+      "EXPLAIN SELECT id FROM db.t WHERE id < 100 ORDER BY id DESC LIMIT "
+      "10");
+  ASSERT_TRUE(result.ok()) << result.status();
+  const std::string expected =
+      "Limit (10)\n"
+      "+- Sort (id DESC)\n"
+      "   +- Project (id)\n"
+      "      +- Filter ((id < 100))\n"
+      "         +- Scan t (columns: id; sarg: id < 100)\n"
+      "\n"
+      "cache: hits=0 misses=0 fallbacks=0\n";
+  EXPECT_EQ(PlanText(result->batch), expected);
+}
+
+TEST_F(ObsQueryTest, ExplainAnalyzeShowsOperatorStatsAndCacheHits) {
+  MetricsRegistry registry;
+  MaxsonSession session = MakeSession(4, &registry);
+  WarmCache(&session);
+  auto result = session.Execute(
+      "EXPLAIN ANALYZE SELECT id, get_json_object(payload, '$.f0') AS a "
+      "FROM db.t WHERE get_json_object(payload, '$.f1') IS NOT NULL");
+  ASSERT_TRUE(result.ok()) << result.status();
+  const std::string text = PlanText(result->batch);
+  // Per-operator runtime annotations on every level of the tree.
+  EXPECT_NE(text.find("Project (id, a) [rows_in="), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("Filter ("), std::string::npos) << text;
+  EXPECT_NE(text.find("+- Scan t ("), std::string::npos) << text;
+  EXPECT_NE(text.find(" splits=2"), std::string::npos) << text;
+  EXPECT_NE(text.find(" wall="), std::string::npos) << text;
+  // The rewrite hit both cached paths; the footer must say so (the
+  // acceptance criterion: nonzero cache-hit counters on a cached query).
+  EXPECT_NE(text.find("cache: hits=2 misses=0 fallbacks=0"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("read: bytes="), std::string::npos) << text;
+  EXPECT_NE(text.find("time: plan="), std::string::npos) << text;
+  // The same hits are published as labeled registry counters.
+  const auto totals = registry.CounterTotals();
+  uint64_t rewrite_hits = 0;
+  for (const auto& [key, value] : totals) {
+    if (key.rfind("maxson_rewrite_hits_total", 0) == 0) rewrite_hits += value;
+  }
+  EXPECT_GE(rewrite_hits, 2u);
+}
+
+TEST_F(ObsQueryTest, CounterTotalsIdenticalAcrossThreadCounts) {
+  const std::vector<std::string> queries = {
+      "SELECT id, get_json_object(payload, '$.f0') FROM db.t",
+      "SELECT get_json_object(payload, '$.f0') AS k, COUNT(*) FROM db.t "
+      "GROUP BY k",
+      "SELECT id FROM db.t WHERE get_json_object(payload, '$.f1') IS NOT "
+      "NULL ORDER BY id LIMIT 25",
+  };
+
+  // Uncached: no history, every rewrite misses.
+  std::map<std::string, uint64_t> uncached_baseline;
+  for (const size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    auto registry = std::make_unique<MetricsRegistry>();
+    MaxsonSession session = MakeSession(threads, registry.get());
+    for (const std::string& sql : queries) {
+      auto result = session.Execute(sql);
+      ASSERT_TRUE(result.ok()) << result.status();
+    }
+    const auto totals = registry->CounterTotals();
+    if (threads == 1) {
+      uncached_baseline = totals;
+      EXPECT_GT(totals.at("maxson_queries_total"), 0u);
+    } else {
+      EXPECT_EQ(totals, uncached_baseline)
+          << "uncached counter totals diverged at threads=" << threads;
+    }
+  }
+
+  // Cached: midnight cycle then the same queries through the cache, plus an
+  // EXPLAIN ANALYZE whose rendered row count must also be stable.
+  std::map<std::string, uint64_t> cached_baseline;
+  size_t analyze_rows_baseline = 0;
+  for (const size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    auto registry = std::make_unique<MetricsRegistry>();
+    MaxsonSession session = MakeSession(threads, registry.get());
+    WarmCache(&session);
+    for (const std::string& sql : queries) {
+      auto result = session.Execute(sql);
+      ASSERT_TRUE(result.ok()) << result.status();
+    }
+    auto analyzed = session.Execute(
+        "EXPLAIN ANALYZE SELECT get_json_object(payload, '$.f0') AS k, "
+        "COUNT(*) FROM db.t GROUP BY k");
+    ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+    const auto totals = registry->CounterTotals();
+    if (threads == 1) {
+      cached_baseline = totals;
+      analyze_rows_baseline = analyzed->batch.num_rows();
+      EXPECT_GT(totals.at("maxson_midnight_paths_cached_total"), 0u);
+    } else {
+      EXPECT_EQ(totals, cached_baseline)
+          << "cached counter totals diverged at threads=" << threads;
+      EXPECT_EQ(analyzed->batch.num_rows(), analyze_rows_baseline)
+          << "EXPLAIN ANALYZE row count diverged at threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ObsQueryTest, UpdateConfigValidatesAndApplies) {
+  MetricsRegistry registry;
+  MaxsonSession session = MakeSession(2, &registry);
+
+  core::SessionUpdate bad;
+  bad.num_threads = 100000;
+  EXPECT_FALSE(session.UpdateConfig(bad).ok());
+  // A rejected update leaves the session untouched.
+  EXPECT_EQ(session.pool().num_threads(), 2u);
+
+  core::SessionUpdate update;
+  update.num_threads = 3;
+  update.tracing = true;
+  update.cache_budget_bytes = 1ull << 20;
+  ASSERT_TRUE(session.UpdateConfig(update).ok());
+  EXPECT_EQ(session.pool().num_threads(), 3u);
+  EXPECT_TRUE(session.tracer().enabled());
+  EXPECT_EQ(session.config().cache_budget_bytes, 1ull << 20);
+
+  // Tracing on: a query records spans; a dump has them.
+  auto result = session.Execute("SELECT id FROM db.t LIMIT 5");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(session.stats().trace_events, 0u);
+  EXPECT_NE(session.tracer().ToChromeTraceJson().find("\"execute\""),
+            std::string::npos);
+  session.ClearTrace();
+  EXPECT_EQ(session.stats().trace_events, 0u);
+}
+
+}  // namespace
+}  // namespace maxson

@@ -198,7 +198,7 @@ TEST_F(ParallelExecTest, CachedExecutionIsByteIdenticalAcrossThreadCounts) {
           loc.path = path;
           record.paths.push_back(loc);
         }
-        session.collector()->Record(record);
+        session.RecordQuery(record);
       }
     }
     ASSERT_TRUE(session.TrainPredictor(8, 13).ok());
@@ -232,7 +232,7 @@ TEST_F(ParallelExecTest, MidnightCycleRacingQueriesIsSafe) {
       loc.column = "payload";
       loc.path = "$.f0";
       record.paths.push_back(loc);
-      session.collector()->Record(record);
+      session.RecordQuery(record);
     }
   }
   ASSERT_TRUE(session.TrainPredictor(8, 13).ok());

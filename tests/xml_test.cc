@@ -194,7 +194,7 @@ TEST_F(XmlMaxsonTest, XmlPathsAreCachedLikeJsonPaths) {
       workload::QueryRecord q;
       q.date = day;
       q.paths = {kind, value};
-      session.collector()->Record(q);
+      session.RecordQuery(q);
     }
   }
   ASSERT_TRUE(session.TrainPredictor(8, 13).ok());

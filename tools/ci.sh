@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: Release build + full test suite, then a ThreadSanitizer
 # build + full test suite (the parallel execution runtime must be clean
-# under TSan), then the thread-scaling bench (emits BENCH_scaling.json).
+# under TSan; the metrics-determinism test additionally runs standalone so
+# a racy counter fails loudly by name), then the thread-scaling and
+# observability benches (emit BENCH_scaling.json / BENCH_observability.json;
+# the latter fails CI if instrumentation overhead exceeds 5%).
 #
 # Usage: tools/ci.sh [--skip-tsan] [--skip-bench]
 # Runs from anywhere; build trees land in build-ci/ and build-tsan/.
@@ -35,11 +38,16 @@ if [[ "$run_tsan" == 1 ]]; then
   # warning buried in the log.
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+  echo "=== Metrics determinism under TSan ==="
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_test \
+    --gtest_filter='ObsQueryTest.CounterTotalsIdenticalAcrossThreadCounts'
 fi
 
 if [[ "$run_bench" == 1 ]]; then
   echo "=== Thread-scaling bench ==="
   ./build-ci/bench/scaling_threads
+  echo "=== Observability overhead bench ==="
+  ./build-ci/bench/observability_overhead
 fi
 
 echo "CI OK"

@@ -14,13 +14,20 @@
 //   .train FIRST LAST         train the MPJP predictor on target days
 //   .midnight DAY             run the predict -> score -> cache cycle
 //   .cache                    show current cache registry entries
+//   .stats                    session counter snapshot
+//   .metrics                  dump the metrics registry (Prometheus text)
 //   .metrics on|off           toggle per-query metric printing
-//   .threads N                resize the execution pool (also: set threads N)
+//   .trace FILE               write recorded spans as chrome-trace JSON
 //   .quit
+//
+// Runtime knobs go through `set` (all routed via UpdateConfig):
+//   set threads N | set trace on|off | set rawfilter on|off | set budget N
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -52,11 +59,17 @@ void PrintHelp() {
       ".train FIRST LAST    train the MPJP predictor on target days\n"
       ".midnight DAY        run the nightly predict/score/cache cycle\n"
       ".cache               show cache registry entries\n"
+      ".stats               session counter snapshot\n"
+      ".metrics             dump the metrics registry (Prometheus text;\n"
+      "                     *_seconds series are summed per-task CPU time,\n"
+      "                     not wall time, under parallel execution)\n"
       ".metrics on|off      toggle per-query metrics\n"
-      ".threads N           resize the execution pool (0 = all cores);\n"
-      "                     `set threads N` works too\n"
+      ".trace FILE          write recorded spans as chrome-trace JSON\n"
+      ".threads N           resize the execution pool (0 = all cores)\n"
+      "set threads N        same, SQL-flavored; also set trace on|off,\n"
+      "                     set rawfilter on|off, set budget BYTES\n"
       ".quit                exit\n"
-      "anything else        executed as SQL\n");
+      "anything else        executed as SQL (SELECT, EXPLAIN [ANALYZE])\n");
 }
 
 void PrintBatch(const maxson::storage::RecordBatch& batch, size_t max_rows) {
@@ -143,41 +156,104 @@ int Run(const ShellOptions& options) {
                     report->predicted_mpjps.size(), report->selected.size(),
                     report->caching.total_seconds);
       } else if (cmd == ".cache") {
-        for (const auto& entry : session.registry()->Snapshot()) {
+        for (const auto& entry : session.registry().Snapshot()) {
           std::printf("  %-50s %s t=%lld %s\n", entry.location.Key().c_str(),
                       entry.cache_field.c_str(),
                       static_cast<long long>(entry.cache_time),
                       entry.valid ? "valid" : "INVALID");
         }
-        if (session.registry()->size() == 0) std::printf("  (empty)\n");
+        if (session.registry().size() == 0) std::printf("  (empty)\n");
+      } else if (cmd == ".stats") {
+        const maxson::core::SessionStats stats = session.stats();
+        std::printf(
+            "rewrite cache:  %llu hits, %llu misses, %llu invalidations\n"
+            "registry:       %llu entries; %llu lookups, %llu hits\n"
+            "pool:           %zu threads, %llu tasks submitted\n"
+            "midnight:       %llu cycles\n"
+            "tracing:        %s (%llu events)\n",
+            static_cast<unsigned long long>(stats.rewrite_cache_hits),
+            static_cast<unsigned long long>(stats.rewrite_cache_misses),
+            static_cast<unsigned long long>(stats.rewrite_invalidations),
+            static_cast<unsigned long long>(stats.registry_entries),
+            static_cast<unsigned long long>(stats.registry_lookups),
+            static_cast<unsigned long long>(stats.registry_lookup_hits),
+            stats.num_threads,
+            static_cast<unsigned long long>(stats.pool_tasks_submitted),
+            static_cast<unsigned long long>(stats.midnight_cycles),
+            stats.tracing_enabled ? "on" : "off",
+            static_cast<unsigned long long>(stats.trace_events));
       } else if (cmd == ".metrics") {
         std::string mode;
-        args >> mode;
-        show_metrics = mode != "off";
+        if (args >> mode) {
+          show_metrics = mode != "off";
+        } else {
+          // *_seconds series sum per-task CPU time across workers, so with
+          // N threads they exceed wall time; say so to avoid misreading.
+          std::printf("# *_seconds = summed per-task CPU time (exceeds wall "
+                      "time when threads > 1)\n%s",
+                      session.metrics().RenderPrometheus().c_str());
+        }
+      } else if (cmd == ".trace") {
+        std::string path;
+        if (!(args >> path)) {
+          std::printf("usage: .trace FILE (enable with `set trace on`)\n");
+          continue;
+        }
+        std::ofstream out(path);
+        if (!out) {
+          std::printf("cannot open %s\n", path.c_str());
+          continue;
+        }
+        out << session.tracer().ToChromeTraceJson();
+        std::printf("wrote %zu span(s) to %s\n", session.tracer().size(),
+                    path.c_str());
       } else if (cmd == ".threads") {
         size_t n = 0;
         if (!(args >> n)) {
-          std::printf("threads: %zu\n", session.pool()->num_threads());
+          std::printf("threads: %zu\n", session.pool().num_threads());
           continue;
         }
-        session.set_num_threads(n);
-        std::printf("threads: %zu\n", session.pool()->num_threads());
+        maxson::core::SessionUpdate update;
+        update.num_threads = n;
+        if (auto st = session.UpdateConfig(update); !st.ok()) {
+          std::printf("%s\n", st.ToString().c_str());
+          continue;
+        }
+        std::printf("threads: %zu\n", session.pool().num_threads());
       } else {
         std::printf("unknown command %s; try .help\n", cmd.c_str());
       }
       continue;
     }
 
-    // `set threads N` — SQL-flavored spelling of .threads for scripts.
-    if (trimmed.rfind("set threads", 0) == 0 ||
-        trimmed.rfind("SET THREADS", 0) == 0) {
-      std::istringstream args(trimmed.substr(std::strlen("set threads")));
-      size_t n = 0;
-      if (args >> n) {
-        session.set_num_threads(n);
-        std::printf("threads: %zu\n", session.pool()->num_threads());
+    // `set KNOB VALUE` — SQL-flavored runtime configuration. Every knob
+    // routes through the one validated UpdateConfig entry point.
+    if (trimmed.rfind("set ", 0) == 0 || trimmed.rfind("SET ", 0) == 0) {
+      std::istringstream args(trimmed.substr(4));
+      std::string knob;
+      std::string value;
+      args >> knob >> value;
+      for (char& ch : knob) ch = static_cast<char>(std::tolower(ch));
+      maxson::core::SessionUpdate update;
+      if (knob == "threads") {
+        update.num_threads = std::strtoul(value.c_str(), nullptr, 10);
+      } else if (knob == "trace") {
+        update.tracing = value != "off" && value != "0";
+      } else if (knob == "rawfilter") {
+        update.raw_filter = value != "off" && value != "0";
+      } else if (knob == "budget") {
+        update.cache_budget_bytes = std::strtoull(value.c_str(), nullptr, 10);
       } else {
-        std::printf("usage: set threads N\n");
+        std::printf("usage: set threads N | set trace on|off | "
+                    "set rawfilter on|off | set budget BYTES\n");
+        continue;
+      }
+      if (auto st = session.UpdateConfig(update); !st.ok()) {
+        std::printf("%s\n", st.ToString().c_str());
+      } else if (knob == "threads") {
+        std::printf("threads: %zu\n", session.pool().num_threads());
+      } else {
+        std::printf("%s = %s\n", knob.c_str(), value.c_str());
       }
       continue;
     }
@@ -189,9 +265,12 @@ int Run(const ShellOptions& options) {
     }
     PrintBatch(result->batch, 40);
     if (show_metrics) {
+      // read/parse/compute sum per-task CPU time across workers, so with
+      // N threads they exceed wall time; label them cpu to avoid misreading.
       const auto& m = result->metrics;
-      std::printf("[plan %.2fms | read %.1fms | parse %.1fms (%llu records) "
-                  "| compute %.1fms | %llu bytes read | %llu shared skips]\n",
+      std::printf("[plan %.2fms | read(cpu) %.1fms | parse(cpu) %.1fms "
+                  "(%llu records) | compute(cpu) %.1fms | %llu bytes read | "
+                  "%llu shared skips]\n",
                   m.plan_seconds * 1e3, m.read_seconds * 1e3,
                   m.parse_seconds * 1e3,
                   static_cast<unsigned long long>(m.parse.records_parsed),
