@@ -13,8 +13,11 @@ namespace maxson {
 ///
 /// The value accessors assert on misuse in debug builds; callers must check
 /// `ok()` (or use MAXSON_ASSIGN_OR_RETURN) before dereferencing.
+///
+/// [[nodiscard]] for the same reason as Status: a dropped Result is a
+/// dropped error (tools/lint.py guards the attribute).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: `return value;` inside a Result-returning
   /// function is the common success path.

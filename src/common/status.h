@@ -27,7 +27,11 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// Library code never throws; every operation that can fail returns a Status
 /// (or a Result<T>, see result.h). The default-constructed Status is OK.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a returned Status hides real failures
+/// (tools/lint.py guards the attribute; src/ builds with -Werror). Callers
+/// that genuinely cannot act on an error must still inspect and report it.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

@@ -16,24 +16,39 @@ using DateId = int32_t;
 /// ("2019-01-01" + N days) so printed experiment output resembles the paper.
 std::string FormatDate(DateId date);
 
+/// The one clock every timing site in src/ reads. tools/lint.py bans direct
+/// std::chrono clock calls outside this header so elapsed-time measurements
+/// share a single monotonic clock and never silently mix in wall time.
+using MonotonicClock = std::chrono::steady_clock;
+using MonotonicTime = MonotonicClock::time_point;
+
+inline MonotonicTime MonotonicNow() { return MonotonicClock::now(); }
+
+/// Microseconds from `since` to `until`, saturating at 0 for reversed pairs.
+inline uint64_t ElapsedMicros(MonotonicTime since, MonotonicTime until) {
+  if (until < since) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(until - since)
+          .count());
+}
+
 /// Monotonic stopwatch used by the engine's metrics and the benches.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(MonotonicNow()) {}
 
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ = MonotonicNow(); }
 
   /// Elapsed seconds since construction or the last Reset().
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return std::chrono::duration<double>(MonotonicNow() - start_).count();
   }
 
   /// Elapsed milliseconds.
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  MonotonicTime start_;
 };
 
 }  // namespace maxson

@@ -18,6 +18,7 @@ std::vector<std::string> CacheRegistry::Clear() {
     dirs.insert(entry.cache_table_dir);
   }
   entries_.clear();
+  version_.fetch_add(1, std::memory_order_release);
   return std::vector<std::string>(dirs.begin(), dirs.end());
 }
 

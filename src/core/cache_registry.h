@@ -52,12 +52,16 @@ class CacheRegistry {
     std::unique_lock<std::shared_mutex> lock(other.mutex_);
     entries_ = std::move(other.entries_);
     other.entries_.clear();
+    version_.fetch_add(1, std::memory_order_release);
+    other.version_.fetch_add(1, std::memory_order_release);
   }
   CacheRegistry& operator=(CacheRegistry&& other) noexcept {
     if (this != &other) {
       std::scoped_lock lock(mutex_, other.mutex_);
       entries_ = std::move(other.entries_);
       other.entries_.clear();
+      version_.fetch_add(1, std::memory_order_release);
+      other.version_.fetch_add(1, std::memory_order_release);
     }
     return *this;
   }
@@ -65,6 +69,7 @@ class CacheRegistry {
   void Put(CacheEntry entry) {
     std::unique_lock<std::shared_mutex> lock(mutex_);
     entries_[entry.location.Key()] = std::move(entry);
+    version_.fetch_add(1, std::memory_order_release);
   }
 
   /// Returns a copy of the entry, or nullopt when the path has none. A copy
@@ -94,7 +99,18 @@ class CacheRegistry {
   void Invalidate(const workload::JsonPathLocation& location) {
     std::unique_lock<std::shared_mutex> lock(mutex_);
     auto it = entries_.find(location.Key());
-    if (it != entries_.end()) it->second.valid = false;
+    if (it != entries_.end()) {
+      it->second.valid = false;
+      version_.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  /// Monotonic change counter: bumped by every mutation (Put, Invalidate,
+  /// Clear, move). Lets callers cache derived views of the registry — the
+  /// plan validator's binding snapshot rebuilds only when this changes —
+  /// without holding the lock across queries.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
   }
 
   /// Drops every entry (the nightly "empty and re-populate" step) and
@@ -128,6 +144,7 @@ class CacheRegistry {
  private:
   mutable std::shared_mutex mutex_;
   std::map<std::string, CacheEntry> entries_;
+  std::atomic<uint64_t> version_{0};
   /// Mutable: Lookup is logically const; counting probes does not mutate
   /// the registry's observable cache state.
   mutable std::atomic<uint64_t> lookups_{0};

@@ -20,6 +20,12 @@ MaxsonSession::MaxsonSession(const catalog::Catalog* catalog,
   engine_->set_plan_rewriter(parser_.get());
   engine_->set_metrics_registry(metrics_);
   engine_->set_tracer(&trace_recorder_);
+  // The PlanValidator checks every rewritten plan's cache placeholders
+  // against the live registry; invalid entries stay listed (their files
+  // remain on disk until the next midnight cycle deletes them), so only a
+  // request for an entry the registry dropped entirely is dangling.
+  engine_->set_cache_binding_source(
+      [this] { return CacheBindingSnapshot(); });
   cacher_ = std::make_unique<JsonPathCacher>(catalog_, config_.cache_root,
                                              config_.engine.json_backend);
   // Queries and midnight pre-parsing share one pool, so a deployment's
@@ -34,6 +40,26 @@ MaxsonSession::MaxsonSession(const catalog::Catalog* catalog,
                        << " cache entries from " << config_.registry_path;
     }
   }
+}
+
+std::shared_ptr<const std::vector<engine::CacheBinding>>
+MaxsonSession::CacheBindingSnapshot() const {
+  std::lock_guard<std::mutex> lock(binding_cache_mutex_);
+  // Read the version before Snapshot(): a mutation landing between the two
+  // reads makes the cached copy stale-stamped, so the next call rebuilds.
+  const uint64_t version = registry_.version();
+  if (binding_cache_ == nullptr || version != binding_cache_version_) {
+    auto bindings = std::make_shared<std::vector<engine::CacheBinding>>();
+    const std::vector<CacheEntry> entries = registry_.Snapshot();
+    bindings->reserve(entries.size());
+    for (const CacheEntry& entry : entries) {
+      bindings->push_back(
+          engine::CacheBinding{entry.cache_table_dir, entry.cache_field});
+    }
+    binding_cache_ = std::move(bindings);
+    binding_cache_version_ = version;
+  }
+  return binding_cache_;
 }
 
 Status MaxsonSession::TrainPredictor(DateId first_target_day,

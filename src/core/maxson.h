@@ -2,6 +2,7 @@
 #define MAXSON_CORE_MAXSON_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -222,6 +223,11 @@ class MaxsonSession {
   SessionStats stats() const;
 
  private:
+  /// Flattened registry view for the plan validator, served from
+  /// binding_cache_ and rebuilt only when the registry's version moved.
+  std::shared_ptr<const std::vector<engine::CacheBinding>>
+  CacheBindingSnapshot() const;
+
   const catalog::Catalog* catalog_;
   MaxsonConfig config_;
   obs::MetricsRegistry* metrics_;  // never null after construction
@@ -233,6 +239,14 @@ class MaxsonSession {
   std::unique_ptr<engine::QueryEngine> engine_;
   std::unique_ptr<JsonPathCacher> cacher_;
   uint64_t midnight_cycles_ = 0;
+  /// Cached flattening of registry_ for the plan validator's binding
+  /// checks, rebuilt only when registry_.version() moves past
+  /// binding_cache_version_. Shared const so in-flight validations keep a
+  /// consistent snapshot while a midnight cycle swaps in a fresh one.
+  mutable std::mutex binding_cache_mutex_;
+  mutable std::shared_ptr<const std::vector<engine::CacheBinding>>
+      binding_cache_;
+  mutable uint64_t binding_cache_version_ = ~0ull;
 };
 
 }  // namespace maxson::core

@@ -204,10 +204,52 @@ void QueryEngine::RegisterBuiltinFunctions() {
   };
 }
 
+Status QueryEngine::ValidatePlanned(const PhysicalPlan& plan,
+                                    const std::string& sql) {
+#ifdef NDEBUG
+  // Release builds honor the config knob; Debug builds always validate.
+  if (!config_.validate_plans) return Status::Ok();
+#endif
+  std::shared_ptr<const std::vector<CacheBinding>> bindings;
+  if (cache_binding_source_) bindings = cache_binding_source_();
+#ifdef NDEBUG
+  // Clean verdicts are remembered per SQL text so steady-state planning
+  // (the fig13 plan-time loop, dashboards re-issuing the same query) pays
+  // the full walk once per (rewriter, registry snapshot) state, not per
+  // plan. See ValidationVerdict for the determinism argument.
+  {
+    std::lock_guard<std::mutex> lock(validation_cache_mutex_);
+    auto it = validation_cache_.find(sql);
+    if (it != validation_cache_.end() && it->second.rewriter == rewriter_ &&
+        it->second.bindings == bindings) {
+      return Status::Ok();
+    }
+  }
+#endif
+  Status status = ValidatePlan(plan, bindings.get());
+  if (!status.ok()) {
+    if (metrics_registry_ != nullptr) {
+      metrics_registry_->GetCounter("maxson_plan_validation_failures")
+          ->Increment();
+    }
+    return status;
+  }
+#ifdef NDEBUG
+  std::lock_guard<std::mutex> lock(validation_cache_mutex_);
+  // Unbounded growth guard; a full reset is fine — verdicts re-prove in
+  // one validation each.
+  if (validation_cache_.size() >= 1024) validation_cache_.clear();
+  validation_cache_[sql] = ValidationVerdict{rewriter_, std::move(bindings)};
+#endif
+  return status;
+}
+
 Result<PhysicalPlan> QueryEngine::Plan(const std::string& sql) {
   MAXSON_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(sql));
   Planner planner(catalog_, config_.default_database);
-  return planner.Plan(stmt, rewriter_);
+  MAXSON_ASSIGN_OR_RETURN(PhysicalPlan plan, planner.Plan(stmt, rewriter_));
+  MAXSON_RETURN_NOT_OK(ValidatePlanned(plan, sql));
+  return plan;
 }
 
 namespace {
@@ -232,6 +274,7 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
   Planner planner(catalog_, config_.default_database);
   MAXSON_ASSIGN_OR_RETURN(PhysicalPlan plan,
                           planner.Plan(stmt.select, rewriter_));
+  MAXSON_RETURN_NOT_OK(ValidatePlanned(plan, sql));
   const double plan_seconds = plan_timer.ElapsedSeconds();
 
   if (stmt.kind == StatementKind::kExplain) {

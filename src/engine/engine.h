@@ -1,14 +1,18 @@
 #ifndef MAXSON_ENGINE_ENGINE_H_
 #define MAXSON_ENGINE_ENGINE_H_
 
+#include <algorithm>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "engine/plan.h"
+#include "engine/plan_validator.h"
 #include "exec/thread_pool.h"
 #include "json/mison_parser.h"
 #include "xml/xml_path.h"
@@ -39,6 +43,12 @@ struct EngineConfig {
   /// everything inline on the calling thread (the pre-parallel behaviour).
   /// Results are byte-identical at every setting; see exec/thread_pool.h.
   size_t num_threads = 0;
+  /// Run the PlanValidator over every plan Plan()/Execute() produces (after
+  /// Maxson's rewrite, before any execution). Debug builds validate
+  /// unconditionally; this flag gates the check in Release builds only. A
+  /// violation fails the query with kInternal and bumps the
+  /// maxson_plan_validation_failures counter.
+  bool validate_plans = true;
 };
 
 /// The mini analytical engine: SparkSQL's role in the paper. Parses SQL,
@@ -65,6 +75,14 @@ class QueryEngine {
   /// thread count. Pass nullptr to disable. Not owned.
   void set_metrics_registry(obs::MetricsRegistry* registry) {
     metrics_registry_ = registry;
+  }
+
+  /// Installs the source of live cache bindings the PlanValidator checks
+  /// CacheColumnRequests against (MaxsonSession wires this to its
+  /// CacheRegistry snapshot). Pass an empty function to remove; without a
+  /// source the binding-existence check is skipped.
+  void set_cache_binding_source(CacheBindingSource source) {
+    cache_binding_source_ = std::move(source);
   }
 
   /// Recorder receiving per-stage trace spans (scan, filter, aggregate, …).
@@ -118,6 +136,12 @@ class QueryEngine {
 
   void RegisterBuiltinFunctions();
 
+  /// Runs the PlanValidator over a freshly planned (possibly rewritten)
+  /// plan when validation is enabled for this build/config; a violation
+  /// bumps maxson_plan_validation_failures and is returned to the caller.
+  /// `sql` keys the Release-build verdict cache (see validation_cache_).
+  Status ValidatePlanned(const PhysicalPlan& plan, const std::string& sql);
+
   /// Publishes one executed query's deterministic counters and measured
   /// time distributions to `metrics_registry_` (no-op when unset). Runs on
   /// the coordinating thread after all accumulators merged.
@@ -133,6 +157,7 @@ class QueryEngine {
   const catalog::Catalog* catalog_;
   EngineConfig config_;
   PlanRewriter* rewriter_ = nullptr;
+  CacheBindingSource cache_binding_source_;
   obs::MetricsRegistry* metrics_registry_ = nullptr;
   obs::TraceRecorder* tracer_ = nullptr;
   std::shared_ptr<exec::ThreadPool> pool_;
@@ -148,6 +173,41 @@ class QueryEngine {
   std::shared_mutex path_cache_mutex_;
   std::unordered_map<std::string, json::JsonPath> path_cache_;
   std::unordered_map<std::string, xml::XmlPath> xml_path_cache_;
+
+  /// One remembered clean verdict: the rewriter and binding snapshot the
+  /// validation ran under. Planning is deterministic given the SQL text,
+  /// the catalog, the installed rewriter, and the registry state (the same
+  /// assumption the Maxson rewrite cache rests on), so a query that
+  /// validated clean stays clean until one of those inputs changes. The
+  /// rewriter is compared by identity; the binding snapshot by pointer
+  /// identity — the session rebuilds it only when the registry's version
+  /// counter moves, and the shared_ptr held here keeps the old snapshot's
+  /// address from being reused. Failures are never cached: a violation is
+  /// re-proven (and re-counted) on every occurrence. Release builds only —
+  /// Debug builds run the full validator on every plan.
+  struct ValidationVerdict {
+    const PlanRewriter* rewriter = nullptr;
+    std::shared_ptr<const std::vector<CacheBinding>> bindings;
+  };
+  /// Hashes the length plus at most the first and last 32 bytes of the SQL
+  /// text: the key is hashed on every Plan() call, and a full-string hash
+  /// of a many-projection SELECT costs more than the verdict lookup it
+  /// amortizes. Equality stays exact, so a collision costs one extra
+  /// compare, never a wrong verdict.
+  struct SqlKeyHash {
+    size_t operator()(const std::string& sql) const {
+      const size_t n = sql.size();
+      const size_t span = std::min<size_t>(n, 32);
+      const std::hash<std::string_view> hasher;
+      const size_t head = hasher(std::string_view(sql.data(), span));
+      const size_t tail =
+          hasher(std::string_view(sql.data() + (n - span), span));
+      return (head * 1315423911u) ^ tail ^ n;
+    }
+  };
+  std::mutex validation_cache_mutex_;
+  std::unordered_map<std::string, ValidationVerdict, SqlKeyHash>
+      validation_cache_;
 };
 
 }  // namespace maxson::engine

@@ -80,7 +80,9 @@ class ThreadPool {
 class TaskGroup {
  public:
   explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
-  ~TaskGroup() { Wait(); }
+  /// Backstop join for early-exit paths. A destructor cannot propagate the
+  /// group status; callers that care must call Wait() themselves first.
+  ~TaskGroup() { (void)Wait(); }
 
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;

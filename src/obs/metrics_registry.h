@@ -92,11 +92,16 @@ class MetricsRegistry {
 
   static MetricsRegistry& Global();
 
-  Counter* GetCounter(const std::string& name, const LabelSet& labels = {});
-  Gauge* GetGauge(const std::string& name, const LabelSet& labels = {});
+  // [[nodiscard]]: a discarded lookup creates (or probes) a series for
+  // nothing — the caller meant to write it and didn't.
+  [[nodiscard]] Counter* GetCounter(const std::string& name,
+                                    const LabelSet& labels = {});
+  [[nodiscard]] Gauge* GetGauge(const std::string& name,
+                                const LabelSet& labels = {});
   /// `bounds` is consulted only on first creation of the series.
-  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
-                          const LabelSet& labels = {});
+  [[nodiscard]] Histogram* GetHistogram(const std::string& name,
+                                        std::vector<double> bounds,
+                                        const LabelSet& labels = {});
 
   /// Counter totals keyed by "name{labels}" — the determinism-test view
   /// (counters only; gauges and histograms may carry wall time).

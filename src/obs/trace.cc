@@ -25,10 +25,7 @@ std::string EscapeJson(const std::string& text) {
 }  // namespace
 
 uint64_t TraceRecorder::NowMicros() const {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - epoch_)
-          .count());
+  return ElapsedMicros(epoch_, MonotonicNow());
 }
 
 void TraceRecorder::Record(TraceEvent event) {

@@ -2,11 +2,12 @@
 #define MAXSON_OBS_TRACE_H_
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/time_util.h"
 
 namespace maxson::obs {
 
@@ -25,7 +26,7 @@ struct TraceEvent {
 /// atomic load per span site; enabled ones take a mutex only at span end.
 class TraceRecorder {
  public:
-  TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+  TraceRecorder() : epoch_(MonotonicNow()) {}
 
   void set_enabled(bool enabled) {
     enabled_.store(enabled, std::memory_order_relaxed);
@@ -46,7 +47,7 @@ class TraceRecorder {
 
  private:
   std::atomic<bool> enabled_{false};
-  std::chrono::steady_clock::time_point epoch_;
+  MonotonicTime epoch_;
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
 };

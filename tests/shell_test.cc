@@ -1,0 +1,138 @@
+// End-to-end test of maxson_shell's command parsing: malformed `set` knob
+// values and a malformed `.trace` invocation must be rejected with a
+// printed error (and leave the session untouched), while well-formed
+// commands keep working in the same session. Drives the real binary
+// (MAXSON_SHELL_BINARY, injected by CMake) through a pipe.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "gtest/gtest.h"
+#include "storage/file_system.h"
+#include "workload/data_generator.h"
+
+namespace maxson {
+namespace {
+
+class ShellTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (std::filesystem::temp_directory_path() /
+             ("maxson_shell_test_" + std::to_string(::getpid())))
+                .string();
+    ASSERT_TRUE(storage::FileSystem::RemoveAll(root_).ok());
+    workload::JsonTableSpec spec;
+    spec.database = "db";
+    spec.table = "t";
+    spec.num_properties = 3;
+    spec.avg_json_bytes = 80;
+    spec.rows = 50;
+    spec.rows_per_file = 50;
+    spec.rows_per_group = 25;
+    spec.seed = 3;
+    catalog::Catalog catalog;
+    auto generated =
+        workload::GenerateJsonTable(spec, root_ + "/warehouse", 1, &catalog);
+    ASSERT_TRUE(generated.ok()) << generated.status();
+    ASSERT_TRUE(catalog.Save(root_ + "/warehouse/catalog.json").ok());
+  }
+  void TearDown() override {
+    ASSERT_TRUE(storage::FileSystem::RemoveAll(root_).ok());
+  }
+
+  /// Pipes `input` into the shell, returns combined stdout+stderr.
+  std::string RunShell(const std::string& input) {
+    const std::string command =
+        "printf '%s' '" + input + "' | " + MAXSON_SHELL_BINARY +
+        " --warehouse " + root_ + "/warehouse --database db --cache " + root_ +
+        "/cache 2>&1";
+    FILE* pipe = popen(command.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    if (pipe == nullptr) return "";
+    std::string output;
+    char buffer[512];
+    while (fgets(buffer, sizeof(buffer), pipe) != nullptr) output += buffer;
+    const int rc = pclose(pipe);
+    EXPECT_EQ(rc, 0) << output;
+    return output;
+  }
+
+  std::string root_;
+};
+
+TEST_F(ShellTest, MalformedSetValuesAreRejectedWithErrors) {
+  const std::string output = RunShell(
+      "set threads abc\n"
+      "set threads -2\n"
+      "set trace maybe\n"
+      "set rawfilter yes\n"
+      "set budget 12MB\n"
+      "set nonsense 1\n"
+      ".quit\n");
+  EXPECT_NE(output.find("error: set threads expects a number"),
+            std::string::npos)
+      << output;
+  EXPECT_NE(output.find("got '-2'"), std::string::npos) << output;
+  EXPECT_NE(output.find("error: set trace expects on|off, got 'maybe'"),
+            std::string::npos)
+      << output;
+  EXPECT_NE(output.find("error: set rawfilter expects on|off, got 'yes'"),
+            std::string::npos)
+      << output;
+  EXPECT_NE(output.find("error: set budget expects a byte count, got '12MB'"),
+            std::string::npos)
+      << output;
+  EXPECT_NE(output.find("usage: set threads N"), std::string::npos) << output;
+}
+
+TEST_F(ShellTest, MalformedSetLeavesSessionUsable) {
+  // A rejected knob must not half-apply: threads stays at its start value
+  // (1) after the bad `set threads`, and valid commands still work.
+  const std::string output = RunShell(
+      "set threads banana\n"
+      ".threads\n"
+      "set trace on\n"
+      "set threads 2\n"
+      ".quit\n");
+  EXPECT_NE(output.find("error: set threads expects a number"),
+            std::string::npos)
+      << output;
+  EXPECT_NE(output.find("threads: 1"), std::string::npos) << output;
+  EXPECT_NE(output.find("trace = on"), std::string::npos) << output;
+  EXPECT_NE(output.find("threads: 2"), std::string::npos) << output;
+}
+
+TEST_F(ShellTest, TraceCommandRejectsMissingFile) {
+  const std::string output = RunShell(
+      ".trace\n"
+      ".quit\n");
+  EXPECT_NE(output.find("error: .trace expects a file path"),
+            std::string::npos)
+      << output;
+}
+
+TEST_F(ShellTest, TraceCommandReportsUnwritablePath) {
+  const std::string output = RunShell(
+      ".trace /nonexistent-dir/trace.json\n"
+      ".quit\n");
+  EXPECT_NE(output.find("error: cannot open /nonexistent-dir/trace.json"),
+            std::string::npos)
+      << output;
+}
+
+TEST_F(ShellTest, ValidKnobsAndQueriesStillWork) {
+  const std::string output = RunShell(
+      "set rawfilter on\n"
+      "set budget 1000000\n"
+      "SELECT id FROM t WHERE id < 3\n"
+      ".quit\n");
+  EXPECT_NE(output.find("rawfilter = on"), std::string::npos) << output;
+  EXPECT_NE(output.find("budget = 1000000"), std::string::npos) << output;
+  EXPECT_NE(output.find("id"), std::string::npos) << output;
+  EXPECT_EQ(output.find("error:"), std::string::npos) << output;
+}
+
+}  // namespace
+}  // namespace maxson

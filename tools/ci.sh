@@ -1,41 +1,72 @@
 #!/usr/bin/env bash
-# CI entry point: Release build + full test suite, then a ThreadSanitizer
-# build + full test suite (the parallel execution runtime must be clean
-# under TSan; the metrics-determinism test additionally runs standalone so
-# a racy counter fails loudly by name), then the thread-scaling and
-# observability benches (emit BENCH_scaling.json / BENCH_observability.json;
-# the latter fails CI if instrumentation overhead exceeds 5%).
+# CI entry point. Phases, in order (see DESIGN.md, "Correctness tooling"):
 #
-# Usage: tools/ci.sh [--skip-tsan] [--skip-bench]
-# Runs from anywhere; build trees land in build-ci/ and build-tsan/.
+#   lint    tools/lint.py --self-test (every rule must fire on a seeded
+#           violation), then the repo lint itself. Runs first: it is the
+#           cheapest phase and most failures are mechanical. clang-tidy
+#           (config in .clang-tidy) runs only when the binary exists.
+#   release Release build + full test suite (the tier-1 gate).
+#   asan    AddressSanitizer + UndefinedBehaviorSanitizer build + full test
+#           suite, with leak detection on and halt-on-error so the first
+#           finding fails the run instead of scrolling by.
+#   tsan    ThreadSanitizer build + full test suite (the parallel execution
+#           runtime must be race-clean); the metrics-determinism test also
+#           runs standalone so a racy counter fails loudly by name.
+#   bench   Thread-scaling and observability benches (the latter fails CI
+#           if instrumentation overhead exceeds 5%).
+#
+# Usage: tools/ci.sh [--skip-asan] [--skip-tsan] [--skip-bench]
+# Runs from anywhere; build trees land in build-ci/, build-asan/, build-tsan/.
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
+run_asan=1
 run_tsan=1
 run_bench=1
 for arg in "$@"; do
   case "$arg" in
+    --skip-asan) run_asan=0 ;;
     --skip-tsan) run_tsan=0 ;;
     --skip-bench) run_bench=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
 
+echo "=== Lint ==="
+python3 tools/lint.py --self-test
+python3 tools/lint.py
+if command -v clang-tidy >/dev/null 2>&1 && [[ -f build-ci/compile_commands.json ]]; then
+  echo "=== clang-tidy (src/) ==="
+  find src -name '*.cc' -print0 \
+    | xargs -0 clang-tidy -p build-ci --quiet
+fi
+
 echo "=== Release build + tests ==="
-cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
+cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build-ci -j "$JOBS"
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "=== ASan + UBSan build + tests ==="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMAXSON_SANITIZE=address,undefined
+  cmake --build build-asan -j "$JOBS"
+  # Leaks are errors too; halt_on_error surfaces the first finding as a
+  # test failure instead of a warning buried in the log.
+  ASAN_OPTIONS="detect_leaks=1:halt_on_error=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
 
 if [[ "$run_tsan" == 1 ]]; then
   echo "=== ThreadSanitizer build + tests ==="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMAXSON_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
-  # halt_on_error surfaces the first race as a test failure instead of a
-  # warning buried in the log.
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
   echo "=== Metrics determinism under TSan ==="

@@ -1,0 +1,336 @@
+#!/usr/bin/env python3
+"""Project lint for the Maxson repository.
+
+Encodes the project-specific invariants that generic tooling cannot know
+(see DESIGN.md, "Correctness tooling"):
+
+  thread-create        No raw std::thread / std::jthread construction or
+                       std::async outside src/exec/ — all parallelism flows
+                       through the shared ThreadPool so the deterministic
+                       merge discipline holds. Using std::thread::id (e.g.
+                       for trace attribution) is fine; creating threads
+                       is not.
+  wall-clock           No direct std::chrono clock reads (steady_clock /
+                       system_clock / high_resolution_clock) or C time
+                       syscalls outside src/common/time_util.h. Every
+                       timing site shares one monotonic clock.
+  counter-write        MetricsRegistry::GetCounter may be called only at
+                       the publication sites that sit *after* the
+                       deterministic merge (src/obs itself, engine.cc's
+                       PublishMetrics, the rewriter, the midnight cycle).
+                       Scan/operator code must accumulate into QueryMetrics
+                       and let the merge publish.
+  include-hygiene      foo.cc includes its own foo.h first; no "../"
+                       includes; headers carry canonical
+                       MAXSON_<PATH>_H_ guards.
+  nodiscard-guard      Status, Result<T>, and the MetricsRegistry lookup
+                       helpers keep their [[nodiscard]] attributes (the
+                       -Werror build enforces call sites; this guards the
+                       declarations themselves).
+  trailing-whitespace  No trailing blanks (mechanical; --fix rewrites).
+  final-newline        Files end with exactly one newline (mechanical;
+                       --fix rewrites).
+
+Exit status: 0 when clean, 1 when violations remain, 2 on usage errors.
+`--fix` auto-repairs the mechanical categories, then reports whatever is
+left. `--self-test` seeds one violation per rule in a temp tree and checks
+each rule fires — run by tools/ci.sh so a silently broken rule fails CI.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Directories scanned for C++ sources, relative to the repo root.
+CPP_DIRS = ("src", "tests", "bench", "tools", "examples")
+CPP_EXTS = (".h", ".hpp", ".cc", ".cpp")
+
+# counter-write: publication sites that run after the deterministic merge.
+COUNTER_WRITE_ALLOWLIST = (
+    "src/obs/",              # the registry implementation itself
+    "src/engine/engine.cc",  # PublishMetrics + plan-validation failures
+    "src/core/maxson.cc",    # midnight-cycle outcome counters
+    "src/core/maxson_parser.cc",  # rewrite outcome counters
+)
+
+# nodiscard-guard: (file, regex that must match somewhere in the file).
+NODISCARD_REQUIRED = (
+    ("src/common/status.h", r"class\s+\[\[nodiscard\]\]\s+Status\b"),
+    ("src/common/result.h", r"class\s+\[\[nodiscard\]\]\s+Result\b"),
+    ("src/obs/metrics_registry.h", r"\[\[nodiscard\]\]\s+Counter\*\s+GetCounter"),
+    ("src/obs/metrics_registry.h", r"\[\[nodiscard\]\]\s+Gauge\*\s+GetGauge"),
+    ("src/obs/metrics_registry.h",
+     r"\[\[nodiscard\]\]\s+Histogram\*\s+GetHistogram"),
+)
+
+THREAD_CREATE_RE = re.compile(r"std::(?:thread\b(?!::)|jthread\b|async\b)")
+WALL_CLOCK_RE = re.compile(
+    r"std::chrono::(?:steady_clock|system_clock|high_resolution_clock)::now"
+    r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)")
+COUNTER_WRITE_RE = re.compile(r"\bGetCounter\s*\(")
+PARENT_INCLUDE_RE = re.compile(r'#\s*include\s+"\.\./')
+INCLUDE_RE = re.compile(r'#\s*include\s+"([^"]+)"')
+GUARD_RE = re.compile(r"#\s*ifndef\s+(\S+)")
+TRAILING_WS_RE = re.compile(r"[ \t]+$")
+
+
+class Violation:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line  # 1-based, or 0 for whole-file findings
+        self.message = message
+
+    def __str__(self):
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: [{self.rule}] {self.message}"
+
+
+def strip_line_comment(line):
+    """Removes a // comment (good enough: the banned tokens never appear in
+    string literals in this codebase)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def iter_cpp_files(root):
+    for top in CPP_DIRS:
+        base = os.path.join(root, top)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in dirnames if not d.startswith("build")]
+            for name in sorted(filenames):
+                if name.endswith(CPP_EXTS):
+                    yield os.path.relpath(os.path.join(dirpath, name), root)
+
+
+def read_lines(root, rel):
+    with open(os.path.join(root, rel), encoding="utf-8") as f:
+        return f.read().splitlines(keepends=True)
+
+
+def check_thread_create(root, rel, lines, out):
+    if not rel.startswith("src/") or rel.startswith("src/exec/"):
+        return
+    for i, line in enumerate(lines, 1):
+        if THREAD_CREATE_RE.search(strip_line_comment(line)):
+            out.append(Violation(
+                "thread-create", rel, i,
+                "raw thread creation outside src/exec/ — use the shared "
+                "exec::ThreadPool (TaskGroup / ParallelFor)"))
+
+
+def check_wall_clock(root, rel, lines, out):
+    if not rel.startswith("src/") or rel == "src/common/time_util.h":
+        return
+    for i, line in enumerate(lines, 1):
+        if WALL_CLOCK_RE.search(strip_line_comment(line)):
+            out.append(Violation(
+                "wall-clock", rel, i,
+                "direct clock read — use maxson::MonotonicNow() / Stopwatch "
+                "from common/time_util.h"))
+
+
+def check_counter_write(root, rel, lines, out):
+    if not rel.startswith("src/"):
+        return
+    if any(rel == a or rel.startswith(a) for a in COUNTER_WRITE_ALLOWLIST):
+        return
+    for i, line in enumerate(lines, 1):
+        if COUNTER_WRITE_RE.search(strip_line_comment(line)):
+            out.append(Violation(
+                "counter-write", rel, i,
+                "GetCounter outside the deterministic publication sites — "
+                "accumulate into QueryMetrics and let the merge publish"))
+
+
+def expected_guard(rel):
+    # src/foo/bar.h -> MAXSON_FOO_BAR_H_
+    stem = rel[len("src/"):]
+    return "MAXSON_" + re.sub(r"[/.]", "_", stem).upper() + "_"
+
+
+def check_include_hygiene(root, rel, lines, out):
+    for i, line in enumerate(lines, 1):
+        if PARENT_INCLUDE_RE.search(line):
+            out.append(Violation(
+                "include-hygiene", rel, i,
+                'parent-relative #include "../..." — include from the src/ '
+                "root instead"))
+    if rel.startswith("src/") and rel.endswith(".h"):
+        guard = None
+        for line in lines:
+            m = GUARD_RE.search(line)
+            if m:
+                guard = m.group(1)
+                break
+        want = expected_guard(rel)
+        if guard != want:
+            out.append(Violation(
+                "include-hygiene", rel, 1,
+                f"include guard {guard or '(missing)'} should be {want}"))
+    if rel.startswith("src/") and rel.endswith(".cc"):
+        own = rel[len("src/"):-len(".cc")] + ".h"
+        if os.path.exists(os.path.join(root, "src", own)):
+            for i, line in enumerate(lines, 1):
+                m = INCLUDE_RE.search(line)
+                if m is None:
+                    continue
+                if m.group(1) != own:
+                    out.append(Violation(
+                        "include-hygiene", rel, i,
+                        f'first #include must be the own header "{own}"'))
+                break
+
+
+def check_nodiscard_guard(root, rel, lines, out):
+    text = "".join(lines)
+    for path, pattern in NODISCARD_REQUIRED:
+        if rel == path and not re.search(pattern, text):
+            out.append(Violation(
+                "nodiscard-guard", rel, 0,
+                f"required [[nodiscard]] declaration missing: /{pattern}/"))
+
+
+def check_trailing_ws(root, rel, lines, out, fix):
+    dirty = [i for i, line in enumerate(lines, 1)
+             if TRAILING_WS_RE.search(line.rstrip("\n"))]
+    if not dirty:
+        return
+    if fix:
+        fixed = [TRAILING_WS_RE.sub("", line.rstrip("\n")) +
+                 ("\n" if line.endswith("\n") else "") for line in lines]
+        with open(os.path.join(root, rel), "w", encoding="utf-8") as f:
+            f.writelines(fixed)
+        lines[:] = fixed
+        return
+    for i in dirty:
+        out.append(Violation("trailing-whitespace", rel, i,
+                             "trailing whitespace"))
+
+
+def check_final_newline(root, rel, lines, out, fix):
+    if not lines:
+        return
+    ok = lines[-1].endswith("\n") and (len(lines) == 1 or lines[-1] != "\n")
+    # also reject multiple blank lines at EOF
+    if lines[-1] == "\n":
+        ok = False
+    if ok:
+        return
+    if fix:
+        while lines and lines[-1].strip() == "":
+            lines.pop()
+        if lines:
+            lines[-1] = lines[-1].rstrip("\n") + "\n"
+        with open(os.path.join(root, rel), "w", encoding="utf-8") as f:
+            f.writelines(lines)
+        return
+    out.append(Violation("final-newline", rel, len(lines),
+                         "file must end with exactly one newline"))
+
+
+def run_lint(root, fix=False):
+    violations = []
+    for rel in iter_cpp_files(root):
+        lines = read_lines(root, rel)
+        # Mechanical rules first: --fix then re-reads nothing, the in-place
+        # edit keeps `lines` current for the semantic rules below.
+        check_trailing_ws(root, rel, lines, violations, fix)
+        check_final_newline(root, rel, lines, violations, fix)
+        check_thread_create(root, rel, lines, violations)
+        check_wall_clock(root, rel, lines, violations)
+        check_counter_write(root, rel, lines, violations)
+        check_include_hygiene(root, rel, lines, violations)
+        check_nodiscard_guard(root, rel, lines, violations)
+    return violations
+
+
+SELF_TEST_FILES = {
+    # rule -> (path, content) seeding exactly that violation
+    "thread-create": ("src/engine/bad_thread.cc",
+                      '#include "engine/bad_thread.h"\n'
+                      "void f() { std::thread t([] {}); }\n"),
+    "wall-clock": ("src/engine/bad_clock.cc",
+                   '#include "engine/bad_clock.h"\n'
+                   "auto t = std::chrono::steady_clock::now();\n"),
+    "counter-write": ("src/engine/bad_counter.cc",
+                      '#include "engine/bad_counter.h"\n'
+                      'void f(R* r) { r->GetCounter("x")->Increment(); }\n'),
+    "include-hygiene": ("src/engine/bad_guard.h",
+                        "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n"
+                        "#endif\n"),
+    "nodiscard-guard": ("src/common/status.h",
+                        "class Status {};\n"),
+    "trailing-whitespace": ("src/engine/bad_ws.cc",
+                            '#include "engine/bad_ws.h"\n'
+                            "int x = 1;   \n"),
+    "final-newline": ("src/engine/bad_eof.cc",
+                      '#include "engine/bad_eof.h"\n'
+                      "int y = 2;"),
+}
+
+
+def self_test():
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for rel, content in SELF_TEST_FILES.values():
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+        found = run_lint(tmp)
+        hit_rules = {v.rule for v in found}
+        for rule in SELF_TEST_FILES:
+            if rule not in hit_rules:
+                failures.append(f"rule {rule} did not fire on seeded violation")
+        # --fix must clear the mechanical categories and only those.
+        fixed_left = {v.rule for v in run_lint(tmp, fix=True)}
+        for rule in ("trailing-whitespace", "final-newline"):
+            if rule in fixed_left:
+                failures.append(f"--fix did not repair {rule}")
+        for rule in ("thread-create", "wall-clock", "counter-write"):
+            if rule not in fixed_left:
+                failures.append(f"--fix must not silence {rule}")
+    if failures:
+        for f in failures:
+            print(f"self-test FAILED: {f}", file=sys.stderr)
+        return 1
+    print(f"self-test OK: all {len(SELF_TEST_FILES)} rules fire and --fix "
+          "repairs only the mechanical ones")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fix", action="store_true",
+                        help="auto-repair mechanical categories "
+                             "(trailing-whitespace, final-newline)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on a seeded violation")
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="repository root to lint (default: this repo)")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    violations = run_lint(args.root, fix=args.fix)
+    for v in violations:
+        print(v)
+    if violations:
+        rules = sorted({v.rule for v in violations})
+        print(f"\nlint: {len(violations)} violation(s) across rules: "
+              f"{', '.join(rules)}", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -72,6 +72,34 @@ void PrintHelp() {
       "anything else        executed as SQL (SELECT, EXPLAIN [ANALYZE])\n");
 }
 
+// Strict knob parsing. std::strtoul silently maps garbage to 0 — which for
+// `set threads` means "use every core" — so knob values must parse fully or
+// the command is rejected with an error instead of half-applying.
+bool ParseUint64(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseOnOff(const std::string& text, bool* out) {
+  if (text == "on" || text == "1" || text == "true") {
+    *out = true;
+    return true;
+  }
+  if (text == "off" || text == "0" || text == "false") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
 void PrintBatch(const maxson::storage::RecordBatch& batch, size_t max_rows) {
   for (size_t c = 0; c < batch.num_columns(); ++c) {
     std::printf("%s%-18s", c ? " " : "", batch.schema().field(c).name.c_str());
@@ -196,12 +224,13 @@ int Run(const ShellOptions& options) {
       } else if (cmd == ".trace") {
         std::string path;
         if (!(args >> path)) {
-          std::printf("usage: .trace FILE (enable with `set trace on`)\n");
+          std::printf("error: .trace expects a file path "
+                      "(enable spans with `set trace on`)\n");
           continue;
         }
         std::ofstream out(path);
         if (!out) {
-          std::printf("cannot open %s\n", path.c_str());
+          std::printf("error: cannot open %s\n", path.c_str());
           continue;
         }
         out << session.tracer().ToChromeTraceJson();
@@ -236,13 +265,37 @@ int Run(const ShellOptions& options) {
       for (char& ch : knob) ch = static_cast<char>(std::tolower(ch));
       maxson::core::SessionUpdate update;
       if (knob == "threads") {
-        update.num_threads = std::strtoul(value.c_str(), nullptr, 10);
+        uint64_t n = 0;
+        if (!ParseUint64(value, &n)) {
+          std::printf("error: set threads expects a number "
+                      "(0 = all cores), got '%s'\n", value.c_str());
+          continue;
+        }
+        update.num_threads = static_cast<size_t>(n);
       } else if (knob == "trace") {
-        update.tracing = value != "off" && value != "0";
+        bool on = false;
+        if (!ParseOnOff(value, &on)) {
+          std::printf("error: set trace expects on|off, got '%s'\n",
+                      value.c_str());
+          continue;
+        }
+        update.tracing = on;
       } else if (knob == "rawfilter") {
-        update.raw_filter = value != "off" && value != "0";
+        bool on = false;
+        if (!ParseOnOff(value, &on)) {
+          std::printf("error: set rawfilter expects on|off, got '%s'\n",
+                      value.c_str());
+          continue;
+        }
+        update.raw_filter = on;
       } else if (knob == "budget") {
-        update.cache_budget_bytes = std::strtoull(value.c_str(), nullptr, 10);
+        uint64_t bytes = 0;
+        if (!ParseUint64(value, &bytes)) {
+          std::printf("error: set budget expects a byte count, got '%s'\n",
+                      value.c_str());
+          continue;
+        }
+        update.cache_budget_bytes = bytes;
       } else {
         std::printf("usage: set threads N | set trace on|off | "
                     "set rawfilter on|off | set budget BYTES\n");
