@@ -1,0 +1,255 @@
+// Throughput of the SIMD kernel layer (src/simd/) at every ISA level the
+// host supports, on megabyte-scale buffers shaped like the hot paths'
+// inputs: JSON-ish text for classification and scans, warehouse-style
+// records for substring search, 0/1 null vectors and numeric columns for
+// the CORC codec kernels. Each kernel's result is cross-checked against
+// the scalar level, so the bench doubles as a large-buffer differential
+// test; divergence fails the run.
+//
+// Writes BENCH_kernels.json with per-kernel GB/s and speedup-vs-scalar.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/time_util.h"
+#include "simd/isa.h"
+#include "simd/kernels.h"
+
+using maxson::Rng;
+using maxson::Stopwatch;
+namespace simd = maxson::simd;
+
+namespace {
+
+constexpr size_t kBufferBytes = 4 << 20;  // 4 MiB per kernel input
+constexpr int kReps = 5;                  // best-of timing
+
+struct Measurement {
+  std::string isa;
+  double gbps = 0.0;
+};
+
+struct KernelResult {
+  std::string name;
+  std::vector<Measurement> levels;
+
+  double GbpsAt(const std::string& isa) const {
+    for (const Measurement& m : levels) {
+      if (m.isa == isa) return m.gbps;
+    }
+    return 0.0;
+  }
+};
+
+/// Times `fn` (which must consume `bytes` input bytes per call) at the
+/// current dispatch level, best-of-kReps, and returns GB/s.
+template <typename Fn>
+double TimeGbps(size_t bytes, Fn&& fn) {
+  fn();  // warm-up (also populates the checksum on first call)
+  double best = 1e30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Stopwatch timer;
+    fn();
+    const double elapsed = timer.ElapsedSeconds();
+    if (elapsed < best) best = elapsed;
+  }
+  return static_cast<double>(bytes) / best / 1e9;
+}
+
+std::string MakeJsonish(size_t bytes, Rng* rng) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnop0123456789 \t\"\\{}:,.[]-";
+  std::string s;
+  s.reserve(bytes);
+  for (size_t i = 0; i < bytes; ++i) {
+    s.push_back(kAlphabet[rng->NextBounded(sizeof(kAlphabet) - 1)]);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  maxson::bench::PrintHeader(
+      "kernel_bench: SIMD kernel throughput by ISA level",
+      "structural indexing and raw filtering are the parse-side costs "
+      "Maxson's cache avoids; the kernels accelerate what remains");
+
+  std::vector<simd::Isa> levels = {simd::Isa::kScalar};
+  if (simd::BestSupportedIsa() >= simd::Isa::kSse2) {
+    levels.push_back(simd::Isa::kSse2);
+  }
+  if (simd::BestSupportedIsa() >= simd::Isa::kAvx2) {
+    levels.push_back(simd::Isa::kAvx2);
+  }
+
+  Rng rng(417);
+  const std::string text = MakeJsonish(kBufferBytes, &rng);
+  const size_t words = simd::BitmapWords(text.size());
+
+  // Substring search: warehouse-like records around 300 bytes with the
+  // needle present in ~10% (the raw filter's selective regime).
+  const std::string needle = "category_7";
+  std::vector<std::string> records;
+  size_t record_bytes = 0;
+  while (record_bytes < kBufferBytes) {
+    std::string rec = MakeJsonish(280 + rng.NextBounded(40), &rng);
+    if (rng.NextBool(0.1)) {
+      const size_t at = rng.NextBounded(rec.size() - needle.size());
+      rec.replace(at, needle.size(), needle);
+    }
+    record_bytes += rec.size();
+    records.push_back(std::move(rec));
+  }
+
+  std::vector<uint8_t> nulls(kBufferBytes);
+  for (size_t i = 0; i < nulls.size(); ++i) {
+    nulls[i] = rng.NextBool(0.2) ? 1 : 0;
+  }
+  std::vector<int64_t> ints(kBufferBytes / 8);
+  std::vector<double> doubles(kBufferBytes / 8);
+  for (size_t i = 0; i < ints.size(); ++i) {
+    ints[i] = static_cast<int64_t>(rng.Next());
+    doubles[i] = rng.NextGaussian(0.0, 1e9);
+  }
+
+  std::vector<KernelResult> results;
+  bool identical = true;
+
+  // Per-kernel scalar-reference checksums, captured at the scalar level and
+  // compared at every higher level.
+  std::vector<uint64_t> ref_classify, ref_scan, ref_find, ref_null, ref_minmax;
+
+  std::printf("%-18s %-8s %10s %10s\n", "kernel", "isa", "GB/s", "vs scalar");
+  for (const simd::Isa level : levels) {
+    if (simd::ForceIsa(level) != level) continue;
+    const std::string isa = simd::IsaName(level);
+
+    // classify_json: the structural-index bitmap construction.
+    std::vector<uint64_t> q(words), b(words), st(words);
+    const double classify_gbps = TimeGbps(text.size(), [&] {
+      simd::ClassifyJson(text.data(), text.size(), q.data(), b.data(),
+                         st.data());
+    });
+    uint64_t sum = 0;
+    for (size_t w = 0; w < words; ++w) sum += q[w] ^ (b[w] * 3) ^ (st[w] * 7);
+    std::vector<uint64_t> classify_check = {sum};
+
+    // scan kernels: whitespace skipping + string-special search walk the
+    // buffer in alternating strides like the DOM parser does.
+    uint64_t scan_acc = 0;
+    const double scan_gbps = TimeGbps(text.size(), [&] {
+      size_t pos = 0;
+      scan_acc = 0;
+      while (pos < text.size()) {
+        pos = simd::SkipWhitespace(text.data(), text.size(), pos);
+        pos = simd::FindStringSpecial(text.data(), text.size(), pos);
+        if (pos < text.size()) ++pos;
+        scan_acc += pos;
+      }
+    });
+    std::vector<uint64_t> scan_check = {scan_acc};
+
+    // substring find over the record set (the raw filter's inner loop).
+    uint64_t find_acc = 0;
+    const double find_gbps = TimeGbps(record_bytes, [&] {
+      find_acc = 0;
+      for (const std::string& rec : records) {
+        find_acc += simd::FindSubstring(rec.data(), rec.size(), needle.data(),
+                                        needle.size()) != simd::kNpos;
+      }
+    });
+    std::vector<uint64_t> find_check = {find_acc};
+
+    // null-bitmap expansion + count (CORC decode/encode side).
+    std::vector<uint64_t> bitmap(simd::BitmapWords(nulls.size()));
+    uint64_t null_count = 0;
+    const double null_gbps = TimeGbps(nulls.size(), [&] {
+      null_count = simd::NullBytesToBitmap(nulls.data(), nulls.size(),
+                                           bitmap.data());
+      null_count += simd::CountNonZeroBytes(nulls.data(), nulls.size());
+    });
+    uint64_t bitmap_sum = null_count;
+    for (uint64_t w : bitmap) bitmap_sum += w;
+    std::vector<uint64_t> null_check = {bitmap_sum};
+
+    // min/max over numeric columns (row-group SARG statistics).
+    int64_t imin = 0, imax = 0;
+    double dmin = 0, dmax = 0;
+    const double minmax_gbps = TimeGbps(
+        ints.size() * 8 + doubles.size() * 8, [&] {
+          simd::MinMaxInt64(ints.data(), ints.size(), &imin, &imax);
+          simd::MinMaxDouble(doubles.data(), doubles.size(), &dmin, &dmax);
+        });
+    uint64_t dmin_bits, dmax_bits;
+    std::memcpy(&dmin_bits, &dmin, 8);
+    std::memcpy(&dmax_bits, &dmax, 8);
+    std::vector<uint64_t> minmax_check = {static_cast<uint64_t>(imin),
+                                          static_cast<uint64_t>(imax),
+                                          dmin_bits, dmax_bits};
+
+    const struct {
+      const char* name;
+      double gbps;
+      std::vector<uint64_t>* check;
+      std::vector<uint64_t>* ref;
+    } kernels[] = {
+        {"classify_json", classify_gbps, &classify_check, &ref_classify},
+        {"scan", scan_gbps, &scan_check, &ref_scan},
+        {"find_substring", find_gbps, &find_check, &ref_find},
+        {"null_bitmap", null_gbps, &null_check, &ref_null},
+        {"minmax", minmax_gbps, &minmax_check, &ref_minmax},
+    };
+    for (const auto& k : kernels) {
+      if (level == simd::Isa::kScalar) {
+        *k.ref = *k.check;
+        results.push_back(KernelResult{k.name, {}});
+      } else if (*k.check != *k.ref) {
+        identical = false;
+        std::fprintf(stderr, "%s: result diverged at isa=%s!\n", k.name,
+                     isa.c_str());
+      }
+      KernelResult* res = nullptr;
+      for (KernelResult& r : results) {
+        if (r.name == k.name) res = &r;
+      }
+      res->levels.push_back(Measurement{isa, k.gbps});
+      const double scalar = res->GbpsAt("scalar");
+      std::printf("%-18s %-8s %10.2f %9.2fx\n", k.name, isa.c_str(), k.gbps,
+                  scalar > 0 ? k.gbps / scalar : 1.0);
+    }
+  }
+  simd::ResetIsa();
+
+  std::printf("\nresults identical across ISA levels: %s\n",
+              identical ? "yes" : "NO");
+
+  std::ofstream json("BENCH_kernels.json", std::ios::trunc);
+  json << "{\n  \"bench\": \"kernel_bench\",\n";
+  json << "  \"best_isa\": \""
+       << simd::IsaName(simd::BestSupportedIsa()) << "\",\n";
+  json << "  \"results_identical\": " << (identical ? "true" : "false")
+       << ",\n  \"kernels\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& r = results[i];
+    const double scalar = r.GbpsAt("scalar");
+    json << "    {\"name\": \"" << r.name << "\", \"levels\": [";
+    for (size_t l = 0; l < r.levels.size(); ++l) {
+      json << (l ? ", " : "") << "{\"isa\": \"" << r.levels[l].isa
+           << "\", \"gbps\": " << r.levels[l].gbps
+           << ", \"speedup_vs_scalar\": "
+           << (scalar > 0 ? r.levels[l].gbps / scalar : 0) << "}";
+    }
+    json << "]}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::printf("wrote BENCH_kernels.json\n");
+  return identical ? 0 : 1;
+}

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/time_util.h"
+#include "simd/isa.h"
 
 namespace maxson::core {
 
@@ -39,6 +40,21 @@ MaxsonSession::MaxsonSession(const catalog::Catalog* catalog,
       MAXSON_LOG(Info) << "restored " << registry_.size()
                        << " cache entries from " << config_.registry_path;
     }
+  }
+  // The engine constructor applied config_.engine.force_isa; reflect the
+  // level that actually dispatched (it may have been clamped to the host's
+  // best) in this session's metrics.
+  PublishIsaMetrics();
+}
+
+void MaxsonSession::PublishIsaMetrics() {
+  const simd::Isa active = simd::ActiveIsa();
+  metrics_->GetGauge("maxson_simd_isa_level")
+      ->Set(static_cast<double>(static_cast<int>(active)));
+  for (simd::Isa level : {simd::Isa::kScalar, simd::Isa::kSse2,
+                          simd::Isa::kAvx2}) {
+    metrics_->GetGauge("maxson_simd_isa_info", {{"isa", simd::IsaName(level)}})
+        ->Set(level == active ? 1.0 : 0.0);
   }
 }
 
@@ -196,6 +212,18 @@ Status MaxsonSession::UpdateConfig(const SessionUpdate& update) {
         "num_threads must be <= 1024 (0 = hardware concurrency), got " +
         std::to_string(*update.num_threads));
   }
+  simd::Isa wanted_isa = simd::Isa::kScalar;
+  if (update.isa.has_value() && *update.isa != "auto") {
+    if (!simd::ParseIsa(*update.isa, &wanted_isa)) {
+      return Status::InvalidArgument(
+          "isa must be scalar|sse2|avx2|auto, got '" + *update.isa + "'");
+    }
+    if (wanted_isa > simd::BestSupportedIsa()) {
+      return Status::InvalidArgument(
+          "isa '" + *update.isa + "' not supported on this host (best: " +
+          simd::IsaName(simd::BestSupportedIsa()) + ")");
+    }
+  }
   if (update.num_threads.has_value()) {
     engine_->set_num_threads(*update.num_threads);
     cacher_->set_pool(engine_->pool());
@@ -211,6 +239,15 @@ Status MaxsonSession::UpdateConfig(const SessionUpdate& update) {
   }
   if (update.cache_budget_bytes.has_value()) {
     config_.cache_budget_bytes = *update.cache_budget_bytes;
+  }
+  if (update.isa.has_value()) {
+    if (*update.isa == "auto") {
+      simd::ResetIsa();
+    } else {
+      simd::ForceIsa(wanted_isa);
+    }
+    config_.engine.force_isa = *update.isa;
+    PublishIsaMetrics();
   }
   return Status::Ok();
 }
@@ -228,6 +265,7 @@ SessionStats MaxsonSession::stats() const {
   stats.midnight_cycles = midnight_cycles_;
   stats.trace_events = trace_recorder_.size();
   stats.tracing_enabled = trace_recorder_.enabled();
+  stats.simd_isa = simd::IsaName(simd::ActiveIsa());
   return stats;
 }
 

@@ -71,6 +71,12 @@ struct SessionUpdate {
   /// Cache budget (bytes) of the next midnight cycle (0 = cache nothing,
   /// the Fig. 11 zero-budget baseline).
   std::optional<uint64_t> cache_budget_bytes;
+  /// SIMD kernel level of the byte-scanning hot paths: "scalar", "sse2",
+  /// "avx2", or "auto" (startup policy: MAXSON_FORCE_ISA env override, else
+  /// the best supported level). Levels the host CPU cannot run are rejected.
+  /// Results are byte-identical at every level — this knob trades speed
+  /// only, for debugging and A/B measurement.
+  std::optional<std::string> isa;
 };
 
 /// Read-only snapshot of the session's internal counters, for display
@@ -87,6 +93,9 @@ struct SessionStats {
   uint64_t midnight_cycles = 0;
   uint64_t trace_events = 0;
   bool tracing_enabled = false;
+  /// Name of the SIMD kernel level currently dispatched ("scalar", "sse2",
+  /// "avx2").
+  std::string simd_isa;
 };
 
 /// The public facade tying Maxson's components together: a query engine
@@ -227,6 +236,11 @@ class MaxsonSession {
   /// binding_cache_ and rebuilt only when the registry's version moved.
   std::shared_ptr<const std::vector<engine::CacheBinding>>
   CacheBindingSnapshot() const;
+
+  /// Publishes the dispatched SIMD level to the metrics registry: the
+  /// maxson_simd_isa_level gauge (numeric level) and one
+  /// maxson_simd_isa_info{isa=...} gauge per level (1 = active, 0 = not).
+  void PublishIsaMetrics();
 
   const catalog::Catalog* catalog_;
   MaxsonConfig config_;

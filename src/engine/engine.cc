@@ -6,6 +6,7 @@
 #include <set>
 #include <shared_mutex>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "common/time_util.h"
 #include "engine/explain.h"
@@ -17,6 +18,7 @@
 #include "json/raw_filter.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "simd/isa.h"
 #include "xml/xml_path.h"
 
 namespace maxson::engine {
@@ -38,6 +40,17 @@ QueryEngine::QueryEngine(const catalog::Catalog* catalog, EngineConfig config)
       config_(std::move(config)),
       pool_(std::make_shared<exec::ThreadPool>(config_.num_threads)) {
   RegisterBuiltinFunctions();
+  if (!config_.force_isa.empty() && config_.force_isa != "auto") {
+    simd::Isa want;
+    if (simd::ParseIsa(config_.force_isa, &want)) {
+      simd::ForceIsa(want);
+    } else {
+      MAXSON_LOG(Warning) << "EngineConfig::force_isa ignores unknown level '"
+                          << config_.force_isa << "'";
+    }
+  } else if (config_.force_isa == "auto") {
+    simd::ResetIsa();
+  }
 }
 
 QueryEngine::~QueryEngine() = default;

@@ -49,6 +49,13 @@ struct EngineConfig {
   /// violation fails the query with kInternal and bumps the
   /// maxson_plan_validation_failures counter.
   bool validate_plans = true;
+  /// SIMD kernel level for the byte-scanning hot paths (structural index,
+  /// DOM string scans, raw filter, CORC decode): "scalar", "sse2", "avx2",
+  /// or ""/"auto" for the startup policy (MAXSON_FORCE_ISA env override,
+  /// else the best level the CPU supports). Results are byte-identical at
+  /// every level; see src/simd/kernels.h. Applied best-effort at engine
+  /// construction — unknown names log a warning and keep the current level.
+  std::string force_isa = "";
 };
 
 /// The mini analytical engine: SparkSQL's role in the paper. Parses SQL,

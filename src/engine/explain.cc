@@ -4,6 +4,8 @@
 #include <deque>
 #include <map>
 
+#include "simd/isa.h"
+
 namespace maxson::engine {
 
 namespace {
@@ -256,6 +258,8 @@ std::vector<std::string> RenderPlanTree(const PhysicalPlan& plan,
                     " read(cpu)=" + FormatMillis(metrics->read_seconds) +
                     " parse(cpu)=" + FormatMillis(metrics->parse_seconds) +
                     " compute(cpu)=" + FormatMillis(metrics->compute_seconds));
+    lines.push_back(std::string("simd: isa=") +
+                    simd::IsaName(simd::ActiveIsa()));
   }
   return lines;
 }

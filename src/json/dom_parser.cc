@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "simd/kernels.h"
+
 namespace maxson::json {
 
 namespace {
@@ -31,14 +33,7 @@ class Parser {
   }
 
   void SkipWhitespace() {
-    while (pos_ < text_.size()) {
-      char c = text_[pos_];
-      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
-        ++pos_;
-      } else {
-        return;
-      }
-    }
+    pos_ = simd::SkipWhitespace(text_.data(), text_.size(), pos_);
   }
 
   bool AtEnd() const { return pos_ >= text_.size(); }
@@ -137,13 +132,15 @@ class Parser {
     ++pos_;  // consume '"'
     std::string out;
     while (true) {
+      // Bulk-copy the run of plain bytes up to the next quote or backslash.
+      const size_t next =
+          simd::FindStringSpecial(text_.data(), text_.size(), pos_);
+      out.append(text_.data() + pos_, next - pos_);
+      pos_ = next;
       if (AtEnd()) return Error("unterminated string");
-      char c = text_[pos_++];
+      const char c = text_[pos_++];
       if (c == '"') return out;
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
+      // c == '\\': decode the escape.
       if (AtEnd()) return Error("unterminated escape");
       char e = text_[pos_++];
       switch (e) {

@@ -7,52 +7,38 @@
 #include "json/dom_parser.h"
 #include "json/json_value.h"
 #include "json/json_writer.h"
+#include "simd/kernels.h"
 
 namespace maxson::json {
 
 namespace {
 
-constexpr size_t kWordBits = 64;
+constexpr size_t kWordBits = simd::kWordBits;
 
 }  // namespace
 
 StructuralIndex::StructuralIndex(std::string_view text) : text_(text) {
   const size_t n = text.size();
-  const size_t words = (n + kWordBits - 1) / kWordBits;
+  const size_t words = simd::BitmapWords(n);
   if (words == 0) {
     malformed_ = true;
     return;
   }
 
-  // Phase 1 (single byte pass): quote bitmap with escaped quotes already
-  // removed (a quote preceded by an odd backslash run is content, not
-  // structure), plus a merged bitmap of ':', '{', '}' candidates. This is
-  // the scalar analogue of Mison's SIMD comparison + escape phase.
+  // Phase 1 (dispatched kernel): bitmaps of quotes, backslashes, and the
+  // merged ':' '{' '}' structural candidates — Mison's SIMD comparison
+  // phase. Escaped quotes (preceded by an odd backslash run) are content,
+  // not structure, so they are cleared with the word-parallel odd-run
+  // detector before the string mask is built.
   std::vector<uint64_t> quote(words, 0);
+  std::vector<uint64_t> backslash(words, 0);
   std::vector<uint64_t> structural(words, 0);
+  simd::ClassifyJson(text.data(), n, quote.data(), backslash.data(),
+                     structural.data());
   {
-    size_t backslash_run = 0;
-    for (size_t i = 0; i < n; ++i) {
-      const char c = text[i];
-      if (c == '\\') {
-        ++backslash_run;
-        continue;
-      }
-      switch (c) {
-        case '"':
-          if (backslash_run % 2 == 0) {
-            quote[i / kWordBits] |= uint64_t{1} << (i % kWordBits);
-          }
-          break;
-        case ':':
-        case '{':
-        case '}':
-          structural[i / kWordBits] |= uint64_t{1} << (i % kWordBits);
-          break;
-        default:
-          break;
-      }
-      backslash_run = 0;
+    uint64_t escape_carry = 0;
+    for (size_t w = 0; w < words; ++w) {
+      quote[w] &= ~simd::EscapedPositions(backslash[w], &escape_carry);
     }
   }
 
@@ -62,19 +48,11 @@ StructuralIndex::StructuralIndex(std::string_view text) : text_(text) {
   // structural characters are never quotes).
   std::vector<uint64_t> in_string(words, 0);
   {
-    uint64_t carry = 0;  // parity of quotes seen so far
+    uint64_t parity = 0;  // parity of quotes seen so far
     for (size_t w = 0; w < words; ++w) {
-      uint64_t q = quote[w];
-      q ^= q << 1;
-      q ^= q << 2;
-      q ^= q << 4;
-      q ^= q << 8;
-      q ^= q << 16;
-      q ^= q << 32;
-      in_string[w] = q ^ carry;
-      carry = (in_string[w] >> (kWordBits - 1)) ? ~uint64_t{0} : 0;
+      in_string[w] = simd::StringMaskWord(quote[w], &parity);
     }
-    if (carry != 0) {
+    if (parity != 0) {
       malformed_ = true;  // unterminated string literal
       return;
     }

@@ -3,30 +3,17 @@
 #include <cctype>
 
 #include "common/logging.h"
+#include "simd/kernels.h"
 
 namespace maxson::json {
 
 RawFilter::RawFilter(std::string needle) : needle_(std::move(needle)) {
   MAXSON_CHECK(!needle_.empty());
-  const size_t m = needle_.size();
-  for (size_t i = 0; i < 256; ++i) shift_[i] = m;
-  for (size_t i = 0; i + 1 < m; ++i) {
-    shift_[static_cast<unsigned char>(needle_[i])] = m - 1 - i;
-  }
 }
 
 bool RawFilter::MightMatch(std::string_view record) const {
-  const size_t m = needle_.size();
-  const size_t n = record.size();
-  if (m > n) return false;
-  size_t pos = 0;
-  while (pos + m <= n) {
-    size_t i = m;
-    while (i > 0 && record[pos + i - 1] == needle_[i - 1]) --i;
-    if (i == 0) return true;
-    pos += shift_[static_cast<unsigned char>(record[pos + m - 1])];
-  }
-  return false;
+  return simd::FindSubstring(record.data(), record.size(), needle_.data(),
+                             needle_.size()) != simd::kNpos;
 }
 
 bool IsRawFilterableLiteral(std::string_view literal) {

@@ -24,15 +24,16 @@ class RawFilter {
   /// `needle` must be non-empty.
   explicit RawFilter(std::string needle);
 
-  /// True when `record` may satisfy the predicate (needle found).
+  /// True when `record` may satisfy the predicate (needle found). The scan
+  /// runs through the dispatched substring kernel: vector ISA levels use a
+  /// first/last-byte broadcast prefilter with an exact confirm, so results
+  /// match the scalar search byte for byte.
   bool MightMatch(std::string_view record) const;
 
   const std::string& needle() const { return needle_; }
 
  private:
   std::string needle_;
-  /// Boyer-Moore-Horspool bad-character shift table.
-  size_t shift_[256];
 };
 
 /// True when `literal` is safe to search for literally in raw JSON bytes:

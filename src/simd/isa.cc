@@ -1,0 +1,51 @@
+#include "simd/isa.h"
+
+#include "simd/kernel_table.h"
+
+namespace maxson::simd {
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+bool ParseIsa(std::string_view name, Isa* out) {
+  if (name == "scalar") {
+    *out = Isa::kScalar;
+    return true;
+  }
+  if (name == "sse2") {
+    *out = Isa::kSse2;
+    return true;
+  }
+  if (name == "avx2") {
+    *out = Isa::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+Isa BestSupportedIsa() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (Avx2Kernels() != nullptr && __builtin_cpu_supports("avx2")) {
+    return Isa::kAvx2;
+  }
+  if (Sse2Kernels() != nullptr && __builtin_cpu_supports("sse2")) {
+    return Isa::kSse2;
+  }
+  return Isa::kScalar;
+#else
+  // Non-x86 (NEON registers as the generic 128-bit level): presence of the
+  // compiled table is the whole capability check.
+  return Sse2Kernels() != nullptr ? Isa::kSse2 : Isa::kScalar;
+#endif
+}
+
+}  // namespace maxson::simd

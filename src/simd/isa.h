@@ -1,0 +1,48 @@
+#ifndef MAXSON_SIMD_ISA_H_
+#define MAXSON_SIMD_ISA_H_
+
+#include <string_view>
+
+namespace maxson::simd {
+
+/// Instruction-set level a kernel table is compiled for. Levels are ordered:
+/// a higher level is always at least as capable as a lower one, and forcing
+/// a level above what the host supports clamps to the best available.
+/// kSse2 doubles as the generic 128-bit level: on AArch64 the NEON kernels
+/// register under this level, so "sse2" names "the 128-bit path" portably.
+enum class Isa {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+/// Stable lowercase name ("scalar" / "sse2" / "avx2") for configs, metrics
+/// labels, and bench JSON.
+const char* IsaName(Isa isa);
+
+/// Parses an IsaName back; returns false (and leaves *out untouched) on any
+/// other spelling. "auto" is not an Isa — callers treat it as ResetIsa().
+bool ParseIsa(std::string_view name, Isa* out);
+
+/// Highest level both compiled into this binary and supported by the CPU.
+Isa BestSupportedIsa();
+
+/// The level the dispatched kernels currently run at. First use initializes
+/// from the MAXSON_FORCE_ISA environment variable (unset or invalid values
+/// fall back to BestSupportedIsa()).
+Isa ActiveIsa();
+
+/// Forces the dispatch level (clamped to BestSupportedIsa()); returns the
+/// level actually installed. Safe to call while kernels run on other
+/// threads: every kernel call reads the table pointer once, and all levels
+/// produce byte-identical results, so a mid-query switch cannot change any
+/// outcome.
+Isa ForceIsa(Isa isa);
+
+/// Reverts to the startup policy: MAXSON_FORCE_ISA when set and valid,
+/// otherwise BestSupportedIsa(). Returns the installed level.
+Isa ResetIsa();
+
+}  // namespace maxson::simd
+
+#endif  // MAXSON_SIMD_ISA_H_

@@ -1,0 +1,36 @@
+#ifndef MAXSON_SIMD_KERNEL_TABLE_H_
+#define MAXSON_SIMD_KERNEL_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace maxson::simd {
+
+/// One implementation of every dispatched kernel (internal to src/simd/).
+/// Each ISA translation unit exports a complete table — entries a level has
+/// no profitable vector form for point at the scalar routine, never null —
+/// so dispatch is a single pointer swap.
+struct KernelTable {
+  void (*classify_json)(const char*, size_t, uint64_t*, uint64_t*, uint64_t*);
+  size_t (*skip_whitespace)(const char*, size_t, size_t);
+  size_t (*find_string_special)(const char*, size_t, size_t);
+  size_t (*find_substring)(const char*, size_t, const char*, size_t);
+  uint64_t (*null_bytes_to_bitmap)(const uint8_t*, size_t, uint64_t*);
+  uint64_t (*count_nonzero_bytes)(const uint8_t*, size_t);
+  void (*minmax_int64)(const int64_t*, size_t, int64_t*, int64_t*);
+  void (*minmax_double)(const double*, size_t, double*, double*);
+};
+
+/// The portable reference table; always available.
+const KernelTable* ScalarKernels();
+
+/// The generic 128-bit table (SSE2 on x86, NEON on AArch64); nullptr when
+/// this binary was compiled without either.
+const KernelTable* Sse2Kernels();
+
+/// The AVX2 table; nullptr when not compiled in.
+const KernelTable* Avx2Kernels();
+
+}  // namespace maxson::simd
+
+#endif  // MAXSON_SIMD_KERNEL_TABLE_H_

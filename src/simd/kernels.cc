@@ -1,0 +1,120 @@
+#include "simd/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.h"
+#include "simd/kernel_table.h"
+
+namespace maxson::simd {
+
+namespace {
+
+// Dispatch state: one table pointer plus the level it implements, swapped
+// atomically. Kernel wrappers read the pointer once per call, so a
+// concurrent ForceIsa never leaves a call half-switched — and since every
+// table is byte-identical, a mid-query switch cannot change any result.
+std::atomic<const KernelTable*> g_table{nullptr};
+std::atomic<int> g_isa{0};
+std::once_flag g_init_once;
+
+/// Highest compiled table at or below `isa` (capability is the caller's
+/// concern; Install clamps with BestSupportedIsa first).
+const KernelTable* TableFor(Isa isa) {
+  if (isa == Isa::kAvx2) {
+    if (const KernelTable* t = Avx2Kernels(); t != nullptr) return t;
+    isa = Isa::kSse2;
+  }
+  if (isa == Isa::kSse2) {
+    if (const KernelTable* t = Sse2Kernels(); t != nullptr) return t;
+  }
+  return ScalarKernels();
+}
+
+Isa Install(Isa want) {
+  const Isa best = BestSupportedIsa();
+  const Isa actual = static_cast<int>(want) <= static_cast<int>(best)
+                         ? want
+                         : best;
+  g_table.store(TableFor(actual), std::memory_order_release);
+  g_isa.store(static_cast<int>(actual), std::memory_order_release);
+  return actual;
+}
+
+/// Startup policy: MAXSON_FORCE_ISA when set and recognized, else the best
+/// the host supports. Re-applied by ResetIsa().
+Isa StartupIsa() {
+  const char* env = std::getenv("MAXSON_FORCE_ISA");
+  if (env != nullptr && *env != '\0') {
+    Isa forced;
+    if (ParseIsa(env, &forced)) return forced;
+    MAXSON_LOG(Warning) << "MAXSON_FORCE_ISA='" << env
+                        << "' not recognized (scalar|sse2|avx2); using "
+                        << IsaName(BestSupportedIsa());
+  }
+  return BestSupportedIsa();
+}
+
+void EnsureInit() {
+  std::call_once(g_init_once, [] { Install(StartupIsa()); });
+}
+
+const KernelTable* Table() {
+  EnsureInit();
+  return g_table.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+Isa ActiveIsa() {
+  EnsureInit();
+  return static_cast<Isa>(g_isa.load(std::memory_order_acquire));
+}
+
+Isa ForceIsa(Isa isa) {
+  EnsureInit();
+  return Install(isa);
+}
+
+Isa ResetIsa() {
+  EnsureInit();
+  return Install(StartupIsa());
+}
+
+void ClassifyJson(const char* data, size_t n, uint64_t* quotes,
+                  uint64_t* backslashes, uint64_t* structurals) {
+  Table()->classify_json(data, n, quotes, backslashes, structurals);
+}
+
+size_t SkipWhitespace(const char* data, size_t n, size_t pos) {
+  return Table()->skip_whitespace(data, n, pos);
+}
+
+size_t FindStringSpecial(const char* data, size_t n, size_t pos) {
+  return Table()->find_string_special(data, n, pos);
+}
+
+size_t FindSubstring(const char* hay, size_t n, const char* needle,
+                     size_t m) {
+  return Table()->find_substring(hay, n, needle, m);
+}
+
+uint64_t NullBytesToBitmap(const uint8_t* nulls, size_t n, uint64_t* bitmap) {
+  return Table()->null_bytes_to_bitmap(nulls, n, bitmap);
+}
+
+uint64_t CountNonZeroBytes(const uint8_t* bytes, size_t n) {
+  return Table()->count_nonzero_bytes(bytes, n);
+}
+
+void MinMaxInt64(const int64_t* values, size_t n, int64_t* min,
+                 int64_t* max) {
+  Table()->minmax_int64(values, n, min, max);
+}
+
+void MinMaxDouble(const double* values, size_t n, double* min, double* max) {
+  Table()->minmax_double(values, n, min, max);
+}
+
+}  // namespace maxson::simd

@@ -1,0 +1,118 @@
+#ifndef MAXSON_SIMD_KERNELS_H_
+#define MAXSON_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/isa.h"
+
+namespace maxson::simd {
+
+/// Byte-scanning kernels behind one-time runtime CPU dispatch (see isa.h).
+///
+/// Contracts shared by every kernel, at every ISA level:
+///   - Byte-identical results: the vector implementations are drop-in
+///     replacements for the scalar reference — same outputs, same tie
+///     breaking, bit for bit. The differential test (tests/simd_kernel_test)
+///     holds each level to the scalar reference on random and adversarial
+///     inputs.
+///   - Tail safety: inputs need no padding and no alignment. Vector loads
+///     touch only full blocks inside [data, data+n); tails run through a
+///     scalar loop or a zeroed on-stack copy. ASan/UBSan clean.
+///   - No hidden state: kernels are pure functions; the only global is the
+///     dispatch table pointer, read once per call.
+
+inline constexpr size_t kNpos = ~size_t{0};
+inline constexpr size_t kWordBits = 64;
+
+/// Number of 64-bit bitmap words covering `n` bytes.
+inline constexpr size_t BitmapWords(size_t n) {
+  return (n + kWordBits - 1) / kWordBits;
+}
+
+/// Mison/simdjson phase 1: per-64-byte-block bitmaps of '"' (quotes), '\\'
+/// (backslashes), and the merged ':' '{' '}' structural candidates. Each
+/// output array must hold BitmapWords(n) words; bits past `n` are zero.
+void ClassifyJson(const char* data, size_t n, uint64_t* quotes,
+                  uint64_t* backslashes, uint64_t* structurals);
+
+/// First position >= `pos` whose byte is not JSON whitespace
+/// (' ', '\t', '\n', '\r'), or `n` when the rest is all whitespace.
+size_t SkipWhitespace(const char* data, size_t n, size_t pos);
+
+/// First position >= `pos` holding '"' or '\\', or `n` when absent — the
+/// DOM string parser's "next interesting byte" scan.
+size_t FindStringSpecial(const char* data, size_t n, size_t pos);
+
+/// First occurrence of needle[0..m) in hay[0..n), or kNpos. m == 0 returns
+/// 0; m > n returns kNpos. Vector levels use the first/last-byte broadcast
+/// prefilter (Muła) with an exact memcmp confirm, so false positives of the
+/// prefilter never surface.
+size_t FindSubstring(const char* hay, size_t n, const char* needle, size_t m);
+
+/// Expands a byte-per-row null vector (CORC row-group layout: nonzero byte
+/// means NULL) into a bitmap (bit i set iff row i is null; BitmapWords(n)
+/// words, tail bits zero) and returns the null count.
+uint64_t NullBytesToBitmap(const uint8_t* nulls, size_t n, uint64_t* bitmap);
+
+/// Number of nonzero bytes in [bytes, bytes+n) — the writer-side null count
+/// when no bitmap is needed.
+uint64_t CountNonZeroBytes(const uint8_t* bytes, size_t n);
+
+/// Min and max of `n` >= 1 values, for row-group SARG statistics.
+void MinMaxInt64(const int64_t* values, size_t n, int64_t* min, int64_t* max);
+
+/// Double min/max with two extra contract points so every ISA level agrees
+/// bit for bit: inputs must be NaN-free (JSON cannot encode NaN, and the
+/// CORC writer only sees parsed JSON numbers), and a zero result is
+/// canonicalized to +0.0 — vector min/max instructions are order-dependent
+/// on -0.0 vs +0.0, so all levels (including scalar) normalize the sign.
+void MinMaxDouble(const double* values, size_t n, double* min, double* max);
+
+// ---- Word-parallel helpers shared by every kernel table ----
+//
+// These run on 64-bit words, not vectors, so one definition serves all ISA
+// levels — cross-level identity holds by construction. They live here
+// because the structural-index construction composes them directly with
+// ClassifyJson output.
+
+/// Positions escaped by backslashes (preceded by an odd-length backslash
+/// run), one word at a time. `*carry` threads run parity across words:
+/// pass 0 for the first word, then the value left by the previous call.
+/// This is the branchless odd-backslash-sequence detection of simdjson
+/// (Keiser & Lemire); the differential test pins it to the run-counting
+/// scalar definition across word boundaries.
+inline uint64_t EscapedPositions(uint64_t backslashes, uint64_t* carry) {
+  constexpr uint64_t kEvenBits = 0x5555555555555555ULL;
+  const uint64_t escaped_first = *carry;  // bit 0: first byte is escaped
+  backslashes &= ~escaped_first;          // an escaped backslash starts no run
+  const uint64_t follows_escape = (backslashes << 1) | escaped_first;
+  const uint64_t odd_starts = backslashes & ~kEvenBits & ~follows_escape;
+  const uint64_t sum = odd_starts + backslashes;  // carry ripples through runs
+  *carry = (sum < backslashes) ? 1 : 0;           // run continues past bit 63
+  const uint64_t invert_mask = sum << 1;
+  return (kEvenBits ^ invert_mask) & follows_escape;
+}
+
+/// Mison phase 2: string mask from an (escape-cleaned) quote bitmap via
+/// prefix XOR. Bit i is set iff byte i lies inside a string literal
+/// (opening quote inside, closing quote outside). `*parity` threads the
+/// quote parity across words: 0 for the first word, then the value left by
+/// the previous call; nonzero after the last word means an unterminated
+/// string literal.
+inline uint64_t StringMaskWord(uint64_t quotes, uint64_t* parity) {
+  uint64_t q = quotes;
+  q ^= q << 1;
+  q ^= q << 2;
+  q ^= q << 4;
+  q ^= q << 8;
+  q ^= q << 16;
+  q ^= q << 32;
+  const uint64_t mask = q ^ *parity;
+  *parity = (mask >> (kWordBits - 1)) ? ~uint64_t{0} : 0;
+  return mask;
+}
+
+}  // namespace maxson::simd
+
+#endif  // MAXSON_SIMD_KERNELS_H_

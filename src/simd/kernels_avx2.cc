@@ -1,0 +1,299 @@
+#include "simd/kernel_table.h"
+
+#include <cstring>
+
+#include "simd/kernels.h"
+
+// Compiled with -mavx2 when the toolchain targets x86 (see CMakeLists.txt
+// in this directory); dispatch installs this table only after
+// __builtin_cpu_supports("avx2") confirms the host executes it.
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace maxson::simd {
+namespace avx2 {
+
+namespace {
+
+/// 32 comparison lanes -> 32-bit mask, zero-extended.
+inline uint32_t EqMask(__m256i v, __m256i broadcast) {
+  return static_cast<uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, broadcast)));
+}
+
+/// One 64-byte block -> the three classification words.
+inline void ClassifyBlock(const char* p, uint64_t* quote_word,
+                          uint64_t* backslash_word,
+                          uint64_t* structural_word) {
+  const __m256i quote = _mm256_set1_epi8('"');
+  const __m256i backslash = _mm256_set1_epi8('\\');
+  const __m256i colon = _mm256_set1_epi8(':');
+  const __m256i lbrace = _mm256_set1_epi8('{');
+  const __m256i rbrace = _mm256_set1_epi8('}');
+  uint64_t qm = 0;
+  uint64_t bm = 0;
+  uint64_t sm = 0;
+  for (int k = 0; k < 2; ++k) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(p + 32 * k));
+    const int shift = 32 * k;
+    qm |= static_cast<uint64_t>(EqMask(v, quote)) << shift;
+    bm |= static_cast<uint64_t>(EqMask(v, backslash)) << shift;
+    const __m256i st = _mm256_or_si256(
+        _mm256_or_si256(_mm256_cmpeq_epi8(v, colon),
+                        _mm256_cmpeq_epi8(v, lbrace)),
+        _mm256_cmpeq_epi8(v, rbrace));
+    sm |= static_cast<uint64_t>(
+              static_cast<uint32_t>(_mm256_movemask_epi8(st)))
+          << shift;
+  }
+  *quote_word = qm;
+  *backslash_word = bm;
+  *structural_word = sm;
+}
+
+}  // namespace
+
+void ClassifyJson(const char* data, size_t n, uint64_t* quotes,
+                  uint64_t* backslashes, uint64_t* structurals) {
+  size_t w = 0;
+  for (; (w + 1) * kWordBits <= n; ++w) {
+    ClassifyBlock(data + w * kWordBits, &quotes[w], &backslashes[w],
+                  &structurals[w]);
+  }
+  if (w * kWordBits < n) {
+    char buf[kWordBits] = {0};
+    std::memcpy(buf, data + w * kWordBits, n - w * kWordBits);
+    ClassifyBlock(buf, &quotes[w], &backslashes[w], &structurals[w]);
+  }
+}
+
+size_t SkipWhitespace(const char* data, size_t n, size_t pos) {
+  const __m256i space = _mm256_set1_epi8(' ');
+  const __m256i tab = _mm256_set1_epi8('\t');
+  const __m256i lf = _mm256_set1_epi8('\n');
+  const __m256i cr = _mm256_set1_epi8('\r');
+  while (pos + 32 <= n) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(data + pos));
+    const __m256i ws = _mm256_or_si256(
+        _mm256_or_si256(_mm256_cmpeq_epi8(v, space),
+                        _mm256_cmpeq_epi8(v, tab)),
+        _mm256_or_si256(_mm256_cmpeq_epi8(v, lf),
+                        _mm256_cmpeq_epi8(v, cr)));
+    const uint32_t mask =
+        static_cast<uint32_t>(_mm256_movemask_epi8(ws));
+    if (mask != 0xFFFFFFFFu) {
+      return pos + static_cast<size_t>(__builtin_ctz(~mask));
+    }
+    pos += 32;
+  }
+  while (pos < n) {
+    const char c = data[pos];
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return pos;
+    ++pos;
+  }
+  return n;
+}
+
+size_t FindStringSpecial(const char* data, size_t n, size_t pos) {
+  const __m256i quote = _mm256_set1_epi8('"');
+  const __m256i backslash = _mm256_set1_epi8('\\');
+  while (pos + 32 <= n) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(data + pos));
+    const __m256i hit = _mm256_or_si256(_mm256_cmpeq_epi8(v, quote),
+                                        _mm256_cmpeq_epi8(v, backslash));
+    const uint32_t mask =
+        static_cast<uint32_t>(_mm256_movemask_epi8(hit));
+    if (mask != 0) return pos + static_cast<size_t>(__builtin_ctz(mask));
+    pos += 32;
+  }
+  while (pos < n) {
+    const char c = data[pos];
+    if (c == '"' || c == '\\') return pos;
+    ++pos;
+  }
+  return n;
+}
+
+size_t FindSubstring(const char* hay, size_t n, const char* needle,
+                     size_t m) {
+  if (m == 0) return 0;
+  if (m > n) return kNpos;
+  const __m256i first = _mm256_set1_epi8(needle[0]);
+  const __m256i last = _mm256_set1_epi8(needle[m - 1]);
+  size_t i = 0;
+  while (i + m + 31 <= n) {  // both 32-byte loads stay inside [0, n)
+    const __m256i block_first = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(hay + i));
+    const __m256i block_last = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(hay + i + m - 1));
+    uint32_t mask = static_cast<uint32_t>(_mm256_movemask_epi8(
+        _mm256_and_si256(_mm256_cmpeq_epi8(block_first, first),
+                         _mm256_cmpeq_epi8(block_last, last))));
+    while (mask != 0) {
+      const size_t j = static_cast<size_t>(__builtin_ctz(mask));
+      mask &= mask - 1;
+      if (std::memcmp(hay + i + j, needle, m) == 0) return i + j;
+    }
+    i += 32;
+  }
+  for (; i + m <= n; ++i) {
+    if (hay[i] == needle[0] && std::memcmp(hay + i, needle, m) == 0) {
+      return i;
+    }
+  }
+  return kNpos;
+}
+
+namespace {
+
+/// Nonzero-byte mask of one 64-byte block.
+inline uint64_t NonZeroMask64(const uint8_t* p) {
+  const __m256i zero = _mm256_setzero_si256();
+  uint64_t mask = 0;
+  for (int k = 0; k < 2; ++k) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(p + 32 * k));
+    const uint32_t zeros = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, zero)));
+    mask |= static_cast<uint64_t>(~zeros) << (32 * k);
+  }
+  return mask;
+}
+
+}  // namespace
+
+uint64_t NullBytesToBitmap(const uint8_t* nulls, size_t n, uint64_t* bitmap) {
+  uint64_t count = 0;
+  size_t w = 0;
+  for (; (w + 1) * kWordBits <= n; ++w) {
+    const uint64_t mask = NonZeroMask64(nulls + w * kWordBits);
+    bitmap[w] = mask;
+    count += static_cast<uint64_t>(__builtin_popcountll(mask));
+  }
+  if (w * kWordBits < n) {
+    uint64_t mask = 0;
+    for (size_t i = w * kWordBits; i < n; ++i) {
+      if (nulls[i] != 0) mask |= uint64_t{1} << (i - w * kWordBits);
+    }
+    bitmap[w] = mask;
+    count += static_cast<uint64_t>(__builtin_popcountll(mask));
+  }
+  return count;
+}
+
+uint64_t CountNonZeroBytes(const uint8_t* bytes, size_t n) {
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + kWordBits <= n; i += kWordBits) {
+    count += static_cast<uint64_t>(
+        __builtin_popcountll(NonZeroMask64(bytes + i)));
+  }
+  for (; i < n; ++i) {
+    if (bytes[i] != 0) ++count;
+  }
+  return count;
+}
+
+void MinMaxInt64(const int64_t* values, size_t n, int64_t* min,
+                 int64_t* max) {
+  int64_t lo;
+  int64_t hi;
+  size_t i;
+  if (n >= 8) {
+    __m256i vlo = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(values));
+    __m256i vhi = vlo;
+    for (i = 4; i + 4 <= n; i += 4) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(values + i));
+      vlo = _mm256_blendv_epi8(vlo, v, _mm256_cmpgt_epi64(vlo, v));
+      vhi = _mm256_blendv_epi8(vhi, v, _mm256_cmpgt_epi64(v, vhi));
+    }
+    int64_t lo4[4];
+    int64_t hi4[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lo4), vlo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(hi4), vhi);
+    lo = lo4[0];
+    hi = hi4[0];
+    for (int k = 1; k < 4; ++k) {
+      if (lo4[k] < lo) lo = lo4[k];
+      if (hi4[k] > hi) hi = hi4[k];
+    }
+  } else {
+    lo = values[0];
+    hi = values[0];
+    i = 1;
+  }
+  for (; i < n; ++i) {
+    if (values[i] < lo) lo = values[i];
+    if (values[i] > hi) hi = values[i];
+  }
+  *min = lo;
+  *max = hi;
+}
+
+void MinMaxDouble(const double* values, size_t n, double* min, double* max) {
+  double lo;
+  double hi;
+  size_t i;
+  if (n >= 8) {
+    __m256d vlo = _mm256_loadu_pd(values);
+    __m256d vhi = vlo;
+    for (i = 4; i + 4 <= n; i += 4) {
+      const __m256d v = _mm256_loadu_pd(values + i);
+      vlo = _mm256_min_pd(vlo, v);
+      vhi = _mm256_max_pd(vhi, v);
+    }
+    double lo4[4];
+    double hi4[4];
+    _mm256_storeu_pd(lo4, vlo);
+    _mm256_storeu_pd(hi4, vhi);
+    lo = lo4[0];
+    hi = hi4[0];
+    for (int k = 1; k < 4; ++k) {
+      if (lo4[k] < lo) lo = lo4[k];
+      if (hi4[k] > hi) hi = hi4[k];
+    }
+  } else {
+    lo = values[0];
+    hi = values[0];
+    i = 1;
+  }
+  for (; i < n; ++i) {
+    if (values[i] < lo) lo = values[i];
+    if (values[i] > hi) hi = values[i];
+  }
+  if (lo == 0.0) lo = +0.0;  // kernel contract: zero results are +0.0
+  if (hi == 0.0) hi = +0.0;
+  *min = lo;
+  *max = hi;
+}
+
+}  // namespace avx2
+
+const KernelTable* Avx2Kernels() {
+  static const KernelTable kTable = {
+      avx2::ClassifyJson,       avx2::SkipWhitespace,
+      avx2::FindStringSpecial,  avx2::FindSubstring,
+      avx2::NullBytesToBitmap,  avx2::CountNonZeroBytes,
+      avx2::MinMaxInt64,        avx2::MinMaxDouble,
+  };
+  return &kTable;
+}
+
+}  // namespace maxson::simd
+
+#else
+
+namespace maxson::simd {
+
+const KernelTable* Avx2Kernels() { return nullptr; }
+
+}  // namespace maxson::simd
+
+#endif

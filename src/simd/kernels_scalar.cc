@@ -1,0 +1,135 @@
+#include "simd/kernel_table.h"
+
+#include <cstring>
+
+#include "simd/kernels.h"
+
+namespace maxson::simd {
+
+// The scalar table doubles as the reference semantics every vector level is
+// tested against; keep these routines obviously correct rather than clever.
+namespace scalar {
+
+void ClassifyJson(const char* data, size_t n, uint64_t* quotes,
+                  uint64_t* backslashes, uint64_t* structurals) {
+  const size_t words = BitmapWords(n);
+  if (words == 0) return;  // n == 0 may come with null output pointers
+  std::memset(quotes, 0, words * sizeof(uint64_t));
+  std::memset(backslashes, 0, words * sizeof(uint64_t));
+  std::memset(structurals, 0, words * sizeof(uint64_t));
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t bit = uint64_t{1} << (i % kWordBits);
+    switch (data[i]) {
+      case '"':
+        quotes[i / kWordBits] |= bit;
+        break;
+      case '\\':
+        backslashes[i / kWordBits] |= bit;
+        break;
+      case ':':
+      case '{':
+      case '}':
+        structurals[i / kWordBits] |= bit;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+size_t SkipWhitespace(const char* data, size_t n, size_t pos) {
+  while (pos < n) {
+    const char c = data[pos];
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return pos;
+    ++pos;
+  }
+  return n;
+}
+
+size_t FindStringSpecial(const char* data, size_t n, size_t pos) {
+  while (pos < n) {
+    const char c = data[pos];
+    if (c == '"' || c == '\\') return pos;
+    ++pos;
+  }
+  return n;
+}
+
+size_t FindSubstring(const char* hay, size_t n, const char* needle,
+                     size_t m) {
+  if (m == 0) return 0;
+  if (m > n) return kNpos;
+  const char first = needle[0];
+  size_t pos = 0;
+  while (pos + m <= n) {
+    const void* hit = std::memchr(hay + pos, first, n - m + 1 - pos);
+    if (hit == nullptr) return kNpos;
+    pos = static_cast<size_t>(static_cast<const char*>(hit) - hay);
+    if (std::memcmp(hay + pos, needle, m) == 0) return pos;
+    ++pos;
+  }
+  return kNpos;
+}
+
+uint64_t NullBytesToBitmap(const uint8_t* nulls, size_t n, uint64_t* bitmap) {
+  const size_t words = BitmapWords(n);
+  if (words == 0) return 0;  // n == 0 may come with a null bitmap pointer
+  std::memset(bitmap, 0, words * sizeof(uint64_t));
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (nulls[i] != 0) {
+      bitmap[i / kWordBits] |= uint64_t{1} << (i % kWordBits);
+      ++count;
+    }
+  }
+  return count;
+}
+
+uint64_t CountNonZeroBytes(const uint8_t* bytes, size_t n) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (bytes[i] != 0) ++count;
+  }
+  return count;
+}
+
+void MinMaxInt64(const int64_t* values, size_t n, int64_t* min,
+                 int64_t* max) {
+  int64_t lo = values[0];
+  int64_t hi = values[0];
+  for (size_t i = 1; i < n; ++i) {
+    if (values[i] < lo) lo = values[i];
+    if (values[i] > hi) hi = values[i];
+  }
+  *min = lo;
+  *max = hi;
+}
+
+void MinMaxDouble(const double* values, size_t n, double* min, double* max) {
+  double lo = values[0];
+  double hi = values[0];
+  for (size_t i = 1; i < n; ++i) {
+    if (values[i] < lo) lo = values[i];
+    if (values[i] > hi) hi = values[i];
+  }
+  // The kernel contract (kernels.h): zero results are +0.0 at every level,
+  // because vector min/max pick a zero sign by operand order.
+  if (lo == 0.0) lo = +0.0;
+  if (hi == 0.0) hi = +0.0;
+  *min = lo;
+  *max = hi;
+}
+
+}  // namespace scalar
+
+const KernelTable* ScalarKernels() {
+  static constexpr KernelTable kTable = {
+      scalar::ClassifyJson,       scalar::SkipWhitespace,
+      scalar::FindStringSpecial,  scalar::FindSubstring,
+      scalar::NullBytesToBitmap,  scalar::CountNonZeroBytes,
+      scalar::MinMaxInt64,        scalar::MinMaxDouble,
+  };
+  return &kTable;
+}
+
+}  // namespace maxson::simd

@@ -1,0 +1,392 @@
+#include "simd/kernel_table.h"
+
+#include <cstring>
+
+#include "simd/kernels.h"
+
+// The generic 128-bit table: SSE2 on x86 (baseline for x86-64, so no extra
+// compile flags), NEON on AArch64. Both register under Isa::kSse2 — "the
+// 128-bit path". Elsewhere the table is absent and dispatch clamps to
+// scalar.
+
+#if defined(__SSE2__)
+
+#include <immintrin.h>
+
+namespace maxson::simd {
+namespace sse2 {
+
+namespace {
+
+/// 16 comparison lanes -> 16-bit mask, zero-extended.
+inline uint32_t EqMask(__m128i v, __m128i broadcast) {
+  return static_cast<uint32_t>(
+      _mm_movemask_epi8(_mm_cmpeq_epi8(v, broadcast)));
+}
+
+/// One 64-byte block -> the three classification words.
+inline void ClassifyBlock(const char* p, uint64_t* quote_word,
+                          uint64_t* backslash_word,
+                          uint64_t* structural_word) {
+  const __m128i quote = _mm_set1_epi8('"');
+  const __m128i backslash = _mm_set1_epi8('\\');
+  const __m128i colon = _mm_set1_epi8(':');
+  const __m128i lbrace = _mm_set1_epi8('{');
+  const __m128i rbrace = _mm_set1_epi8('}');
+  uint64_t qm = 0;
+  uint64_t bm = 0;
+  uint64_t sm = 0;
+  for (int k = 0; k < 4; ++k) {
+    const __m128i v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(p + 16 * k));
+    const int shift = 16 * k;
+    qm |= static_cast<uint64_t>(EqMask(v, quote)) << shift;
+    bm |= static_cast<uint64_t>(EqMask(v, backslash)) << shift;
+    const __m128i st = _mm_or_si128(
+        _mm_or_si128(_mm_cmpeq_epi8(v, colon), _mm_cmpeq_epi8(v, lbrace)),
+        _mm_cmpeq_epi8(v, rbrace));
+    sm |= static_cast<uint64_t>(
+              static_cast<uint32_t>(_mm_movemask_epi8(st)))
+          << shift;
+  }
+  *quote_word = qm;
+  *backslash_word = bm;
+  *structural_word = sm;
+}
+
+}  // namespace
+
+void ClassifyJson(const char* data, size_t n, uint64_t* quotes,
+                  uint64_t* backslashes, uint64_t* structurals) {
+  size_t w = 0;
+  for (; (w + 1) * kWordBits <= n; ++w) {
+    ClassifyBlock(data + w * kWordBits, &quotes[w], &backslashes[w],
+                  &structurals[w]);
+  }
+  if (w * kWordBits < n) {
+    // Tail: a zeroed on-stack copy — the zero padding matches no byte
+    // class, so tail bits come out zero without masking.
+    char buf[kWordBits] = {0};
+    std::memcpy(buf, data + w * kWordBits, n - w * kWordBits);
+    ClassifyBlock(buf, &quotes[w], &backslashes[w], &structurals[w]);
+  }
+}
+
+size_t SkipWhitespace(const char* data, size_t n, size_t pos) {
+  const __m128i space = _mm_set1_epi8(' ');
+  const __m128i tab = _mm_set1_epi8('\t');
+  const __m128i lf = _mm_set1_epi8('\n');
+  const __m128i cr = _mm_set1_epi8('\r');
+  while (pos + 16 <= n) {
+    const __m128i v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(data + pos));
+    const __m128i ws = _mm_or_si128(
+        _mm_or_si128(_mm_cmpeq_epi8(v, space), _mm_cmpeq_epi8(v, tab)),
+        _mm_or_si128(_mm_cmpeq_epi8(v, lf), _mm_cmpeq_epi8(v, cr)));
+    const uint32_t mask = static_cast<uint32_t>(_mm_movemask_epi8(ws));
+    if (mask != 0xFFFFu) {
+      return pos + static_cast<size_t>(__builtin_ctz(~mask & 0xFFFFu));
+    }
+    pos += 16;
+  }
+  while (pos < n) {
+    const char c = data[pos];
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return pos;
+    ++pos;
+  }
+  return n;
+}
+
+size_t FindStringSpecial(const char* data, size_t n, size_t pos) {
+  const __m128i quote = _mm_set1_epi8('"');
+  const __m128i backslash = _mm_set1_epi8('\\');
+  while (pos + 16 <= n) {
+    const __m128i v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(data + pos));
+    const __m128i hit = _mm_or_si128(_mm_cmpeq_epi8(v, quote),
+                                     _mm_cmpeq_epi8(v, backslash));
+    const uint32_t mask = static_cast<uint32_t>(_mm_movemask_epi8(hit));
+    if (mask != 0) return pos + static_cast<size_t>(__builtin_ctz(mask));
+    pos += 16;
+  }
+  while (pos < n) {
+    const char c = data[pos];
+    if (c == '"' || c == '\\') return pos;
+    ++pos;
+  }
+  return n;
+}
+
+size_t FindSubstring(const char* hay, size_t n, const char* needle,
+                     size_t m) {
+  if (m == 0) return 0;
+  if (m > n) return kNpos;
+  // Muła's first/last-byte prefilter: a candidate start i survives only
+  // when hay[i] == needle[0] and hay[i+m-1] == needle[m-1]; survivors are
+  // confirmed with an exact memcmp.
+  const __m128i first = _mm_set1_epi8(needle[0]);
+  const __m128i last = _mm_set1_epi8(needle[m - 1]);
+  size_t i = 0;
+  while (i + m + 15 <= n) {  // both 16-byte loads stay inside [0, n)
+    const __m128i block_first = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(hay + i));
+    const __m128i block_last = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(hay + i + m - 1));
+    uint32_t mask = static_cast<uint32_t>(_mm_movemask_epi8(
+        _mm_and_si128(_mm_cmpeq_epi8(block_first, first),
+                      _mm_cmpeq_epi8(block_last, last))));
+    while (mask != 0) {
+      const size_t j = static_cast<size_t>(__builtin_ctz(mask));
+      mask &= mask - 1;
+      if (std::memcmp(hay + i + j, needle, m) == 0) return i + j;
+    }
+    i += 16;
+  }
+  for (; i + m <= n; ++i) {
+    if (hay[i] == needle[0] && std::memcmp(hay + i, needle, m) == 0) {
+      return i;
+    }
+  }
+  return kNpos;
+}
+
+namespace {
+
+/// Nonzero-byte mask of one 64-byte block.
+inline uint64_t NonZeroMask64(const uint8_t* p) {
+  const __m128i zero = _mm_setzero_si128();
+  uint64_t mask = 0;
+  for (int k = 0; k < 4; ++k) {
+    const __m128i v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(p + 16 * k));
+    const uint32_t zeros =
+        static_cast<uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(v, zero)));
+    mask |= static_cast<uint64_t>(~zeros & 0xFFFFu) << (16 * k);
+  }
+  return mask;
+}
+
+}  // namespace
+
+uint64_t NullBytesToBitmap(const uint8_t* nulls, size_t n, uint64_t* bitmap) {
+  uint64_t count = 0;
+  size_t w = 0;
+  for (; (w + 1) * kWordBits <= n; ++w) {
+    const uint64_t mask = NonZeroMask64(nulls + w * kWordBits);
+    bitmap[w] = mask;
+    count += static_cast<uint64_t>(__builtin_popcountll(mask));
+  }
+  if (w * kWordBits < n) {
+    uint64_t mask = 0;
+    for (size_t i = w * kWordBits; i < n; ++i) {
+      if (nulls[i] != 0) mask |= uint64_t{1} << (i - w * kWordBits);
+    }
+    bitmap[w] = mask;
+    count += static_cast<uint64_t>(__builtin_popcountll(mask));
+  }
+  return count;
+}
+
+uint64_t CountNonZeroBytes(const uint8_t* bytes, size_t n) {
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + kWordBits <= n; i += kWordBits) {
+    count += static_cast<uint64_t>(
+        __builtin_popcountll(NonZeroMask64(bytes + i)));
+  }
+  for (; i < n; ++i) {
+    if (bytes[i] != 0) ++count;
+  }
+  return count;
+}
+
+void MinMaxDouble(const double* values, size_t n, double* min, double* max) {
+  double lo;
+  double hi;
+  size_t i;
+  if (n >= 4) {
+    __m128d vlo = _mm_loadu_pd(values);
+    __m128d vhi = vlo;
+    for (i = 2; i + 2 <= n; i += 2) {
+      const __m128d v = _mm_loadu_pd(values + i);
+      vlo = _mm_min_pd(vlo, v);
+      vhi = _mm_max_pd(vhi, v);
+    }
+    double lo2[2];
+    double hi2[2];
+    _mm_storeu_pd(lo2, vlo);
+    _mm_storeu_pd(hi2, vhi);
+    lo = lo2[0] < lo2[1] ? lo2[0] : lo2[1];
+    hi = hi2[0] > hi2[1] ? hi2[0] : hi2[1];
+  } else {
+    lo = values[0];
+    hi = values[0];
+    i = 1;
+  }
+  for (; i < n; ++i) {
+    if (values[i] < lo) lo = values[i];
+    if (values[i] > hi) hi = values[i];
+  }
+  if (lo == 0.0) lo = +0.0;  // kernel contract: zero results are +0.0
+  if (hi == 0.0) hi = +0.0;
+  *min = lo;
+  *max = hi;
+}
+
+}  // namespace sse2
+
+const KernelTable* Sse2Kernels() {
+  // SSE2 has no 64-bit integer compare, so minmax_int64 stays on the
+  // scalar routine at this level.
+  static const KernelTable kTable = {
+      sse2::ClassifyJson,       sse2::SkipWhitespace,
+      sse2::FindStringSpecial,  sse2::FindSubstring,
+      sse2::NullBytesToBitmap,  sse2::CountNonZeroBytes,
+      ScalarKernels()->minmax_int64,
+      sse2::MinMaxDouble,
+  };
+  return &kTable;
+}
+
+}  // namespace maxson::simd
+
+#elif defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+namespace maxson::simd {
+namespace neon {
+
+namespace {
+
+/// NEON "movemask": 4 bits per lane (0x0 or 0xF), so lane index is
+/// ctz(mask) / 4 and popcount(mask) is 4x the lane count.
+inline uint64_t NibbleMask(uint8x16_t lanes) {
+  const uint8x8_t narrowed = vshrn_n_u16(vreinterpretq_u16_u8(lanes), 4);
+  return vget_lane_u64(vreinterpret_u64_u8(narrowed), 0);
+}
+
+}  // namespace
+
+size_t SkipWhitespace(const char* data, size_t n, size_t pos) {
+  const uint8x16_t space = vdupq_n_u8(' ');
+  const uint8x16_t tab = vdupq_n_u8('\t');
+  const uint8x16_t lf = vdupq_n_u8('\n');
+  const uint8x16_t cr = vdupq_n_u8('\r');
+  while (pos + 16 <= n) {
+    const uint8x16_t v =
+        vld1q_u8(reinterpret_cast<const uint8_t*>(data) + pos);
+    const uint8x16_t ws = vorrq_u8(
+        vorrq_u8(vceqq_u8(v, space), vceqq_u8(v, tab)),
+        vorrq_u8(vceqq_u8(v, lf), vceqq_u8(v, cr)));
+    const uint64_t mask = NibbleMask(ws);
+    if (mask != ~uint64_t{0}) {
+      return pos + static_cast<size_t>(__builtin_ctzll(~mask)) / 4;
+    }
+    pos += 16;
+  }
+  while (pos < n) {
+    const char c = data[pos];
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return pos;
+    ++pos;
+  }
+  return n;
+}
+
+size_t FindStringSpecial(const char* data, size_t n, size_t pos) {
+  const uint8x16_t quote = vdupq_n_u8('"');
+  const uint8x16_t backslash = vdupq_n_u8('\\');
+  while (pos + 16 <= n) {
+    const uint8x16_t v =
+        vld1q_u8(reinterpret_cast<const uint8_t*>(data) + pos);
+    const uint8x16_t hit =
+        vorrq_u8(vceqq_u8(v, quote), vceqq_u8(v, backslash));
+    const uint64_t mask = NibbleMask(hit);
+    if (mask != 0) {
+      return pos + static_cast<size_t>(__builtin_ctzll(mask)) / 4;
+    }
+    pos += 16;
+  }
+  while (pos < n) {
+    const char c = data[pos];
+    if (c == '"' || c == '\\') return pos;
+    ++pos;
+  }
+  return n;
+}
+
+size_t FindSubstring(const char* hay, size_t n, const char* needle,
+                     size_t m) {
+  if (m == 0) return 0;
+  if (m > n) return kNpos;
+  const uint8x16_t first = vdupq_n_u8(static_cast<uint8_t>(needle[0]));
+  const uint8x16_t last = vdupq_n_u8(static_cast<uint8_t>(needle[m - 1]));
+  size_t i = 0;
+  while (i + m + 15 <= n) {
+    const uint8x16_t block_first =
+        vld1q_u8(reinterpret_cast<const uint8_t*>(hay) + i);
+    const uint8x16_t block_last =
+        vld1q_u8(reinterpret_cast<const uint8_t*>(hay) + i + m - 1);
+    uint64_t mask = NibbleMask(
+        vandq_u8(vceqq_u8(block_first, first), vceqq_u8(block_last, last)));
+    while (mask != 0) {
+      const size_t j = static_cast<size_t>(__builtin_ctzll(mask)) / 4;
+      mask &= ~(uint64_t{0xF} << (4 * j));
+      if (std::memcmp(hay + i + j, needle, m) == 0) return i + j;
+    }
+    i += 16;
+  }
+  for (; i + m <= n; ++i) {
+    if (hay[i] == needle[0] && std::memcmp(hay + i, needle, m) == 0) {
+      return i;
+    }
+  }
+  return kNpos;
+}
+
+uint64_t CountNonZeroBytes(const uint8_t* bytes, size_t n) {
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v = vld1q_u8(bytes + i);
+    const uint8x16_t nonzero = vtstq_u8(v, v);  // 0xFF where byte != 0
+    count += static_cast<uint64_t>(
+                 __builtin_popcountll(NibbleMask(nonzero))) /
+             4;
+  }
+  for (; i < n; ++i) {
+    if (bytes[i] != 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace neon
+
+const KernelTable* Sse2Kernels() {
+  // The bitmap producers and min/max reductions stay scalar on NEON: the
+  // scan kernels above carry the hot-path weight, and a 1-bit-per-byte
+  // movemask needs extra shuffle work that has not been profiled on ARM.
+  static const KernelTable kTable = {
+      ScalarKernels()->classify_json,
+      neon::SkipWhitespace,
+      neon::FindStringSpecial,
+      neon::FindSubstring,
+      ScalarKernels()->null_bytes_to_bitmap,
+      neon::CountNonZeroBytes,
+      ScalarKernels()->minmax_int64,
+      ScalarKernels()->minmax_double,
+  };
+  return &kTable;
+}
+
+}  // namespace maxson::simd
+
+#else
+
+namespace maxson::simd {
+
+const KernelTable* Sse2Kernels() { return nullptr; }
+
+}  // namespace maxson::simd
+
+#endif

@@ -73,13 +73,20 @@ class ColumnVector {
   /// Boxes cell `i` into a Value (NULL-aware).
   Value GetValue(size_t i) const;
 
-  /// Direct typed storage (reader/writer fast paths).
+  /// Direct typed storage (reader/writer fast paths). The null vector holds
+  /// exactly 0 or 1 per row and every null row's typed slot holds the zero
+  /// default, so whole slices can be memcpy'd into the CORC row-group
+  /// encoding without per-row normalization.
   std::vector<int64_t>& ints() { return ints_; }
   std::vector<double>& doubles() { return doubles_; }
   std::vector<std::string>& strings() { return strings_; }
   std::vector<uint8_t>& bools() { return bools_; }
   std::vector<uint8_t>& nulls() { return nulls_; }
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
   const std::vector<std::string>& strings() const { return strings_; }
+  const std::vector<uint8_t>& bools() const { return bools_; }
+  const std::vector<uint8_t>& nulls() const { return nulls_; }
 
   /// Sum of cell payload sizes, for cache budgeting and metrics.
   uint64_t ByteSize() const;

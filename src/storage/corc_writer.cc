@@ -4,6 +4,7 @@
 
 #include "json/json_value.h"
 #include "json/json_writer.h"
+#include "simd/kernels.h"
 
 namespace maxson::storage {
 
@@ -13,18 +14,6 @@ void PutU32(uint32_t v, std::string* out) {
   char buf[4];
   std::memcpy(buf, &v, 4);
   out->append(buf, 4);
-}
-
-void PutU64(uint64_t v, std::string* out) {
-  char buf[8];
-  std::memcpy(buf, &v, 8);
-  out->append(buf, 8);
-}
-
-void PutDouble(double v, std::string* out) {
-  char buf[8];
-  std::memcpy(buf, &v, 8);
-  out->append(buf, 8);
 }
 
 json::JsonValue ValueToJson(const Value& v) {
@@ -89,51 +78,98 @@ Status CorcWriter::AppendRow(const std::vector<Value>& row) {
   return Status::Ok();
 }
 
+namespace {
+
+/// Folds a candidate into the running min/max with ColumnStats::Update's
+/// tie-breaking (first value wins on Compare() == 0).
+void FoldMinMax(const Value& v, ColumnStats* stats) {
+  if (stats->min.is_null() || v.Compare(stats->min) < 0) stats->min = v;
+  if (stats->max.is_null() || v.Compare(stats->max) > 0) stats->max = v;
+}
+
+}  // namespace
+
 void CorcWriter::EncodeRowGroup(const ColumnVector& column, size_t begin,
                                 size_t end, std::string* out,
                                 ColumnStats* stats) const {
-  for (size_t i = begin; i < end; ++i) {
-    out->push_back(column.IsNull(i) ? 1 : 0);
+  if (column.type() == TypeKind::kString) {
+    // Variable-width: per-row lengths drive the encoding, so the original
+    // row-at-a-time loop stays.
+    for (size_t i = begin; i < end; ++i) {
+      out->push_back(column.IsNull(i) ? 1 : 0);
+    }
+    for (size_t i = begin; i < end; ++i) {
+      stats->Update(column.GetValue(i));
+      if (column.IsNull(i)) {
+        PutU32(0, out);  // null slots still encode a zero length
+        continue;
+      }
+      const std::string& s = column.GetString(i);
+      PutU32(static_cast<uint32_t>(s.size()), out);
+      out->append(s);
+    }
+    return;
   }
-  for (size_t i = begin; i < end; ++i) {
-    const Value v = column.GetValue(i);
-    stats->Update(v);
-    if (column.IsNull(i)) {
-      // Null slots still occupy fixed-width space for fixed types so the
-      // decoder stays positional; strings encode a zero length.
-      switch (column.type()) {
-        case TypeKind::kBool:
-          out->push_back(0);
-          break;
-        case TypeKind::kInt64:
-          PutU64(0, out);
-          break;
-        case TypeKind::kDouble:
-          PutDouble(0.0, out);
-          break;
-        case TypeKind::kString:
-          PutU32(0, out);
-          break;
+
+  // Fixed-width types: the ColumnVector invariant (null bytes are exactly
+  // 0/1, null rows hold the zero default in their typed slot) makes whole
+  // slices byte-identical to the per-row encoding, so the null section and
+  // value section append as single bulk copies.
+  const size_t rows = end - begin;
+  const uint8_t* null_bytes = column.nulls().data() + begin;
+  out->append(reinterpret_cast<const char*>(null_bytes), rows);
+  const uint64_t nulls = simd::CountNonZeroBytes(null_bytes, rows);
+  stats->value_count += rows;
+  stats->null_count += nulls;
+
+  switch (column.type()) {
+    case TypeKind::kBool: {
+      out->append(reinterpret_cast<const char*>(column.bools().data() + begin),
+                  rows);
+      for (size_t i = begin; i < end; ++i) {
+        if (!column.IsNull(i)) FoldMinMax(Value::Bool(column.GetBool(i)), stats);
       }
-      continue;
+      break;
     }
-    switch (column.type()) {
-      case TypeKind::kBool:
-        out->push_back(column.GetBool(i) ? 1 : 0);
-        break;
-      case TypeKind::kInt64:
-        PutU64(static_cast<uint64_t>(column.GetInt64(i)), out);
-        break;
-      case TypeKind::kDouble:
-        PutDouble(column.GetDouble(i), out);
-        break;
-      case TypeKind::kString: {
-        const std::string& s = column.GetString(i);
-        PutU32(static_cast<uint32_t>(s.size()), out);
-        out->append(s);
-        break;
+    case TypeKind::kInt64: {
+      const int64_t* values = column.ints().data() + begin;
+      out->append(reinterpret_cast<const char*>(values), rows * 8);
+      if (nulls == 0 && rows > 0) {
+        int64_t mn;
+        int64_t mx;
+        simd::MinMaxInt64(values, rows, &mn, &mx);
+        FoldMinMax(Value::Int64(mn), stats);
+        FoldMinMax(Value::Int64(mx), stats);
+      } else {
+        for (size_t i = begin; i < end; ++i) {
+          if (!column.IsNull(i)) {
+            FoldMinMax(Value::Int64(column.GetInt64(i)), stats);
+          }
+        }
       }
+      break;
     }
+    case TypeKind::kDouble: {
+      const double* values = column.doubles().data() + begin;
+      out->append(reinterpret_cast<const char*>(values), rows * 8);
+      if (nulls == 0 && rows > 0) {
+        double mn;
+        double mx;
+        simd::MinMaxDouble(values, rows, &mn, &mx);
+        FoldMinMax(Value::Double(mn), stats);
+        FoldMinMax(Value::Double(mx), stats);
+      } else {
+        for (size_t i = begin; i < end; ++i) {
+          if (column.IsNull(i)) continue;
+          double v = column.GetDouble(i);
+          if (v == 0.0) v = 0.0;  // match the kernel's +0.0 canonicalization
+          FoldMinMax(Value::Double(v), stats);
+        }
+      }
+      break;
+    }
+    case TypeKind::kString:
+      break;  // handled above
   }
 }
 

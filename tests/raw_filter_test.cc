@@ -21,7 +21,7 @@ TEST(RawFilterTest, FindsNeedleAnywhere) {
   EXPECT_FALSE(filter.MightMatch(""));
   EXPECT_FALSE(filter.MightMatch("ca"));
   EXPECT_FALSE(filter.MightMatch("cat"));
-  // Near misses that stress the BMH shift table.
+  // Near misses that stress the first/last-byte prefilter.
   EXPECT_FALSE(filter.MightMatch("cat2cat1cat0ca t3"));
   EXPECT_TRUE(filter.MightMatch("cat2cat1cat3cat0"));
 }
@@ -31,6 +31,27 @@ TEST(RawFilterTest, RepeatedCharacterNeedles) {
   EXPECT_TRUE(filter.MightMatch("baaab"));
   EXPECT_TRUE(filter.MightMatch("aaa"));
   EXPECT_FALSE(filter.MightMatch("aabaab"));
+}
+
+TEST(RawFilterTest, SingleByteNeedle) {
+  // m == 1 makes the SIMD first/last-byte prefilter degenerate (first and
+  // last broadcast the same byte); the scan must still find every position.
+  RawFilter filter("q");
+  EXPECT_TRUE(filter.MightMatch("q"));
+  EXPECT_TRUE(filter.MightMatch("xq"));
+  EXPECT_TRUE(filter.MightMatch(std::string(100, 'x') + "q"));
+  EXPECT_TRUE(filter.MightMatch("q" + std::string(100, 'x')));
+  EXPECT_FALSE(filter.MightMatch(""));
+  EXPECT_FALSE(filter.MightMatch(std::string(200, 'x')));
+}
+
+TEST(RawFilterTest, NeedleLongerThanRecord) {
+  RawFilter filter("abcdefghijklmnopqrstuvwxyz0123456789");
+  EXPECT_FALSE(filter.MightMatch(""));
+  EXPECT_FALSE(filter.MightMatch("abc"));
+  EXPECT_FALSE(filter.MightMatch("abcdefghijklmnopqrstuvwxyz012345678"));
+  EXPECT_TRUE(filter.MightMatch("abcdefghijklmnopqrstuvwxyz0123456789"));
+  EXPECT_TRUE(filter.MightMatch("xx abcdefghijklmnopqrstuvwxyz0123456789 yy"));
 }
 
 TEST(RawFilterTest, AgreesWithStdFindOnRandomInputs) {

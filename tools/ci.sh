@@ -12,8 +12,15 @@
 #   tsan    ThreadSanitizer build + full test suite (the parallel execution
 #           runtime must be race-clean); the metrics-determinism test also
 #           runs standalone so a racy counter fails loudly by name.
-#   bench   Thread-scaling and observability benches (the latter fails CI
-#           if instrumentation overhead exceeds 5%).
+#   bench   Thread-scaling, observability, and SIMD-kernel benches (the
+#           observability bench fails CI if instrumentation overhead exceeds
+#           5%; the kernel bench fails CI if any ISA level diverges from
+#           scalar on its megabyte-scale inputs).
+#
+# The Release and ASan test suites run twice: once at the host's native
+# SIMD dispatch level and once under MAXSON_FORCE_ISA=scalar, so both the
+# vector kernels and the portable fallback stay green (the differential
+# tests inside the suite cover sse2/avx2 explicitly per kernel).
 #
 # Usage: tools/ci.sh [--skip-asan] [--skip-tsan] [--skip-bench]
 # Runs from anywhere; build trees land in build-ci/, build-asan/, build-tsan/.
@@ -49,6 +56,8 @@ cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build-ci -j "$JOBS"
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+echo "=== Release tests, forced-scalar kernels ==="
+MAXSON_FORCE_ISA=scalar ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
 if [[ "$run_asan" == 1 ]]; then
   echo "=== ASan + UBSan build + tests ==="
@@ -57,6 +66,11 @@ if [[ "$run_asan" == 1 ]]; then
   cmake --build build-asan -j "$JOBS"
   # Leaks are errors too; halt_on_error surfaces the first finding as a
   # test failure instead of a warning buried in the log.
+  ASAN_OPTIONS="detect_leaks=1:halt_on_error=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+  echo "=== ASan + UBSan tests, forced-scalar kernels ==="
+  MAXSON_FORCE_ISA=scalar \
   ASAN_OPTIONS="detect_leaks=1:halt_on_error=1" \
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ctest --test-dir build-asan --output-on-failure -j "$JOBS"
@@ -79,6 +93,8 @@ if [[ "$run_bench" == 1 ]]; then
   ./build-ci/bench/scaling_threads
   echo "=== Observability overhead bench ==="
   ./build-ci/bench/observability_overhead
+  echo "=== SIMD kernel bench ==="
+  ./build-ci/bench/kernel_bench
 fi
 
 echo "CI OK"

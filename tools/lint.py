@@ -27,6 +27,11 @@ Encodes the project-specific invariants that generic tooling cannot know
                        helpers keep their [[nodiscard]] attributes (the
                        -Werror build enforces call sites; this guards the
                        declarations themselves).
+  simd-intrinsics      Vendor intrinsics headers (<immintrin.h>, <arm_neon.h>
+                       and friends) and __builtin_cpu_supports appear only
+                       under src/simd/ — everything else calls the dispatched
+                       kernels so one layer owns ISA-specific code and the
+                       byte-identical-across-levels contract stays auditable.
   trailing-whitespace  No trailing blanks (mechanical; --fix rewrites).
   final-newline        Files end with exactly one newline (mechanical;
                        --fix rewrites).
@@ -72,6 +77,9 @@ WALL_CLOCK_RE = re.compile(
     r"std::chrono::(?:steady_clock|system_clock|high_resolution_clock)::now"
     r"|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)")
 COUNTER_WRITE_RE = re.compile(r"\bGetCounter\s*\(")
+SIMD_INTRINSICS_RE = re.compile(
+    r"#\s*include\s+<(?:[a-z0-9]*mmintrin\.h|x86intrin\.h|arm_neon\.h)>"
+    r"|__builtin_cpu_supports\b")
 PARENT_INCLUDE_RE = re.compile(r'#\s*include\s+"\.\./')
 INCLUDE_RE = re.compile(r'#\s*include\s+"([^"]+)"')
 GUARD_RE = re.compile(r"#\s*ifndef\s+(\S+)")
@@ -188,6 +196,17 @@ def check_include_hygiene(root, rel, lines, out):
                 break
 
 
+def check_simd_intrinsics(root, rel, lines, out):
+    if rel.startswith("src/simd/"):
+        return
+    for i, line in enumerate(lines, 1):
+        if SIMD_INTRINSICS_RE.search(strip_line_comment(line)):
+            out.append(Violation(
+                "simd-intrinsics", rel, i,
+                "intrinsics header / cpu-feature probe outside src/simd/ — "
+                "call the dispatched kernels from simd/kernels.h instead"))
+
+
 def check_nodiscard_guard(root, rel, lines, out):
     text = "".join(lines)
     for path, pattern in NODISCARD_REQUIRED:
@@ -246,6 +265,7 @@ def run_lint(root, fix=False):
         check_thread_create(root, rel, lines, violations)
         check_wall_clock(root, rel, lines, violations)
         check_counter_write(root, rel, lines, violations)
+        check_simd_intrinsics(root, rel, lines, violations)
         check_include_hygiene(root, rel, lines, violations)
         check_nodiscard_guard(root, rel, lines, violations)
     return violations
@@ -262,6 +282,9 @@ SELF_TEST_FILES = {
     "counter-write": ("src/engine/bad_counter.cc",
                       '#include "engine/bad_counter.h"\n'
                       'void f(R* r) { r->GetCounter("x")->Increment(); }\n'),
+    "simd-intrinsics": ("src/engine/bad_intrinsics.cc",
+                        '#include "engine/bad_intrinsics.h"\n'
+                        "#include <immintrin.h>\n"),
     "include-hygiene": ("src/engine/bad_guard.h",
                         "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n"
                         "#endif\n"),
@@ -294,7 +317,8 @@ def self_test():
         for rule in ("trailing-whitespace", "final-newline"):
             if rule in fixed_left:
                 failures.append(f"--fix did not repair {rule}")
-        for rule in ("thread-create", "wall-clock", "counter-write"):
+        for rule in ("thread-create", "wall-clock", "counter-write",
+                     "simd-intrinsics"):
             if rule not in fixed_left:
                 failures.append(f"--fix must not silence {rule}")
     if failures:

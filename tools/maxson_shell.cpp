@@ -22,6 +22,7 @@
 //
 // Runtime knobs go through `set` (all routed via UpdateConfig):
 //   set threads N | set trace on|off | set rawfilter on|off | set budget N
+//   set isa scalar|sse2|avx2|auto
 
 #include <cctype>
 #include <cstdio>
@@ -67,7 +68,8 @@ void PrintHelp() {
       ".trace FILE          write recorded spans as chrome-trace JSON\n"
       ".threads N           resize the execution pool (0 = all cores)\n"
       "set threads N        same, SQL-flavored; also set trace on|off,\n"
-      "                     set rawfilter on|off, set budget BYTES\n"
+      "                     set rawfilter on|off, set budget BYTES,\n"
+      "                     set isa scalar|sse2|avx2|auto (SIMD level)\n"
       ".quit                exit\n"
       "anything else        executed as SQL (SELECT, EXPLAIN [ANALYZE])\n");
 }
@@ -198,7 +200,8 @@ int Run(const ShellOptions& options) {
             "registry:       %llu entries; %llu lookups, %llu hits\n"
             "pool:           %zu threads, %llu tasks submitted\n"
             "midnight:       %llu cycles\n"
-            "tracing:        %s (%llu events)\n",
+            "tracing:        %s (%llu events)\n"
+            "simd:           isa=%s\n",
             static_cast<unsigned long long>(stats.rewrite_cache_hits),
             static_cast<unsigned long long>(stats.rewrite_cache_misses),
             static_cast<unsigned long long>(stats.rewrite_invalidations),
@@ -209,7 +212,8 @@ int Run(const ShellOptions& options) {
             static_cast<unsigned long long>(stats.pool_tasks_submitted),
             static_cast<unsigned long long>(stats.midnight_cycles),
             stats.tracing_enabled ? "on" : "off",
-            static_cast<unsigned long long>(stats.trace_events));
+            static_cast<unsigned long long>(stats.trace_events),
+            stats.simd_isa.c_str());
       } else if (cmd == ".metrics") {
         std::string mode;
         if (args >> mode) {
@@ -296,15 +300,26 @@ int Run(const ShellOptions& options) {
           continue;
         }
         update.cache_budget_bytes = bytes;
+      } else if (knob == "isa") {
+        if (value.empty()) {
+          std::printf("error: set isa expects scalar|sse2|avx2|auto\n");
+          continue;
+        }
+        update.isa = value;
       } else {
         std::printf("usage: set threads N | set trace on|off | "
-                    "set rawfilter on|off | set budget BYTES\n");
+                    "set rawfilter on|off | set budget BYTES | "
+                    "set isa LEVEL\n");
         continue;
       }
       if (auto st = session.UpdateConfig(update); !st.ok()) {
         std::printf("%s\n", st.ToString().c_str());
       } else if (knob == "threads") {
         std::printf("threads: %zu\n", session.pool().num_threads());
+      } else if (knob == "isa") {
+        // Echo the dispatched level, which may differ from the request
+        // ("auto" resolves to the startup policy's pick).
+        std::printf("isa: %s\n", session.stats().simd_isa.c_str());
       } else {
         std::printf("%s = %s\n", knob.c_str(), value.c_str());
       }
