@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "unimplemented";
     case StatusCode::kInternal:
       return "internal error";
+    case StatusCode::kCorruption:
+      return "corruption";
   }
   return "unknown";
 }

@@ -18,6 +18,11 @@ enum class StatusCode {
   kParseError,
   kUnimplemented,
   kInternal,
+  /// Stored data failed a structural or checksum validation (bad magic,
+  /// malformed footer, CRC mismatch). Distinct from kIoError — the bytes
+  /// were read fine but cannot be trusted — so readers of redundant data
+  /// (cache tables mirroring raw tables) can degrade instead of failing.
+  kCorruption,
 };
 
 /// Returns the canonical lowercase name of a status code (e.g. "parse error").
@@ -62,8 +67,12 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

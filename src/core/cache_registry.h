@@ -95,6 +95,25 @@ class CacheRegistry {
     return lookup_hits_.load(std::memory_order_relaxed);
   }
 
+  /// Drops every entry backed by cache-table directory `dir`. The cacher
+  /// calls this *before* deleting or replacing that directory, so no plan
+  /// rewrite can bind to files that are about to disappear — the ordering
+  /// (invalidate, then remove) is what keeps the Lookup-to-scan window
+  /// merely retryable instead of silently wrong.
+  void InvalidateByDir(const std::string& dir) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    bool changed = false;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second.cache_table_dir == dir) {
+        it = entries_.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+    if (changed) version_.fetch_add(1, std::memory_order_release);
+  }
+
   /// Marks an entry invalid (raw table modified after caching).
   void Invalidate(const workload::JsonPathLocation& location) {
     std::unique_lock<std::shared_mutex> lock(mutex_);

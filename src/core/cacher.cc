@@ -95,10 +95,15 @@ Status JsonPathCacher::CacheTablePaths(
   }
 
   // All JSONPaths of one raw table go into one cache table; fields remember
-  // the column and path they were parsed from.
+  // the column and path they were parsed from. Entries still pointing at
+  // the directory drop out of the registry first — queries planned from now
+  // on parse raw — and the whole rebuild happens in a staging directory
+  // that replaces the live one only when every split succeeded.
   const std::string cache_dir = CacheTableDir(cache_root_, database, table);
-  MAXSON_RETURN_NOT_OK(FileSystem::RemoveAll(cache_dir));
-  MAXSON_RETURN_NOT_OK(FileSystem::MakeDirs(cache_dir));
+  const std::string staging_dir = cache_dir + ".staging";
+  registry->InvalidateByDir(cache_dir);
+  MAXSON_RETURN_NOT_OK(FileSystem::RemoveAll(staging_dir));
+  MAXSON_RETURN_NOT_OK(FileSystem::MakeDirs(staging_dir));
 
   // Immutable once built: split tasks read the work list concurrently, so
   // nothing split-specific (like resolved column indexes) may live here.
@@ -170,7 +175,7 @@ Status JsonPathCacher::CacheTablePaths(
   // on the shared pool with no shared mutable state. Partials merge in
   // split order below, keeping the stats totals deterministic.
   std::vector<CachingStats> split_stats(splits.size());
-  MAXSON_RETURN_NOT_OK(exec::ParallelFor(
+  Status build_status = exec::ParallelFor(
       pool_.get(), splits.size(), [&](size_t split_i) -> Status {
         const Split& split = splits[split_i];
         CachingStats* split_out =
@@ -205,7 +210,7 @@ Status JsonPathCacher::CacheTablePaths(
         CorcWriterOptions options;
         options.rows_per_group = reader.footer().rows_per_group;
         CorcWriter writer(
-            cache_dir + "/" + FileSystem::PartFileName(split.index),
+            staging_dir + "/" + FileSystem::PartFileName(split.index),
             cache_schema, options);
         MAXSON_RETURN_NOT_OK(writer.Open());
 
@@ -268,10 +273,29 @@ Status JsonPathCacher::CacheTablePaths(
           }
         }
         return writer.Close();
-      }));
+      });
+  if (!build_status.ok()) {
+    // Failed builds leave nothing behind; the live cache dir (if any) was
+    // already unregistered above, so it simply ages out next cycle.
+    Status cleanup = FileSystem::RemoveAll(staging_dir);
+    if (!cleanup.ok()) {
+      MAXSON_LOG(Warning) << "staging cleanup failed: " << cleanup;
+    }
+    return build_status;
+  }
   if (stats != nullptr) {
     for (const CachingStats& s : split_stats) stats->Add(s);
   }
+
+  // Durable publish: sync the finished staging directory, swap it into
+  // place, and sync the parent so the swap survives a crash. Only after the
+  // files are live do registry entries appear — a process killed anywhere
+  // above leaves the registry without entries for this table and at worst a
+  // staging directory that the next cycle deletes.
+  MAXSON_RETURN_NOT_OK(FileSystem::SyncDir(staging_dir));
+  MAXSON_RETURN_NOT_OK(FileSystem::RemoveAll(cache_dir));
+  MAXSON_RETURN_NOT_OK(FileSystem::RenameFile(staging_dir, cache_dir));
+  MAXSON_RETURN_NOT_OK(FileSystem::SyncDir(cache_root_));
 
   for (const PathWork& w : work) {
     CacheEntry entry;

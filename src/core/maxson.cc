@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/time_util.h"
 #include "simd/isa.h"
+#include "storage/file_system.h"
 
 namespace maxson::core {
 
@@ -224,6 +225,10 @@ Status MaxsonSession::UpdateConfig(const SessionUpdate& update) {
           simd::IsaName(simd::BestSupportedIsa()) + ")");
     }
   }
+  if (update.fault_injection.has_value()) {
+    MAXSON_RETURN_NOT_OK(
+        storage::FaultInjector::ValidateSpec(*update.fault_injection));
+  }
   if (update.num_threads.has_value()) {
     engine_->set_num_threads(*update.num_threads);
     cacher_->set_pool(engine_->pool());
@@ -249,6 +254,11 @@ Status MaxsonSession::UpdateConfig(const SessionUpdate& update) {
     config_.engine.force_isa = *update.isa;
     PublishIsaMetrics();
   }
+  if (update.fault_injection.has_value()) {
+    // Pre-validated above, so Configure cannot fail here.
+    MAXSON_RETURN_NOT_OK(
+        storage::FaultInjector::Instance().Configure(*update.fault_injection));
+  }
   return Status::Ok();
 }
 
@@ -266,6 +276,7 @@ SessionStats MaxsonSession::stats() const {
   stats.trace_events = trace_recorder_.size();
   stats.tracing_enabled = trace_recorder_.enabled();
   stats.simd_isa = simd::IsaName(simd::ActiveIsa());
+  stats.fault_injection = storage::FaultInjector::Instance().spec();
   return stats;
 }
 

@@ -77,6 +77,10 @@ struct SessionUpdate {
   /// Results are byte-identical at every level — this knob trades speed
   /// only, for debugging and A/B measurement.
   std::optional<std::string> isa;
+  /// Arms the process-wide storage fault injector for crash-consistency
+  /// testing: "fail:N", "torn:N", "short:N", or "off" (see
+  /// storage::FaultInjector). Malformed specs are rejected.
+  std::optional<std::string> fault_injection;
 };
 
 /// Read-only snapshot of the session's internal counters, for display
@@ -96,6 +100,8 @@ struct SessionStats {
   /// Name of the SIMD kernel level currently dispatched ("scalar", "sse2",
   /// "avx2").
   std::string simd_isa;
+  /// Canonical armed fault-injection spec, or "off".
+  std::string fault_injection;
 };
 
 /// The public facade tying Maxson's components together: a query engine

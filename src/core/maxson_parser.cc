@@ -139,6 +139,11 @@ Result<int> MaxsonParser::RewriteForScan(PhysicalPlan* plan, ScanNode* scan) {
       req.cache_table_dir = entry->cache_table_dir;
       req.cache_field = entry->cache_field;
       req.output_name = output_name;
+      // The registry remembers the raw column and path the value was parsed
+      // from; the scan uses them to re-derive the column if the cache file
+      // turns out to be corrupt.
+      req.source_column = entry->location.column;
+      req.source_path = entry->location.path;
       scan->cache_columns.push_back(std::move(req));
     }
     node->kind = ExprKind::kColumnRef;

@@ -333,6 +333,8 @@ void QueryEngine::PublishMetrics(const QueryMetrics& metrics) {
       ->Increment(metrics.cache_columns_read);
   reg.GetCounter("maxson_query_raw_filtered_rows_total")
       ->Increment(metrics.raw_filtered_rows);
+  reg.GetCounter("maxson_cache_corruption_total")
+      ->Increment(metrics.cache_corruption_fallbacks);
   reg.GetCounter("maxson_plan_cache_hits_total")
       ->Increment(metrics.plan_cache_hits);
   reg.GetCounter("maxson_plan_cache_misses_total")

@@ -24,6 +24,14 @@ struct CacheColumnRequest {
   std::string cache_table_dir;
   std::string cache_field;
   std::string output_name;
+  /// Where the cached value originally came from: the raw table's string
+  /// column and the JSONPath/XPath that was pre-parsed out of it. Filled by
+  /// MaxsonParser from the cache registry entry; when non-empty they let a
+  /// scan that finds the cache file corrupt re-derive this column from the
+  /// raw split instead of failing the query. Hand-built plans may leave
+  /// them empty — then corruption is surfaced as an error.
+  std::string source_column;
+  std::string source_path;
 };
 
 /// Leaf of a physical plan: one table scan, optionally combined with cache
@@ -118,6 +126,10 @@ struct QueryMetrics {
   uint64_t cache_columns_read = 0;
   /// Rows rejected by the Sparser-style raw-byte prefilter before parsing.
   uint64_t raw_filtered_rows = 0;
+  /// Splits whose cache file failed validation (checksum, magic, structure)
+  /// and were re-derived from the raw file instead. Deterministic: which
+  /// splits are corrupt is a property of the files, not of scheduling.
+  uint64_t cache_corruption_fallbacks = 0;
   /// Plan-rewrite cache accounting, copied from the PhysicalPlan when the
   /// plan executes (see PhysicalPlan::rewrite_cache_*).
   uint64_t plan_cache_hits = 0;
@@ -146,6 +158,7 @@ struct QueryMetrics {
     shared_skips += other.shared_skips;
     cache_columns_read += other.cache_columns_read;
     raw_filtered_rows += other.raw_filtered_rows;
+    cache_corruption_fallbacks += other.cache_corruption_fallbacks;
     plan_cache_hits += other.plan_cache_hits;
     plan_cache_misses += other.plan_cache_misses;
     plan_cache_fallbacks += other.plan_cache_fallbacks;

@@ -224,6 +224,31 @@ Status CheckScan(const PhysicalPlan& plan, const ScanNode& scan,
                            req.output_name + "'");
     }
     output_names.push_back(req.output_name);
+    // Fallback-source invariant: when a request names the raw column it was
+    // derived from, that column must exist in the raw table schema as a
+    // string — otherwise the corruption fallback would re-parse garbage (or
+    // nothing) and silently return wrong rows. Empty sources are legal
+    // (hand-built plans); they just forfeit degraded mode.
+    if (!req.source_column.empty()) {
+      const int src = scan.table_schema.FindField(req.source_column);
+      if (src < 0) {
+        return Violation(plan, "fallback-source",
+                         Site(side, {}) + ": fallback source column '" +
+                             req.source_column +
+                             "' is not in the raw table schema");
+      }
+      if (scan.table_schema.field(static_cast<size_t>(src)).type !=
+          storage::TypeKind::kString) {
+        return Violation(plan, "fallback-source",
+                         Site(side, {}) + ": fallback source column '" +
+                             req.source_column + "' is not a string column");
+      }
+      if (req.source_path.empty()) {
+        return Violation(plan, "fallback-source",
+                         Site(side, {}) + ": fallback source column '" +
+                             req.source_column + "' has no source path");
+      }
+    }
     if (bindings != nullptr) {
       bool bound = false;
       // Field first: fields are short and differ early, directories share a

@@ -1,9 +1,14 @@
 #include "engine/table_scan.h"
 
+#include <map>
+
+#include "common/logging.h"
 #include "common/time_util.h"
 #include "engine/planner.h"
+#include "json/json_path.h"
 #include "storage/corc_reader.h"
 #include "storage/file_system.h"
+#include "xml/xml_path.h"
 
 namespace maxson::engine {
 
@@ -53,10 +58,12 @@ SearchArgument ReconcileSargWithSchema(const SearchArgument& sarg,
   return out;
 }
 
-/// Reads one split, combining raw and cached columns row-by-row.
-Status ScanSplit(const ScanNode& scan, const Split& split,
-                 const Schema& out_schema, RecordBatch* out,
-                 QueryMetrics* metrics) {
+/// Reads one split, combining raw and cached columns row-by-row. The cache
+/// half of the combiner; on cache corruption the caller retries the split
+/// with ScanSplitRawFallback.
+Status ScanSplitCached(const ScanNode& scan, const Split& split,
+                       const Schema& out_schema, RecordBatch* out,
+                       QueryMetrics* metrics) {
   CorcReader primary(split.path);
   MAXSON_RETURN_NOT_OK(primary.Open());
 
@@ -213,6 +220,136 @@ Status ScanSplit(const ScanNode& scan, const Split& split,
     }
   }
   return Status::Ok();
+}
+
+/// Degraded-mode scan of one split: the cache file is unusable, so every
+/// requested cache column is re-derived by parsing the raw string column it
+/// was originally extracted from — exactly what the query would have done
+/// with caching disabled, so the rows are byte-identical either way. Only
+/// possible when the plan carries the source column/path of every cache
+/// column (MaxsonParser always fills them).
+Status ScanSplitRawFallback(const ScanNode& scan, const Split& split,
+                            const Schema& out_schema, RecordBatch* out,
+                            QueryMetrics* metrics) {
+  CorcReader primary(split.path);
+  MAXSON_RETURN_NOT_OK(primary.Open());
+
+  std::vector<int> raw_indexes;
+  raw_indexes.reserve(scan.columns.size());
+  for (const std::string& name : scan.columns) {
+    const int idx = primary.schema().FindField(name);
+    if (idx < 0) {
+      return Status::NotFound("column " + name + " missing in " + split.path);
+    }
+    raw_indexes.push_back(idx);
+  }
+
+  // Resolve each cache column's source column and parse its path.
+  struct SourceWork {
+    int column = -1;  // index in the primary file schema
+    bool is_xml = false;
+    json::JsonPath json_path;
+    xml::XmlPath xml_path;
+  };
+  std::vector<SourceWork> sources;
+  sources.reserve(scan.cache_columns.size());
+  for (const CacheColumnRequest& req : scan.cache_columns) {
+    SourceWork src;
+    src.column = primary.schema().FindField(req.source_column);
+    if (src.column < 0) {
+      return Status::NotFound("fallback source column " + req.source_column +
+                              " missing in " + split.path);
+    }
+    src.is_xml = xml::IsXmlPathText(req.source_path);
+    if (src.is_xml) {
+      MAXSON_ASSIGN_OR_RETURN(src.xml_path,
+                              xml::XmlPath::Parse(req.source_path));
+    } else {
+      MAXSON_ASSIGN_OR_RETURN(src.json_path,
+                              json::JsonPath::Parse(req.source_path));
+    }
+    sources.push_back(std::move(src));
+  }
+
+  // Read raw + source columns together (deduplicated). Pruning uses the raw
+  // SARG only: the cache SARG names cache fields, and the residual filter
+  // re-checks every surviving row anyway.
+  std::vector<int> read_columns = raw_indexes;
+  std::map<int, size_t> slot_of;  // file column index -> batch slot
+  for (size_t c = 0; c < read_columns.size(); ++c) {
+    slot_of.emplace(read_columns[c], c);
+  }
+  for (const SourceWork& src : sources) {
+    if (slot_of.emplace(src.column, read_columns.size()).second) {
+      read_columns.push_back(src.column);
+    }
+  }
+  const SearchArgument raw_sarg =
+      ReconcileSargWithSchema(scan.raw_sarg, primary.schema());
+
+  for (size_t s = 0; s < primary.num_stripes(); ++s) {
+    MAXSON_ASSIGN_OR_RETURN(std::vector<bool> include,
+                            primary.ComputeRowGroupInclusion(s, raw_sarg));
+    MAXSON_ASSIGN_OR_RETURN(
+        RecordBatch batch,
+        primary.ReadStripe(s, read_columns, include,
+                           metrics != nullptr ? &metrics->read : nullptr));
+    Stopwatch parse_timer;
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      std::vector<storage::Value> row;
+      row.reserve(out_schema.num_fields());
+      for (size_t c = 0; c < raw_indexes.size(); ++c) {
+        row.push_back(batch.column(c).GetValue(r));
+      }
+      for (const SourceWork& src : sources) {
+        const size_t slot = slot_of.at(src.column);
+        if (batch.column(slot).IsNull(r)) {
+          row.push_back(storage::Value::Null());
+          continue;
+        }
+        const std::string& text = batch.column(slot).GetString(r);
+        Result<std::string> value =
+            src.is_xml ? xml::GetXmlObject(text, src.xml_path)
+                       : json::GetJsonObject(text, src.json_path);
+        if (metrics != nullptr) {
+          ++metrics->parse.records_parsed;
+          metrics->parse.bytes_parsed += text.size();
+        }
+        // Absent path -> NULL, matching get_json_object and the cacher.
+        row.push_back(value.ok() ? storage::Value::String(std::move(*value))
+                                 : storage::Value::Null());
+      }
+      out->AppendRow(row);
+    }
+    if (metrics != nullptr) {
+      metrics->parse_seconds += parse_timer.ElapsedSeconds();
+    }
+  }
+  return Status::Ok();
+}
+
+/// One split of the scan: the cached path first; on cache-side corruption,
+/// quarantine the cache file and degrade to raw parsing so the query still
+/// returns correct rows. Corruption of the *raw* file is not recoverable —
+/// the fallback reads the same file and surfaces the same error.
+Status ScanSplit(const ScanNode& scan, const Split& split,
+                 const Schema& out_schema, RecordBatch* out,
+                 QueryMetrics* metrics) {
+  Status status = ScanSplitCached(scan, split, out_schema, out, metrics);
+  if (!status.IsCorruption() || scan.cache_columns.empty()) return status;
+  for (const CacheColumnRequest& req : scan.cache_columns) {
+    if (req.source_column.empty() || req.source_path.empty()) return status;
+  }
+  MAXSON_LOG(Warning) << "cache corruption on split " << split.index << " ("
+                      << status.message() << "); re-deriving from raw";
+  // Restart the split from scratch: drop partially combined rows and the
+  // failed attempt's accounting so totals stay deterministic.
+  *out = RecordBatch(out_schema);
+  if (metrics != nullptr) {
+    *metrics = QueryMetrics();
+    ++metrics->cache_corruption_fallbacks;
+  }
+  return ScanSplitRawFallback(scan, split, out_schema, out, metrics);
 }
 
 }  // namespace

@@ -19,6 +19,7 @@ struct KernelTable {
   uint64_t (*count_nonzero_bytes)(const uint8_t*, size_t);
   void (*minmax_int64)(const int64_t*, size_t, int64_t*, int64_t*);
   void (*minmax_double)(const double*, size_t, double*, double*);
+  uint32_t (*crc32c_extend)(uint32_t, const uint8_t*, size_t);
 };
 
 /// The portable reference table; always available.

@@ -117,4 +117,8 @@ void MinMaxDouble(const double* values, size_t n, double* min, double* max) {
   Table()->minmax_double(values, n, min, max);
 }
 
+uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t n) {
+  return Table()->crc32c_extend(crc, data, n);
+}
+
 }  // namespace maxson::simd

@@ -62,6 +62,21 @@ uint64_t CountNonZeroBytes(const uint8_t* bytes, size_t n);
 /// Min and max of `n` >= 1 values, for row-group SARG statistics.
 void MinMaxInt64(const int64_t* values, size_t n, int64_t* min, int64_t* max);
 
+/// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) of
+/// [data, data+n), continuing from `crc` — pass the previous call's return
+/// value to checksum a stream in pieces, 0 for the first piece. `crc` is a
+/// finalized CRC (init/final XOR handled inside), so
+/// Crc32cExtend(Crc32cExtend(0, a), b) == Crc32cExtend(0, a+b) and any
+/// prefix split produces the same value. Scalar and SSE2 run the
+/// table-driven reference; AVX2 hosts use the SSE4.2 crc32 instruction
+/// (every AVX2 CPU has it) — identical values at every level.
+uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t n);
+
+/// CRC32C of one whole buffer (Crc32cExtend from 0).
+inline uint32_t Crc32c(const uint8_t* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
 /// Double min/max with two extra contract points so every ISA level agrees
 /// bit for bit: inputs must be NaN-free (JSON cannot encode NaN, and the
 /// CORC writer only sees parsed JSON numbers), and a zero result is

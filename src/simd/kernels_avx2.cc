@@ -274,6 +274,25 @@ void MinMaxDouble(const double* values, size_t n, double* min, double* max) {
   *max = hi;
 }
 
+#if defined(__SSE4_2__)
+/// Hardware CRC32C: the crc32 instruction is SSE4.2, which -mavx2 implies
+/// and every AVX2-capable CPU executes. 8 bytes per instruction, byte tail.
+uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t n) {
+  uint64_t state = ~crc;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, data + i, 8);
+    state = _mm_crc32_u64(state, word);
+  }
+  uint32_t state32 = static_cast<uint32_t>(state);
+  for (; i < n; ++i) {
+    state32 = _mm_crc32_u8(state32, data[i]);
+  }
+  return ~state32;
+}
+#endif  // __SSE4_2__
+
 }  // namespace avx2
 
 const KernelTable* Avx2Kernels() {
@@ -282,6 +301,11 @@ const KernelTable* Avx2Kernels() {
       avx2::FindStringSpecial,  avx2::FindSubstring,
       avx2::NullBytesToBitmap,  avx2::CountNonZeroBytes,
       avx2::MinMaxInt64,        avx2::MinMaxDouble,
+#if defined(__SSE4_2__)
+      avx2::Crc32cExtend,
+#else
+      ScalarKernels()->crc32c_extend,
+#endif
   };
   return &kTable;
 }

@@ -1,5 +1,6 @@
 #include "simd/kernel_table.h"
 
+#include <array>
 #include <cstring>
 
 #include "simd/kernels.h"
@@ -120,6 +121,36 @@ void MinMaxDouble(const double* values, size_t n, double* min, double* max) {
   *max = hi;
 }
 
+namespace {
+
+/// 256-entry CRC32C table for the reflected polynomial 0x82F63B78, built
+/// once at first use. Byte-at-a-time: the reference every level must match.
+const uint32_t* Crc32cTable() {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t n) {
+  const uint32_t* table = Crc32cTable();
+  uint32_t state = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    state = (state >> 8) ^ table[(state ^ data[i]) & 0xFF];
+  }
+  return ~state;
+}
+
 }  // namespace scalar
 
 const KernelTable* ScalarKernels() {
@@ -128,6 +159,7 @@ const KernelTable* ScalarKernels() {
       scalar::FindStringSpecial,  scalar::FindSubstring,
       scalar::NullBytesToBitmap,  scalar::CountNonZeroBytes,
       scalar::MinMaxInt64,        scalar::MinMaxDouble,
+      scalar::Crc32cExtend,
   };
   return &kTable;
 }

@@ -237,13 +237,15 @@ void MinMaxDouble(const double* values, size_t n, double* min, double* max) {
 
 const KernelTable* Sse2Kernels() {
   // SSE2 has no 64-bit integer compare, so minmax_int64 stays on the
-  // scalar routine at this level.
+  // scalar routine at this level; the crc32 instruction arrives with
+  // SSE4.2, so crc32c stays on the table-driven reference too.
   static const KernelTable kTable = {
       sse2::ClassifyJson,       sse2::SkipWhitespace,
       sse2::FindStringSpecial,  sse2::FindSubstring,
       sse2::NullBytesToBitmap,  sse2::CountNonZeroBytes,
       ScalarKernels()->minmax_int64,
       sse2::MinMaxDouble,
+      ScalarKernels()->crc32c_extend,
   };
   return &kTable;
 }
@@ -375,6 +377,7 @@ const KernelTable* Sse2Kernels() {
       neon::CountNonZeroBytes,
       ScalarKernels()->minmax_int64,
       ScalarKernels()->minmax_double,
+      ScalarKernels()->crc32c_extend,
   };
   return &kTable;
 }

@@ -12,28 +12,40 @@ namespace maxson::storage {
 
 /// On-disk layout shared by the CORC writer and reader.
 ///
-/// CORC ("Columnar ORC-like") is this repository's stand-in for Apache ORC:
+/// CORC ("Columnar ORC-like") is this repository's stand-in for Apache ORC.
+/// The current version (v2) adds end-to-end checksums so storage corruption
+/// is detected instead of decoded:
 ///
-///   magic "CORC1"
+///   magic "CORC2"
 ///   stripe 0: column 0 chunk stream, column 1 chunk stream, ...
 ///   stripe 1: ...
-///   footer (JSON): schema, per-stripe/per-column/per-row-group directory
-///                  with byte ranges and min/max/null statistics
+///   footer (JSON): schema, format version, per-stripe/per-column/
+///                  per-row-group directory with byte ranges,
+///                  min/max/null statistics, and a CRC32C per chunk
+///   footer CRC32C (u32 LE, over the footer JSON bytes)
 ///   footer length (u32 LE)
-///   magic "CORC1"
+///   magic "CORC2"
+///
+/// v1 files (magic "CORC1", no CRCs, tail = [footer_len][magic]) remain
+/// readable: the reader distinguishes the versions by the trailing magic
+/// and simply has nothing to verify for v1.
 ///
 /// Each column stream is the concatenation of independently decodable
 /// row-group chunks (default 10,000 rows per group, Section IV-F), so a
 /// reader can skip a row group without fetching its bytes — which is what
 /// makes SARG pushdown save real I/O.
-inline constexpr char kCorcMagic[] = "CORC1";
+inline constexpr char kCorcMagicV1[] = "CORC1";
+inline constexpr char kCorcMagic[] = "CORC2";
 inline constexpr size_t kCorcMagicLen = 5;
+inline constexpr uint32_t kCorcVersionV1 = 1;
+inline constexpr uint32_t kCorcVersion = 2;
 inline constexpr uint32_t kDefaultRowsPerGroup = 10000;
 
 /// Directory entry for one row group of one column.
 struct RowGroupInfo {
   uint64_t offset = 0;  // absolute file offset of the chunk
   uint64_t length = 0;  // chunk length in bytes
+  uint32_t crc = 0;     // CRC32C of the chunk bytes (v2+; 0 in v1 files)
   ColumnStats stats;
 };
 
@@ -55,6 +67,7 @@ struct StripeInfo {
 /// Decoded footer of a CORC file.
 struct CorcFooter {
   Schema schema;
+  uint32_t version = kCorcVersionV1;  // set from the file's trailing magic
   uint32_t rows_per_group = kDefaultRowsPerGroup;
   uint64_t num_rows = 0;
   std::vector<StripeInfo> stripes;

@@ -5,6 +5,7 @@
 #include "json/dom_parser.h"
 #include "json/json_value.h"
 #include "simd/kernels.h"
+#include "storage/file_system.h"
 
 namespace maxson::storage {
 
@@ -44,31 +45,80 @@ Status CorcReader::Open() {
     return Status::IoError("cannot open " + path_ + " for reading");
   }
   file_.seekg(0, std::ios::end);
-  const uint64_t file_size = static_cast<uint64_t>(file_.tellg());
-  if (file_size < kCorcMagicLen * 2 + 4) {
-    return Status::IoError(path_ + " is too small to be a CORC file");
+  file_size_ = static_cast<uint64_t>(file_.tellg());
+  // Smallest structurally possible file (v1): leading magic, empty footer,
+  // footer length, trailing magic. Anything shorter — including an empty
+  // or truncated file — cannot hold a tail worth parsing.
+  if (file_size_ < 2 * kCorcMagicLen + 4) {
+    return Status::Corruption(path_ + " is too small to be a CORC file");
   }
 
-  char tail[kCorcMagicLen + 4];
-  file_.seekg(static_cast<std::streamoff>(file_size - sizeof(tail)));
-  file_.read(tail, sizeof(tail));
-  if (std::memcmp(tail + 4, kCorcMagic, kCorcMagicLen) != 0) {
-    return Status::IoError(path_ + " has a bad trailing magic");
+  char head[kCorcMagicLen];
+  file_.seekg(0);
+  file_.read(head, sizeof(head));
+  char tail_magic[kCorcMagicLen];
+  file_.seekg(static_cast<std::streamoff>(file_size_ - kCorcMagicLen));
+  file_.read(tail_magic, sizeof(tail_magic));
+  if (!file_.good()) return Status::IoError("magic read failed on " + path_);
+
+  if (std::memcmp(tail_magic, kCorcMagic, kCorcMagicLen) == 0) {
+    footer_.version = kCorcVersion;
+  } else if (std::memcmp(tail_magic, kCorcMagicV1, kCorcMagicLen) == 0) {
+    footer_.version = kCorcVersionV1;
+  } else {
+    return Status::Corruption(path_ + " has a bad trailing magic");
   }
-  const uint32_t footer_len = GetU32(tail);
-  if (footer_len + sizeof(tail) + kCorcMagicLen > file_size) {
-    return Status::IoError(path_ + " footer length out of range");
+  if (std::memcmp(head, tail_magic, kCorcMagicLen) != 0) {
+    return Status::Corruption(path_ + " leading magic disagrees with tail");
+  }
+
+  // Tail layout: v1 [footer_len u32][magic], v2 [footer_crc u32]
+  // [footer_len u32][magic]. All arithmetic stays in uint64_t so a
+  // footer_len near UINT32_MAX cannot wrap a bounds check.
+  const uint64_t tail_fixed =
+      (footer_.version >= kCorcVersion ? 8u : 4u) + kCorcMagicLen;
+  if (file_size_ < kCorcMagicLen + tail_fixed) {
+    return Status::Corruption(path_ + " is too small for its format version");
+  }
+  char tail[12];
+  file_.seekg(static_cast<std::streamoff>(file_size_ - tail_fixed));
+  file_.read(tail, static_cast<std::streamsize>(tail_fixed - kCorcMagicLen));
+  if (!file_.good()) return Status::IoError("tail read failed on " + path_);
+  uint32_t footer_crc = 0;
+  uint32_t footer_len = 0;
+  if (footer_.version >= kCorcVersion) {
+    footer_crc = GetU32(tail);
+    footer_len = GetU32(tail + 4);
+  } else {
+    footer_len = GetU32(tail);
+  }
+  if (uint64_t{footer_len} + tail_fixed + kCorcMagicLen > file_size_) {
+    return Status::Corruption(path_ + " footer length out of range");
   }
 
   std::string footer_text(footer_len, '\0');
   file_.seekg(
-      static_cast<std::streamoff>(file_size - sizeof(tail) - footer_len));
+      static_cast<std::streamoff>(file_size_ - tail_fixed - footer_len));
   file_.read(footer_text.data(), footer_len);
   if (!file_.good()) return Status::IoError("footer read failed on " + path_);
+  if (footer_.version >= kCorcVersion) {
+    const uint32_t actual = simd::Crc32c(
+        reinterpret_cast<const uint8_t*>(footer_text.data()),
+        footer_text.size());
+    if (actual != footer_crc) {
+      return Status::Corruption(path_ + " footer checksum mismatch");
+    }
+  }
 
-  MAXSON_ASSIGN_OR_RETURN(json::JsonValue footer,
-                          json::ParseJson(footer_text));
-  if (!footer.is_object()) return Status::IoError("footer is not an object");
+  Result<json::JsonValue> parsed = json::ParseJson(footer_text);
+  if (!parsed.ok()) {
+    return Status::Corruption(path_ + " footer does not parse: " +
+                              parsed.status().message());
+  }
+  json::JsonValue footer = std::move(parsed).value();
+  if (!footer.is_object()) {
+    return Status::Corruption("footer is not an object in " + path_);
+  }
 
   const json::JsonValue* fields = footer.Find("fields");
   const json::JsonValue* rows_per_group = footer.Find("rows_per_group");
@@ -76,7 +126,13 @@ Status CorcReader::Open() {
   const json::JsonValue* stripes = footer.Find("stripes");
   if (fields == nullptr || !fields->is_array() || rows_per_group == nullptr ||
       num_rows == nullptr || stripes == nullptr || !stripes->is_array()) {
-    return Status::IoError("footer missing required keys in " + path_);
+    return Status::Corruption("footer missing required keys in " + path_);
+  }
+  if (const json::JsonValue* version = footer.Find("version");
+      version != nullptr &&
+      version->int_value() != static_cast<int64_t>(footer_.version)) {
+    return Status::Corruption("footer version disagrees with magic in " +
+                              path_);
   }
 
   Schema schema;
@@ -84,13 +140,21 @@ Status CorcReader::Open() {
     const json::JsonValue* name = fj.Find("name");
     const json::JsonValue* type = fj.Find("type");
     if (name == nullptr || type == nullptr) {
-      return Status::IoError("bad field entry in footer of " + path_);
+      return Status::Corruption("bad field entry in footer of " + path_);
     }
     schema.AddField(name->string_value(),
                     static_cast<TypeKind>(type->int_value()));
   }
   footer_.schema = std::move(schema);
+  if (rows_per_group->int_value() <= 0 ||
+      rows_per_group->int_value() > static_cast<int64_t>(UINT32_MAX)) {
+    // rows_per_group divides stripes into groups; zero would loop forever.
+    return Status::Corruption("invalid rows_per_group in footer of " + path_);
+  }
   footer_.rows_per_group = static_cast<uint32_t>(rows_per_group->int_value());
+  if (num_rows->int_value() < 0) {
+    return Status::Corruption("negative num_rows in footer of " + path_);
+  }
   footer_.num_rows = static_cast<uint64_t>(num_rows->int_value());
 
   for (const json::JsonValue& sj : stripes->elements()) {
@@ -98,29 +162,50 @@ Status CorcReader::Open() {
     const json::JsonValue* srows = sj.Find("num_rows");
     const json::JsonValue* cols = sj.Find("columns");
     if (srows == nullptr || cols == nullptr || !cols->is_array()) {
-      return Status::IoError("bad stripe entry in footer of " + path_);
+      return Status::Corruption("bad stripe entry in footer of " + path_);
+    }
+    if (srows->int_value() < 0) {
+      return Status::Corruption("negative stripe rows in footer of " + path_);
     }
     stripe.num_rows = static_cast<uint64_t>(srows->int_value());
     for (const json::JsonValue& cj : cols->elements()) {
       ColumnChunkInfo chunk;
       const json::JsonValue* groups = cj.Find("row_groups");
       if (groups == nullptr || !groups->is_array()) {
-        return Status::IoError("bad column entry in footer of " + path_);
+        return Status::Corruption("bad column entry in footer of " + path_);
       }
       for (const json::JsonValue& gj : groups->elements()) {
         RowGroupInfo rg;
         const json::JsonValue* offset = gj.Find("offset");
         const json::JsonValue* length = gj.Find("length");
+        const json::JsonValue* crc = gj.Find("crc");
         const json::JsonValue* min = gj.Find("min");
         const json::JsonValue* max = gj.Find("max");
         const json::JsonValue* nulls = gj.Find("nulls");
         const json::JsonValue* values = gj.Find("values");
         if (offset == nullptr || length == nullptr || min == nullptr ||
-            max == nullptr || nulls == nullptr || values == nullptr) {
-          return Status::IoError("bad row group entry in footer of " + path_);
+            max == nullptr || nulls == nullptr || values == nullptr ||
+            (footer_.version >= kCorcVersion && crc == nullptr)) {
+          return Status::Corruption("bad row group entry in footer of " +
+                                    path_);
+        }
+        if (offset->int_value() < 0 || length->int_value() < 0) {
+          return Status::Corruption("negative chunk range in footer of " +
+                                    path_);
         }
         rg.offset = static_cast<uint64_t>(offset->int_value());
         rg.length = static_cast<uint64_t>(length->int_value());
+        // Every chunk must lie inside the data section that precedes the
+        // footer; a directory pointing outside the file is corrupt even
+        // when its own checksum holds.
+        if (rg.offset < kCorcMagicLen || rg.length > file_size_ ||
+            rg.offset > file_size_ - rg.length) {
+          return Status::Corruption("chunk range out of bounds in footer of " +
+                                    path_);
+        }
+        if (crc != nullptr) {
+          rg.crc = static_cast<uint32_t>(crc->int_value());
+        }
         rg.stats.min = JsonToValue(*min);
         rg.stats.max = JsonToValue(*max);
         rg.stats.null_count = static_cast<uint64_t>(nulls->int_value());
@@ -159,15 +244,28 @@ Status CorcReader::DecodeRowGroup(const RowGroupInfo& rg, TypeKind type,
                                   size_t rows, ColumnVector* out,
                                   ReadStats* stats) {
   std::string chunk(rg.length, '\0');
+  file_.clear();
   file_.seekg(static_cast<std::streamoff>(rg.offset));
-  file_.read(chunk.data(), static_cast<std::streamsize>(rg.length));
-  if (!file_.good()) return Status::IoError("row group read failed");
+  const size_t readable = FaultInjector::Instance().OnRead(chunk.size());
+  file_.read(chunk.data(), static_cast<std::streamsize>(readable));
+  if (!file_.good() || readable < chunk.size()) {
+    return Status::Corruption("row group read truncated in " + path_);
+  }
+  if (footer_.version >= kCorcVersion) {
+    const uint32_t actual = simd::Crc32c(
+        reinterpret_cast<const uint8_t*>(chunk.data()), chunk.size());
+    if (actual != rg.crc) {
+      return Status::Corruption("row group checksum mismatch in " + path_);
+    }
+  }
   if (stats != nullptr) {
     stats->bytes_read += rg.length;
     ++stats->row_groups_read;
   }
 
-  if (chunk.size() < rows) return Status::IoError("row group underflow");
+  if (chunk.size() < rows) {
+    return Status::Corruption("row group underflow in " + path_);
+  }
   const char* nulls = chunk.data();
   const char* p = chunk.data() + rows;
   const char* chunk_end = chunk.data() + chunk.size();
@@ -199,7 +297,7 @@ Status CorcReader::DecodeRowGroup(const RowGroupInfo& rg, TypeKind type,
 
   switch (type) {
     case TypeKind::kBool: {
-      if (avail < rows) return Status::IoError("bool decode overflow");
+      if (avail < rows) return Status::Corruption("bool decode overflow in " + path_);
       append_nulls();
       std::vector<uint8_t>& bools = out->bools();
       const size_t base = bools.size();
@@ -210,7 +308,7 @@ Status CorcReader::DecodeRowGroup(const RowGroupInfo& rg, TypeKind type,
       break;
     }
     case TypeKind::kInt64: {
-      if (avail < rows * 8) return Status::IoError("int decode overflow");
+      if (avail < rows * 8) return Status::Corruption("int decode overflow in " + path_);
       append_nulls();
       std::vector<int64_t>& ints = out->ints();
       const size_t base = ints.size();
@@ -227,7 +325,7 @@ Status CorcReader::DecodeRowGroup(const RowGroupInfo& rg, TypeKind type,
       break;
     }
     case TypeKind::kDouble: {
-      if (avail < rows * 8) return Status::IoError("double decode overflow");
+      if (avail < rows * 8) return Status::Corruption("double decode overflow in " + path_);
       append_nulls();
       std::vector<double>& doubles = out->doubles();
       const size_t base = doubles.size();
@@ -246,10 +344,10 @@ Status CorcReader::DecodeRowGroup(const RowGroupInfo& rg, TypeKind type,
     case TypeKind::kString: {
       // Variable-width: lengths gate every step, so keep the per-row loop.
       for (size_t i = 0; i < rows; ++i) {
-        if (p + 4 > chunk_end) return Status::IoError("string decode overflow");
+        if (p + 4 > chunk_end) return Status::Corruption("string decode overflow in " + path_);
         const uint32_t len = GetU32(p);
         p += 4;
-        if (p + len > chunk_end) return Status::IoError("string data overflow");
+        if (p + len > chunk_end) return Status::Corruption("string data overflow in " + path_);
         if (nulls[i] != 0) {
           out->AppendNull();
         } else {

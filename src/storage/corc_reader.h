@@ -42,7 +42,11 @@ class CorcReader {
   CorcReader(const CorcReader&) = delete;
   CorcReader& operator=(const CorcReader&) = delete;
 
-  /// Opens the file and decodes the footer.
+  /// Opens the file, verifies its magics and footer checksum (v2), and
+  /// decodes the footer. Structurally invalid or checksum-failing files
+  /// yield Status::Corruption, which callers holding a redundant copy of
+  /// the data (the dual reader) treat as "re-derive from the raw file";
+  /// environmental failures stay IoError.
   Status Open();
 
   const CorcFooter& footer() const { return footer_; }
@@ -75,6 +79,7 @@ class CorcReader {
   std::string path_;
   std::ifstream file_;
   CorcFooter footer_;
+  uint64_t file_size_ = 0;
   bool open_ = false;
 };
 

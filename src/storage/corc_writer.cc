@@ -1,10 +1,13 @@
 #include "storage/corc_writer.h"
 
 #include <cstring>
+#include <filesystem>
 
+#include "common/logging.h"
 #include "json/json_value.h"
 #include "json/json_writer.h"
 #include "simd/kernels.h"
+#include "storage/file_system.h"
 
 namespace maxson::storage {
 
@@ -36,21 +39,41 @@ CorcWriter::CorcWriter(std::string path, Schema schema,
 
 CorcWriter::~CorcWriter() {
   if (open_ && !closed_) {
-    Status st = Close();
+    // Publishing from a destructor would commit a file nobody verified; an
+    // abandoned writer means the caller never saw Close() succeed, so the
+    // only safe exit is to drop the staged bytes.
+    MAXSON_LOG(Warning) << "CorcWriter for " << path_
+                        << " destroyed without Close(); aborting staged file";
+    Status st = Abort();
     if (!st.ok()) {
-      MAXSON_LOG(Error) << "CorcWriter::Close in destructor failed: " << st;
+      MAXSON_LOG(Error) << "CorcWriter::Abort in destructor failed: " << st;
     }
   }
 }
 
 Status CorcWriter::Open() {
-  file_.open(path_, std::ios::binary | std::ios::trunc);
+  tmp_path_ = path_ + ".tmp";
+  file_.open(tmp_path_, std::ios::binary | std::ios::trunc);
   if (!file_.is_open()) {
-    return Status::IoError("cannot open " + path_ + " for writing");
+    return Status::IoError("cannot open " + tmp_path_ + " for writing");
   }
-  file_.write(kCorcMagic, kCorcMagicLen);
-  file_offset_ = kCorcMagicLen;
   open_ = true;
+  MAXSON_RETURN_NOT_OK(WriteRaw(kCorcMagic, kCorcMagicLen));
+  file_offset_ = kCorcMagicLen;
+  return Status::Ok();
+}
+
+Status CorcWriter::WriteRaw(const char* data, size_t n) {
+  bool fail = false;
+  const size_t allowed = FaultInjector::Instance().OnWrite(n, &fail);
+  if (allowed > 0) {
+    file_.write(data, static_cast<std::streamsize>(allowed));
+  }
+  if (fail) {
+    file_.flush();  // a torn prefix persists, as after a real crash
+    return Status::IoError("injected fault: write " + tmp_path_);
+  }
+  if (!file_.good()) return Status::IoError("write failed on " + tmp_path_);
   return Status::Ok();
 }
 
@@ -190,20 +213,44 @@ Status CorcWriter::FlushStripe() {
       EncodeRowGroup(column, begin, end, &chunk, &rg.stats);
       rg.offset = file_offset_;
       rg.length = chunk.size();
-      file_.write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+      rg.crc = simd::Crc32c(reinterpret_cast<const uint8_t*>(chunk.data()),
+                            chunk.size());
+      MAXSON_RETURN_NOT_OK(WriteRaw(chunk.data(), chunk.size()));
       file_offset_ += chunk.size();
       stripe.columns[c].row_groups.push_back(std::move(rg));
     }
   }
   stripes_.push_back(std::move(stripe));
   buffer_ = RecordBatch(schema_);
-  if (!file_.good()) return Status::IoError("write failed on " + path_);
   return Status::Ok();
 }
 
 Status CorcWriter::Close() {
   if (closed_) return Status::Ok();
   if (!open_) return Status::Internal("CorcWriter not opened");
+  Status st = FinishAndPublish();
+  if (st.ok()) {
+    closed_ = true;
+    return st;
+  }
+  // A failed publish must leave nothing behind: drop the staged file and
+  // report the original failure (an Abort failure is secondary).
+  Status abort_st = Abort();
+  if (!abort_st.ok()) {
+    MAXSON_LOG(Error) << "CorcWriter::Abort after failed Close: " << abort_st;
+  }
+  return st;
+}
+
+Status CorcWriter::Abort() {
+  if (closed_) return Status::Ok();
+  if (!open_) return Status::Internal("CorcWriter not opened");
+  closed_ = true;
+  if (file_.is_open()) file_.close();
+  return FileSystem::RemoveAll(tmp_path_);
+}
+
+Status CorcWriter::FinishAndPublish() {
   MAXSON_RETURN_NOT_OK(FlushStripe());
 
   using json::JsonValue;
@@ -216,6 +263,7 @@ Status CorcWriter::Close() {
     fields.Append(std::move(fj));
   }
   footer.Set("fields", std::move(fields));
+  footer.Set("version", JsonValue::Int(static_cast<int64_t>(kCorcVersion)));
   footer.Set("rows_per_group",
              JsonValue::Int(static_cast<int64_t>(options_.rows_per_group)));
   footer.Set("num_rows", JsonValue::Int(static_cast<int64_t>(rows_written_)));
@@ -231,6 +279,7 @@ Status CorcWriter::Close() {
         JsonValue gj = JsonValue::Object();
         gj.Set("offset", JsonValue::Int(static_cast<int64_t>(rg.offset)));
         gj.Set("length", JsonValue::Int(static_cast<int64_t>(rg.length)));
+        gj.Set("crc", JsonValue::Int(static_cast<int64_t>(rg.crc)));
         gj.Set("min", ValueToJson(rg.stats.min));
         gj.Set("max", ValueToJson(rg.stats.max));
         gj.Set("nulls",
@@ -249,16 +298,24 @@ Status CorcWriter::Close() {
   footer.Set("stripes", std::move(stripes));
 
   const std::string footer_text = json::WriteJson(footer);
-  file_.write(footer_text.data(),
-              static_cast<std::streamsize>(footer_text.size()));
+  MAXSON_RETURN_NOT_OK(WriteRaw(footer_text.data(), footer_text.size()));
   std::string tail;
+  PutU32(simd::Crc32c(reinterpret_cast<const uint8_t*>(footer_text.data()),
+                      footer_text.size()),
+         &tail);
   PutU32(static_cast<uint32_t>(footer_text.size()), &tail);
   tail.append(kCorcMagic, kCorcMagicLen);
-  file_.write(tail.data(), static_cast<std::streamsize>(tail.size()));
+  MAXSON_RETURN_NOT_OK(WriteRaw(tail.data(), tail.size()));
   file_.close();
-  closed_ = true;
-  if (file_.fail()) return Status::IoError("close failed on " + path_);
-  return Status::Ok();
+  if (file_.fail()) return Status::IoError("close failed on " + tmp_path_);
+
+  // Durable publish: the staged bytes reach disk before the rename makes
+  // them visible, and the directory entry itself is then synced.
+  MAXSON_RETURN_NOT_OK(FileSystem::SyncFile(tmp_path_));
+  MAXSON_RETURN_NOT_OK(FileSystem::RenameFile(tmp_path_, path_));
+  std::string parent = std::filesystem::path(path_).parent_path().string();
+  if (parent.empty()) parent = ".";
+  return FileSystem::SyncDir(parent);
 }
 
 }  // namespace maxson::storage

@@ -24,8 +24,12 @@ struct CorcWriterOptions {
 
 /// Streaming writer for one CORC file.
 ///
-/// Usage: construct, Append rows / batches, Close(). Close finalizes the
-/// footer; a writer abandoned without Close leaves an unreadable file.
+/// Usage: construct, Append rows / batches, Close(). All bytes are staged
+/// at `path + ".tmp"`; only a fully successful Close() fsyncs the staged
+/// file and renames it to `path`, so readers never observe a half-written
+/// file — a ".tmp" suffix is invisible to FileSystem::ListSplits. Callers
+/// must check Close(): a destroyed writer that was never closed (or whose
+/// Close failed) aborts, deleting the staged file instead of publishing it.
 class CorcWriter {
  public:
   CorcWriter(std::string path, Schema schema,
@@ -35,7 +39,8 @@ class CorcWriter {
   CorcWriter(const CorcWriter&) = delete;
   CorcWriter& operator=(const CorcWriter&) = delete;
 
-  /// Opens the file and writes the leading magic. Must be called first.
+  /// Opens the staging file and writes the leading magic. Must be called
+  /// first.
   Status Open();
 
   /// Appends all rows of `batch` (schema must match field count and types).
@@ -44,17 +49,29 @@ class CorcWriter {
   /// Appends one row of boxed values.
   Status AppendRow(const std::vector<Value>& row);
 
-  /// Flushes buffered rows and writes the footer. Idempotent.
+  /// Flushes buffered rows, writes the checksummed footer, fsyncs, and
+  /// atomically publishes the staged file at `path`. Idempotent. On failure
+  /// the staged file is aborted — the writer cannot be retried and nothing
+  /// appears at `path`.
   Status Close();
+
+  /// Deletes the staged file without publishing. Idempotent; a no-op after
+  /// a successful Close().
+  Status Abort();
 
   uint64_t rows_written() const { return rows_written_; }
 
  private:
   Status FlushStripe();
+  /// Writes to the staging file via the fault-injection hook.
+  Status WriteRaw(const char* data, size_t n);
+  /// Footer + fsync + rename; factored out so Close can abort on failure.
+  Status FinishAndPublish();
   void EncodeRowGroup(const ColumnVector& column, size_t begin, size_t end,
                       std::string* out, ColumnStats* stats) const;
 
   std::string path_;
+  std::string tmp_path_;
   Schema schema_;
   CorcWriterOptions options_;
   std::ofstream file_;

@@ -1,7 +1,11 @@
 #include "storage/file_system.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <system_error>
 
@@ -10,6 +14,161 @@
 namespace maxson::storage {
 
 namespace fs = std::filesystem;
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* injector = [] {
+    auto* inj = new FaultInjector();
+    if (const char* env = std::getenv("MAXSON_FAULT_INJECT");
+        env != nullptr && *env != '\0') {
+      // A malformed env spec must not silently run the suite without its
+      // faults; crash-consistency runs rely on the injector being armed.
+      Status st = inj->Configure(env);
+      if (!st.ok()) {
+        std::fprintf(stderr, "MAXSON_FAULT_INJECT: %s\n",
+                     st.ToString().c_str());
+        std::abort();
+      }
+    }
+    return inj;
+  }();
+  return *injector;
+}
+
+namespace {
+
+/// Parses a fault spec into (mode, count) without touching injector state.
+Status ParseFaultSpec(const std::string& spec, FaultInjector::Mode* out_mode,
+                      uint64_t* out_n) {
+  using Mode = FaultInjector::Mode;
+  Mode mode = Mode::kOff;
+  uint64_t n = 0;
+  if (spec != "off") {
+    const size_t colon = spec.find(':');
+    const std::string name = spec.substr(0, colon);
+    if (name == "fail") {
+      mode = Mode::kFail;
+    } else if (name == "torn") {
+      mode = Mode::kTornWrite;
+    } else if (name == "short") {
+      mode = Mode::kShortRead;
+    } else {
+      return Status::InvalidArgument("unknown fault mode '" + spec +
+                                     "' (fail:N|torn:N|short:N|off)");
+    }
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("fault spec '" + spec +
+                                     "' is missing the op count ':N'");
+    }
+    uint64_t parsed = 0;
+    const char* p = spec.c_str() + colon + 1;
+    if (*p == '\0') {
+      return Status::InvalidArgument("fault spec '" + spec +
+                                     "' has an empty op count");
+    }
+    for (; *p != '\0'; ++p) {
+      if (*p < '0' || *p > '9') {
+        return Status::InvalidArgument("fault spec '" + spec +
+                                       "' has a non-numeric op count");
+      }
+      parsed = parsed * 10 + static_cast<uint64_t>(*p - '0');
+    }
+    if (parsed == 0) {
+      return Status::InvalidArgument("fault op count must be >= 1");
+    }
+    n = parsed;
+  }
+  *out_mode = mode;
+  *out_n = n;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status FaultInjector::Configure(const std::string& spec) {
+  Mode mode = Mode::kOff;
+  uint64_t n = 0;
+  MAXSON_RETURN_NOT_OK(ParseFaultSpec(spec, &mode, &n));
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_ = mode;
+  remaining_ = n;
+  tripped_ = false;
+  armed_.store(mode != Mode::kOff, std::memory_order_release);
+  return Status::Ok();
+}
+
+Status FaultInjector::ValidateSpec(const std::string& spec) {
+  Mode mode = Mode::kOff;
+  uint64_t n = 0;
+  return ParseFaultSpec(spec, &mode, &n);
+}
+
+std::string FaultInjector::spec() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (mode_) {
+    case Mode::kOff:
+      return "off";
+    case Mode::kFail:
+      return "fail:" + std::to_string(remaining_);
+    case Mode::kTornWrite:
+      return "torn:" + std::to_string(remaining_);
+    case Mode::kShortRead:
+      return "short:" + std::to_string(remaining_);
+  }
+  return "off";
+}
+
+bool FaultInjector::Count() {
+  if (tripped_) return true;
+  if (remaining_ == 0) return false;
+  if (--remaining_ > 0) return false;
+  tripped_ = true;
+  return true;
+}
+
+size_t FaultInjector::OnWrite(size_t n, bool* fail) {
+  *fail = false;
+  if (!enabled()) return n;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mode_ == Mode::kFail) {
+    if (Count()) {
+      *fail = true;
+      return 0;
+    }
+    return n;
+  }
+  if (mode_ == Mode::kTornWrite) {
+    const bool was_tripped = tripped_;
+    if (Count()) {
+      *fail = true;
+      // The op that trips persists half its bytes (a torn write); every
+      // later op persists nothing, as if the process died.
+      return was_tripped ? 0 : n / 2;
+    }
+  }
+  return n;
+}
+
+Status FaultInjector::OnMetaOp(const std::string& what) {
+  if (!enabled()) return Status::Ok();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mode_ != Mode::kFail && mode_ != Mode::kTornWrite) return Status::Ok();
+  // An already-tripped sticky fault fails meta ops too; torn mode only
+  // counts chunk writes, so Count() here applies to kFail alone.
+  if (mode_ == Mode::kTornWrite ? tripped_ : Count()) {
+    return Status::IoError("injected fault: " + what);
+  }
+  return Status::Ok();
+}
+
+size_t FaultInjector::OnRead(size_t n) {
+  if (!enabled()) return n;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mode_ != Mode::kShortRead) return n;
+  if (tripped_) return n;  // short reads are one-shot
+  if (remaining_ == 0 || --remaining_ > 0) return n;
+  tripped_ = true;
+  return n / 2;
+}
 
 Status FileSystem::MakeDirs(const std::string& dir) {
   std::error_code ec;
@@ -59,7 +218,15 @@ Result<std::vector<Split>> FileSystem::ListSplits(const std::string& dir) {
 
 std::string FileSystem::PartFileName(size_t index) {
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "part-%05zu.corc", index);
+  if (index < 100000) {
+    std::snprintf(buf, sizeof(buf), "part-%05zu.corc", index);
+  } else {
+    // %05zu would overflow its pad width here and break name-sort order
+    // ("part-100000" < "part-99999"). 'x' (0x78) sorts after every digit,
+    // and 20 digits hold any size_t, so these names sort after all
+    // five-digit names and monotonically among themselves.
+    std::snprintf(buf, sizeof(buf), "part-x%020zu.corc", index);
+  }
   return buf;
 }
 
@@ -75,6 +242,41 @@ Result<uint64_t> FileSystem::DirectorySize(const std::string& dir) {
   }
   if (ec) return Status::IoError("du " + dir + ": " + ec.message());
   return total;
+}
+
+namespace {
+
+Status FsyncPath(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) return Status::IoError("open for fsync " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError("fsync " + path);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status FileSystem::SyncFile(const std::string& path) {
+  MAXSON_RETURN_NOT_OK(FaultInjector::Instance().OnMetaOp("fsync " + path));
+  return FsyncPath(path, O_RDONLY);
+}
+
+Status FileSystem::SyncDir(const std::string& dir) {
+  MAXSON_RETURN_NOT_OK(FaultInjector::Instance().OnMetaOp("fsync " + dir));
+  return FsyncPath(dir, O_RDONLY | O_DIRECTORY);
+}
+
+Status FileSystem::RenameFile(const std::string& from, const std::string& to) {
+  MAXSON_RETURN_NOT_OK(
+      FaultInjector::Instance().OnMetaOp("rename " + from + " -> " + to));
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    return Status::IoError("rename " + from + " -> " + to + ": " +
+                           ec.message());
+  }
+  return Status::Ok();
 }
 
 }  // namespace maxson::storage

@@ -1,12 +1,81 @@
 #ifndef MAXSON_STORAGE_FILE_SYSTEM_H_
 #define MAXSON_STORAGE_FILE_SYSTEM_H_
 
+#include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 
 namespace maxson::storage {
+
+/// Process-wide fault injection for storage I/O, used by the
+/// crash-consistency tests and the `faultinject` session knob.
+///
+/// A spec arms the injector to trip at the Nth counted operation (1-based):
+///
+///   "fail:N"   the Nth write-side op (chunk write, fsync, rename) fails;
+///              every later write-side op also fails, simulating a process
+///              killed at that point.
+///   "torn:N"   the Nth chunk write persists only its first half and then
+///              fails; later write-side ops fail as with "fail".
+///   "short:N"  the Nth counted read returns only half its bytes, once;
+///              the injector then disarms.
+///   "off"      disarm and reset the counter.
+///
+/// The injector also arms itself from the MAXSON_FAULT_INJECT environment
+/// variable the first time Instance() is called. All hooks are thread-safe;
+/// production builds pay one branch on an atomic per hook when disarmed.
+class FaultInjector {
+ public:
+  enum class Mode { kOff, kFail, kTornWrite, kShortRead };
+
+  static FaultInjector& Instance();
+
+  /// Parses and applies a spec (see class comment). Rejects malformed specs
+  /// without changing the current state.
+  Status Configure(const std::string& spec);
+
+  /// Checks a spec without applying anything (validate-then-apply callers).
+  static Status ValidateSpec(const std::string& spec);
+
+  /// Canonical form of the armed spec, or "off".
+  std::string spec() const;
+
+  bool enabled() const { return armed_.load(std::memory_order_acquire); }
+
+  /// True once the armed fault has fired (tests use this to tell "the run
+  /// finished under the Nth-op budget" from "the fault hit something").
+  bool tripped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tripped_;
+  }
+
+  /// Write hook. Returns how many of `n` bytes the op may write; sets
+  /// `*fail` when the op must then report an I/O error.
+  size_t OnWrite(size_t n, bool* fail);
+
+  /// Metadata hook (fsync, rename): non-OK when the injector trips here.
+  Status OnMetaOp(const std::string& what);
+
+  /// Read hook. Returns how many of `n` bytes the op may return.
+  size_t OnRead(size_t n);
+
+ private:
+  FaultInjector() = default;
+
+  /// True when this call is the Nth counted op, or a sticky fault already
+  /// tripped. Caller must hold mu_.
+  bool Count();
+
+  mutable std::mutex mu_;
+  std::atomic<bool> armed_{false};
+  Mode mode_ = Mode::kOff;
+  uint64_t remaining_ = 0;  // counted ops until the fault trips
+  bool tripped_ = false;
+};
 
 /// One input split of a table scan. Following the paper (Section IV-C), one
 /// file == one split, so cache-table files and raw-table files with the same
@@ -38,10 +107,23 @@ class FileSystem {
   static Result<std::vector<Split>> ListSplits(const std::string& dir);
 
   /// Canonical name of the i-th part file of a table ("part-00042.corc").
+  /// Indices past 99999 widen to "part-x<20 digits>.corc": 'x' sorts after
+  /// every digit, so widened names follow all five-digit names and stay
+  /// monotonic among themselves — name order keeps matching index order,
+  /// which the raw/cache row alignment depends on.
   static std::string PartFileName(size_t index);
 
   /// Total size in bytes of all regular files under `dir`.
   static Result<uint64_t> DirectorySize(const std::string& dir);
+
+  /// fsyncs an existing file so its bytes survive a crash.
+  static Status SyncFile(const std::string& path);
+
+  /// fsyncs a directory so entry renames/creates in it survive a crash.
+  static Status SyncDir(const std::string& dir);
+
+  /// Atomically renames `from` to `to` (same filesystem), replacing `to`.
+  static Status RenameFile(const std::string& from, const std::string& to);
 };
 
 }  // namespace maxson::storage

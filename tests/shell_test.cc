@@ -104,6 +104,21 @@ TEST_F(ShellTest, MalformedSetLeavesSessionUsable) {
   EXPECT_NE(output.find("threads: 2"), std::string::npos) << output;
 }
 
+TEST_F(ShellTest, FaultInjectKnobArmsAndDisarmsInjector) {
+  const std::string output = RunShell(
+      "set faultinject torn:5\n"
+      ".stats\n"
+      "set faultinject bogus\n"
+      "set faultinject off\n"
+      ".quit\n");
+  EXPECT_NE(output.find("faultinject = torn:5"), std::string::npos) << output;
+  EXPECT_NE(output.find("faultinject:    torn:5"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("unknown fault mode 'bogus'"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("faultinject = off"), std::string::npos) << output;
+}
+
 TEST_F(ShellTest, TraceCommandRejectsMissingFile) {
   const std::string output = RunShell(
       ".trace\n"

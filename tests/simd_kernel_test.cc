@@ -404,6 +404,44 @@ RefIndex RefStructuralIndex(const std::string& text) {
   return out;
 }
 
+TEST_F(SimdKernelTest, Crc32cMatchesKnownVectorAtEveryLevel) {
+  // RFC 3720 (iSCSI) check value: crc32c("123456789") == 0xE3069283.
+  const std::string check = "123456789";
+  for (Isa level : SupportedLevels()) {
+    IsaGuard guard(level);
+    EXPECT_EQ(simd::Crc32c(reinterpret_cast<const uint8_t*>(check.data()),
+                           check.size()),
+              0xE3069283u)
+        << simd::IsaName(level);
+    EXPECT_EQ(simd::Crc32c(nullptr, 0), 0u) << simd::IsaName(level);
+  }
+}
+
+TEST_F(SimdKernelTest, Crc32cExtendComposesAndMatchesScalarAtEveryLevel) {
+  // Extend semantics: checksumming a buffer in arbitrary pieces equals
+  // checksumming it whole, and every dispatch level agrees with scalar.
+  for (size_t len : {0u, 1u, 7u, 8u, 63u, 64u, 65u, 1000u}) {
+    const std::string data = RandomJsonish(len);
+    const uint8_t* bytes = reinterpret_cast<const uint8_t*>(data.data());
+    uint32_t expected = 0;
+    {
+      IsaGuard guard(Isa::kScalar);
+      expected = simd::Crc32c(bytes, data.size());
+    }
+    for (Isa level : SupportedLevels()) {
+      IsaGuard guard(level);
+      EXPECT_EQ(simd::Crc32c(bytes, data.size()), expected)
+          << simd::IsaName(level) << " len=" << len;
+      for (size_t split : {size_t{0}, data.size() / 3, data.size()}) {
+        const uint32_t piecewise = simd::Crc32cExtend(
+            simd::Crc32c(bytes, split), bytes + split, data.size() - split);
+        EXPECT_EQ(piecewise, expected)
+            << simd::IsaName(level) << " len=" << len << " split=" << split;
+      }
+    }
+  }
+}
+
 TEST_F(SimdKernelTest, StructuralIndexMatchesOriginalAlgorithm) {
   std::vector<std::string> inputs = {
       "",

@@ -1,10 +1,14 @@
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 
 #include "common/random.h"
 #include "gtest/gtest.h"
 #include "storage/column_vector.h"
+#include "storage/corc_format.h"
 #include "storage/corc_reader.h"
 #include "storage/corc_writer.h"
 #include "storage/file_system.h"
@@ -436,6 +440,276 @@ TEST(FileSystemTest, PartFileNamesSortNumerically) {
   EXPECT_EQ(FileSystem::PartFileName(0), "part-00000.corc");
   EXPECT_EQ(FileSystem::PartFileName(42), "part-00042.corc");
   EXPECT_LT(FileSystem::PartFileName(9), FileSystem::PartFileName(10));
+}
+
+TEST(FileSystemTest, PartFileNamesStaySortedPastPadWidth) {
+  // %05zu saturates at 99999; the widened form must keep name order equal
+  // to index order across the boundary or raw/cache row alignment breaks.
+  EXPECT_EQ(FileSystem::PartFileName(99999), "part-99999.corc");
+  EXPECT_LT(FileSystem::PartFileName(99999), FileSystem::PartFileName(100000));
+  EXPECT_LT(FileSystem::PartFileName(100000),
+            FileSystem::PartFileName(100001));
+  EXPECT_LT(FileSystem::PartFileName(100001),
+            FileSystem::PartFileName(12345678901ull));
+  // Every name still ends in ".corc" so listings pick it up.
+  EXPECT_NE(FileSystem::PartFileName(100000).find(".corc"),
+            std::string::npos);
+}
+
+// ---- Durability: staged writes, checksums, malformed-tail hardening ----
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Disarms the process-wide fault injector when the scope ends.
+struct FaultGuard {
+  ~FaultGuard() {
+    EXPECT_TRUE(FaultInjector::Instance().Configure("off").ok());
+  }
+};
+
+Schema IdSchema() {
+  Schema schema;
+  schema.AddField("id", TypeKind::kInt64);
+  return schema;
+}
+
+TEST(CorcWriterTest, DestructorWithoutCloseAbortsStagedFile) {
+  TempDir tmp;
+  const std::string path = tmp.path("t.corc");
+  {
+    CorcWriter writer(path, IdSchema(), CorcWriterOptions{});
+    ASSERT_TRUE(writer.Open().ok());
+    ASSERT_TRUE(writer.AppendRow({Value::Int64(1)}).ok());
+    // Writer leaves scope without Close(): nothing may be published.
+  }
+  EXPECT_FALSE(FileSystem::Exists(path));
+  EXPECT_FALSE(FileSystem::Exists(path + ".tmp"));
+}
+
+TEST(CorcWriterTest, StagedFileIsInvisibleToSplitListings) {
+  TempDir tmp;
+  const std::string dir = tmp.path("table");
+  ASSERT_TRUE(FileSystem::MakeDirs(dir).ok());
+  CorcWriter writer(dir + "/" + FileSystem::PartFileName(0), IdSchema(),
+                    CorcWriterOptions{});
+  ASSERT_TRUE(writer.Open().ok());
+  ASSERT_TRUE(writer.AppendRow({Value::Int64(1)}).ok());
+  // Mid-write, only the ".tmp" staging file exists; readers see no splits.
+  auto splits = FileSystem::ListSplits(dir);
+  ASSERT_TRUE(splits.ok());
+  EXPECT_TRUE(splits->empty());
+  ASSERT_TRUE(writer.Close().ok());
+  splits = FileSystem::ListSplits(dir);
+  ASSERT_TRUE(splits.ok());
+  EXPECT_EQ(splits->size(), 1u);
+}
+
+TEST(CorcWriterTest, FailedPublishLeavesNoFilesBehind) {
+  // Fail each write-side op of a small file's lifecycle in turn; every
+  // failure must surface through Close() and leave neither the final path
+  // nor the staging file on disk.
+  FaultGuard guard;
+  for (int n = 1; n <= 8; ++n) {
+    TempDir tmp;
+    const std::string path = tmp.path("t.corc");
+    ASSERT_TRUE(FaultInjector::Instance()
+                    .Configure("fail:" + std::to_string(n))
+                    .ok());
+    Status status;
+    {
+      CorcWriter writer(path, IdSchema(), CorcWriterOptions{});
+      status = writer.Open();
+      if (status.ok()) status = writer.AppendRow({Value::Int64(7)});
+      if (status.ok()) status = writer.Close();
+      // Scope end: a writer whose Open failed cleans up via its destructor.
+    }
+    const bool tripped = FaultInjector::Instance().tripped();
+    ASSERT_TRUE(FaultInjector::Instance().Configure("off").ok());
+    if (!tripped) {
+      // n exceeded the op count: the publish must have gone through whole.
+      ASSERT_TRUE(status.ok()) << "n=" << n << ": " << status;
+      EXPECT_TRUE(FileSystem::Exists(path)) << "n=" << n;
+      CorcReader reader(path);
+      EXPECT_TRUE(reader.Open().ok()) << "n=" << n;
+      continue;
+    }
+    EXPECT_FALSE(status.ok()) << "n=" << n;
+    // The staging file must never survive, and the final path may exist
+    // only when the fault hit after the rename (e.g. the directory sync) —
+    // in which case it is a complete, valid file, exactly as after a crash
+    // between rename and directory flush.
+    EXPECT_FALSE(FileSystem::Exists(path + ".tmp")) << "n=" << n;
+    if (FileSystem::Exists(path)) {
+      CorcReader reader(path);
+      EXPECT_TRUE(reader.Open().ok()) << "n=" << n;
+    }
+  }
+}
+
+TEST(CorcWriterTest, TornWritePublishesNothingVisible) {
+  FaultGuard guard;
+  TempDir tmp;
+  const std::string path = tmp.path("t.corc");
+  ASSERT_TRUE(FaultInjector::Instance().Configure("torn:2").ok());
+  CorcWriter writer(path, IdSchema(), CorcWriterOptions{});
+  Status status = writer.Open();
+  for (int i = 0; i < 10 && status.ok(); ++i) {
+    status = writer.AppendRow({Value::Int64(i)});
+  }
+  if (status.ok()) status = writer.Close();
+  ASSERT_TRUE(FaultInjector::Instance().Configure("off").ok());
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(FileSystem::Exists(path));
+  EXPECT_FALSE(FileSystem::Exists(path + ".tmp"));
+}
+
+TEST(CorcReaderTest, EmptyAndShortFilesAreCorruption) {
+  TempDir tmp;
+  WriteFileBytes(tmp.path("empty.corc"), "");
+  WriteFileBytes(tmp.path("short.corc"), "CORC2");
+  WriteFileBytes(tmp.path("almost.corc"), "CORC2xxxCORC2");  // 13 < minimum
+  for (const char* name : {"empty.corc", "short.corc", "almost.corc"}) {
+    CorcReader reader(tmp.path(name));
+    Status status = reader.Open();
+    EXPECT_TRUE(status.IsCorruption()) << name << ": " << status;
+  }
+}
+
+TEST(CorcReaderTest, HugeFooterLenIsCorruptionNotOverflow) {
+  // A footer_len near UINT32_MAX must fail the bounds check cleanly; with
+  // 32-bit arithmetic `len + tail` would wrap and pass.
+  TempDir tmp;
+  const std::string path = tmp.path("t.corc");
+  CorcWriter writer(path, IdSchema(), CorcWriterOptions{});
+  ASSERT_TRUE(writer.Open().ok());
+  ASSERT_TRUE(writer.AppendRow({Value::Int64(1)}).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 13u);
+  for (uint32_t len : {UINT32_MAX, UINT32_MAX - 12, UINT32_MAX - 13}) {
+    std::string damaged = bytes;
+    // v2 tail: [footer_crc u32][footer_len u32][magic 5].
+    std::memcpy(damaged.data() + damaged.size() - 9, &len, 4);
+    WriteFileBytes(path, damaged);
+    CorcReader reader(path);
+    Status status = reader.Open();
+    EXPECT_TRUE(status.IsCorruption()) << "len=" << len << ": " << status;
+  }
+}
+
+TEST(CorcReaderTest, FooterAndChunkChecksumsCatchBitFlips) {
+  TempDir tmp;
+  const std::string path = tmp.path("t.corc");
+  CorcWriter writer(path, IdSchema(), CorcWriterOptions{});
+  ASSERT_TRUE(writer.Open().ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(writer.AppendRow({Value::Int64(i)}).ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+  const std::string pristine = ReadFileBytes(path);
+  uint32_t footer_len = 0;
+  std::memcpy(&footer_len, pristine.data() + pristine.size() - 9, 4);
+  const size_t footer_start = pristine.size() - 13 - footer_len;
+
+  {
+    // Flip a bit inside the footer JSON: Open must fail its checksum.
+    std::string damaged = pristine;
+    damaged[footer_start + footer_len / 2] ^= 0x01;
+    WriteFileBytes(path, damaged);
+    CorcReader reader(path);
+    Status status = reader.Open();
+    EXPECT_TRUE(status.IsCorruption()) << status;
+  }
+  {
+    // Flip a bit inside the data section: Open succeeds (the footer is
+    // intact) but decoding the chunk must fail its checksum.
+    std::string damaged = pristine;
+    damaged[kCorcMagicLen + 1] ^= 0x01;
+    WriteFileBytes(path, damaged);
+    CorcReader reader(path);
+    ASSERT_TRUE(reader.Open().ok());
+    auto batch = reader.ReadAll(nullptr);
+    ASSERT_FALSE(batch.ok());
+    EXPECT_TRUE(batch.status().IsCorruption()) << batch.status();
+  }
+}
+
+TEST(CorcReaderTest, ReadsVersion1FilesWithoutChecksums) {
+  // Hand-build a v1 file (leading/trailing "CORC1", no footer CRC, no
+  // per-group "crc" keys): readers must still load it — existing caches
+  // written before the version bump stay usable.
+  TempDir tmp;
+  const std::string path = tmp.path("v1.corc");
+  std::string bytes = "CORC1";
+  // One row group of two non-null int64 rows: null bytes then values.
+  bytes.append(2, '\0');
+  const int64_t values[2] = {41, 42};
+  bytes.append(reinterpret_cast<const char*>(values), 16);
+  const std::string footer =
+      "{\"fields\":[{\"name\":\"id\",\"type\":1}],\"rows_per_group\":100,"
+      "\"num_rows\":2,\"stripes\":[{\"num_rows\":2,\"columns\":[{"
+      "\"row_groups\":[{\"offset\":5,\"length\":18,\"min\":41,\"max\":42,"
+      "\"nulls\":0,\"values\":2}]}]}]}";
+  bytes += footer;
+  const uint32_t footer_len = static_cast<uint32_t>(footer.size());
+  bytes.append(reinterpret_cast<const char*>(&footer_len), 4);
+  bytes += "CORC1";
+  WriteFileBytes(path, bytes);
+
+  CorcReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  EXPECT_EQ(reader.footer().version, kCorcVersionV1);
+  EXPECT_EQ(reader.num_rows(), 2u);
+  auto batch = reader.ReadAll(nullptr);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch->num_rows(), 2u);
+  EXPECT_EQ(batch->column(0).GetInt64(0), 41);
+  EXPECT_EQ(batch->column(0).GetInt64(1), 42);
+}
+
+TEST(CorcReaderTest, MixedMagicIsCorruption) {
+  // A v2 head with a v1 tail (or vice versa) means the file was spliced or
+  // torn across versions; both directions must be rejected.
+  TempDir tmp;
+  const std::string path = tmp.path("t.corc");
+  CorcWriter writer(path, IdSchema(), CorcWriterOptions{});
+  ASSERT_TRUE(writer.Open().ok());
+  ASSERT_TRUE(writer.AppendRow({Value::Int64(1)}).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  std::string bytes = ReadFileBytes(path);
+  std::memcpy(bytes.data(), "CORC1", 5);  // head says v1, tail says v2
+  WriteFileBytes(path, bytes);
+  CorcReader reader(path);
+  Status status = reader.Open();
+  EXPECT_TRUE(status.IsCorruption()) << status;
+}
+
+TEST(FaultInjectorTest, SpecValidationAndOneShotShortRead) {
+  FaultGuard guard;
+  for (const char* bad : {"", "fail", "fail:", "fail:0", "fail:2x", "nope:1"}) {
+    EXPECT_FALSE(FaultInjector::ValidateSpec(bad).ok()) << bad;
+    EXPECT_FALSE(FaultInjector::Instance().Configure(bad).ok()) << bad;
+  }
+  EXPECT_TRUE(FaultInjector::ValidateSpec("off").ok());
+  EXPECT_TRUE(FaultInjector::ValidateSpec("torn:12").ok());
+  // A rejected Configure leaves the injector disarmed.
+  EXPECT_EQ(FaultInjector::Instance().spec(), "off");
+  EXPECT_FALSE(FaultInjector::Instance().enabled());
+
+  ASSERT_TRUE(FaultInjector::Instance().Configure("short:2").ok());
+  EXPECT_EQ(FaultInjector::Instance().OnRead(100), 100u);  // op 1
+  EXPECT_EQ(FaultInjector::Instance().OnRead(100), 50u);   // op 2 trips
+  EXPECT_EQ(FaultInjector::Instance().OnRead(100), 100u);  // one-shot
+  EXPECT_TRUE(FaultInjector::Instance().tripped());
 }
 
 }  // namespace

@@ -12,6 +12,11 @@
 #   tsan    ThreadSanitizer build + full test suite (the parallel execution
 #           runtime must be race-clean); the metrics-determinism test also
 #           runs standalone so a racy counter fails loudly by name.
+#   crash   Crash-consistency suite: the durability tests (corruption
+#           matrix, kill-at-every-fault-point midnight sweep) re-run
+#           standalone under Release and ASan, plus one run with the
+#           fault injector armed through MAXSON_FAULT_INJECT to prove the
+#           env knob arms it outside of test code.
 #   bench   Thread-scaling, observability, and SIMD-kernel benches (the
 #           observability bench fails CI if instrumentation overhead exceeds
 #           5%; the kernel bench fails CI if any ISA level diverges from
@@ -87,6 +92,24 @@ if [[ "$run_tsan" == 1 ]]; then
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_test \
     --gtest_filter='ObsQueryTest.CounterTotalsIdenticalAcrossThreadCounts'
 fi
+
+echo "=== Crash-consistency suite (durability tests) ==="
+./build-ci/tests/durability_test
+./build-ci/tests/storage_test \
+  --gtest_filter='CorcWriterTest.*:CorcReaderTest.*:FaultInjectorTest.*'
+if [[ "$run_asan" == 1 ]]; then
+  echo "=== Crash-consistency suite under ASan ==="
+  ASAN_OPTIONS="detect_leaks=1:halt_on_error=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ./build-asan/tests/durability_test
+fi
+# Prove the env knob arms the injector outside of test code, then exercise
+# a short read end to end through the session knob path.
+echo "=== Fault injection via MAXSON_FAULT_INJECT ==="
+MAXSON_FAULT_INJECT=fail:9999 ./build-ci/tests/durability_test \
+  --gtest_filter='DurabilityTest.EnvVarArmsInjectorAtFirstUse'
+./build-ci/tests/durability_test \
+  --gtest_filter='DurabilityTest.ShortReadSurfacesAsCorruptionAndFallsBack'
 
 if [[ "$run_bench" == 1 ]]; then
   echo "=== Thread-scaling bench ==="

@@ -22,7 +22,7 @@
 //
 // Runtime knobs go through `set` (all routed via UpdateConfig):
 //   set threads N | set trace on|off | set rawfilter on|off | set budget N
-//   set isa scalar|sse2|avx2|auto
+//   set isa scalar|sse2|avx2|auto | set faultinject fail:N|torn:N|short:N|off
 
 #include <cctype>
 #include <cstdio>
@@ -69,7 +69,8 @@ void PrintHelp() {
       ".threads N           resize the execution pool (0 = all cores)\n"
       "set threads N        same, SQL-flavored; also set trace on|off,\n"
       "                     set rawfilter on|off, set budget BYTES,\n"
-      "                     set isa scalar|sse2|avx2|auto (SIMD level)\n"
+      "                     set isa scalar|sse2|avx2|auto (SIMD level),\n"
+      "                     set faultinject fail:N|torn:N|short:N|off\n"
       ".quit                exit\n"
       "anything else        executed as SQL (SELECT, EXPLAIN [ANALYZE])\n");
 }
@@ -201,7 +202,8 @@ int Run(const ShellOptions& options) {
             "pool:           %zu threads, %llu tasks submitted\n"
             "midnight:       %llu cycles\n"
             "tracing:        %s (%llu events)\n"
-            "simd:           isa=%s\n",
+            "simd:           isa=%s\n"
+            "faultinject:    %s\n",
             static_cast<unsigned long long>(stats.rewrite_cache_hits),
             static_cast<unsigned long long>(stats.rewrite_cache_misses),
             static_cast<unsigned long long>(stats.rewrite_invalidations),
@@ -213,7 +215,7 @@ int Run(const ShellOptions& options) {
             static_cast<unsigned long long>(stats.midnight_cycles),
             stats.tracing_enabled ? "on" : "off",
             static_cast<unsigned long long>(stats.trace_events),
-            stats.simd_isa.c_str());
+            stats.simd_isa.c_str(), stats.fault_injection.c_str());
       } else if (cmd == ".metrics") {
         std::string mode;
         if (args >> mode) {
@@ -306,10 +308,17 @@ int Run(const ShellOptions& options) {
           continue;
         }
         update.isa = value;
+      } else if (knob == "faultinject") {
+        if (value.empty()) {
+          std::printf(
+              "error: set faultinject expects fail:N|torn:N|short:N|off\n");
+          continue;
+        }
+        update.fault_injection = value;
       } else {
         std::printf("usage: set threads N | set trace on|off | "
                     "set rawfilter on|off | set budget BYTES | "
-                    "set isa LEVEL\n");
+                    "set isa LEVEL | set faultinject SPEC\n");
         continue;
       }
       if (auto st = session.UpdateConfig(update); !st.ok()) {
