@@ -6,7 +6,6 @@
 // only meaningful up to the machine's core count (reported in the JSON);
 // on a single-core container every degree measures ~1x by construction.
 
-#include <cinttypes>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -17,51 +16,12 @@
 #include "catalog/catalog.h"
 #include "common/time_util.h"
 #include "core/maxson.h"
-#include "storage/record_batch.h"
+#include "engine/fingerprint.h"
 #include "workload/query_templates.h"
 
 using maxson::core::MaxsonConfig;
 using maxson::core::MaxsonSession;
 using maxson::workload::BenchmarkQuery;
-
-namespace {
-
-/// Cell-exact rendering (doubles at %.17g round-trip IEEE-754), so equal
-/// fingerprints mean byte-identical results.
-std::string Fingerprint(const maxson::storage::RecordBatch& batch) {
-  std::string out;
-  char buffer[64];
-  for (size_t r = 0; r < batch.num_rows(); ++r) {
-    for (size_t c = 0; c < batch.num_columns(); ++c) {
-      const maxson::storage::ColumnVector& col = batch.column(c);
-      if (col.IsNull(r)) {
-        out += "NULL";
-      } else {
-        switch (col.type()) {
-          case maxson::storage::TypeKind::kBool:
-            out += col.GetBool(r) ? "t" : "f";
-            break;
-          case maxson::storage::TypeKind::kInt64:
-            std::snprintf(buffer, sizeof(buffer), "%" PRId64, col.GetInt64(r));
-            out += buffer;
-            break;
-          case maxson::storage::TypeKind::kDouble:
-            std::snprintf(buffer, sizeof(buffer), "%.17g", col.GetDouble(r));
-            out += buffer;
-            break;
-          case maxson::storage::TypeKind::kString:
-            out += col.GetString(r);
-            break;
-        }
-      }
-      out += "|";
-    }
-    out += "\n";
-  }
-  return out;
-}
-
-}  // namespace
 
 int main() {
   maxson::bench::PrintHeader(
@@ -134,7 +94,9 @@ int main() {
                      warm.status().ToString().c_str());
         return 1;
       }
-      const std::string fp = Fingerprint(warm->batch);
+      // Cell-exact rendering (engine/fingerprint.h), so equal fingerprints
+      // mean byte-identical results.
+      const std::string fp = maxson::engine::FingerprintBatch(warm->batch);
       if (threads == 1) {
         baseline_fp = fp;
       } else if (fp != baseline_fp) {

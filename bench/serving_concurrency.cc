@@ -1,0 +1,285 @@
+// Serving-layer benchmark: a recurring dashboard workload (Table II
+// queries replayed by concurrent clients) against MaxsonServer, measuring
+// what the semantic result cache buys on repeats, that answers stay
+// byte-identical while a midnight-style registry churn races the clients,
+// and that admission control rejects overload fast with a typed status.
+//
+// Writes BENCH_serving.json. Exits nonzero when any acceptance threshold
+// is missed: hit rate >= 0.80, repeat p50 at least 5x below cold p50,
+// zero wrong results, at least one counted fast rejection.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "catalog/catalog.h"
+#include "common/time_util.h"
+#include "core/maxson.h"
+#include "engine/fingerprint.h"
+#include "obs/metrics_registry.h"
+#include "serve/server.h"
+#include "workload/query_templates.h"
+
+using maxson::core::MaxsonConfig;
+using maxson::core::MaxsonSession;
+using maxson::serve::ClientSession;
+using maxson::serve::MaxsonServer;
+using maxson::serve::ServeOptions;
+using maxson::workload::BenchmarkQuery;
+
+namespace {
+
+double P50Ms(std::vector<double> seconds) {
+  if (seconds.empty()) return 0;
+  std::sort(seconds.begin(), seconds.end());
+  return seconds[seconds.size() / 2] * 1e3;
+}
+
+/// A registry entry for a table no benchmark query touches: importing it
+/// bumps CacheRegistry::version() exactly like a midnight Put does,
+/// without perturbing any running plan.
+maxson::core::CacheEntry ChurnEntry(int i) {
+  maxson::core::CacheEntry entry;
+  entry.location.database = "bench";
+  entry.location.table = "unrelated";
+  entry.location.column = "c";
+  entry.location.path = "$.f" + std::to_string(i % 7);
+  entry.cache_table_dir = "/nonexistent/churn";
+  entry.cache_field = "f";
+  entry.cache_time = i;
+  return entry;
+}
+
+}  // namespace
+
+int main() {
+  maxson::bench::PrintHeader(
+      "Serving concurrency — result-cache hit rate, repeat speedup, "
+      "admission under a 4-client recurring workload",
+      "recurring queries dominate analytical workloads; serving repeats "
+      "from a semantic result cache removes re-execution entirely");
+
+  maxson::bench::BenchWorkspace workspace("serving");
+  maxson::catalog::Catalog catalog;
+  maxson::workload::BenchmarkSuiteOptions suite;
+  suite.bytes_per_table = 2ull << 20;
+  suite.max_rows = 12000;
+  suite.rows_per_file = 3000;
+  auto all_queries = maxson::workload::MakeTableIIQueries(suite);
+  constexpr size_t kDistinct = 8;
+  std::vector<BenchmarkQuery> queries(
+      all_queries.begin(),
+      all_queries.begin() +
+          std::min(kDistinct, all_queries.size()));
+  if (auto st = maxson::workload::GenerateBenchmarkTables(
+          queries, workspace.dir() + "/warehouse", suite, &catalog);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  maxson::obs::MetricsRegistry metrics;
+  MaxsonConfig config;
+  config.cache_root = workspace.dir() + "/cache";
+  config.engine.default_database = "bench";
+  config.metrics = &metrics;
+  MaxsonSession session(&catalog, config);
+  MaxsonServer server(&session, &catalog, ServeOptions{});
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("machine: %u hardware thread(s), %zu distinct queries\n\n",
+              cores, queries.size());
+
+  // ---- Phase 1: cold executions (populate + time the uncached path) ----
+  std::vector<std::string> expected(queries.size());
+  std::vector<double> cold_seconds;
+  ClientSession loader = server.Connect("loader");
+  for (size_t q = 0; q < queries.size(); ++q) {
+    maxson::Stopwatch timer;
+    auto cold = loader.Execute(queries[q].sql);
+    const double elapsed = timer.ElapsedSeconds();
+    if (!cold.ok() || cold->result_cache_hit) {
+      std::fprintf(stderr, "%s cold run failed: %s\n",
+                   queries[q].name.c_str(),
+                   cold.ok() ? "unexpected hit" : cold.status().ToString().c_str());
+      return 1;
+    }
+    cold_seconds.push_back(elapsed);
+    expected[q] = maxson::engine::FingerprintBatch(cold->result.batch);
+    // Every query must be servable from cache, or the trace below cannot
+    // reach its hit rate — fail loudly naming the query instead.
+    auto warm = loader.Execute(queries[q].sql);
+    if (!warm.ok() || !warm->result_cache_hit ||
+        maxson::engine::FingerprintBatch(warm->result.batch) != expected[q]) {
+      std::fprintf(stderr, "%s did not serve from the result cache\n",
+                   queries[q].name.c_str());
+      return 1;
+    }
+  }
+
+  // ---- Phase 2: recurring trace, 4 concurrent clients ----
+  constexpr int kClients = 4;
+  constexpr int kTraceRequests = 200;
+  std::atomic<int> next_request{0};
+  std::atomic<int> wrong_results{0};
+  std::vector<std::vector<double>> hit_seconds(kClients);
+  std::atomic<int> failed{0};
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        ClientSession client =
+            server.Connect("dashboard" + std::to_string(c));
+        for (;;) {
+          const int r = next_request.fetch_add(1);
+          if (r >= kTraceRequests) break;
+          const size_t q = static_cast<size_t>(r * 7 + 3) % queries.size();
+          maxson::Stopwatch timer;
+          auto outcome = client.Execute(queries[q].sql);
+          const double elapsed = timer.ElapsedSeconds();
+          if (!outcome.ok()) {
+            failed.fetch_add(1);
+            continue;
+          }
+          if (maxson::engine::FingerprintBatch(outcome->result.batch) !=
+              expected[q]) {
+            wrong_results.fetch_add(1);
+          }
+          if (outcome->result_cache_hit) {
+            hit_seconds[static_cast<size_t>(c)].push_back(elapsed);
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  const auto trace_stats = server.result_cache_stats();
+  const double hit_rate =
+      static_cast<double>(trace_stats.hits) /
+      static_cast<double>(trace_stats.hits + trace_stats.misses);
+
+  std::vector<double> all_hits;
+  for (const auto& v : hit_seconds) {
+    all_hits.insert(all_hits.end(), v.begin(), v.end());
+  }
+  const double cold_p50_ms = P50Ms(cold_seconds);
+  const double hit_p50_ms = P50Ms(all_hits);
+  const double speedup = hit_p50_ms > 0 ? cold_p50_ms / hit_p50_ms : 0;
+  std::printf("trace: %d requests, %zu served from cache, hit rate %.3f\n",
+              kTraceRequests, all_hits.size(), hit_rate);
+  std::printf("p50: cold %.2f ms, repeat %.4f ms (%.0fx)\n", cold_p50_ms,
+              hit_p50_ms, speedup);
+
+  // ---- Phase 3: clients racing a midnight-style registry churn ----
+  constexpr int kChurnRequests = 100;
+  next_request.store(0);
+  std::atomic<bool> stop_churn{false};
+  std::thread churner([&session, &stop_churn] {
+    int i = 0;
+    while (!stop_churn.load()) {
+      session.ImportCacheEntries({ChurnEntry(i++)});
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        ClientSession client = server.Connect("race" + std::to_string(c));
+        for (;;) {
+          const int r = next_request.fetch_add(1);
+          if (r >= kChurnRequests) break;
+          const size_t q = static_cast<size_t>(r) % queries.size();
+          auto outcome = client.Execute(queries[q].sql);
+          if (!outcome.ok()) {
+            failed.fetch_add(1);
+            continue;
+          }
+          if (maxson::engine::FingerprintBatch(outcome->result.batch) !=
+              expected[q]) {
+            wrong_results.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  stop_churn.store(true);
+  churner.join();
+  std::printf("churn race: %d requests, %d wrong results, %d failed\n",
+              kChurnRequests, wrong_results.load(), failed.load());
+
+  // ---- Phase 4: overload rejection (typed, counted, fast) ----
+  server.EnableResultCache(false);  // force real executions that overlap
+  server.SetTenantLimits("burst", maxson::serve::TenantLimits{1, 0});
+  std::atomic<int> typed_rejections{0};
+  std::atomic<int> untyped_failures{0};
+  double worst_rejection_ms = 0;
+  std::mutex rejection_mutex;
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&] {
+        ClientSession client = server.Connect("burst");
+        for (int round = 0; round < 2; ++round) {
+          maxson::Stopwatch timer;
+          auto outcome = client.Execute(queries[0].sql);
+          const double elapsed = timer.ElapsedSeconds();
+          if (outcome.ok()) continue;
+          if (outcome.status().IsResourceExhausted()) {
+            typed_rejections.fetch_add(1);
+            std::lock_guard<std::mutex> lock(rejection_mutex);
+            worst_rejection_ms = std::max(worst_rejection_ms, elapsed * 1e3);
+          } else {
+            untyped_failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  server.EnableResultCache(true);
+  const uint64_t rejected_metric =
+      metrics.GetCounter("maxson_serve_rejected_total", {{"tenant", "burst"}})
+          ->value();
+  std::printf(
+      "overload: %d typed rejections (worst %.2f ms), %d untyped, "
+      "counter %llu\n",
+      typed_rejections.load(), worst_rejection_ms, untyped_failures.load(),
+      static_cast<unsigned long long>(rejected_metric));
+
+  // ---- Verdict + JSON ----
+  const bool ok = hit_rate >= 0.80 && speedup >= 5.0 &&
+                  wrong_results.load() == 0 && failed.load() == 0 &&
+                  typed_rejections.load() >= 1 && untyped_failures.load() == 0 &&
+                  rejected_metric ==
+                      static_cast<uint64_t>(typed_rejections.load());
+  std::ofstream json("BENCH_serving.json", std::ios::trunc);
+  json << "{\n  \"bench\": \"serving_concurrency\",\n";
+  json << "  \"hardware_concurrency\": " << cores << ",\n";
+  json << "  \"clients\": " << kClients << ",\n";
+  json << "  \"distinct_queries\": " << queries.size() << ",\n";
+  json << "  \"trace_requests\": " << kTraceRequests << ",\n";
+  json << "  \"churn_requests\": " << kChurnRequests << ",\n";
+  json << "  \"hit_rate\": " << hit_rate << ",\n";
+  json << "  \"cold_p50_ms\": " << cold_p50_ms << ",\n";
+  json << "  \"hit_p50_ms\": " << hit_p50_ms << ",\n";
+  json << "  \"speedup_p50\": " << speedup << ",\n";
+  json << "  \"wrong_results\": " << wrong_results.load() << ",\n";
+  json << "  \"failed_requests\": " << failed.load() << ",\n";
+  json << "  \"typed_rejections\": " << typed_rejections.load() << ",\n";
+  json << "  \"rejected_counter\": " << rejected_metric << ",\n";
+  json << "  \"worst_rejection_ms\": " << worst_rejection_ms << ",\n";
+  json << "  \"pass\": " << (ok ? "true" : "false") << "\n}\n";
+  json.close();
+  std::printf("wrote BENCH_serving.json — %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

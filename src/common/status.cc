@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "internal error";
     case StatusCode::kCorruption:
       return "corruption";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
   }
   return "unknown";
 }

@@ -23,6 +23,10 @@ enum class StatusCode {
   /// were read fine but cannot be trusted — so readers of redundant data
   /// (cache tables mirroring raw tables) can degrade instead of failing.
   kCorruption,
+  /// A capacity limit (admission slots, bounded queue) was hit. The request
+  /// was rejected without side effects and may be retried later; callers use
+  /// this to shed load instead of queueing without bound.
+  kResourceExhausted,
 };
 
 /// Returns the canonical lowercase name of a status code (e.g. "parse error").
@@ -70,9 +74,15 @@ class [[nodiscard]] Status {
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -474,11 +474,16 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
   // Context of the sequential sections (join build/probe, group
   // finalization); parallel sections give each chunk a private copy with
   // its own metrics/parser and fold the accumulators back in chunk order.
+  // The parser is query-local so concurrent Execute calls (the serving
+  // layer runs many sessions on one engine) never share mutable parser
+  // state; its telemetry folds into mison_ once, at the end of the query,
+  // under mison_mutex_.
+  json::MisonParser query_mison;
   EvalContext ctx;
   ctx.lookup_function = &LookupEngineFunction;
   ctx.lookup_hook = this;
   ctx.metrics = &metrics;
-  ctx.mison = &mison_;
+  ctx.mison = &query_mison;
 
   // ---- Scan (and join) ----
   std::optional<obs::TraceSpan> scan_span;
@@ -638,7 +643,7 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
         }));
     for (size_t c = 0; c < chunks.size(); ++c) {
       metrics.Accumulate(states[c].metrics);
-      mison_.AbsorbTelemetry(states[c].mison);
+      query_mison.AbsorbTelemetry(states[c].mison);
       for (size_t r : kept[c]) filtered.AppendRow(input.GetRow(r));
     }
     OperatorStats filter_op;
@@ -746,7 +751,7 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
     std::map<std::string, Group> groups;
     for (size_t c = 0; c < chunks.size(); ++c) {
       metrics.Accumulate(states[c].metrics);
-      mison_.AbsorbTelemetry(states[c].mison);
+      query_mison.AbsorbTelemetry(states[c].mison);
       for (auto& [key, group] : partials[c]) {
         auto it = groups.find(key);
         if (it == groups.end()) {
@@ -914,7 +919,7 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
           }));
       for (size_t c = 0; c < chunks.size(); ++c) {
         metrics.Accumulate(states[c].metrics);
-        mison_.AbsorbTelemetry(states[c].mison);
+        query_mison.AbsorbTelemetry(states[c].mison);
       }
       std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
         for (size_t k = 0; k < plan.order_by.size(); ++k) {
@@ -966,7 +971,7 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
         }));
     for (size_t c = 0; c < chunks.size(); ++c) {
       metrics.Accumulate(states[c].metrics);
-      mison_.AbsorbTelemetry(states[c].mison);
+      query_mison.AbsorbTelemetry(states[c].mison);
     }
     OperatorStats project_op;
     project_op.name = "Project";
@@ -1037,6 +1042,10 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
   // accumulated during evaluation.
   metrics.compute_seconds +=
       std::max(0.0, compute_timer.ElapsedSeconds() - metrics.parse_seconds);
+  {
+    std::lock_guard<std::mutex> lock(mison_mutex_);
+    mison_.AbsorbTelemetry(query_mison);
+  }
   PublishMetrics(metrics);
   return result;
 }

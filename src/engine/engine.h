@@ -132,9 +132,10 @@ class QueryEngine {
                                   double plan_seconds);
 
   /// Speculation telemetry of the Mison backend (empty stats under kDom).
-  /// Workers extract with private parsers; their counters are folded in
-  /// here after each query, so this is cumulative across queries but must
-  /// not be read concurrently with a running Execute.
+  /// Workers extract with private parsers; their counters fold into a
+  /// query-local parser and land here once per query under mison_mutex_,
+  /// so stats read while queries run are merely slightly stale, never
+  /// torn. Cumulative across queries.
   const json::MisonParser& mison() const { return mison_; }
 
  private:
@@ -169,7 +170,11 @@ class QueryEngine {
   obs::TraceRecorder* tracer_ = nullptr;
   std::shared_ptr<exec::ThreadPool> pool_;
   /// Long-lived telemetry accumulator and single-threaded fallback parser
-  /// (used only when an EvalContext carries no per-worker parser).
+  /// (used only when an EvalContext carries no per-worker parser — never
+  /// the case inside ExecutePlan, which always supplies a query-local
+  /// parser so concurrent Execute calls stay independent). Guarded by
+  /// mison_mutex_ for the once-per-query telemetry fold.
+  std::mutex mison_mutex_;
   json::MisonParser mison_;
   std::unordered_map<std::string, ScalarFunction> functions_;
   /// Caches of parsed path objects keyed by text, to keep path parsing out

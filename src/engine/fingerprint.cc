@@ -1,0 +1,58 @@
+#include "engine/fingerprint.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace maxson::engine {
+
+std::string FingerprintBatch(const storage::RecordBatch& batch) {
+  std::string out;
+  char buffer[64];
+  for (const storage::Field& f : batch.schema().fields()) {
+    out += f.name;
+    out += ":";
+    out += storage::TypeKindName(f.type);
+    out += "|";
+  }
+  out += "\n";
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      const storage::ColumnVector& col = batch.column(c);
+      if (col.IsNull(r)) {
+        out += "NULL";
+      } else {
+        switch (col.type()) {
+          case storage::TypeKind::kBool:
+            out += col.GetBool(r) ? "t" : "f";
+            break;
+          case storage::TypeKind::kInt64:
+            std::snprintf(buffer, sizeof(buffer), "%" PRId64, col.GetInt64(r));
+            out += buffer;
+            break;
+          case storage::TypeKind::kDouble:
+            std::snprintf(buffer, sizeof(buffer), "%.17g", col.GetDouble(r));
+            out += buffer;
+            break;
+          case storage::TypeKind::kString:
+            out += col.GetString(r);
+            break;
+        }
+      }
+      out += "|";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+uint64_t FingerprintHash(const storage::RecordBatch& batch) {
+  const std::string rendered = FingerprintBatch(batch);
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  for (unsigned char ch : rendered) {
+    hash ^= ch;
+    hash *= 1099511628211ull;  // FNV-1a prime
+  }
+  return hash;
+}
+
+}  // namespace maxson::engine

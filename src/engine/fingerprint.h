@@ -1,0 +1,25 @@
+#ifndef MAXSON_ENGINE_FINGERPRINT_H_
+#define MAXSON_ENGINE_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/record_batch.h"
+
+namespace maxson::engine {
+
+/// Cell-exact rendering of a result batch: a schema header line (column
+/// names and types) followed by one line per row, cells "|"-separated.
+/// Doubles print at %.17g so they round-trip IEEE-754 — equal fingerprints
+/// mean byte-identical results including column names, order, and types.
+/// Used by the result cache to detect wrong results under concurrent
+/// invalidation and by the benches to compare runs.
+std::string FingerprintBatch(const storage::RecordBatch& batch);
+
+/// FNV-1a hash of FingerprintBatch(batch); cheap to store and compare when
+/// the full rendering is only needed on mismatch.
+uint64_t FingerprintHash(const storage::RecordBatch& batch);
+
+}  // namespace maxson::engine
+
+#endif  // MAXSON_ENGINE_FINGERPRINT_H_

@@ -1,0 +1,116 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace maxson::serve {
+
+void AdmissionTicket::Release() {
+  if (controller_ != nullptr) {
+    controller_->Release(tenant_);
+    controller_ = nullptr;
+  }
+}
+
+AdmissionController::TenantState& AdmissionController::StateFor(
+    const std::string& tenant) {
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  if (inserted) it->second.limits = default_limits_;
+  return it->second;
+}
+
+void AdmissionController::SetTenantLimits(const std::string& tenant,
+                                          TenantLimits limits) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StateFor(tenant).limits = limits;
+  cv_.notify_all();
+}
+
+Result<AdmissionTicket> AdmissionController::Admit(const std::string& tenant) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (shutdown_) {
+    return Status::ResourceExhausted("server is shutting down");
+  }
+  // References into tenants_ stay valid across inserts (unordered_map
+  // never invalidates element references), so `state` survives the waits
+  // below even while other tenants register.
+  TenantState& state = StateFor(tenant);
+  if (state.limits.max_in_flight == 0) {
+    ++state.rejected;
+    return Status::ResourceExhausted("tenant '" + tenant +
+                                     "' has zero admission capacity");
+  }
+  if (state.in_flight < state.limits.max_in_flight && state.waiting.empty()) {
+    ++state.in_flight;
+    ++state.admitted;
+    ++total_in_flight_;
+    return AdmissionTicket(this, tenant);
+  }
+  if (state.waiting.size() >= state.limits.max_queue) {
+    ++state.rejected;
+    return Status::ResourceExhausted(
+        "admission queue full for tenant '" + tenant + "' (" +
+        std::to_string(state.waiting.size()) + " waiting, limit " +
+        std::to_string(state.limits.max_queue) + ")");
+  }
+  const uint64_t waiter_id = next_waiter_id_++;
+  state.waiting.push_back(waiter_id);
+  cv_.wait(lock, [&] {
+    return shutdown_ || (!state.waiting.empty() &&
+                         state.waiting.front() == waiter_id &&
+                         state.in_flight < state.limits.max_in_flight);
+  });
+  // Leave the queue under either outcome.
+  auto it = std::find(state.waiting.begin(), state.waiting.end(), waiter_id);
+  if (it != state.waiting.end()) state.waiting.erase(it);
+  if (shutdown_) {
+    ++state.rejected;
+    cv_.notify_all();  // Shutdown() may be waiting for the queue to clear
+    return Status::ResourceExhausted("server is shutting down");
+  }
+  ++state.in_flight;
+  ++state.admitted;
+  ++total_in_flight_;
+  // The next queued waiter may also fit (e.g. limits were raised).
+  cv_.notify_all();
+  return AdmissionTicket(this, tenant);
+}
+
+void AdmissionController::Release(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TenantState& state = StateFor(tenant);
+  if (state.in_flight > 0) --state.in_flight;
+  if (total_in_flight_ > 0) --total_in_flight_;
+  cv_.notify_all();
+}
+
+void AdmissionController::Shutdown() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  shutdown_ = true;
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return total_in_flight_ == 0; });
+}
+
+AdmissionController::TenantSnapshot AdmissionController::Snapshot(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TenantSnapshot snap;
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return snap;
+  snap.in_flight = it->second.in_flight;
+  snap.queued = it->second.waiting.size();
+  snap.admitted = it->second.admitted;
+  snap.rejected = it->second.rejected;
+  return snap;
+}
+
+size_t AdmissionController::TotalInFlight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_in_flight_;
+}
+
+bool AdmissionController::shutting_down() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shutdown_;
+}
+
+}  // namespace maxson::serve

@@ -1,0 +1,124 @@
+#ifndef MAXSON_SERVE_ADMISSION_H_
+#define MAXSON_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/result.h"
+
+namespace maxson::serve {
+
+/// Per-tenant capacity: how many queries may execute at once and how many
+/// more may wait. Everything beyond max_in_flight + max_queue is rejected
+/// with kResourceExhausted instead of queueing without bound.
+struct TenantLimits {
+  size_t max_in_flight = 4;
+  size_t max_queue = 16;
+};
+
+class AdmissionController;
+
+/// RAII in-flight slot handed out by AdmissionController::Admit. Destroying
+/// (or Release()ing) it frees the slot and wakes the tenant's next waiter.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  AdmissionTicket(AdmissionTicket&& other) noexcept
+      : controller_(other.controller_), tenant_(std::move(other.tenant_)) {
+    other.controller_ = nullptr;
+  }
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept {
+    if (this != &other) {
+      Release();
+      controller_ = other.controller_;
+      tenant_ = std::move(other.tenant_);
+      other.controller_ = nullptr;
+    }
+    return *this;
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+  ~AdmissionTicket() { Release(); }
+
+  void Release();
+
+ private:
+  friend class AdmissionController;
+  AdmissionTicket(AdmissionController* controller, std::string tenant)
+      : controller_(controller), tenant_(std::move(tenant)) {}
+
+  AdmissionController* controller_ = nullptr;
+  std::string tenant_;
+};
+
+/// Bounds concurrent query execution per tenant. Admit() returns a ticket
+/// immediately when the tenant has a free in-flight slot, waits in FIFO
+/// order while the bounded queue has room, and fails fast with a typed
+/// kResourceExhausted Status when the queue is full, the tenant has zero
+/// capacity, or the controller is shutting down — a caller is never
+/// blocked behind an unbounded line.
+///
+/// Creates no threads of its own: waiting happens on the calling thread
+/// (the serving layer runs all execution on the shared exec::ThreadPool).
+class AdmissionController {
+ public:
+  explicit AdmissionController(TenantLimits default_limits)
+      : default_limits_(default_limits) {}
+  ~AdmissionController() { Shutdown(); }
+
+  /// Overrides the limits for one tenant (first Admit of an unknown tenant
+  /// installs the defaults). Taking effect immediately: queued waiters
+  /// re-evaluate against the new limits.
+  void SetTenantLimits(const std::string& tenant, TenantLimits limits);
+
+  /// Acquires an in-flight slot for `tenant`, waiting (bounded by the
+  /// tenant's queue capacity, in arrival order) when all slots are busy.
+  Result<AdmissionTicket> Admit(const std::string& tenant);
+
+  /// Rejects all queued waiters and every future Admit, then blocks until
+  /// the in-flight queries drain (their tickets are released). Idempotent.
+  void Shutdown();
+
+  struct TenantSnapshot {
+    size_t in_flight = 0;
+    size_t queued = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+  };
+  TenantSnapshot Snapshot(const std::string& tenant) const;
+  size_t TotalInFlight() const;
+  bool shutting_down() const;
+
+ private:
+  friend class AdmissionTicket;
+
+  struct TenantState {
+    TenantLimits limits;
+    size_t in_flight = 0;
+    std::deque<uint64_t> waiting;  // FIFO of waiter ids
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+  };
+
+  /// Called by tickets; frees the slot and wakes waiters.
+  void Release(const std::string& tenant);
+
+  TenantState& StateFor(const std::string& tenant);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  TenantLimits default_limits_;
+  bool shutdown_ = false;
+  size_t total_in_flight_ = 0;
+  uint64_t next_waiter_id_ = 0;
+  std::unordered_map<std::string, TenantState> tenants_;
+};
+
+}  // namespace maxson::serve
+
+#endif  // MAXSON_SERVE_ADMISSION_H_

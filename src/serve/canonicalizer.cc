@@ -1,0 +1,479 @@
+#include "serve/canonicalizer.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "engine/expr.h"
+#include "engine/sql_ast.h"
+#include "engine/sql_parser.h"
+
+namespace maxson::serve {
+namespace {
+
+using engine::BinaryOp;
+using engine::Expr;
+using engine::ExprKind;
+using engine::ExprPtr;
+using engine::UnaryOp;
+using storage::Value;
+
+// ---- Rendering (must re-parse to the same tree the original SQL did) ----
+
+const char* OpToken(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+  }
+  return "?";
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The operator such that `a op b` == `b mirror(op) a`.
+BinaryOp MirrorOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;  // = and != are symmetric
+  }
+}
+
+const char* AggToken(engine::AggKind agg) {
+  switch (agg) {
+    case engine::AggKind::kCount:
+      return "count";
+    case engine::AggKind::kSum:
+      return "sum";
+    case engine::AggKind::kAvg:
+      return "avg";
+    case engine::AggKind::kMin:
+      return "min";
+    case engine::AggKind::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+/// Shortest %g rendering that round-trips through the lexer (which has no
+/// exponent syntax) back to exactly `v`. Fails for magnitudes that only
+/// have exponent-form representations.
+Status RenderDouble(double v, std::string* out) {
+  char buffer[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, v);
+    const std::string text = buffer;
+    if (text.find_first_of("eEnNiI") != std::string::npos) continue;
+    if (std::strtod(text.c_str(), nullptr) != v) continue;
+    *out += text;
+    // Integral doubles must re-parse as floats, not integers, so the
+    // literal keeps its type through the round trip.
+    if (text.find('.') == std::string::npos) *out += ".0";
+    return Status::Ok();
+  }
+  return Status::Unimplemented("double literal has no plain rendering");
+}
+
+Status RenderLiteral(const Value& v, std::string* out) {
+  if (v.is_null()) {
+    *out += "NULL";
+  } else if (v.is_bool()) {
+    *out += v.bool_value() ? "TRUE" : "FALSE";
+  } else if (v.is_int64()) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%" PRId64, v.int64_value());
+    *out += buffer;
+  } else if (v.is_double()) {
+    MAXSON_RETURN_NOT_OK(RenderDouble(v.double_value(), out));
+  } else {
+    *out += '\'';
+    for (char ch : v.string_value()) {
+      *out += ch;
+      if (ch == '\'') *out += '\'';  // lexer's '' escape
+    }
+    *out += '\'';
+  }
+  return Status::Ok();
+}
+
+Status RenderExpr(const Expr& e, std::string* out) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return RenderLiteral(e.literal, out);
+    case ExprKind::kColumnRef:
+      *out += e.column;
+      return Status::Ok();
+    case ExprKind::kBinary:
+      *out += '(';
+      MAXSON_RETURN_NOT_OK(RenderExpr(*e.children[0], out));
+      *out += ' ';
+      *out += OpToken(e.bin_op);
+      *out += ' ';
+      MAXSON_RETURN_NOT_OK(RenderExpr(*e.children[1], out));
+      *out += ')';
+      return Status::Ok();
+    case ExprKind::kUnary:
+      switch (e.un_op) {
+        case UnaryOp::kNot:
+          *out += "(NOT ";
+          MAXSON_RETURN_NOT_OK(RenderExpr(*e.children[0], out));
+          *out += ')';
+          return Status::Ok();
+        case UnaryOp::kNeg:
+          *out += "(-";
+          MAXSON_RETURN_NOT_OK(RenderExpr(*e.children[0], out));
+          *out += ')';
+          return Status::Ok();
+        case UnaryOp::kIsNull:
+        case UnaryOp::kIsNotNull:
+          *out += '(';
+          MAXSON_RETURN_NOT_OK(RenderExpr(*e.children[0], out));
+          *out += e.un_op == UnaryOp::kIsNull ? " IS NULL)" : " IS NOT NULL)";
+          return Status::Ok();
+      }
+      return Status::Internal("unhandled unary operator");
+    case ExprKind::kFunction:
+      // IN and LIKE parse into function nodes but ToString's "in(a, 1)"
+      // form is not this grammar; emit the SQL operator spelling.
+      if (e.func_name == "in" && e.children.size() >= 2) {
+        *out += '(';
+        MAXSON_RETURN_NOT_OK(RenderExpr(*e.children[0], out));
+        *out += " IN (";
+        for (size_t i = 1; i < e.children.size(); ++i) {
+          if (i > 1) *out += ", ";
+          MAXSON_RETURN_NOT_OK(RenderExpr(*e.children[i], out));
+        }
+        *out += "))";
+        return Status::Ok();
+      }
+      if (e.func_name == "like" && e.children.size() == 2) {
+        *out += '(';
+        MAXSON_RETURN_NOT_OK(RenderExpr(*e.children[0], out));
+        *out += " LIKE ";
+        MAXSON_RETURN_NOT_OK(RenderExpr(*e.children[1], out));
+        *out += ')';
+        return Status::Ok();
+      }
+      *out += e.func_name;
+      *out += '(';
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i > 0) *out += ", ";
+        MAXSON_RETURN_NOT_OK(RenderExpr(*e.children[i], out));
+      }
+      *out += ')';
+      return Status::Ok();
+    case ExprKind::kAggregate:
+      *out += AggToken(e.agg);
+      *out += '(';
+      if (e.children.empty()) {
+        *out += '*';
+      } else {
+        MAXSON_RETURN_NOT_OK(RenderExpr(*e.children[0], out));
+      }
+      *out += ')';
+      return Status::Ok();
+    case ExprKind::kStar:
+      *out += '*';
+      return Status::Ok();
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+/// Deterministic ordering key for sorting operands; falls back to the
+/// diagnostic rendering when the exact one fails, which only affects sort
+/// position, never semantics.
+std::string SortKey(const Expr& e) {
+  std::string out;
+  if (RenderExpr(e, &out).ok()) return out;
+  return "~" + e.ToString();
+}
+
+// ---- Normalization ----
+
+/// True when the subtree is literals combined by operators only — no
+/// columns, functions, or aggregates — so EvaluateExpr needs no context
+/// and is total (division by zero yields NULL, not an error).
+bool IsPureLiteral(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kBinary:
+    case ExprKind::kUnary:
+      for (const ExprPtr& child : e.children) {
+        if (!IsPureLiteral(*child)) return false;
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Folds a pure-literal operator subtree to the literal the engine itself
+/// would compute, but only when that literal renders back exactly.
+void TryFold(ExprPtr& e) {
+  if (e->kind != ExprKind::kBinary && e->kind != ExprKind::kUnary) return;
+  if (!IsPureLiteral(*e)) return;
+  engine::EvalContext ctx;
+  Result<Value> folded = engine::EvaluateExpr(*e, ctx);
+  if (!folded.ok()) return;
+  std::string probe;
+  if (!RenderLiteral(*folded, &probe).ok()) return;
+  e = Expr::Literal(std::move(*folded));
+}
+
+/// Collects the operands of a (possibly nested) chain of one AND/OR
+/// operator, left to right.
+void FlattenBoolean(BinaryOp op, ExprPtr e, std::vector<ExprPtr>* parts) {
+  if (e->kind == ExprKind::kBinary && e->bin_op == op) {
+    FlattenBoolean(op, std::move(e->children[0]), parts);
+    FlattenBoolean(op, std::move(e->children[1]), parts);
+  } else {
+    parts->push_back(std::move(e));
+  }
+}
+
+void CanonicalizeExpr(ExprPtr& e);
+
+/// AND/OR chains: canonicalize every operand, then sort them — truthiness
+/// of the conjunction/disjunction is a function of the operand truth
+/// multiset, and operand evaluation is total, so order is a cost choice,
+/// not a semantic one. Adjacent duplicates collapse while at least two
+/// operands remain (collapsing to a single bare operand would change the
+/// expression's value domain from boolean to the operand's own type,
+/// which matters if the chain is nested inside a comparison).
+void CanonicalizeBooleanChain(ExprPtr& e) {
+  const BinaryOp op = e->bin_op;
+  std::vector<ExprPtr> parts;
+  FlattenBoolean(op, std::move(e), &parts);
+  for (ExprPtr& part : parts) {
+    CanonicalizeExpr(part);
+    TryFold(part);
+  }
+  std::stable_sort(parts.begin(), parts.end(),
+                   [](const ExprPtr& a, const ExprPtr& b) {
+                     return SortKey(*a) < SortKey(*b);
+                   });
+  for (size_t i = 1; i < parts.size() && parts.size() > 2;) {
+    if (SortKey(*parts[i - 1]) == SortKey(*parts[i])) {
+      parts.erase(parts.begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  ExprPtr rebuilt = std::move(parts[0]);
+  for (size_t i = 1; i < parts.size(); ++i) {
+    rebuilt = Expr::Binary(op, std::move(rebuilt), std::move(parts[i]));
+  }
+  e = std::move(rebuilt);
+  TryFold(e);
+}
+
+void CanonicalizeExpr(ExprPtr& e) {
+  if (e == nullptr) return;
+  switch (e->kind) {
+    case ExprKind::kAggregate:
+      // Verbatim: aggregate text must stay identical between the
+      // projection list (never rewritten) and HAVING, where the planner
+      // matches aggregates textually.
+      return;
+    case ExprKind::kBinary: {
+      if (e->bin_op == BinaryOp::kAnd || e->bin_op == BinaryOp::kOr) {
+        CanonicalizeBooleanChain(e);
+        return;
+      }
+      CanonicalizeExpr(e->children[0]);
+      CanonicalizeExpr(e->children[1]);
+      TryFold(e);
+      if (e->kind != ExprKind::kBinary) return;  // folded away
+      const bool left_literal = e->children[0]->kind == ExprKind::kLiteral;
+      const bool right_literal = e->children[1]->kind == ExprKind::kLiteral;
+      if (IsComparison(e->bin_op)) {
+        // Literal on the right; between two non-literals, smaller rendering
+        // on the left (comparison evaluation is symmetric under mirroring).
+        const bool flip =
+            (left_literal && !right_literal) ||
+            (left_literal == right_literal &&
+             SortKey(*e->children[0]) > SortKey(*e->children[1]));
+        if (flip) {
+          std::swap(e->children[0], e->children[1]);
+          e->bin_op = MirrorOp(e->bin_op);
+        }
+      } else if (e->bin_op == BinaryOp::kAdd || e->bin_op == BinaryOp::kMul) {
+        // + and * evaluate both operands then combine commutatively (for
+        // int64 and IEEE doubles alike), so operand order is free.
+        if (SortKey(*e->children[0]) > SortKey(*e->children[1])) {
+          std::swap(e->children[0], e->children[1]);
+        }
+      }
+      return;
+    }
+    case ExprKind::kUnary:
+      CanonicalizeExpr(e->children[0]);
+      TryFold(e);
+      return;
+    case ExprKind::kFunction: {
+      for (ExprPtr& child : e->children) CanonicalizeExpr(child);
+      if (e->func_name == "in" && e->children.size() > 2) {
+        // Membership scans the whole list and skips NULLs, so the list is
+        // a set: sort it and drop duplicates.
+        std::stable_sort(e->children.begin() + 1, e->children.end(),
+                         [](const ExprPtr& a, const ExprPtr& b) {
+                           return SortKey(*a) < SortKey(*b);
+                         });
+        for (size_t i = 2; i < e->children.size();) {
+          if (SortKey(*e->children[i - 1]) == SortKey(*e->children[i])) {
+            e->children.erase(e->children.begin() +
+                              static_cast<ptrdiff_t>(i));
+          } else {
+            ++i;
+          }
+        }
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void RenderTableRef(const engine::TableRef& ref, std::string* out) {
+  if (!ref.database.empty()) {
+    *out += ref.database;
+    *out += '.';
+  }
+  *out += ref.table;
+  if (!ref.alias.empty()) {
+    *out += ' ';
+    *out += ref.alias;
+  }
+}
+
+}  // namespace
+
+Result<CanonicalQuery> Canonicalize(std::string_view sql) {
+  MAXSON_ASSIGN_OR_RETURN(engine::SelectStatement stmt, engine::ParseSql(sql));
+
+  // Normalize the predicate positions only; projections, GROUP BY, and
+  // ORDER BY render verbatim so output names, grouping, and sort keys are
+  // untouched.
+  CanonicalizeExpr(stmt.where);
+  CanonicalizeExpr(stmt.having);
+  CanonicalizeExpr(stmt.join_condition);
+
+  CanonicalQuery out;
+  for (const engine::SelectItem& item : stmt.items) {
+    std::string text;
+    MAXSON_RETURN_NOT_OK(RenderExpr(*item.expr, &text));
+    if (!item.alias.empty()) {
+      text += " AS ";
+      text += item.alias;
+    }
+    out.projections.push_back(std::move(text));
+  }
+  std::vector<std::string> sorted_items = out.projections;
+  std::sort(sorted_items.begin(), sorted_items.end());
+
+  const auto render_statement =
+      [&stmt](const std::vector<std::string>& items,
+              std::string* rendered) -> Status {
+    *rendered += "SELECT ";
+    if (stmt.distinct) *rendered += "DISTINCT ";
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) *rendered += ", ";
+      *rendered += items[i];
+    }
+    *rendered += " FROM ";
+    RenderTableRef(stmt.from, rendered);
+    if (stmt.join.has_value()) {
+      *rendered += " INNER JOIN ";
+      RenderTableRef(*stmt.join, rendered);
+      *rendered += " ON ";
+      MAXSON_RETURN_NOT_OK(RenderExpr(*stmt.join_condition, rendered));
+    }
+    if (stmt.where != nullptr) {
+      *rendered += " WHERE ";
+      MAXSON_RETURN_NOT_OK(RenderExpr(*stmt.where, rendered));
+    }
+    if (!stmt.group_by.empty()) {
+      *rendered += " GROUP BY ";
+      for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+        if (i > 0) *rendered += ", ";
+        MAXSON_RETURN_NOT_OK(RenderExpr(*stmt.group_by[i], rendered));
+      }
+    }
+    if (stmt.having != nullptr) {
+      *rendered += " HAVING ";
+      MAXSON_RETURN_NOT_OK(RenderExpr(*stmt.having, rendered));
+    }
+    if (!stmt.order_by.empty()) {
+      *rendered += " ORDER BY ";
+      for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+        if (i > 0) *rendered += ", ";
+        MAXSON_RETURN_NOT_OK(RenderExpr(*stmt.order_by[i].expr, rendered));
+        if (stmt.order_by[i].descending) *rendered += " DESC";
+      }
+    }
+    if (stmt.limit >= 0) {
+      *rendered += " LIMIT ";
+      *rendered += std::to_string(stmt.limit);
+    }
+    return Status::Ok();
+  };
+
+  MAXSON_RETURN_NOT_OK(render_statement(out.projections, &out.sql));
+  MAXSON_RETURN_NOT_OK(render_statement(sorted_items, &out.cache_key));
+
+  out.tables.emplace_back(stmt.from.database, stmt.from.table);
+  if (stmt.join.has_value()) {
+    out.tables.emplace_back(stmt.join->database, stmt.join->table);
+  }
+  return out;
+}
+
+}  // namespace maxson::serve

@@ -1,0 +1,61 @@
+#ifndef MAXSON_SERVE_CANONICALIZER_H_
+#define MAXSON_SERVE_CANONICALIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace maxson::serve {
+
+/// Canonical form of one SELECT statement, produced by Canonicalize().
+struct CanonicalQuery {
+  /// Re-parseable canonical SQL: uppercase keywords, single spacing,
+  /// normalized predicates (commutative conjuncts/disjuncts sorted,
+  /// pure-literal subtrees folded, comparisons oriented literal-on-right,
+  /// IN lists sorted and deduplicated). Projection order is preserved —
+  /// output column order and derived names are part of a query's
+  /// semantics — so executing this text yields byte-identical results to
+  /// the original.
+  std::string sql;
+
+  /// Result-cache key: `sql` with the projection list sorted, so
+  /// `SELECT a, b` and `SELECT b, a` share one cache entry (the cache
+  /// permutes stored columns back into each query's requested order).
+  std::string cache_key;
+
+  /// Canonical text of each projection item in query order
+  /// ("expr" or "expr AS alias"). Items equal as strings are equal as
+  /// output columns — same values and same derived name — which is what
+  /// lets the result cache serve permuted projections.
+  std::vector<std::string> projections;
+
+  /// Tables the query reads: {database (may be empty = default), table}
+  /// for FROM and, when present, JOIN. Used to pin cache entries to the
+  /// catalog's logical modification clocks.
+  std::vector<std::pair<std::string, std::string>> tables;
+};
+
+/// Builds the canonical form of `sql`. Fails with the parser's error on
+/// invalid SQL, and with kUnimplemented on the rare literal that has no
+/// exact re-parseable rendering (doubles needing exponent notation) —
+/// callers treat any failure as "do not result-cache this query".
+///
+/// Guarantee relied on by the result cache (and enforced by the
+/// differential test in tests/canonicalizer_test.cc): executing `sql`
+/// produces byte-identical results — values, row order, column names —
+/// to executing the original text. The transformations are restricted to
+/// ones the engine's own evaluation semantics make order-independent:
+/// AND/OR operands short-circuit only as a cost matter (operand
+/// evaluation is total: division by zero yields NULL, not an error),
+/// IN-list membership scans the whole list, and literal folding runs the
+/// engine's own EvaluateExpr. Expressions under aggregates and in the
+/// projection / GROUP BY / ORDER BY lists are rendered verbatim so
+/// derived column names and HAVING-to-projection aggregate matching
+/// survive unchanged.
+Result<CanonicalQuery> Canonicalize(std::string_view sql);
+
+}  // namespace maxson::serve
+
+#endif  // MAXSON_SERVE_CANONICALIZER_H_

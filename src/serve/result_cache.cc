@@ -1,0 +1,135 @@
+#include "serve/result_cache.h"
+
+#include <utility>
+
+namespace maxson::serve {
+
+namespace {
+
+/// Rebuilds `stored` with its columns in `wanted` order. Duplicate items
+/// are matched one-to-one (each stored column serves one requested item).
+/// Returns nullopt when the item multisets differ — the caller treats
+/// that as a miss (it cannot happen for entries found under a
+/// projection-sorted cache key, but the cache never trusts that).
+std::optional<storage::RecordBatch> PermuteColumns(
+    const storage::RecordBatch& stored,
+    const std::vector<std::string>& stored_items,
+    const std::vector<std::string>& wanted) {
+  if (stored_items.size() != wanted.size() ||
+      stored.num_columns() != stored_items.size()) {
+    return std::nullopt;
+  }
+  std::vector<size_t> mapping(wanted.size());
+  std::vector<bool> used(stored_items.size(), false);
+  for (size_t w = 0; w < wanted.size(); ++w) {
+    bool found = false;
+    for (size_t s = 0; s < stored_items.size(); ++s) {
+      if (!used[s] && stored_items[s] == wanted[w]) {
+        mapping[w] = s;
+        used[s] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;
+  }
+  storage::Schema schema;
+  for (size_t w = 0; w < wanted.size(); ++w) {
+    const storage::Field& f = stored.schema().field(mapping[w]);
+    schema.AddField(f.name, f.type);
+  }
+  storage::RecordBatch out(schema);
+  for (size_t w = 0; w < wanted.size(); ++w) {
+    out.column(w) = stored.column(mapping[w]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<storage::RecordBatch> ResultCache::Lookup(
+    const CanonicalQuery& query, const ResultValidity& current) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(query.cache_key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  Entry& entry = it->second;
+  if (!(entry.validity == current)) {
+    bytes_ -= entry.bytes;
+    lru_.erase(entry.lru_it);
+    entries_.erase(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  std::optional<storage::RecordBatch> served =
+      entry.projections == query.projections
+          ? std::optional<storage::RecordBatch>(entry.batch)
+          : PermuteColumns(entry.batch, entry.projections, query.projections);
+  if (!served.has_value()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, entry.lru_it);
+  ++stats_.hits;
+  return served;
+}
+
+void ResultCache::Insert(const CanonicalQuery& query,
+                         const storage::RecordBatch& batch,
+                         const ResultValidity& at) {
+  const uint64_t bytes = batch.ByteSize();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (bytes > config_.max_bytes || config_.max_entries == 0) return;
+  auto it = entries_.find(query.cache_key);
+  if (it != entries_.end()) {
+    // Concurrent producers of the same key: last writer wins; both ran the
+    // query, so either entry is a correct result for its validity stamp.
+    bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+  }
+  lru_.push_front(query.cache_key);
+  Entry entry;
+  entry.batch = batch;
+  entry.projections = query.projections;
+  entry.validity = at;
+  entry.bytes = bytes;
+  entry.lru_it = lru_.begin();
+  bytes_ += bytes;
+  entries_.emplace(query.cache_key, std::move(entry));
+  EvictWhileOverBudgetLocked();
+}
+
+void ResultCache::EvictWhileOverBudgetLocked() {
+  while (!lru_.empty() &&
+         (entries_.size() > config_.max_entries || bytes_ > config_.max_bytes)) {
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    if (it != entries_.end()) {
+      bytes_ -= it->second.bytes;
+      entries_.erase(it);
+    }
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+ResultCache::Stats ResultCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats = stats_;
+  stats.entries = entries_.size();
+  stats.bytes = bytes_;
+  return stats;
+}
+
+}  // namespace maxson::serve

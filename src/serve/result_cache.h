@@ -1,0 +1,97 @@
+#ifndef MAXSON_SERVE_RESULT_CACHE_H_
+#define MAXSON_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/plan.h"
+#include "serve/canonicalizer.h"
+#include "storage/record_batch.h"
+
+namespace maxson::serve {
+
+/// Bounds for the semantic result cache; both limits apply together.
+struct ResultCacheConfig {
+  size_t max_entries = 256;
+  uint64_t max_bytes = 64ull << 20;
+};
+
+/// Snapshot of everything a cached result's correctness depends on, taken
+/// BEFORE the producing execution starts: the cache registry's version
+/// (the same counter the PR 3 binding snapshots key on — every Put /
+/// Invalidate / Clear bumps it) plus the catalog's logical modification
+/// clock of each table the query reads, in CanonicalQuery::tables order.
+/// A hit requires exact equality with the lookup-time snapshot; any drift
+/// — a midnight recache mid-execution included — turns the entry stale.
+struct ResultValidity {
+  uint64_t registry_version = 0;
+  std::vector<int64_t> table_clocks;
+
+  bool operator==(const ResultValidity& other) const {
+    return registry_version == other.registry_version &&
+           table_clocks == other.table_clocks;
+  }
+};
+
+/// Semantic result cache: canonical-form SELECT -> materialized result.
+/// Keyed by CanonicalQuery::cache_key (projection-order-insensitive); a
+/// hit whose projection order differs from the stored one is served by
+/// permuting the stored columns, which is sound because equal canonical
+/// item text means equal expression AND equal derived column name.
+/// Entries are LRU-evicted past the entry/byte budget and invalidated by
+/// comparing ResultValidity snapshots. Thread-safe.
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheConfig config) : config_(config) {}
+
+  /// Returns the cached batch in `query`'s projection order when a fresh
+  /// entry exists; a stale entry is erased and counted as an
+  /// invalidation + miss.
+  std::optional<storage::RecordBatch> Lookup(const CanonicalQuery& query,
+                                            const ResultValidity& current);
+
+  /// Stores `batch` (the result of executing `query`) recorded as valid
+  /// for `at`, which the caller snapshotted before execution began.
+  /// Results larger than the whole byte budget are not cached.
+  void Insert(const CanonicalQuery& query, const storage::RecordBatch& batch,
+              const ResultValidity& at);
+
+  void Clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+    size_t entries = 0;
+    uint64_t bytes = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    storage::RecordBatch batch;
+    std::vector<std::string> projections;  // stored column order
+    ResultValidity validity;
+    uint64_t bytes = 0;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void EvictWhileOverBudgetLocked();
+
+  mutable std::mutex mutex_;
+  ResultCacheConfig config_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  uint64_t bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace maxson::serve
+
+#endif  // MAXSON_SERVE_RESULT_CACHE_H_

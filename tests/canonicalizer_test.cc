@@ -1,0 +1,210 @@
+#include "serve/canonicalizer.h"
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "engine/engine.h"
+#include "engine/fingerprint.h"
+#include "gtest/gtest.h"
+#include "storage/corc_writer.h"
+#include "storage/file_system.h"
+
+namespace maxson::serve {
+namespace {
+
+using storage::FileSystem;
+using storage::Schema;
+using storage::TypeKind;
+using storage::Value;
+
+TEST(CanonicalizerTest, NormalizesWhitespaceAndKeywordCase) {
+  auto c = Canonicalize("select   id\n from DB.t  where id=1");
+  ASSERT_TRUE(c.ok()) << c.status();
+  EXPECT_EQ(c->sql, "SELECT id FROM DB.t WHERE (id = 1)");
+  EXPECT_EQ(c->cache_key, c->sql);
+}
+
+TEST(CanonicalizerTest, SortsCommutativeConjuncts) {
+  auto a = Canonicalize("SELECT id FROM db.t WHERE b = 2 AND a = 1");
+  auto b = Canonicalize("SELECT id FROM db.t WHERE a = 1 AND b = 2");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->sql, b->sql);
+  EXPECT_EQ(a->cache_key, b->cache_key);
+
+  auto c = Canonicalize("SELECT id FROM db.t WHERE a = 1 OR b = 2");
+  auto d = Canonicalize("SELECT id FROM db.t WHERE b = 2 OR a = 1");
+  ASSERT_TRUE(c.ok() && d.ok());
+  EXPECT_EQ(c->sql, d->sql);
+  // AND and OR chains must not collapse into each other.
+  EXPECT_NE(a->sql, c->sql);
+}
+
+TEST(CanonicalizerTest, OrientsComparisonsLiteralOnRight) {
+  auto flipped = Canonicalize("SELECT id FROM db.t WHERE 5 < id");
+  auto straight = Canonicalize("SELECT id FROM db.t WHERE id > 5");
+  ASSERT_TRUE(flipped.ok() && straight.ok());
+  EXPECT_EQ(flipped->sql, straight->sql);
+  EXPECT_EQ(flipped->sql, "SELECT id FROM db.t WHERE (id > 5)");
+}
+
+TEST(CanonicalizerTest, SortsAndDeduplicatesInLists) {
+  auto a = Canonicalize("SELECT id FROM db.t WHERE id IN (3, 1, 2, 1)");
+  auto b = Canonicalize("SELECT id FROM db.t WHERE id IN (1, 2, 3)");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->sql, b->sql);
+  EXPECT_EQ(a->sql, "SELECT id FROM db.t WHERE (id IN (1, 2, 3))");
+}
+
+TEST(CanonicalizerTest, FoldsPureLiteralSubtrees) {
+  auto c = Canonicalize("SELECT id FROM db.t WHERE id > 10 * 2 + 5");
+  ASSERT_TRUE(c.ok()) << c.status();
+  EXPECT_EQ(c->sql, "SELECT id FROM db.t WHERE (id > 25)");
+
+  // Folding runs the engine's own semantics: division by zero is NULL.
+  auto null_fold = Canonicalize("SELECT id FROM db.t WHERE id > 1 / 0");
+  ASSERT_TRUE(null_fold.ok());
+  EXPECT_EQ(null_fold->sql, "SELECT id FROM db.t WHERE (id > NULL)");
+}
+
+TEST(CanonicalizerTest, ProjectionOrderInsensitiveKeyButOrderPreservingSql) {
+  auto ab = Canonicalize("SELECT a, b FROM db.t");
+  auto ba = Canonicalize("SELECT b, a FROM db.t");
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  EXPECT_EQ(ab->cache_key, ba->cache_key);
+  EXPECT_NE(ab->sql, ba->sql);  // output column order is semantic
+  ASSERT_EQ(ab->projections.size(), 2u);
+  EXPECT_EQ(ab->projections[0], "a");
+  EXPECT_EQ(ba->projections[0], "b");
+}
+
+TEST(CanonicalizerTest, TracksInvolvedTables) {
+  auto c = Canonicalize(
+      "SELECT x.id FROM db.t x INNER JOIN db2.u y ON x.id = y.id");
+  ASSERT_TRUE(c.ok()) << c.status();
+  ASSERT_EQ(c->tables.size(), 2u);
+  EXPECT_EQ(c->tables[0], (std::pair<std::string, std::string>("db", "t")));
+  EXPECT_EQ(c->tables[1], (std::pair<std::string, std::string>("db2", "u")));
+}
+
+TEST(CanonicalizerTest, RejectsNonSelectAndInvalidSql) {
+  EXPECT_FALSE(Canonicalize("EXPLAIN SELECT id FROM db.t").ok());
+  EXPECT_FALSE(Canonicalize("SELECT FROM WHERE").ok());
+  EXPECT_FALSE(Canonicalize("").ok());
+}
+
+TEST(CanonicalizerTest, EscapesQuotesInStringLiterals) {
+  auto c = Canonicalize("SELECT id FROM db.t WHERE name = 'o''brien'");
+  ASSERT_TRUE(c.ok()) << c.status();
+  EXPECT_EQ(c->sql, "SELECT id FROM db.t WHERE (name = 'o''brien')");
+}
+
+/// The corpus the differential test executes: every executable query shape
+/// from tests/sql_features_test.cc plus extra coverage of the rewrites the
+/// canonicalizer performs (folding, BETWEEN desugaring, NOT, arithmetic,
+/// DISTINCT, aliases, HAVING, LIMIT).
+std::vector<std::string> DifferentialCorpus() {
+  std::vector<std::string> corpus = {
+      "SELECT DISTINCT name FROM db.t ORDER BY name",
+      "SELECT DISTINCT name FROM db.t ORDER BY name LIMIT 2",
+      "SELECT id FROM db.t WHERE name IN ('banana', 'cherry')",
+      "SELECT id FROM db.t WHERE name NOT IN ('banana', 'cherry')",
+      "SELECT id FROM db.t WHERE id IN (0, 4, 9)",
+      "SELECT name, COUNT(*) AS n FROM db.t GROUP BY name "
+      "HAVING COUNT(*) > 1 ORDER BY name",
+      "SELECT name, COUNT(*) AS n FROM db.t GROUP BY name HAVING n = 1 "
+      "ORDER BY name",
+      "SELECT name, min(id) AS first_id FROM db.t GROUP BY name "
+      "HAVING min(id) >= 1 AND name LIKE '%a%' ORDER BY name",
+      // Extra shapes exercising each canonicalization rule.
+      "SELECT id, name FROM db.t WHERE 1 <= id AND name LIKE 'a%' "
+      "ORDER BY id DESC",
+      "SELECT id FROM db.t WHERE id BETWEEN 1 AND 3 ORDER BY id",
+      "SELECT id FROM db.t WHERE NOT (name = 'apple' OR id > 3) ORDER BY id",
+      "SELECT id, name FROM db.t WHERE id % 2 = 0 ORDER BY id",
+      "SELECT count(*) FROM db.t",
+      "SELECT id + 1 AS next_id FROM db.t WHERE id > 10 * 0 ORDER BY id",
+      "SELECT id + 1 FROM db.t ORDER BY id LIMIT 3",
+      "select id from db.t where name like 'ap%' and id < 1 + 2",
+      "SELECT name, id FROM db.t WHERE name IS NOT NULL ORDER BY id",
+      "SELECT id FROM db.t WHERE 2 = id OR id = 0 ORDER BY id",
+      "SELECT avg(id) AS mean, sum(id) AS total FROM db.t",
+  };
+  const char* like_patterns[] = {"apple", "ap%",     "%an%", "_pple",
+                                 "%e",    "%",       "a_____t", "z%"};
+  for (const char* pattern : like_patterns) {
+    corpus.push_back(std::string("SELECT id FROM db.t WHERE name LIKE '") +
+                     pattern + "'");
+  }
+  return corpus;
+}
+
+class CanonicalizerDifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("maxson_canon_" + std::to_string(::getpid())))
+               .string();
+    ASSERT_TRUE(FileSystem::RemoveAll(dir_).ok());
+    ASSERT_TRUE(FileSystem::MakeDirs(dir_ + "/t").ok());
+    Schema schema;
+    schema.AddField("id", TypeKind::kInt64);
+    schema.AddField("name", TypeKind::kString);
+    storage::CorcWriter writer(dir_ + "/t/" + FileSystem::PartFileName(0),
+                               schema, {});
+    ASSERT_TRUE(writer.Open().ok());
+    const char* names[] = {"apple", "apricot", "banana", "apple", "cherry"};
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(
+          writer.AppendRow({Value::Int64(i), Value::String(names[i])}).ok());
+    }
+    ASSERT_TRUE(writer.Close().ok());
+    ASSERT_TRUE(catalog_.CreateDatabase("db").ok());
+    catalog::TableInfo info;
+    info.database = "db";
+    info.name = "t";
+    info.schema = schema;
+    info.location = dir_ + "/t";
+    ASSERT_TRUE(catalog_.CreateTable(info).ok());
+  }
+  void TearDown() override { ASSERT_TRUE(FileSystem::RemoveAll(dir_).ok()); }
+
+  std::string dir_;
+  catalog::Catalog catalog_;
+};
+
+TEST_F(CanonicalizerDifferentialTest, CanonicalFormIsByteIdentical) {
+  engine::QueryEngine engine(&catalog_, engine::EngineConfig{});
+  for (const std::string& sql : DifferentialCorpus()) {
+    SCOPED_TRACE(sql);
+    auto canonical = Canonicalize(sql);
+    ASSERT_TRUE(canonical.ok()) << canonical.status();
+
+    auto original_result = engine.Execute(sql);
+    ASSERT_TRUE(original_result.ok()) << original_result.status();
+    auto canonical_result = engine.Execute(canonical->sql);
+    ASSERT_TRUE(canonical_result.ok())
+        << canonical->sql << ": " << canonical_result.status();
+
+    // Byte-identical: values, row order, column names and types.
+    EXPECT_EQ(engine::FingerprintBatch(original_result->batch),
+              engine::FingerprintBatch(canonical_result->batch))
+        << "canonical form: " << canonical->sql;
+  }
+}
+
+TEST_F(CanonicalizerDifferentialTest, CanonicalizationIsIdempotent) {
+  for (const std::string& sql : DifferentialCorpus()) {
+    SCOPED_TRACE(sql);
+    auto once = Canonicalize(sql);
+    ASSERT_TRUE(once.ok()) << once.status();
+    auto twice = Canonicalize(once->sql);
+    ASSERT_TRUE(twice.ok()) << once->sql << ": " << twice.status();
+    EXPECT_EQ(once->sql, twice->sql);
+    EXPECT_EQ(once->cache_key, twice->cache_key);
+  }
+}
+
+}  // namespace
+}  // namespace maxson::serve

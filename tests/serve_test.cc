@@ -1,0 +1,489 @@
+// Tests for the serving layer: admission control edge cases (zero
+// capacity, bounded-queue overflow, shutdown drain), the semantic result
+// cache through MaxsonServer (repeat hits, equivalent-form hits, permuted
+// projections, registry-version invalidation), metrics, and correctness
+// under concurrent clients racing cache invalidation. Also named in the
+// TSan stage of tools/ci.sh.
+
+#include "serve/server.h"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "engine/fingerprint.h"
+#include "gtest/gtest.h"
+#include "serve/admission.h"
+#include "serve/result_cache.h"
+#include "storage/corc_writer.h"
+#include "storage/file_system.h"
+
+namespace maxson::serve {
+namespace {
+
+using storage::FileSystem;
+using storage::Schema;
+using storage::TypeKind;
+using storage::Value;
+
+// ---------------------------------------------------------------------------
+// Admission control edge cases (satellite: typed rejection, never blocks
+// forever, drain on shutdown).
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionControllerTest, ZeroCapacityTenantRejectsImmediately) {
+  AdmissionController admission(TenantLimits{4, 16});
+  admission.SetTenantLimits("freeloader", TenantLimits{0, 16});
+  auto ticket = admission.Admit("freeloader");
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_TRUE(ticket.status().IsResourceExhausted()) << ticket.status();
+  EXPECT_EQ(admission.Snapshot("freeloader").rejected, 1u);
+}
+
+TEST(AdmissionControllerTest, QueueOverflowRejectsWithTypedStatus) {
+  AdmissionController admission(TenantLimits{1, 0});
+  auto first = admission.Admit("t");
+  ASSERT_TRUE(first.ok()) << first.status();
+  // Slot busy and zero queue capacity: the second caller must get a typed
+  // failure immediately, not block.
+  auto second = admission.Admit("t");
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsResourceExhausted()) << second.status();
+}
+
+TEST(AdmissionControllerTest, BoundedQueueAdmitsInOrderAndRejectsOverflow) {
+  AdmissionController admission(TenantLimits{1, 1});
+  auto first = admission.Admit("t");
+  ASSERT_TRUE(first.ok());
+
+  std::atomic<bool> waiter_admitted{false};
+  std::thread waiter([&admission, &waiter_admitted] {
+    auto ticket = admission.Admit("t");  // takes the one queue slot
+    EXPECT_TRUE(ticket.ok()) << ticket.status();
+    waiter_admitted.store(true);
+  });
+  while (admission.Snapshot("t").queued < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Queue full now: a third caller overflows and fails fast.
+  auto overflow = admission.Admit("t");
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_TRUE(overflow.status().IsResourceExhausted());
+  EXPECT_FALSE(waiter_admitted.load());
+
+  first->Release();  // frees the slot; the queued waiter takes it
+  waiter.join();
+  EXPECT_TRUE(waiter_admitted.load());
+  const auto snapshot = admission.Snapshot("t");
+  EXPECT_EQ(snapshot.admitted, 2u);
+  EXPECT_EQ(snapshot.rejected, 1u);
+}
+
+TEST(AdmissionControllerTest, ShutdownRejectsQueuedAndDrainsInFlight) {
+  AdmissionController admission(TenantLimits{1, 4});
+  auto in_flight = admission.Admit("t");
+  ASSERT_TRUE(in_flight.ok());
+
+  std::atomic<bool> queued_rejected{false};
+  std::thread queued([&admission, &queued_rejected] {
+    auto ticket = admission.Admit("t");
+    EXPECT_FALSE(ticket.ok());
+    EXPECT_TRUE(ticket.status().IsResourceExhausted());
+    queued_rejected.store(true);
+  });
+  while (admission.Snapshot("t").queued < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::atomic<bool> shutdown_done{false};
+  std::thread shutdown([&admission, &shutdown_done] {
+    admission.Shutdown();  // blocks until the in-flight ticket releases
+    shutdown_done.store(true);
+  });
+  queued.join();  // queued waiter is rejected without waiting for drain
+  EXPECT_TRUE(queued_rejected.load());
+  EXPECT_FALSE(shutdown_done.load());
+  EXPECT_EQ(admission.TotalInFlight(), 1u);
+
+  in_flight->Release();
+  shutdown.join();
+  EXPECT_TRUE(shutdown_done.load());
+  EXPECT_EQ(admission.TotalInFlight(), 0u);
+
+  // Everything after shutdown is rejected with the same typed status.
+  auto late = admission.Admit("t");
+  ASSERT_FALSE(late.ok());
+  EXPECT_TRUE(late.status().IsResourceExhausted());
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache unit behavior.
+// ---------------------------------------------------------------------------
+
+storage::RecordBatch OneCellBatch(int64_t v) {
+  Schema schema;
+  schema.AddField("id", TypeKind::kInt64);
+  storage::RecordBatch batch(schema);
+  batch.AppendRow({Value::Int64(v)});
+  return batch;
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedPastEntryBudget) {
+  ResultCache cache(ResultCacheConfig{2, 64ull << 20});
+  ResultValidity validity;
+  std::vector<CanonicalQuery> queries;
+  for (int i = 0; i < 3; ++i) {
+    auto q = Canonicalize("SELECT id FROM db.t WHERE id = " +
+                          std::to_string(i));
+    ASSERT_TRUE(q.ok());
+    queries.push_back(*q);
+  }
+  cache.Insert(queries[0], OneCellBatch(0), validity);
+  cache.Insert(queries[1], OneCellBatch(1), validity);
+  ASSERT_TRUE(cache.Lookup(queries[0], validity).has_value());  // 0 is MRU
+  cache.Insert(queries[2], OneCellBatch(2), validity);          // evicts 1
+  EXPECT_TRUE(cache.Lookup(queries[0], validity).has_value());
+  EXPECT_FALSE(cache.Lookup(queries[1], validity).has_value());
+  EXPECT_TRUE(cache.Lookup(queries[2], validity).has_value());
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(ResultCacheTest, ValidityDriftEvictsAndCountsInvalidation) {
+  ResultCache cache(ResultCacheConfig{});
+  auto q = Canonicalize("SELECT id FROM db.t");
+  ASSERT_TRUE(q.ok());
+  ResultValidity before;
+  before.registry_version = 7;
+  cache.Insert(*q, OneCellBatch(1), before);
+  ResultValidity after;
+  after.registry_version = 8;
+  EXPECT_FALSE(cache.Lookup(*q, after).has_value());
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  // Table-clock drift invalidates the same way.
+  before.table_clocks = {3};
+  cache.Insert(*q, OneCellBatch(1), before);
+  ResultValidity moved = before;
+  moved.table_clocks = {4};
+  EXPECT_FALSE(cache.Lookup(*q, moved).has_value());
+  EXPECT_EQ(cache.GetStats().invalidations, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// MaxsonServer end to end.
+// ---------------------------------------------------------------------------
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("maxson_serve_" + std::to_string(::getpid())))
+               .string();
+    ASSERT_TRUE(FileSystem::RemoveAll(dir_).ok());
+    ASSERT_TRUE(FileSystem::MakeDirs(dir_ + "/t").ok());
+    Schema schema;
+    schema.AddField("id", TypeKind::kInt64);
+    schema.AddField("name", TypeKind::kString);
+    storage::CorcWriter writer(dir_ + "/t/" + FileSystem::PartFileName(0),
+                               schema, {});
+    ASSERT_TRUE(writer.Open().ok());
+    const char* names[] = {"apple", "apricot", "banana", "apple", "cherry"};
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(
+          writer.AppendRow({Value::Int64(i), Value::String(names[i])}).ok());
+    }
+    ASSERT_TRUE(writer.Close().ok());
+    ASSERT_TRUE(catalog_.CreateDatabase("db").ok());
+    catalog::TableInfo info;
+    info.database = "db";
+    info.name = "t";
+    info.schema = schema;
+    info.location = dir_ + "/t";
+    ASSERT_TRUE(catalog_.CreateTable(info).ok());
+
+    core::MaxsonConfig config;
+    config.cache_root = dir_ + "/cache";
+    config.engine.default_database = "db";
+    config.metrics = &metrics_;
+    session_ = std::make_unique<core::MaxsonSession>(&catalog_, config);
+  }
+  void TearDown() override {
+    session_.reset();
+    ASSERT_TRUE(FileSystem::RemoveAll(dir_).ok());
+  }
+
+  /// Fingerprint of `sql` executed directly on the session (no result
+  /// cache involved) — the ground truth served answers are compared to.
+  std::string DirectFingerprint(const std::string& sql) {
+    auto result = session_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status();
+    return result.ok() ? engine::FingerprintBatch(result->batch)
+                       : std::string();
+  }
+
+  /// A registry entry pointing at a nonexistent table: importing it bumps
+  /// CacheRegistry::version() without affecting any served query's plan
+  /// (the midnight-cycle version churn, minus the disk churn).
+  core::CacheEntry UnrelatedRegistryEntry(int i) {
+    core::CacheEntry entry;
+    entry.location.database = "db";
+    entry.location.table = "unrelated";
+    entry.location.column = "c";
+    entry.location.path = "$.f" + std::to_string(i);
+    entry.cache_table_dir = dir_ + "/cache/unrelated";
+    entry.cache_field = "f";
+    entry.cache_time = i;
+    return entry;
+  }
+
+  std::string dir_;
+  catalog::Catalog catalog_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<core::MaxsonSession> session_;
+};
+
+TEST_F(ServeTest, RepeatAndEquivalentFormQueriesHitTheResultCache) {
+  MaxsonServer server(session_.get(), &catalog_, ServeOptions{});
+  ClientSession client = server.Connect("analyst");
+
+  const std::string sql = "SELECT id, name FROM db.t WHERE id > 1 ORDER BY id";
+  const std::string expected = DirectFingerprint(sql);
+
+  auto cold = client.Execute(sql);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_FALSE(cold->result_cache_hit);
+  EXPECT_EQ(engine::FingerprintBatch(cold->result.batch), expected);
+
+  auto warm = client.Execute(sql);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->result_cache_hit);
+  EXPECT_EQ(engine::FingerprintBatch(warm->result.batch), expected);
+
+  // A semantically equivalent spelling hits the same entry: different
+  // whitespace/case, flipped comparison, reordered conjunct-free form.
+  auto equivalent =
+      client.Execute("select id,  name from db.t where 1 < id order by id");
+  ASSERT_TRUE(equivalent.ok());
+  EXPECT_TRUE(equivalent->result_cache_hit);
+  EXPECT_EQ(engine::FingerprintBatch(equivalent->result.batch), expected);
+
+  const auto stats = server.result_cache_stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(metrics_.GetCounter("maxson_serve_result_cache_hits_total")
+                ->value(),
+            2u);
+}
+
+TEST_F(ServeTest, InListOrderAndDuplicatesShareOneCacheEntry) {
+  MaxsonServer server(session_.get(), &catalog_, ServeOptions{});
+  ClientSession client = server.Connect("analyst");
+  const std::string expected =
+      DirectFingerprint("SELECT id FROM db.t WHERE id IN (1, 2) ORDER BY id");
+
+  auto cold = client.Execute("SELECT id FROM db.t WHERE id IN (1, 2) "
+                             "ORDER BY id");
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->result_cache_hit);
+  auto warm = client.Execute("SELECT id FROM db.t WHERE id IN (2, 1, 1) "
+                             "ORDER BY id");
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->result_cache_hit);
+  EXPECT_EQ(engine::FingerprintBatch(warm->result.batch), expected);
+}
+
+TEST_F(ServeTest, PermutedProjectionIsServedFromCacheByteIdentically) {
+  MaxsonServer server(session_.get(), &catalog_, ServeOptions{});
+  ClientSession client = server.Connect("analyst");
+
+  auto cold = client.Execute("SELECT id, name FROM db.t ORDER BY id");
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->result_cache_hit);
+
+  // Same canonical key, different output column order: served by
+  // permuting the stored columns, byte-identical to direct execution.
+  const std::string permuted = "SELECT name, id FROM db.t ORDER BY id";
+  const std::string expected = DirectFingerprint(permuted);
+  auto warm = client.Execute(permuted);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->result_cache_hit);
+  EXPECT_EQ(engine::FingerprintBatch(warm->result.batch), expected);
+}
+
+TEST_F(ServeTest, RegistryVersionBumpInvalidatesCachedResults) {
+  MaxsonServer server(session_.get(), &catalog_, ServeOptions{});
+  ClientSession client = server.Connect("analyst");
+  const std::string sql = "SELECT name FROM db.t WHERE id = 2";
+  const std::string expected = DirectFingerprint(sql);
+
+  auto cold = client.Execute(sql);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->result_cache_hit);
+
+  // Any registry mutation (midnight Put/Invalidate/Clear) bumps
+  // CacheRegistry::version(), which must turn the cached result stale.
+  session_->ImportCacheEntries({UnrelatedRegistryEntry(0)});
+
+  auto after = client.Execute(sql);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->result_cache_hit);
+  EXPECT_EQ(engine::FingerprintBatch(after->result.batch), expected);
+  EXPECT_GE(server.result_cache_stats().invalidations, 1u);
+
+  // With the registry quiet again, the re-cached result serves hits.
+  auto warm = client.Execute(sql);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->result_cache_hit);
+}
+
+TEST_F(ServeTest, ExplainAndNonCanonicalQueriesPassThroughUncached) {
+  MaxsonServer server(session_.get(), &catalog_, ServeOptions{});
+  ClientSession client = server.Connect("analyst");
+  for (int round = 0; round < 2; ++round) {
+    auto result = client.Execute("EXPLAIN SELECT id FROM db.t");
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_FALSE(result->result_cache_hit);
+  }
+  EXPECT_EQ(server.result_cache_stats().hits, 0u);
+  EXPECT_EQ(server.result_cache_stats().entries, 0u);
+}
+
+TEST_F(ServeTest, DisablingTheResultCacheClearsAndStopsServingHits) {
+  MaxsonServer server(session_.get(), &catalog_, ServeOptions{});
+  ClientSession client = server.Connect("analyst");
+  const std::string sql = "SELECT id FROM db.t ORDER BY id";
+  ASSERT_TRUE(client.Execute(sql).ok());
+  server.EnableResultCache(false);
+  EXPECT_EQ(server.result_cache_stats().entries, 0u);
+  auto off = client.Execute(sql);
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off->result_cache_hit);
+  server.EnableResultCache(true);
+  ASSERT_TRUE(client.Execute(sql).ok());
+  auto on = client.Execute(sql);
+  ASSERT_TRUE(on.ok());
+  EXPECT_TRUE(on->result_cache_hit);
+}
+
+TEST_F(ServeTest, RejectionsFailFastWithTypedStatusAndAreCounted) {
+  ServeOptions options;
+  MaxsonServer server(session_.get(), &catalog_, options);
+  server.SetTenantLimits("crowded", TenantLimits{0, 0});
+  ClientSession client = server.Connect("crowded");
+
+  auto rejected = client.Execute("SELECT id FROM db.t");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsResourceExhausted()) << rejected.status();
+  EXPECT_EQ(metrics_
+                .GetCounter("maxson_serve_rejected_total",
+                            {{"tenant", "crowded"}})
+                ->value(),
+            1u);
+  EXPECT_EQ(metrics_
+                .GetCounter("maxson_serve_queries_total",
+                            {{"tenant", "crowded"}})
+                ->value(),
+            1u);
+  // Other tenants are unaffected.
+  ClientSession other = server.Connect("fine");
+  EXPECT_TRUE(other.Execute("SELECT id FROM db.t").ok());
+}
+
+TEST_F(ServeTest, ShutdownRejectsSubsequentQueries) {
+  MaxsonServer server(session_.get(), &catalog_, ServeOptions{});
+  ClientSession client = server.Connect("analyst");
+  ASSERT_TRUE(client.Execute("SELECT id FROM db.t").ok());
+  server.Shutdown();
+  auto late = client.Execute("SELECT id FROM db.t");
+  ASSERT_FALSE(late.ok());
+  EXPECT_TRUE(late.status().IsResourceExhausted());
+}
+
+TEST_F(ServeTest, ConcurrentClientsGetCorrectResultsAndShareTheCache) {
+  MaxsonServer server(session_.get(), &catalog_, ServeOptions{});
+  const std::vector<std::string> queries = {
+      "SELECT id, name FROM db.t WHERE id > 0 ORDER BY id",
+      "SELECT name FROM db.t WHERE name LIKE 'ap%' ORDER BY name",
+      "SELECT name, COUNT(*) AS n FROM db.t GROUP BY name ORDER BY name",
+      "SELECT id FROM db.t WHERE id IN (0, 2, 4) ORDER BY id",
+  };
+  std::vector<std::string> expected;
+  for (const std::string& sql : queries) {
+    expected.push_back(DirectFingerprint(sql));
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 25;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, &queries, &expected, &wrong, c] {
+      ClientSession session = server.Connect("tenant" + std::to_string(c));
+      for (int round = 0; round < kRounds; ++round) {
+        const size_t q = (c + round) % queries.size();
+        auto outcome = session.Execute(queries[q]);
+        ASSERT_TRUE(outcome.ok()) << outcome.status();
+        if (engine::FingerprintBatch(outcome->result.batch) != expected[q]) {
+          wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  const auto stats = server.result_cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kClients * kRounds));
+  EXPECT_GT(stats.hits, 0u);
+}
+
+TEST_F(ServeTest, ConcurrentInvalidationNeverServesWrongResults) {
+  MaxsonServer server(session_.get(), &catalog_, ServeOptions{});
+  const std::string sql =
+      "SELECT id, name FROM db.t WHERE id >= 0 ORDER BY id";
+  const std::string expected = DirectFingerprint(sql);
+
+  // The raw data never changes here; only the registry version churns the
+  // way a midnight cycle would. Every served answer must stay
+  // byte-identical — a stale hit after a version bump would not be.
+  std::atomic<bool> stop{false};
+  std::atomic<int> wrong{0};
+  std::thread invalidator([this, &stop] {
+    int i = 0;
+    while (!stop.load()) {
+      session_->ImportCacheEntries({UnrelatedRegistryEntry(i % 5)});
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      ++i;
+    }
+  });
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&server, &sql, &expected, &wrong, c] {
+      ClientSession session = server.Connect("tenant" + std::to_string(c));
+      for (int round = 0; round < 40; ++round) {
+        auto outcome = session.Execute(sql);
+        ASSERT_TRUE(outcome.ok()) << outcome.status();
+        if (engine::FingerprintBatch(outcome->result.batch) != expected) {
+          wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop.store(true);
+  invalidator.join();
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+}  // namespace
+}  // namespace maxson::serve

@@ -137,6 +137,43 @@ TEST_F(ShellTest, TraceCommandReportsUnwritablePath) {
       << output;
 }
 
+TEST_F(ShellTest, ResultCacheKnobServesRepeatsFromCache) {
+  const std::string output = RunShell(
+      "set resultcache on\n"
+      "SELECT id FROM t WHERE id < 3\n"
+      "SELECT id FROM t WHERE id < 3\n"
+      ".serve\n"
+      "set resultcache maybe\n"
+      "set resultcache off\n"
+      ".quit\n");
+  EXPECT_NE(output.find("resultcache = on"), std::string::npos) << output;
+  EXPECT_NE(output.find("(result cache hit)"), std::string::npos) << output;
+  EXPECT_NE(output.find("result cache:   on; 1 hits, 1 misses"),
+            std::string::npos)
+      << output;
+  EXPECT_NE(output.find("error: set resultcache expects on|off, got 'maybe'"),
+            std::string::npos)
+      << output;
+  EXPECT_NE(output.find("resultcache = off"), std::string::npos) << output;
+}
+
+TEST_F(ShellTest, AdmissionKnobsApplyAndZeroCapacityRejects) {
+  const std::string output = RunShell(
+      "set maxqueue 0\n"
+      "set maxinflight 0\n"
+      "SELECT id FROM t\n"
+      ".serve\n"
+      "set maxinflight abc\n"
+      ".quit\n");
+  EXPECT_NE(output.find("maxqueue = 0"), std::string::npos) << output;
+  EXPECT_NE(output.find("maxinflight = 0"), std::string::npos) << output;
+  EXPECT_NE(output.find("resource exhausted"), std::string::npos) << output;
+  EXPECT_NE(output.find("1 rejected"), std::string::npos) << output;
+  EXPECT_NE(output.find("error: set maxinflight expects a number, got 'abc'"),
+            std::string::npos)
+      << output;
+}
+
 TEST_F(ShellTest, ValidKnobsAndQueriesStillWork) {
   const std::string output = RunShell(
       "set rawfilter on\n"

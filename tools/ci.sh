@@ -10,17 +10,21 @@
 #           suite, with leak detection on and halt-on-error so the first
 #           finding fails the run instead of scrolling by.
 #   tsan    ThreadSanitizer build + full test suite (the parallel execution
-#           runtime must be race-clean); the metrics-determinism test also
-#           runs standalone so a racy counter fails loudly by name.
+#           runtime must be race-clean); the metrics-determinism test, the
+#           CacheRegistry stress test, and the serving-layer test also run
+#           standalone so a racy counter or serving race fails loudly by
+#           name.
 #   crash   Crash-consistency suite: the durability tests (corruption
 #           matrix, kill-at-every-fault-point midnight sweep) re-run
 #           standalone under Release and ASan, plus one run with the
 #           fault injector armed through MAXSON_FAULT_INJECT to prove the
 #           env knob arms it outside of test code.
-#   bench   Thread-scaling, observability, and SIMD-kernel benches (the
-#           observability bench fails CI if instrumentation overhead exceeds
-#           5%; the kernel bench fails CI if any ISA level diverges from
-#           scalar on its megabyte-scale inputs).
+#   bench   Thread-scaling, observability, SIMD-kernel, and serving benches
+#           (the observability bench fails CI if instrumentation overhead
+#           exceeds 5%; the kernel bench fails CI if any ISA level diverges
+#           from scalar; the serving bench fails CI below a 0.80 result-
+#           cache hit rate / 5x repeat-p50 speedup or on any wrong result
+#           under registry churn).
 #
 # The Release and ASan test suites run twice: once at the host's native
 # SIMD dispatch level and once under MAXSON_FORCE_ISA=scalar, so both the
@@ -91,6 +95,12 @@ if [[ "$run_tsan" == 1 ]]; then
   echo "=== Metrics determinism under TSan ==="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_test \
     --gtest_filter='ObsQueryTest.CounterTotalsIdenticalAcrossThreadCounts'
+  # The serving-layer concurrency surfaces run standalone by name so a
+  # race in the registry or the server fails loudly here, not as a flake.
+  echo "=== CacheRegistry stress under TSan ==="
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/registry_stress_test
+  echo "=== Serving layer under TSan ==="
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/serve_test
 fi
 
 echo "=== Crash-consistency suite (durability tests) ==="
@@ -118,6 +128,10 @@ if [[ "$run_bench" == 1 ]]; then
   ./build-ci/bench/observability_overhead
   echo "=== SIMD kernel bench ==="
   ./build-ci/bench/kernel_bench
+  echo "=== Serving concurrency bench ==="
+  # Fails CI when result-cache hit rate, repeat speedup, correctness under
+  # registry churn, or typed-rejection accounting misses its threshold.
+  ./build-ci/bench/serving_concurrency
 fi
 
 echo "CI OK"

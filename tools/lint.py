@@ -7,9 +7,11 @@ Encodes the project-specific invariants that generic tooling cannot know
   thread-create        No raw std::thread / std::jthread construction or
                        std::async outside src/exec/ — all parallelism flows
                        through the shared ThreadPool so the deterministic
-                       merge discipline holds. Using std::thread::id (e.g.
-                       for trace attribution) is fine; creating threads
-                       is not.
+                       merge discipline holds. The serving layer (src/serve/)
+                       is explicitly covered: it blocks on client threads and
+                       the shared pool, never spawning its own. Using
+                       std::thread::id (e.g. for trace attribution) is fine;
+                       creating threads is not.
   wall-clock           No direct std::chrono clock reads (steady_clock /
                        system_clock / high_resolution_clock) or C time
                        syscalls outside src/common/time_util.h. Every
@@ -60,6 +62,8 @@ COUNTER_WRITE_ALLOWLIST = (
     "src/engine/engine.cc",  # PublishMetrics + plan-validation failures
     "src/core/maxson.cc",    # midnight-cycle outcome counters
     "src/core/maxson_parser.cc",  # rewrite outcome counters
+    "src/serve/",            # serving-layer counters (admission, result
+                             # cache) publish outside any query's merge
 )
 
 # nodiscard-guard: (file, regex that must match somewhere in the file).
@@ -271,47 +275,55 @@ def run_lint(root, fix=False):
     return violations
 
 
-SELF_TEST_FILES = {
-    # rule -> (path, content) seeding exactly that violation
-    "thread-create": ("src/engine/bad_thread.cc",
-                      '#include "engine/bad_thread.h"\n'
-                      "void f() { std::thread t([] {}); }\n"),
-    "wall-clock": ("src/engine/bad_clock.cc",
-                   '#include "engine/bad_clock.h"\n'
-                   "auto t = std::chrono::steady_clock::now();\n"),
-    "counter-write": ("src/engine/bad_counter.cc",
-                      '#include "engine/bad_counter.h"\n'
-                      'void f(R* r) { r->GetCounter("x")->Increment(); }\n'),
-    "simd-intrinsics": ("src/engine/bad_intrinsics.cc",
-                        '#include "engine/bad_intrinsics.h"\n'
-                        "#include <immintrin.h>\n"),
-    "include-hygiene": ("src/engine/bad_guard.h",
-                        "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n"
-                        "#endif\n"),
-    "nodiscard-guard": ("src/common/status.h",
-                        "class Status {};\n"),
-    "trailing-whitespace": ("src/engine/bad_ws.cc",
-                            '#include "engine/bad_ws.h"\n'
-                            "int x = 1;   \n"),
-    "final-newline": ("src/engine/bad_eof.cc",
-                      '#include "engine/bad_eof.h"\n'
-                      "int y = 2;"),
-}
+SELF_TEST_FILES = (
+    # (rule, path, content) — each entry seeds that violation at that path
+    # and the self-test requires the rule to fire *on that file*. Rules may
+    # appear more than once to pin coverage of every guarded directory:
+    # src/serve/ gets its own thread-create seed because the serving layer
+    # waits on client threads and must never create threads of its own.
+    ("thread-create", "src/engine/bad_thread.cc",
+     '#include "engine/bad_thread.h"\n'
+     "void f() { std::thread t([] {}); }\n"),
+    ("thread-create", "src/serve/bad_thread.cc",
+     '#include "serve/bad_thread.h"\n'
+     "void g() { std::thread t([] {}); }\n"),
+    ("wall-clock", "src/engine/bad_clock.cc",
+     '#include "engine/bad_clock.h"\n'
+     "auto t = std::chrono::steady_clock::now();\n"),
+    ("counter-write", "src/engine/bad_counter.cc",
+     '#include "engine/bad_counter.h"\n'
+     'void f(R* r) { r->GetCounter("x")->Increment(); }\n'),
+    ("simd-intrinsics", "src/engine/bad_intrinsics.cc",
+     '#include "engine/bad_intrinsics.h"\n'
+     "#include <immintrin.h>\n"),
+    ("include-hygiene", "src/engine/bad_guard.h",
+     "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n"
+     "#endif\n"),
+    ("nodiscard-guard", "src/common/status.h",
+     "class Status {};\n"),
+    ("trailing-whitespace", "src/engine/bad_ws.cc",
+     '#include "engine/bad_ws.h"\n'
+     "int x = 1;   \n"),
+    ("final-newline", "src/engine/bad_eof.cc",
+     '#include "engine/bad_eof.h"\n'
+     "int y = 2;"),
+)
 
 
 def self_test():
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
-        for rel, content in SELF_TEST_FILES.values():
+        for _, rel, content in SELF_TEST_FILES:
             path = os.path.join(tmp, rel)
             os.makedirs(os.path.dirname(path), exist_ok=True)
             with open(path, "w", encoding="utf-8") as f:
                 f.write(content)
         found = run_lint(tmp)
-        hit_rules = {v.rule for v in found}
-        for rule in SELF_TEST_FILES:
-            if rule not in hit_rules:
-                failures.append(f"rule {rule} did not fire on seeded violation")
+        hits = {(v.rule, v.path) for v in found}
+        for rule, rel, _ in SELF_TEST_FILES:
+            if (rule, rel) not in hits:
+                failures.append(
+                    f"rule {rule} did not fire on seeded violation in {rel}")
         # --fix must clear the mechanical categories and only those.
         fixed_left = {v.rule for v in run_lint(tmp, fix=True)}
         for rule in ("trailing-whitespace", "final-newline"):
@@ -325,8 +337,10 @@ def self_test():
         for f in failures:
             print(f"self-test FAILED: {f}", file=sys.stderr)
         return 1
-    print(f"self-test OK: all {len(SELF_TEST_FILES)} rules fire and --fix "
-          "repairs only the mechanical ones")
+    rules = {rule for rule, _, _ in SELF_TEST_FILES}
+    print(f"self-test OK: all {len(rules)} rules fire on "
+          f"{len(SELF_TEST_FILES)} seeded violations and --fix repairs only "
+          "the mechanical ones")
     return 0
 
 

@@ -15,14 +15,21 @@
 //   .midnight DAY             run the predict -> score -> cache cycle
 //   .cache                    show current cache registry entries
 //   .stats                    session counter snapshot
+//   .serve                    serving-layer snapshot (result cache, admission)
 //   .metrics                  dump the metrics registry (Prometheus text)
 //   .metrics on|off           toggle per-query metric printing
 //   .trace FILE               write recorded spans as chrome-trace JSON
 //   .quit
 //
-// Runtime knobs go through `set` (all routed via UpdateConfig):
+// Runtime knobs go through `set` (session knobs routed via UpdateConfig,
+// serving knobs via MaxsonServer):
 //   set threads N | set trace on|off | set rawfilter on|off | set budget N
 //   set isa scalar|sse2|avx2|auto | set faultinject fail:N|torn:N|short:N|off
+//   set resultcache on|off | set maxinflight N | set maxqueue N
+//
+// SQL is served through a MaxsonServer (tenant "shell"), so admission
+// control and the semantic result cache apply; the result cache starts off
+// so interactive timings measure real executions until opted in.
 
 #include <cctype>
 #include <cstdio>
@@ -37,6 +44,7 @@
 #include "catalog/catalog.h"
 #include "common/string_util.h"
 #include "core/maxson.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -61,6 +69,7 @@ void PrintHelp() {
       ".midnight DAY        run the nightly predict/score/cache cycle\n"
       ".cache               show cache registry entries\n"
       ".stats               session counter snapshot\n"
+      ".serve               serving-layer snapshot (result cache, admission)\n"
       ".metrics             dump the metrics registry (Prometheus text;\n"
       "                     *_seconds series are summed per-task CPU time,\n"
       "                     not wall time, under parallel execution)\n"
@@ -71,6 +80,10 @@ void PrintHelp() {
       "                     set rawfilter on|off, set budget BYTES,\n"
       "                     set isa scalar|sse2|avx2|auto (SIMD level),\n"
       "                     set faultinject fail:N|torn:N|short:N|off\n"
+      "set resultcache on|off  serve repeated SELECTs from the semantic\n"
+      "                     result cache (off by default)\n"
+      "set maxinflight N    admission: concurrent queries allowed\n"
+      "set maxqueue N       admission: bounded wait queue beyond that\n"
       ".quit                exit\n"
       "anything else        executed as SQL (SELECT, EXPLAIN [ANALYZE])\n");
 }
@@ -138,6 +151,16 @@ int Run(const ShellOptions& options) {
   config.engine.num_threads = options.threads;
   MaxsonSession session(&*catalog, config);
   bool show_metrics = true;
+
+  // SQL is served through the serving layer so its admission and
+  // result-cache knobs are exercisable interactively. The result cache
+  // starts off: interactive timings should measure real executions unless
+  // the user opts in with `set resultcache on`.
+  maxson::serve::ServeOptions serve_options;
+  serve_options.enable_result_cache = false;
+  maxson::serve::MaxsonServer server(&session, &*catalog, serve_options);
+  maxson::serve::ClientSession client = server.Connect("shell");
+  maxson::serve::TenantLimits shell_limits;
 
   std::printf("maxson shell — %zu database(s); type .help for commands\n",
               catalog->ListDatabases().size());
@@ -216,6 +239,25 @@ int Run(const ShellOptions& options) {
             stats.tracing_enabled ? "on" : "off",
             static_cast<unsigned long long>(stats.trace_events),
             stats.simd_isa.c_str(), stats.fault_injection.c_str());
+      } else if (cmd == ".serve") {
+        const auto cache_stats = server.result_cache_stats();
+        const auto admission = server.admission_snapshot("shell");
+        std::printf(
+            "result cache:   %s; %llu hits, %llu misses, %llu invalidations, "
+            "%llu evictions; %zu entries (%llu bytes)\n"
+            "admission:      %zu in flight, %zu queued; %llu admitted, "
+            "%llu rejected (limits: %zu in flight, %zu queued)\n",
+            server.result_cache_enabled() ? "on" : "off",
+            static_cast<unsigned long long>(cache_stats.hits),
+            static_cast<unsigned long long>(cache_stats.misses),
+            static_cast<unsigned long long>(cache_stats.invalidations),
+            static_cast<unsigned long long>(cache_stats.evictions),
+            cache_stats.entries,
+            static_cast<unsigned long long>(cache_stats.bytes),
+            admission.in_flight, admission.queued,
+            static_cast<unsigned long long>(admission.admitted),
+            static_cast<unsigned long long>(admission.rejected),
+            shell_limits.max_in_flight, shell_limits.max_queue);
       } else if (cmd == ".metrics") {
         std::string mode;
         if (args >> mode) {
@@ -315,10 +357,38 @@ int Run(const ShellOptions& options) {
           continue;
         }
         update.fault_injection = value;
+      } else if (knob == "resultcache") {
+        bool on = false;
+        if (!ParseOnOff(value, &on)) {
+          std::printf("error: set resultcache expects on|off, got '%s'\n",
+                      value.c_str());
+          continue;
+        }
+        server.EnableResultCache(on);
+        std::printf("resultcache = %s\n", on ? "on" : "off");
+        continue;
+      } else if (knob == "maxinflight" || knob == "maxqueue") {
+        uint64_t n = 0;
+        if (!ParseUint64(value, &n)) {
+          std::printf("error: set %s expects a number, got '%s'\n",
+                      knob.c_str(), value.c_str());
+          continue;
+        }
+        if (knob == "maxinflight") {
+          shell_limits.max_in_flight = static_cast<size_t>(n);
+        } else {
+          shell_limits.max_queue = static_cast<size_t>(n);
+        }
+        server.SetTenantLimits("shell", shell_limits);
+        std::printf("%s = %llu\n", knob.c_str(),
+                    static_cast<unsigned long long>(n));
+        continue;
       } else {
         std::printf("usage: set threads N | set trace on|off | "
                     "set rawfilter on|off | set budget BYTES | "
-                    "set isa LEVEL | set faultinject SPEC\n");
+                    "set isa LEVEL | set faultinject SPEC | "
+                    "set resultcache on|off | set maxinflight N | "
+                    "set maxqueue N\n");
         continue;
       }
       if (auto st = session.UpdateConfig(update); !st.ok()) {
@@ -335,16 +405,21 @@ int Run(const ShellOptions& options) {
       continue;
     }
 
-    auto result = session.Execute(trimmed);
-    if (!result.ok()) {
-      std::printf("error: %s\n", result.status().ToString().c_str());
+    auto served = client.Execute(trimmed);
+    if (!served.ok()) {
+      std::printf("error: %s\n", served.status().ToString().c_str());
       continue;
     }
-    PrintBatch(result->batch, 40);
+    PrintBatch(served->result.batch, 40);
+    if (served->result_cache_hit) {
+      // No execution happened; the per-query metrics below would be zeros.
+      std::printf("(result cache hit)\n");
+      continue;
+    }
     if (show_metrics) {
       // read/parse/compute sum per-task CPU time across workers, so with
       // N threads they exceed wall time; label them cpu to avoid misreading.
-      const auto& m = result->metrics;
+      const auto& m = served->result.metrics;
       std::printf("[plan %.2fms | read(cpu) %.1fms | parse(cpu) %.1fms "
                   "(%llu records) | compute(cpu) %.1fms | %llu bytes read | "
                   "%llu shared skips]\n",
