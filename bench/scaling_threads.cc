@@ -2,10 +2,18 @@
 // Table II suite at 1/2/4/8 threads, uncached (raw parsing is the work
 // being parallelized), verifying byte-identical results at every degree.
 //
-// Writes BENCH_scaling.json with the per-query speedup curve. Speedups are
-// only meaningful up to the machine's core count (reported in the JSON);
-// on a single-core container every degree measures ~1x by construction.
+// A second section measures the shared-scan mode: K ∈ {1,2,4,8} clients
+// fire the same query concurrently at one session, with scan sharing off
+// (every client parses every split) and on (concurrent subscriptions
+// coalesce into one parse pass per morsel — exec/shared_scan.h), again
+// verifying byte-identical results and reporting the pass/coalesce
+// counters that prove the sharing happened.
+//
+// Writes BENCH_scaling.json with both curves. Speedups are only meaningful
+// up to the machine's core count (reported in the JSON); on a single-core
+// container every degree measures ~1x by construction.
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -126,6 +134,112 @@ int main() {
   std::printf("\nresults byte-identical across degrees: %s\n",
               identical ? "yes" : "NO");
 
+  // ---- Shared-scan mode: K concurrent clients, same query ----
+  // K threads fire Q1 at the session simultaneously (spin barrier so they
+  // really overlap); with sharing off every client decodes every split,
+  // with sharing on concurrent subscriptions coalesce into one parse pass
+  // per morsel. Engine Execute is concurrency-safe (the serving layer runs
+  // many tenants on one engine), so the bench drives the session directly.
+  const BenchmarkQuery& shared_query = queries.front();
+  {
+    maxson::core::SessionUpdate update;
+    update.num_threads = 4;  // fixed pool degree; K is the swept variable
+    if (auto st = session.UpdateConfig(update); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  const std::string shared_fp_baseline = [&] {
+    auto warm = session.Execute(shared_query.sql);
+    return warm.ok() ? maxson::engine::FingerprintBatch(warm->batch)
+                     : std::string();
+  }();
+
+  struct SharedPoint {
+    size_t clients = 0;
+    double off_seconds = 0;
+    double on_seconds = 0;
+    uint64_t parse_passes = 0;      // passes executed with sharing on
+    uint64_t coalesced_parses = 0;  // registrations that joined a pass
+  };
+  std::vector<SharedPoint> shared_points;
+
+  // Runs one K-client batch; returns the batch wall time.
+  const auto run_batch = [&](size_t clients, bool sharing,
+                             bool* all_ok) -> double {
+    maxson::core::SessionUpdate update;
+    update.shared_scan = sharing;
+    if (auto st = session.UpdateConfig(update); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      *all_ok = false;
+      return 0;
+    }
+    std::atomic<size_t> ready{0};
+    std::atomic<bool> go{false};
+    std::atomic<bool> ok{true};
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (size_t i = 0; i < clients; ++i) {
+      workers.emplace_back([&] {
+        ready.fetch_add(1);
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        auto result = session.Execute(shared_query.sql);
+        if (!result.ok() ||
+            maxson::engine::FingerprintBatch(result->batch) !=
+                shared_fp_baseline) {
+          ok.store(false);
+        }
+      });
+    }
+    while (ready.load() < clients) {
+    }
+    maxson::Stopwatch timer;
+    go.store(true, std::memory_order_release);
+    for (std::thread& w : workers) w.join();
+    const double elapsed = timer.ElapsedSeconds();
+    if (!ok.load()) {
+      std::fprintf(stderr,
+                   "shared-scan batch (%zu clients, sharing %s) failed or "
+                   "diverged from the baseline result!\n",
+                   clients, sharing ? "on" : "off");
+      *all_ok = false;
+    }
+    return elapsed;
+  };
+
+  std::printf("\nshared-scan mode — %s, %zu concurrent clients "
+              "(pool degree 4)\n",
+              shared_query.name.c_str(), size_t{8});
+  std::printf("%-8s %12s %12s %9s %8s %10s\n", "clients", "off(ms)", "on(ms)",
+              "speedup", "passes", "coalesced");
+  bool shared_ok = !shared_fp_baseline.empty();
+  for (const size_t clients : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    SharedPoint point;
+    point.clients = clients;
+    point.off_seconds = run_batch(clients, false, &shared_ok);
+    const maxson::core::SessionStats before = session.stats();
+    point.on_seconds = run_batch(clients, true, &shared_ok);
+    const maxson::core::SessionStats after = session.stats();
+    point.parse_passes =
+        after.sharedscan_parse_passes - before.sharedscan_parse_passes;
+    point.coalesced_parses =
+        after.sharedscan_coalesced_parses - before.sharedscan_coalesced_parses;
+    std::printf("%-8zu %12.2f %12.2f %8.2fx %8llu %10llu\n", clients,
+                point.off_seconds * 1e3, point.on_seconds * 1e3,
+                point.off_seconds / point.on_seconds,
+                static_cast<unsigned long long>(point.parse_passes),
+                static_cast<unsigned long long>(point.coalesced_parses));
+    shared_points.push_back(point);
+  }
+  {
+    // Leave the session as the first section configured it.
+    maxson::core::SessionUpdate update;
+    update.shared_scan = false;
+    (void)session.UpdateConfig(update);
+  }
+  identical = identical && shared_ok;
+
   // Machine-readable curve for CI trend tracking.
   std::ofstream json("BENCH_scaling.json", std::ios::trunc);
   json << "{\n  \"bench\": \"scaling_threads\",\n";
@@ -142,7 +256,20 @@ int main() {
     }
     json << "]}" << (i + 1 < curves.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ],\n";
+  json << "  \"shared_scan\": {\"query\": \"" << shared_query.name
+       << "\", \"pool_threads\": 4, \"curve\": [\n";
+  for (size_t p = 0; p < shared_points.size(); ++p) {
+    const SharedPoint& point = shared_points[p];
+    json << "    {\"clients\": " << point.clients
+         << ", \"seconds_off\": " << point.off_seconds
+         << ", \"seconds_on\": " << point.on_seconds
+         << ", \"speedup\": " << point.off_seconds / point.on_seconds
+         << ", \"parse_passes\": " << point.parse_passes
+         << ", \"coalesced_parses\": " << point.coalesced_parses << "}"
+         << (p + 1 < shared_points.size() ? "," : "") << "\n";
+  }
+  json << "  ]}\n}\n";
   json.close();
   std::printf("wrote BENCH_scaling.json\n");
   return identical ? 0 : 1;

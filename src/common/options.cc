@@ -1,0 +1,144 @@
+#include "common/options.h"
+
+#include <cctype>
+#include <cstdint>
+#include <utility>
+
+namespace maxson {
+
+const char* OptionTypeName(OptionType type) {
+  switch (type) {
+    case OptionType::kBool:
+      return "bool";
+    case OptionType::kUint64:
+      return "uint64";
+    case OptionType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+void OptionRegistry::RegisterBool(const std::string& name,
+                                  const std::string& value_syntax,
+                                  std::function<Status(bool)> setter) {
+  Option option;
+  option.name = name;
+  option.type = OptionType::kBool;
+  option.value_syntax = value_syntax;
+  option.set_bool = std::move(setter);
+  options_[name] = std::move(option);
+}
+
+void OptionRegistry::RegisterUint64(const std::string& name,
+                                    const std::string& value_syntax,
+                                    std::function<Status(uint64_t)> setter) {
+  Option option;
+  option.name = name;
+  option.type = OptionType::kUint64;
+  option.value_syntax = value_syntax;
+  option.set_uint64 = std::move(setter);
+  options_[name] = std::move(option);
+}
+
+void OptionRegistry::RegisterString(
+    const std::string& name, const std::string& value_syntax,
+    std::function<Status(const std::string&)> setter) {
+  Option option;
+  option.name = name;
+  option.type = OptionType::kString;
+  option.value_syntax = value_syntax;
+  option.set_string = std::move(setter);
+  options_[name] = std::move(option);
+}
+
+Status OptionRegistry::Set(const std::string& name,
+                           const std::string& value) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    std::string known;
+    for (const auto& [known_name, option] : options_) {
+      if (!known.empty()) known += ", ";
+      known += known_name;
+    }
+    return Status::InvalidArgument("unknown option '" + name +
+                                   "' (known: " + known + ")");
+  }
+  const Option& option = it->second;
+  switch (option.type) {
+    case OptionType::kBool: {
+      bool parsed = false;
+      if (!ParseBool(value, &parsed)) {
+        return Status::InvalidArgument("option '" + name + "' expects " +
+                                       option.value_syntax + ", got '" +
+                                       value + "'");
+      }
+      return option.set_bool(parsed);
+    }
+    case OptionType::kUint64: {
+      uint64_t parsed = 0;
+      if (!ParseUint64(value, &parsed)) {
+        return Status::InvalidArgument("option '" + name + "' expects " +
+                                       option.value_syntax + ", got '" +
+                                       value + "'");
+      }
+      return option.set_uint64(parsed);
+    }
+    case OptionType::kString: {
+      if (value.empty()) {
+        return Status::InvalidArgument("option '" + name + "' expects " +
+                                       option.value_syntax);
+      }
+      return option.set_string(value);
+    }
+  }
+  return Status::Internal("option '" + name + "' has an unknown type");
+}
+
+const OptionRegistry::Option* OptionRegistry::Find(
+    const std::string& name) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? nullptr : &it->second;
+}
+
+std::vector<const OptionRegistry::Option*> OptionRegistry::List() const {
+  std::vector<const Option*> out;
+  out.reserve(options_.size());
+  for (const auto& [name, option] : options_) out.push_back(&option);
+  return out;
+}
+
+std::string OptionRegistry::Usage() const {
+  std::string usage;
+  for (const auto& [name, option] : options_) {
+    if (!usage.empty()) usage += " | ";
+    usage += "set " + name + " " + option.value_syntax;
+  }
+  return usage;
+}
+
+bool OptionRegistry::ParseBool(const std::string& text, bool* out) {
+  if (text == "on" || text == "1" || text == "true") {
+    *out = true;
+    return true;
+  }
+  if (text == "off" || text == "0" || text == "false") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+bool OptionRegistry::ParseUint64(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace maxson

@@ -1,0 +1,82 @@
+#ifndef MAXSON_COMMON_OPTIONS_H_
+#define MAXSON_COMMON_OPTIONS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace maxson {
+
+/// Value type of a runtime option. The registry parses raw text to the
+/// declared type before the setter runs, so every setter receives a typed,
+/// well-formed value and malformed input is rejected with one uniform
+/// error shape instead of per-call-site ad-hoc parsing.
+enum class OptionType { kBool, kUint64, kString };
+
+const char* OptionTypeName(OptionType type);
+
+/// A typed registry of runtime knobs ("set KNOB VALUE" surfaces): each
+/// layer registers its options with a name, a type, a value-syntax string
+/// for messages, and a setter; frontends (the shell, tests) dispatch
+/// generically through Set. Collapses what used to be three copies of the
+/// same parse-validate-apply switch (EngineConfig construction, session
+/// UpdateConfig, the shell's `set` handler) into one table.
+///
+/// Not thread-safe: register everything up front, then Set from one
+/// driver thread (setters themselves may do their own locking).
+class OptionRegistry {
+ public:
+  struct Option {
+    std::string name;
+    OptionType type = OptionType::kString;
+    /// Human-readable value syntax, e.g. "on|off" or "BYTES"; embedded in
+    /// error and usage messages.
+    std::string value_syntax;
+    std::function<Status(bool)> set_bool;
+    std::function<Status(uint64_t)> set_uint64;
+    std::function<Status(const std::string&)> set_string;
+  };
+
+  /// Registration. Names are lower-case by convention; re-registering a
+  /// name replaces the previous entry (last writer wins), which lets a
+  /// frontend shadow a default.
+  void RegisterBool(const std::string& name, const std::string& value_syntax,
+                    std::function<Status(bool)> setter);
+  void RegisterUint64(const std::string& name, const std::string& value_syntax,
+                      std::function<Status(uint64_t)> setter);
+  void RegisterString(const std::string& name, const std::string& value_syntax,
+                      std::function<Status(const std::string&)> setter);
+
+  /// Parses `value` per the option's declared type and runs its setter.
+  /// Unknown names and malformed values fail with kInvalidArgument and a
+  /// message naming the option and its expected syntax; the setter's own
+  /// status (e.g. an unsupported ISA level) passes through unchanged.
+  Status Set(const std::string& name, const std::string& value) const;
+
+  /// nullptr when `name` is not registered.
+  const Option* Find(const std::string& name) const;
+
+  /// All options in name order (stable for help output).
+  std::vector<const Option*> List() const;
+
+  /// One-line usage summary: "set a SYNTAX | set b SYNTAX | ...".
+  std::string Usage() const;
+
+  /// Strict scalar parsers (also used directly by flag parsing). Bool
+  /// accepts on|off|true|false|1|0; uint64 accepts decimal digits only and
+  /// rejects overflow — std::strtoul's garbage-to-0 mapping is exactly the
+  /// failure mode this registry exists to prevent.
+  static bool ParseBool(const std::string& text, bool* out);
+  static bool ParseUint64(const std::string& text, uint64_t* out);
+
+ private:
+  std::map<std::string, Option> options_;
+};
+
+}  // namespace maxson
+
+#endif  // MAXSON_COMMON_OPTIONS_H_

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/time_util.h"
+#include "exec/shared_scan.h"
 #include "simd/isa.h"
 #include "storage/file_system.h"
 
@@ -28,6 +29,10 @@ MaxsonSession::MaxsonSession(const catalog::Catalog* catalog,
   // request for an entry the registry dropped entirely is dangling.
   engine_->set_cache_binding_source(
       [this] { return CacheBindingSnapshot(); });
+  // Shared-scan groups are keyed by the registry version, so queries
+  // planned across a cache invalidation (midnight cycle, InvalidateCache)
+  // never coalesce onto passes executed against the old cache state.
+  engine_->set_scan_validity_source([this] { return registry_.version(); });
   cacher_ = std::make_unique<JsonPathCacher>(catalog_, config_.cache_root,
                                              config_.engine.json_backend);
   // Queries and midnight pre-parsing share one pool, so a deployment's
@@ -259,6 +264,14 @@ Status MaxsonSession::UpdateConfig(const SessionUpdate& update) {
     MAXSON_RETURN_NOT_OK(
         storage::FaultInjector::Instance().Configure(*update.fault_injection));
   }
+  if (update.shared_scan.has_value()) {
+    engine_->set_shared_scan(*update.shared_scan);
+    config_.engine.enable_shared_scan = *update.shared_scan;
+  }
+  if (update.morsel_rows.has_value()) {
+    engine_->set_morsel_rows(static_cast<size_t>(*update.morsel_rows));
+    config_.engine.morsel_rows = static_cast<size_t>(*update.morsel_rows);
+  }
   return Status::Ok();
 }
 
@@ -277,7 +290,60 @@ SessionStats MaxsonSession::stats() const {
   stats.tracing_enabled = trace_recorder_.enabled();
   stats.simd_isa = simd::IsaName(simd::ActiveIsa());
   stats.fault_injection = storage::FaultInjector::Instance().spec();
+  stats.shared_scan_enabled = config_.engine.enable_shared_scan;
+  stats.morsel_rows = config_.engine.morsel_rows;
+  const exec::SharedScanStats shared =
+      engine_->shared_scan_manager()->stats();
+  stats.sharedscan_subscribers = shared.subscribers;
+  stats.sharedscan_parse_passes = shared.parse_passes;
+  stats.sharedscan_coalesced_parses = shared.coalesced_parses;
+  stats.sharedscan_saved_bytes = shared.saved_bytes;
   return stats;
+}
+
+void RegisterSessionOptions(OptionRegistry* registry, MaxsonSession* session) {
+  registry->RegisterUint64("threads", "N", [session](uint64_t n) {
+    SessionUpdate update;
+    update.num_threads = static_cast<size_t>(n);
+    return session->UpdateConfig(update);
+  });
+  registry->RegisterBool("trace", "on|off", [session](bool on) {
+    SessionUpdate update;
+    update.tracing = on;
+    return session->UpdateConfig(update);
+  });
+  registry->RegisterBool("rawfilter", "on|off", [session](bool on) {
+    SessionUpdate update;
+    update.raw_filter = on;
+    return session->UpdateConfig(update);
+  });
+  registry->RegisterUint64("budget", "BYTES", [session](uint64_t bytes) {
+    SessionUpdate update;
+    update.cache_budget_bytes = bytes;
+    return session->UpdateConfig(update);
+  });
+  registry->RegisterString("isa", "scalar|sse2|avx2|auto",
+                           [session](const std::string& level) {
+                             SessionUpdate update;
+                             update.isa = level;
+                             return session->UpdateConfig(update);
+                           });
+  registry->RegisterString("faultinject", "fail:N|torn:N|short:N|off",
+                           [session](const std::string& spec) {
+                             SessionUpdate update;
+                             update.fault_injection = spec;
+                             return session->UpdateConfig(update);
+                           });
+  registry->RegisterBool("sharedscan", "on|off", [session](bool on) {
+    SessionUpdate update;
+    update.shared_scan = on;
+    return session->UpdateConfig(update);
+  });
+  registry->RegisterUint64("morselsize", "ROWS", [session](uint64_t rows) {
+    SessionUpdate update;
+    update.morsel_rows = rows;
+    return session->UpdateConfig(update);
+  });
 }
 
 }  // namespace maxson::core

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/options.h"
 #include "common/result.h"
 #include "core/cache_registry.h"
 #include "core/cacher.h"
@@ -81,6 +82,11 @@ struct SessionUpdate {
   /// testing: "fail:N", "torn:N", "short:N", or "off" (see
   /// storage::FaultInjector). Malformed specs are rejected.
   std::optional<std::string> fault_injection;
+  /// Toggles shared-scan coalescing: concurrent queries over one table
+  /// merge into one parse pass per morsel (see exec/shared_scan.h).
+  std::optional<bool> shared_scan;
+  /// Target rows per shared-scan morsel (0 = one morsel per split).
+  std::optional<uint64_t> morsel_rows;
 };
 
 /// Read-only snapshot of the session's internal counters, for display
@@ -102,6 +108,14 @@ struct SessionStats {
   std::string simd_isa;
   /// Canonical armed fault-injection spec, or "off".
   std::string fault_injection;
+  /// Shared-scan knobs and lifetime totals (see exec/shared_scan.h; the
+  /// totals are scheduling counters, not deterministic query outcomes).
+  bool shared_scan_enabled = false;
+  uint64_t morsel_rows = 0;
+  uint64_t sharedscan_subscribers = 0;
+  uint64_t sharedscan_parse_passes = 0;
+  uint64_t sharedscan_coalesced_parses = 0;
+  uint64_t sharedscan_saved_bytes = 0;
 };
 
 /// The public facade tying Maxson's components together: a query engine
@@ -268,6 +282,13 @@ class MaxsonSession {
       binding_cache_;
   mutable uint64_t binding_cache_version_ = ~0ull;
 };
+
+/// Registers the session's runtime knobs ("set KNOB VALUE") on `registry`:
+/// threads, trace, rawfilter, budget, isa, faultinject, sharedscan,
+/// morselsize. Every setter routes through the one validated UpdateConfig
+/// entry point, so registry-driven frontends (the shell) and programmatic
+/// callers share identical validation. `session` must outlive the registry.
+void RegisterSessionOptions(OptionRegistry* registry, MaxsonSession* session);
 
 }  // namespace maxson::core
 

@@ -13,6 +13,7 @@
 #include "engine/planner.h"
 #include "engine/sql_parser.h"
 #include "engine/table_scan.h"
+#include "exec/shared_scan.h"
 #include "json/dom_parser.h"
 #include "json/json_path.h"
 #include "json/raw_filter.h"
@@ -38,7 +39,8 @@ const ScalarFunction* LookupEngineFunction(const std::string& name,
 QueryEngine::QueryEngine(const catalog::Catalog* catalog, EngineConfig config)
     : catalog_(catalog),
       config_(std::move(config)),
-      pool_(std::make_shared<exec::ThreadPool>(config_.num_threads)) {
+      pool_(std::make_shared<exec::ThreadPool>(config_.num_threads)),
+      shared_scan_(std::make_unique<exec::SharedScanManager>()) {
   RegisterBuiltinFunctions();
   if (!config_.force_isa.empty() && config_.force_isa != "auto") {
     simd::Isa want;
@@ -54,6 +56,13 @@ QueryEngine::QueryEngine(const catalog::Catalog* catalog, EngineConfig config)
 }
 
 QueryEngine::~QueryEngine() = default;
+
+void QueryEngine::set_metrics_registry(obs::MetricsRegistry* registry) {
+  metrics_registry_ = registry;
+  // The shared-scan manager publishes its cross-query scheduling counters
+  // to the same registry as the per-query series.
+  shared_scan_->set_metrics_registry(registry);
+}
 
 void QueryEngine::set_num_threads(size_t num_threads) {
   config_.num_threads = num_threads;
@@ -300,8 +309,18 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
     return result;
   }
 
-  MAXSON_ASSIGN_OR_RETURN(QueryResult executed,
-                          ExecutePlan(plan, plan_seconds));
+  // Gather the engine-level execution state into one context (satellites
+  // of the engine config land here instead of new ExecutePlan parameters).
+  ExecContext exec_ctx;
+  exec_ctx.plan_seconds = plan_seconds;
+  exec_ctx.pool = pool_.get();
+  if (config_.enable_shared_scan) {
+    exec_ctx.shared_scan = shared_scan_.get();
+    exec_ctx.scan_validity =
+        scan_validity_source_ ? scan_validity_source_() : 0;
+    exec_ctx.morsel_rows = config_.morsel_rows;
+  }
+  MAXSON_ASSIGN_OR_RETURN(QueryResult executed, ExecutePlan(plan, exec_ctx));
   if (stmt.kind == StatementKind::kExplainAnalyze) {
     QueryResult result;
     result.metrics = executed.metrics;
@@ -459,9 +478,9 @@ struct AggState {
 }  // namespace
 
 Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
-                                             double plan_seconds) {
+                                             const ExecContext& exec_ctx) {
   QueryResult result;
-  result.metrics.plan_seconds = plan_seconds;
+  result.metrics.plan_seconds = exec_ctx.plan_seconds;
   QueryMetrics& metrics = result.metrics;
   // Plan-time cache accounting rides into the runtime metrics so EXPLAIN
   // ANALYZE and the registry see it alongside the execution counters.
@@ -469,7 +488,7 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
   metrics.plan_cache_misses = plan.rewrite_cache_misses;
   metrics.plan_cache_fallbacks = plan.rewrite_cache_fallbacks;
   obs::TraceSpan query_span(tracer_, "execute", "query");
-  exec::ThreadPool* pool = pool_.get();
+  exec::ThreadPool* pool = exec_ctx.pool;
 
   // Context of the sequential sections (join build/probe, group
   // finalization); parallel sections give each chunk a private copy with
@@ -489,15 +508,17 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
   std::optional<obs::TraceSpan> scan_span;
   scan_span.emplace(tracer_, "scan", "query");
   MAXSON_ASSIGN_OR_RETURN(RecordBatch left,
-                          ExecuteScan(plan.scan, &metrics, pool));
+                          ExecuteScan(plan.scan, &metrics, exec_ctx));
   scan_span.reset();
+  if (exec_ctx.cancelled()) return Status::Cancelled("query cancelled");
 
   RecordBatch input;
   if (plan.join_scan.has_value()) {
     scan_span.emplace(tracer_, "scan.join", "query");
     MAXSON_ASSIGN_OR_RETURN(RecordBatch right,
-                            ExecuteScan(*plan.join_scan, &metrics, pool));
+                            ExecuteScan(*plan.join_scan, &metrics, exec_ctx));
     scan_span.reset();
+    if (exec_ctx.cancelled()) return Status::Cancelled("query cancelled");
     obs::TraceSpan join_span(tracer_, "join", "query");
     Stopwatch join_timer;
     Stopwatch compute_timer;
@@ -657,6 +678,7 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
   } else {
     filtered = std::move(input);
   }
+  if (exec_ctx.cancelled()) return Status::Cancelled("query cancelled");
 
   // ---- Project / Aggregate ----
   Schema out_schema;

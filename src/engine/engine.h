@@ -11,11 +11,16 @@
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "engine/exec_context.h"
 #include "engine/plan.h"
 #include "engine/plan_validator.h"
 #include "exec/thread_pool.h"
 #include "json/mison_parser.h"
 #include "xml/xml_path.h"
+
+namespace maxson::exec {
+class SharedScanManager;
+}  // namespace maxson::exec
 
 namespace maxson::obs {
 class MetricsRegistry;
@@ -56,6 +61,17 @@ struct EngineConfig {
   /// every level; see src/simd/kernels.h. Applied best-effort at engine
   /// construction — unknown names log a warning and keep the current level.
   std::string force_isa = "";
+  /// Route scans through the engine's SharedScanManager so concurrent
+  /// queries over one table coalesce into one parse pass per morsel (see
+  /// exec/shared_scan.h). Results are byte-identical either way; per-query
+  /// metrics under sharing attribute passes to whichever query executed
+  /// them. Off by default: single-session workloads gain nothing and keep
+  /// the fully deterministic per-query metrics of the private path.
+  bool enable_shared_scan = false;
+  /// Target rows per shared-scan morsel; 0 = one morsel per split (the
+  /// paper's one-file-one-split granularity). Smaller morsels increase
+  /// steal/coalesce opportunities at bookkeeping cost.
+  size_t morsel_rows = 0;
 };
 
 /// The mini analytical engine: SparkSQL's role in the paper. Parses SQL,
@@ -79,10 +95,10 @@ class QueryEngine {
   /// Registry receiving this engine's per-query observability series
   /// (maxson_query_* counters and time histograms), published once per
   /// query after the merge barrier so counter totals are independent of the
-  /// thread count. Pass nullptr to disable. Not owned.
-  void set_metrics_registry(obs::MetricsRegistry* registry) {
-    metrics_registry_ = registry;
-  }
+  /// thread count — and the cross-query maxson_sharedscan_* counters the
+  /// shared-scan manager publishes per scheduling event. Pass nullptr to
+  /// disable. Not owned.
+  void set_metrics_registry(obs::MetricsRegistry* registry);
 
   /// Installs the source of live cache bindings the PlanValidator checks
   /// CacheColumnRequests against (MaxsonSession wires this to its
@@ -115,6 +131,26 @@ class QueryEngine {
   /// contract as set_num_threads.
   void set_raw_filter(bool enabled) { config_.enable_raw_filter = enabled; }
 
+  /// Toggles shared-scan coalescing / sets the morsel-row target; consulted
+  /// per query. Same thread-safety contract as set_num_threads.
+  void set_shared_scan(bool enabled) { config_.enable_shared_scan = enabled; }
+  void set_morsel_rows(size_t rows) { config_.morsel_rows = rows; }
+
+  /// The engine's shared-scan manager (always constructed; engaged only
+  /// when enable_shared_scan is on). Exposed for stats and tests.
+  exec::SharedScanManager* shared_scan_manager() const {
+    return shared_scan_.get();
+  }
+
+  /// Installs the source of the cache-state stamp keying shared-scan
+  /// groups (MaxsonSession wires this to CacheRegistry::version), so
+  /// queries planned across an invalidation never coalesce. Pass an empty
+  /// function to remove; without a source every query shares stamp 0 —
+  /// only safe when nothing invalidates mid-flight.
+  void set_scan_validity_source(std::function<uint64_t()> source) {
+    scan_validity_source_ = std::move(source);
+  }
+
   /// Parses and plans `sql` without executing (used by the Fig. 13 bench to
   /// time plan generation with and without Maxson).
   Result<PhysicalPlan> Plan(const std::string& sql);
@@ -126,10 +162,12 @@ class QueryEngine {
   /// result).
   Result<QueryResult> Execute(const std::string& sql);
 
-  /// Executes an already-built plan. `plan_seconds` is carried into the
-  /// result's metrics.
+  /// Executes an already-built plan under `ctx` (see exec_context.h for
+  /// the fields; Execute() assembles the context from the engine's
+  /// configuration). A default-constructed context runs the plan
+  /// sequentially and unshared.
   Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
-                                  double plan_seconds);
+                                  const ExecContext& ctx);
 
   /// Speculation telemetry of the Mison backend (empty stats under kDom).
   /// Workers extract with private parsers; their counters fold into a
@@ -169,6 +207,12 @@ class QueryEngine {
   obs::MetricsRegistry* metrics_registry_ = nullptr;
   obs::TraceRecorder* tracer_ = nullptr;
   std::shared_ptr<exec::ThreadPool> pool_;
+  /// Coalesces concurrent scans into shared parse passes; engaged per
+  /// query when config_.enable_shared_scan is set (see exec/shared_scan.h).
+  std::unique_ptr<exec::SharedScanManager> shared_scan_;
+  /// Cache-state stamp source for shared-scan group keys; see
+  /// set_scan_validity_source.
+  std::function<uint64_t()> scan_validity_source_;
   /// Long-lived telemetry accumulator and single-threaded fallback parser
   /// (used only when an EvalContext carries no per-worker parser — never
   /// the case inside ExecutePlan, which always supplies a query-local

@@ -1,0 +1,51 @@
+#ifndef MAXSON_ENGINE_EXEC_CONTEXT_H_
+#define MAXSON_ENGINE_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace maxson::exec {
+class SharedScanManager;
+class ThreadPool;
+}  // namespace maxson::exec
+
+namespace maxson::engine {
+
+/// Everything one plan execution needs besides the plan itself, gathered
+/// into a single struct threaded from ExecutePlan through the scan into the
+/// operators. Replaces the parameter list that grew one entry per PR
+/// (plan_seconds, then the pool, then validity snapshots): new per-query
+/// execution state lands here once instead of rippling through every
+/// signature on the path.
+///
+/// Plain pointers are non-owning and may be null; a default-constructed
+/// context executes sequentially, unshared, and uncancellable — the
+/// simplest correct configuration.
+struct ExecContext {
+  /// Planning time carried into the result's metrics.
+  double plan_seconds = 0;
+  /// Pool fanning splits/morsels and row chunks; null runs inline.
+  exec::ThreadPool* pool = nullptr;
+  /// When set, scans subscribe to shared parse passes instead of parsing
+  /// privately (the engine passes its manager only when the sharedscan
+  /// knob is on, so a null here means the per-query path).
+  exec::SharedScanManager* shared_scan = nullptr;
+  /// Cache-state stamp (CacheRegistry version) keying shared-scan groups:
+  /// queries planned across an invalidation never share passes.
+  uint64_t scan_validity = 0;
+  /// Target rows per morsel for shared scans; 0 = one morsel per split
+  /// (the paper's one-file-one-split granularity).
+  size_t morsel_rows = 0;
+  /// Cooperative cancellation: checked between splits/morsels and between
+  /// operators, never mid-pass. Null = uncancellable.
+  const std::atomic<bool>* cancel = nullptr;
+
+  bool cancelled() const {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace maxson::engine
+
+#endif  // MAXSON_ENGINE_EXEC_CONTEXT_H_

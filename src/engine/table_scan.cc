@@ -1,10 +1,14 @@
 #include "engine/table_scan.h"
 
 #include <map>
+#include <optional>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/time_util.h"
 #include "engine/planner.h"
+#include "exec/shared_scan.h"
+#include "exec/thread_pool.h"
 #include "json/json_path.h"
 #include "storage/corc_reader.h"
 #include "storage/file_system.h"
@@ -58,22 +62,54 @@ SearchArgument ReconcileSargWithSchema(const SearchArgument& sarg,
   return out;
 }
 
-/// Reads one split, combining raw and cached columns row-by-row. The cache
-/// half of the combiner; on cache corruption the caller retries the split
-/// with ScanSplitRawFallback.
-Status ScanSplitCached(const ScanNode& scan, const Split& split,
-                       const Schema& out_schema, RecordBatch* out,
+/// The physical columns one pass decodes: raw columns by name, cache
+/// columns by binding. A private scan's spec comes straight from its
+/// ScanNode; a shared pass's spec is the decoded *union* of every
+/// subscriber's columns.
+struct ScanSpec {
+  std::vector<std::string> raw_columns;
+  std::vector<CacheColumnRequest> cache_columns;
+};
+
+ScanSpec SpecFromScan(const ScanNode& scan) {
+  ScanSpec spec;
+  spec.raw_columns = scan.columns;
+  spec.cache_columns = scan.cache_columns;
+  return spec;
+}
+
+/// One subscriber's (raw SARG, cache SARG) pair. A pass prunes row groups
+/// with the *disjunction* of its predicates: a group is read when any
+/// subscriber's pair keeps it. Sound because pruning is advisory — every
+/// subscriber's residual WHERE filter re-checks the surviving rows — and a
+/// non-empty SARG implies the plan carries that residual filter.
+using SargPair = std::pair<SearchArgument, SearchArgument>;
+
+/// Stripes [begin, end) of a split; nullopt = every stripe.
+struct StripeRange {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Reads one stripe range of one split, combining raw and cached columns
+/// row-by-row. The cache half of the combiner; on cache corruption the
+/// caller retries with ScanSplitRawFallback. `out`'s columns are
+/// spec.raw_columns followed by spec.cache_columns, in order.
+Status ScanSplitCached(const ScanSpec& spec,
+                       const std::vector<SargPair>& predicates,
+                       const std::string& path, size_t split_index,
+                       std::optional<StripeRange> range, RecordBatch* out,
                        QueryMetrics* metrics) {
-  CorcReader primary(split.path);
+  CorcReader primary(path);
   MAXSON_RETURN_NOT_OK(primary.Open());
 
   // Resolve raw column indexes in the file schema.
   std::vector<int> raw_indexes;
-  raw_indexes.reserve(scan.columns.size());
-  for (const std::string& name : scan.columns) {
+  raw_indexes.reserve(spec.raw_columns.size());
+  for (const std::string& name : spec.raw_columns) {
     const int idx = primary.schema().FindField(name);
     if (idx < 0) {
-      return Status::NotFound("column " + name + " missing in " + split.path);
+      return Status::NotFound("column " + name + " missing in " + path);
     }
     raw_indexes.push_back(idx);
   }
@@ -81,16 +117,16 @@ Status ScanSplitCached(const ScanNode& scan, const Split& split,
   // Open the synchronized cache reader when cache columns are requested.
   std::unique_ptr<CorcReader> cache;
   std::vector<int> cache_indexes;
-  if (!scan.cache_columns.empty()) {
-    const std::string cache_path = scan.cache_columns[0].cache_table_dir +
-                                   "/" + FileSystem::PartFileName(split.index);
+  if (!spec.cache_columns.empty()) {
+    const std::string cache_path = spec.cache_columns[0].cache_table_dir +
+                                   "/" + FileSystem::PartFileName(split_index);
     cache = std::make_unique<CorcReader>(cache_path);
     MAXSON_RETURN_NOT_OK(cache->Open());
     if (cache->num_rows() != primary.num_rows()) {
       return Status::Internal("cache/raw row count mismatch on split " +
-                              std::to_string(split.index));
+                              std::to_string(split_index));
     }
-    for (const CacheColumnRequest& req : scan.cache_columns) {
+    for (const CacheColumnRequest& req : spec.cache_columns) {
       const int idx = cache->schema().FindField(req.cache_field);
       if (idx < 0) {
         return Status::NotFound("cache field " + req.cache_field +
@@ -106,18 +142,33 @@ Status ScanSplitCached(const ScanNode& scan, const Split& split,
       cache != nullptr && cache->num_stripes() == primary.num_stripes() &&
       cache->footer().rows_per_group == primary.footer().rows_per_group;
 
-  const SearchArgument raw_sarg =
-      ReconcileSargWithSchema(scan.raw_sarg, primary.schema());
-  const SearchArgument cache_sarg =
-      cache != nullptr ? ReconcileSargWithSchema(scan.cache_sarg,
-                                                 cache->schema())
-                       : SearchArgument();
+  // Reconcile every subscriber's SARG pair against the file schemas. When
+  // the stripe structures diverge, primary pruning is disabled entirely
+  // (a skipped group would shift the positional combiner below).
+  struct ReconciledPair {
+    SearchArgument raw;
+    SearchArgument cache;
+  };
+  std::vector<ReconciledPair> preds;
+  preds.reserve(predicates.size());
+  for (const SargPair& p : predicates) {
+    ReconciledPair rp;
+    rp.raw = (cache != nullptr && !aligned)
+                 ? SearchArgument()
+                 : ReconcileSargWithSchema(p.first, primary.schema());
+    rp.cache = cache != nullptr
+                   ? ReconcileSargWithSchema(p.second, cache->schema())
+                   : SearchArgument();
+    preds.push_back(std::move(rp));
+  }
+
+  const StripeRange stripes =
+      range.value_or(StripeRange{0, primary.num_stripes()});
 
   // When the two files' stripe structures diverge (the paper's alignment
   // optimization only covers single-stripe files), fall back to positional
-  // combining: read the whole cache file once, disable row-group pruning on
-  // the primary (a skipped group would shift positions), and slice cache
-  // rows by absolute offset.
+  // combining: read the whole cache file once and slice cache rows by
+  // absolute offset (the primary row offset of the range's first stripe).
   RecordBatch cache_full;
   size_t cache_row_offset = 0;
   if (cache != nullptr && !aligned) {
@@ -134,26 +185,46 @@ Status ScanSplitCached(const ScanNode& scan, const Split& split,
         }
       }
     }
+    for (size_t s = 0; s < stripes.begin; ++s) {
+      cache_row_offset +=
+          static_cast<size_t>(primary.footer().stripes[s].num_rows);
+    }
   }
 
-  for (size_t s = 0; s < primary.num_stripes(); ++s) {
-    // Row-group inclusion: start from the raw SARG's exclusions, then AND in
-    // the cache SARG's exclusions when alignment permits (Algorithm 3).
-    MAXSON_ASSIGN_OR_RETURN(
-        std::vector<bool> include,
-        primary.ComputeRowGroupInclusion(
-            s, (cache != nullptr && !aligned) ? SearchArgument() : raw_sarg));
-    if (aligned && !cache_sarg.empty()) {
-      MAXSON_ASSIGN_OR_RETURN(
-          std::vector<bool> cache_include,
-          cache->ComputeRowGroupInclusion(s, cache_sarg));
-      if (cache_include.size() == include.size()) {
-        for (size_t g = 0; g < include.size(); ++g) {
-          if (!cache_include[g] && include[g]) {
-            include[g] = false;
-            if (metrics != nullptr) ++metrics->shared_skips;
+  for (size_t s = stripes.begin; s < stripes.end; ++s) {
+    // Row-group inclusion, per subscriber: the raw SARG's exclusions ANDed
+    // with the cache SARG's exclusions when alignment permits (Algorithm
+    // 3); the pass then reads the union — a group survives when any
+    // subscriber keeps it. raw_union tracks what raw pruning alone would
+    // have read, so shared_skips still counts exactly the groups the cache
+    // SARGs additionally excluded.
+    std::vector<bool> include;
+    std::vector<bool> raw_union;
+    for (const ReconciledPair& rp : preds) {
+      MAXSON_ASSIGN_OR_RETURN(std::vector<bool> inc,
+                              primary.ComputeRowGroupInclusion(s, rp.raw));
+      if (raw_union.empty()) raw_union.assign(inc.size(), false);
+      for (size_t g = 0; g < inc.size(); ++g) {
+        if (inc[g]) raw_union[g] = true;
+      }
+      if (aligned && !rp.cache.empty()) {
+        MAXSON_ASSIGN_OR_RETURN(
+            std::vector<bool> cache_include,
+            cache->ComputeRowGroupInclusion(s, rp.cache));
+        if (cache_include.size() == inc.size()) {
+          for (size_t g = 0; g < inc.size(); ++g) {
+            if (!cache_include[g]) inc[g] = false;
           }
         }
+      }
+      if (include.empty()) include.assign(inc.size(), false);
+      for (size_t g = 0; g < inc.size(); ++g) {
+        if (inc[g]) include[g] = true;
+      }
+    }
+    if (metrics != nullptr) {
+      for (size_t g = 0; g < include.size(); ++g) {
+        if (raw_union[g] && !include[g]) ++metrics->shared_skips;
       }
     }
 
@@ -209,7 +280,7 @@ Status ScanSplitCached(const ScanNode& scan, const Split& split,
         raw_indexes.empty() ? cache_batch.num_rows() : raw_batch.num_rows();
     for (size_t r = 0; r < rows; ++r) {
       std::vector<storage::Value> row;
-      row.reserve(out_schema.num_fields());
+      row.reserve(raw_indexes.size() + cache_indexes.size());
       for (size_t c = 0; c < raw_indexes.size(); ++c) {
         row.push_back(raw_batch.column(c).GetValue(r));
       }
@@ -222,24 +293,26 @@ Status ScanSplitCached(const ScanNode& scan, const Split& split,
   return Status::Ok();
 }
 
-/// Degraded-mode scan of one split: the cache file is unusable, so every
-/// requested cache column is re-derived by parsing the raw string column it
-/// was originally extracted from — exactly what the query would have done
-/// with caching disabled, so the rows are byte-identical either way. Only
-/// possible when the plan carries the source column/path of every cache
-/// column (MaxsonParser always fills them).
-Status ScanSplitRawFallback(const ScanNode& scan, const Split& split,
-                            const Schema& out_schema, RecordBatch* out,
-                            QueryMetrics* metrics) {
-  CorcReader primary(split.path);
+/// Degraded-mode scan of one stripe range: the cache file is unusable, so
+/// every requested cache column is re-derived by parsing the raw string
+/// column it was originally extracted from — exactly what the query would
+/// have done with caching disabled, so the rows are byte-identical either
+/// way. Only possible when the spec carries the source column/path of every
+/// cache column (MaxsonParser always fills them).
+Status ScanSplitRawFallback(const ScanSpec& spec,
+                            const std::vector<SargPair>& predicates,
+                            const std::string& path,
+                            std::optional<StripeRange> range,
+                            RecordBatch* out, QueryMetrics* metrics) {
+  CorcReader primary(path);
   MAXSON_RETURN_NOT_OK(primary.Open());
 
   std::vector<int> raw_indexes;
-  raw_indexes.reserve(scan.columns.size());
-  for (const std::string& name : scan.columns) {
+  raw_indexes.reserve(spec.raw_columns.size());
+  for (const std::string& name : spec.raw_columns) {
     const int idx = primary.schema().FindField(name);
     if (idx < 0) {
-      return Status::NotFound("column " + name + " missing in " + split.path);
+      return Status::NotFound("column " + name + " missing in " + path);
     }
     raw_indexes.push_back(idx);
   }
@@ -252,13 +325,13 @@ Status ScanSplitRawFallback(const ScanNode& scan, const Split& split,
     xml::XmlPath xml_path;
   };
   std::vector<SourceWork> sources;
-  sources.reserve(scan.cache_columns.size());
-  for (const CacheColumnRequest& req : scan.cache_columns) {
+  sources.reserve(spec.cache_columns.size());
+  for (const CacheColumnRequest& req : spec.cache_columns) {
     SourceWork src;
     src.column = primary.schema().FindField(req.source_column);
     if (src.column < 0) {
       return Status::NotFound("fallback source column " + req.source_column +
-                              " missing in " + split.path);
+                              " missing in " + path);
     }
     src.is_xml = xml::IsXmlPathText(req.source_path);
     if (src.is_xml) {
@@ -271,9 +344,10 @@ Status ScanSplitRawFallback(const ScanNode& scan, const Split& split,
     sources.push_back(std::move(src));
   }
 
-  // Read raw + source columns together (deduplicated). Pruning uses the raw
-  // SARG only: the cache SARG names cache fields, and the residual filter
-  // re-checks every surviving row anyway.
+  // Read raw + source columns together (deduplicated). Pruning uses the
+  // raw SARGs only (their disjunction across subscribers): the cache SARGs
+  // name cache fields, and the residual filters re-check every surviving
+  // row anyway.
   std::vector<int> read_columns = raw_indexes;
   std::map<int, size_t> slot_of;  // file column index -> batch slot
   for (size_t c = 0; c < read_columns.size(); ++c) {
@@ -284,12 +358,24 @@ Status ScanSplitRawFallback(const ScanNode& scan, const Split& split,
       read_columns.push_back(src.column);
     }
   }
-  const SearchArgument raw_sarg =
-      ReconcileSargWithSchema(scan.raw_sarg, primary.schema());
+  std::vector<SearchArgument> raw_sargs;
+  raw_sargs.reserve(predicates.size());
+  for (const SargPair& p : predicates) {
+    raw_sargs.push_back(ReconcileSargWithSchema(p.first, primary.schema()));
+  }
 
-  for (size_t s = 0; s < primary.num_stripes(); ++s) {
-    MAXSON_ASSIGN_OR_RETURN(std::vector<bool> include,
-                            primary.ComputeRowGroupInclusion(s, raw_sarg));
+  const StripeRange stripes =
+      range.value_or(StripeRange{0, primary.num_stripes()});
+  for (size_t s = stripes.begin; s < stripes.end; ++s) {
+    std::vector<bool> include;
+    for (const SearchArgument& raw_sarg : raw_sargs) {
+      MAXSON_ASSIGN_OR_RETURN(std::vector<bool> inc,
+                              primary.ComputeRowGroupInclusion(s, raw_sarg));
+      if (include.empty()) include.assign(inc.size(), false);
+      for (size_t g = 0; g < inc.size(); ++g) {
+        if (inc[g]) include[g] = true;
+      }
+    }
     MAXSON_ASSIGN_OR_RETURN(
         RecordBatch batch,
         primary.ReadStripe(s, read_columns, include,
@@ -297,7 +383,7 @@ Status ScanSplitRawFallback(const ScanNode& scan, const Split& split,
     Stopwatch parse_timer;
     for (size_t r = 0; r < batch.num_rows(); ++r) {
       std::vector<storage::Value> row;
-      row.reserve(out_schema.num_fields());
+      row.reserve(raw_indexes.size() + sources.size());
       for (size_t c = 0; c < raw_indexes.size(); ++c) {
         row.push_back(batch.column(c).GetValue(r));
       }
@@ -328,34 +414,269 @@ Status ScanSplitRawFallback(const ScanNode& scan, const Split& split,
   return Status::Ok();
 }
 
-/// One split of the scan: the cached path first; on cache-side corruption,
-/// quarantine the cache file and degrade to raw parsing so the query still
-/// returns correct rows. Corruption of the *raw* file is not recoverable —
-/// the fallback reads the same file and surfaces the same error.
-Status ScanSplit(const ScanNode& scan, const Split& split,
-                 const Schema& out_schema, RecordBatch* out,
+/// One pass over one stripe range: the cached path first; on cache-side
+/// corruption, quarantine the cache file and degrade to raw parsing so the
+/// query still returns correct rows. Corruption of the *raw* file is not
+/// recoverable — the fallback reads the same file and surfaces the same
+/// error.
+Status ScanSplit(const ScanSpec& spec,
+                 const std::vector<SargPair>& predicates,
+                 const std::string& path, size_t split_index,
+                 std::optional<StripeRange> range, RecordBatch* out,
                  QueryMetrics* metrics) {
-  Status status = ScanSplitCached(scan, split, out_schema, out, metrics);
-  if (!status.IsCorruption() || scan.cache_columns.empty()) return status;
-  for (const CacheColumnRequest& req : scan.cache_columns) {
+  Status status =
+      ScanSplitCached(spec, predicates, path, split_index, range, out,
+                      metrics);
+  if (!status.IsCorruption() || spec.cache_columns.empty()) return status;
+  for (const CacheColumnRequest& req : spec.cache_columns) {
     if (req.source_column.empty() || req.source_path.empty()) return status;
   }
-  MAXSON_LOG(Warning) << "cache corruption on split " << split.index << " ("
+  MAXSON_LOG(Warning) << "cache corruption on split " << split_index << " ("
                       << status.message() << "); re-deriving from raw";
-  // Restart the split from scratch: drop partially combined rows and the
+  // Restart the pass from scratch: drop partially combined rows and the
   // failed attempt's accounting so totals stay deterministic.
-  *out = RecordBatch(out_schema);
+  *out = RecordBatch(out->schema());
   if (metrics != nullptr) {
     *metrics = QueryMetrics();
     ++metrics->cache_corruption_fallbacks;
   }
-  return ScanSplitRawFallback(scan, split, out_schema, out, metrics);
+  return ScanSplitRawFallback(spec, predicates, path, range, out, metrics);
+}
+
+// ---------------------------------------------------------------------------
+// Shared-scan path: column keys, morsel construction, subscription.
+// ---------------------------------------------------------------------------
+
+/// Opaque column keys the scheduler unions and compares. Raw columns key by
+/// physical name (so two plans spelling "o.price" and "price" share one
+/// decode); cache columns key by their full binding including the fallback
+/// source, so a pass can re-derive any subscriber's cache column on
+/// corruption. Output names are per-subscriber and deliberately excluded.
+constexpr char kKeySep = '\x1f';
+
+std::string RawColumnKey(const std::string& name) {
+  std::string key = "r";
+  key.push_back(kKeySep);
+  key.append(name);
+  return key;
+}
+
+std::string CacheColumnKey(const CacheColumnRequest& req) {
+  std::string key = "c";
+  key.push_back(kKeySep);
+  key.append(req.cache_table_dir);
+  key.push_back(kKeySep);
+  key.append(req.cache_field);
+  key.push_back(kKeySep);
+  key.append(req.source_column);
+  key.push_back(kKeySep);
+  key.append(req.source_path);
+  return key;
+}
+
+Result<ScanSpec> SpecFromUnionKeys(const std::vector<std::string>& keys) {
+  ScanSpec spec;
+  for (const std::string& key : keys) {
+    std::vector<std::string> parts;
+    size_t start = 0;
+    for (size_t i = 0; i <= key.size(); ++i) {
+      if (i == key.size() || key[i] == kKeySep) {
+        parts.push_back(key.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    if (parts.size() == 2 && parts[0] == "r") {
+      spec.raw_columns.push_back(parts[1]);
+    } else if (parts.size() == 5 && parts[0] == "c") {
+      CacheColumnRequest req;
+      req.cache_table_dir = parts[1];
+      req.cache_field = parts[2];
+      req.output_name = parts[2];  // internal to the pass; renamed on fanout
+      req.source_column = parts[3];
+      req.source_path = parts[4];
+      spec.cache_columns.push_back(std::move(req));
+    } else {
+      return Status::Internal("malformed shared-scan column key");
+    }
+  }
+  return spec;
+}
+
+/// Schema of a shared pass's union batch: one column per union key, *named
+/// by the key* (keys are unique; subscribers map their columns by name), in
+/// the pass's layout order — raw columns then cache columns, matching what
+/// ScanSplitCached/RawFallback append. Types mirror ScanOutputSchema (raw
+/// columns by the table schema, cache columns as strings) so per-subscriber
+/// projection moves values without conversion.
+Schema UnionSchema(const ScanSpec& spec, const Schema& table_schema) {
+  Schema out;
+  for (const std::string& name : spec.raw_columns) {
+    const int idx = table_schema.FindField(name);
+    out.AddField(RawColumnKey(name),
+                 idx >= 0 ? table_schema.field(static_cast<size_t>(idx)).type
+                          : TypeKind::kString);
+  }
+  for (const CacheColumnRequest& req : spec.cache_columns) {
+    out.AddField(CacheColumnKey(req), TypeKind::kString);
+  }
+  return out;
+}
+
+/// Chops the table's splits into morsels: stripe ranges of at least
+/// `morsel_rows` rows (0 = one morsel per split). Only the primary files'
+/// footers are consulted — cache-side problems must surface inside the
+/// pass, where the corruption fallback can handle them.
+Result<std::vector<exec::Morsel>> BuildMorsels(
+    const std::vector<Split>& splits, size_t morsel_rows) {
+  std::vector<exec::Morsel> morsels;
+  for (const Split& split : splits) {
+    CorcReader reader(split.path);
+    MAXSON_RETURN_NOT_OK(reader.Open());
+    const size_t num_stripes = reader.num_stripes();
+    uint64_t row_offset = 0;
+    size_t begin = 0;
+    uint64_t rows_in_morsel = 0;
+    uint64_t begin_row = 0;
+    for (size_t s = 0; s < num_stripes; ++s) {
+      rows_in_morsel +=
+          static_cast<uint64_t>(reader.footer().stripes[s].num_rows);
+      row_offset += static_cast<uint64_t>(reader.footer().stripes[s].num_rows);
+      const bool last = s + 1 == num_stripes;
+      if (!last && (morsel_rows == 0 || rows_in_morsel < morsel_rows)) {
+        continue;
+      }
+      exec::Morsel m;
+      m.split_index = split.index;
+      m.split_path = split.path;
+      m.begin_stripe = begin;
+      m.end_stripe = s + 1;
+      m.begin_row = begin_row;
+      m.end_row = row_offset;
+      morsels.push_back(std::move(m));
+      begin = s + 1;
+      begin_row = row_offset;
+      rows_in_morsel = 0;
+    }
+    if (num_stripes == 0) {
+      // Keep one (empty) morsel so every split is represented and morsel
+      // counts stay stable across sharing modes.
+      exec::Morsel m;
+      m.split_index = split.index;
+      m.split_path = split.path;
+      morsels.push_back(std::move(m));
+    }
+  }
+  return morsels;
+}
+
+/// Scan through the SharedScanManager: subscribe interest, run/ride the
+/// coalesced passes, then project each union batch down to this scan's
+/// columns in morsel order — byte-identical rows to the private path.
+Result<RecordBatch> ExecuteSharedScan(const ScanNode& scan,
+                                      QueryMetrics* metrics,
+                                      exec::SharedScanManager& manager,
+                                      const ExecContext& ctx) {
+  Stopwatch timer;
+  const Schema out_schema = ScanOutputSchema(scan);
+
+  MAXSON_ASSIGN_OR_RETURN(std::vector<Split> splits,
+                          FileSystem::ListSplits(scan.table_dir));
+  if (splits.empty()) {
+    return Status::NotFound("no part files under " + scan.table_dir);
+  }
+
+  exec::ScanInterest interest;
+  interest.table_key = scan.table_dir;
+  interest.validity = ctx.scan_validity;
+  for (const std::string& name : scan.columns) {
+    interest.columns.push_back(RawColumnKey(name));
+  }
+  for (const CacheColumnRequest& req : scan.cache_columns) {
+    interest.columns.push_back(CacheColumnKey(req));
+  }
+  interest.predicate.raw_sarg = scan.raw_sarg;
+  interest.predicate.cache_sarg = scan.cache_sarg;
+  interest.predicate.key =
+      exec::ScanPredicate::KeyFor(scan.raw_sarg, scan.cache_sarg);
+  MAXSON_ASSIGN_OR_RETURN(interest.morsels,
+                          BuildMorsels(splits, ctx.morsel_rows));
+
+  // Per-morsel accumulators for passes this query executes itself; merged
+  // below in morsel order. Passes another query executed land in *its*
+  // accumulators — per-query metrics under sharing reflect who did the
+  // work, while the deterministic result rows are identical regardless.
+  std::vector<QueryMetrics> morsel_metrics(interest.morsels.size());
+  std::vector<double> morsel_seconds(interest.morsels.size(), 0.0);
+  const auto pass_fn =
+      [&](const exec::Morsel& morsel, size_t ordinal,
+          const std::vector<std::string>& union_columns,
+          const std::vector<exec::ScanPredicate>& predicates)
+      -> Result<exec::SharedPassOutput> {
+    Stopwatch pass_timer;
+    MAXSON_ASSIGN_OR_RETURN(ScanSpec spec, SpecFromUnionKeys(union_columns));
+    std::vector<SargPair> pairs;
+    pairs.reserve(predicates.size());
+    for (const exec::ScanPredicate& p : predicates) {
+      pairs.emplace_back(p.raw_sarg, p.cache_sarg);
+    }
+    RecordBatch batch(UnionSchema(spec, scan.table_schema));
+    QueryMetrics* slot = &morsel_metrics[ordinal];
+    MAXSON_RETURN_NOT_OK(ScanSplit(
+        spec, pairs, morsel.split_path, morsel.split_index,
+        StripeRange{morsel.begin_stripe, morsel.end_stripe}, &batch, slot));
+    morsel_seconds[ordinal] = pass_timer.ElapsedSeconds();
+    exec::SharedPassOutput output;
+    output.batch = std::move(batch);
+    output.input_bytes =
+        slot->read.bytes_read + slot->parse.bytes_parsed;
+    return output;
+  };
+
+  std::unique_ptr<exec::ScanSubscription> sub =
+      manager.Subscribe(interest, pass_fn);
+  MAXSON_RETURN_NOT_OK(sub->Collect(ctx.pool, ctx.cancel));
+
+  RecordBatch out(out_schema);
+  for (size_t i = 0; i < sub->num_morsels(); ++i) {
+    const RecordBatch& batch = sub->batch(i);
+    const std::vector<size_t> mapping = sub->ColumnMapping(i);
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      std::vector<storage::Value> row;
+      row.reserve(mapping.size());
+      for (const size_t c : mapping) {
+        row.push_back(batch.column(c).GetValue(r));
+      }
+      out.AppendRow(row);
+    }
+    if (metrics != nullptr && sub->executed_by_self(i)) {
+      metrics->Accumulate(morsel_metrics[i]);
+    }
+    sub->Release(i);
+  }
+
+  if (metrics != nullptr) {
+    metrics->read_seconds += timer.ElapsedSeconds();
+    OperatorStats op;
+    op.name = "Scan";
+    op.detail = scan.table_dir + " (shared)";
+    op.rows_out = out.num_rows();
+    op.units = interest.morsels.size();
+    op.cache_columns = scan.cache_columns.size();
+    op.wall_seconds = timer.ElapsedSeconds();
+    for (double s : morsel_seconds) op.cpu_seconds += s;
+    metrics->operators.push_back(std::move(op));
+  }
+  return out;
 }
 
 }  // namespace
 
 Result<RecordBatch> ExecuteScan(const ScanNode& scan, QueryMetrics* metrics,
-                                exec::ThreadPool* pool) {
+                                const ExecContext& ctx) {
+  if (ctx.shared_scan != nullptr) {
+    return ExecuteSharedScan(scan, metrics, *ctx.shared_scan, ctx);
+  }
+
   Stopwatch timer;
   const Schema out_schema = ScanOutputSchema(scan);
   RecordBatch out(out_schema);
@@ -365,6 +686,9 @@ Result<RecordBatch> ExecuteScan(const ScanNode& scan, QueryMetrics* metrics,
   if (splits.empty()) {
     return Status::NotFound("no part files under " + scan.table_dir);
   }
+  const ScanSpec spec = SpecFromScan(scan);
+  const std::vector<SargPair> predicates = {
+      SargPair{scan.raw_sarg, scan.cache_sarg}};
   // One task per split, each running the full value-combiner pipeline into
   // a private buffer with a private metrics accumulator; the merge below
   // happens in split order, so row order and counter totals match
@@ -373,11 +697,13 @@ Result<RecordBatch> ExecuteScan(const ScanNode& scan, QueryMetrics* metrics,
   std::vector<QueryMetrics> split_metrics(splits.size());
   std::vector<double> split_seconds(splits.size(), 0.0);
   MAXSON_RETURN_NOT_OK(exec::ParallelFor(
-      pool, splits.size(), [&](size_t i) -> Status {
+      ctx.pool, splits.size(), [&](size_t i) -> Status {
+        if (ctx.cancelled()) return Status::Cancelled("query cancelled");
         Stopwatch split_timer;
         buffers[i] = RecordBatch(out_schema);
         Status status =
-            ScanSplit(scan, splits[i], out_schema, &buffers[i],
+            ScanSplit(spec, predicates, splits[i].path, splits[i].index,
+                      std::nullopt, &buffers[i],
                       metrics != nullptr ? &split_metrics[i] : nullptr);
         split_seconds[i] = split_timer.ElapsedSeconds();
         return status;

@@ -2,8 +2,8 @@
 #define MAXSON_ENGINE_TABLE_SCAN_H_
 
 #include "common/result.h"
+#include "engine/exec_context.h"
 #include "engine/plan.h"
-#include "exec/thread_pool.h"
 #include "storage/record_batch.h"
 
 namespace maxson::engine {
@@ -17,17 +17,29 @@ namespace maxson::engine {
 /// condition), the CacheReader's row-group exclusions are shared with the
 /// PrimaryReader so both skip the same groups (Algorithm 3).
 ///
-/// Splits execute in parallel on `pool` (one split = one task, the paper's
-/// unit of parallelism; null pool = sequential), each into a private
-/// buffer with private metrics; buffers and counters are merged in split
-/// order, so the output is byte-identical at every parallelism degree.
+/// Two execution paths, selected by `ctx`:
+///
+///  - Private (ctx.shared_scan == nullptr): one task per split on ctx.pool
+///    (the paper's unit of parallelism; null pool = sequential), each into
+///    a private buffer with private metrics; buffers and counters merge in
+///    split order, so the output is byte-identical at every parallelism
+///    degree.
+///
+///  - Shared (ctx.shared_scan set): the scan subscribes its (table, split,
+///    columns, SARGs) interest to the SharedScanManager and morsels are
+///    parsed once per concurrent subscriber group — see exec/shared_scan.h
+///    and DESIGN.md ("Morsel-driven shared scans"). Rows are assembled in
+///    morsel (split/stripe) order, so results are byte-identical to the
+///    private path; per-query *metrics* attribute a pass to whichever
+///    query executed it, so under concurrency they are a scheduling
+///    property, unlike the deterministic private path.
 ///
 /// Returns the concatenated scan output (raw columns, qualified when the
 /// scan has a qualifier, followed by cache columns). Metrics accumulate
 /// read time, bytes, and shared-skip counts into `metrics`.
 Result<storage::RecordBatch> ExecuteScan(const ScanNode& scan,
                                          QueryMetrics* metrics,
-                                         exec::ThreadPool* pool = nullptr);
+                                         const ExecContext& ctx);
 
 }  // namespace maxson::engine
 

@@ -1,0 +1,31 @@
+#ifndef MAXSON_OBS_METRIC_NAMES_H_
+#define MAXSON_OBS_METRIC_NAMES_H_
+
+namespace maxson::obs {
+
+/// Canonical names of the cross-query shared-scan counters. Unlike the
+/// maxson_query_* series (published once per query after the merge barrier,
+/// so totals are thread-count-deterministic), these count *scheduling*
+/// events across concurrent queries: how often a subscription joined a parse
+/// pass another query already started. Their totals depend on overlap, so
+/// they are monitoring/bench signals, never folded into the deterministic
+/// counter-totals comparison in obs_test.
+///
+/// One subscription = one query-side scan with sharing enabled.
+inline constexpr char kSharedScanSubscribers[] = "maxson_sharedscan_subscribers";
+/// One increment per morsel a subscription *attached to* instead of parsing
+/// itself — the count of parse passes coalesced away. With K identical
+/// queries over an S-split table fully overlapped, this reads (K-1)*S.
+inline constexpr char kSharedScanCoalescedParses[] =
+    "maxson_sharedscan_coalesced_parses";
+/// One increment per parse pass actually executed (the denominator for the
+/// coalescing ratio: passes + coalesced = morsels requested).
+inline constexpr char kSharedScanParsePasses[] =
+    "maxson_sharedscan_parse_passes";
+/// Input bytes (CORC bytes read + raw bytes parsed) whose re-processing was
+/// avoided: each coalesced attach adds the bytes the shared pass consumed.
+inline constexpr char kSharedScanSavedBytes[] = "maxson_sharedscan_saved_bytes";
+
+}  // namespace maxson::obs
+
+#endif  // MAXSON_OBS_METRIC_NAMES_H_

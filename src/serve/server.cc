@@ -18,7 +18,15 @@ MaxsonServer::MaxsonServer(core::MaxsonSession* session,
       options_(options),
       admission_(options.default_limits),
       result_cache_(options.result_cache),
-      result_cache_enabled_(options.enable_result_cache) {}
+      result_cache_enabled_(options.enable_result_cache) {
+  // The serving layer is the concurrent-identical-scan workload shared
+  // scans target, so the server decides the session-wide sharing default.
+  // Routed through UpdateConfig like every other session mutation.
+  core::SessionUpdate update;
+  update.shared_scan = options_.enable_shared_scan;
+  // A bool toggle cannot fail validation; the cast documents that.
+  (void)session_->UpdateConfig(update);
+}
 
 ClientSession MaxsonServer::Connect(const std::string& tenant) {
   return ClientSession(this, tenant);
@@ -134,6 +142,26 @@ Result<ClientSession::Outcome> MaxsonServer::ExecuteForTenant(
   }
   outcome.result = std::move(*result);
   return outcome;
+}
+
+void RegisterServeOptions(OptionRegistry* registry, MaxsonServer* server,
+                          const std::string& tenant, TenantLimits* limits) {
+  registry->RegisterBool("resultcache", "on|off", [server](bool on) {
+    server->EnableResultCache(on);
+    return Status::Ok();
+  });
+  registry->RegisterUint64(
+      "maxinflight", "N", [server, tenant, limits](uint64_t n) {
+        limits->max_in_flight = static_cast<size_t>(n);
+        server->SetTenantLimits(tenant, *limits);
+        return Status::Ok();
+      });
+  registry->RegisterUint64(
+      "maxqueue", "N", [server, tenant, limits](uint64_t n) {
+        limits->max_queue = static_cast<size_t>(n);
+        server->SetTenantLimits(tenant, *limits);
+        return Status::Ok();
+      });
 }
 
 }  // namespace maxson::serve

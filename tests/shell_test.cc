@@ -71,20 +71,25 @@ TEST_F(ShellTest, MalformedSetValuesAreRejectedWithErrors) {
       "set budget 12MB\n"
       "set nonsense 1\n"
       ".quit\n");
-  EXPECT_NE(output.find("error: set threads expects a number"),
+  EXPECT_NE(output.find("option 'threads' expects N, got 'abc'"),
             std::string::npos)
       << output;
   EXPECT_NE(output.find("got '-2'"), std::string::npos) << output;
-  EXPECT_NE(output.find("error: set trace expects on|off, got 'maybe'"),
+  EXPECT_NE(output.find("option 'trace' expects on|off, got 'maybe'"),
             std::string::npos)
       << output;
-  EXPECT_NE(output.find("error: set rawfilter expects on|off, got 'yes'"),
+  EXPECT_NE(output.find("option 'rawfilter' expects on|off, got 'yes'"),
             std::string::npos)
       << output;
-  EXPECT_NE(output.find("error: set budget expects a byte count, got '12MB'"),
+  EXPECT_NE(output.find("option 'budget' expects BYTES, got '12MB'"),
             std::string::npos)
       << output;
-  EXPECT_NE(output.find("usage: set threads N"), std::string::npos) << output;
+  // Unknown knobs name the known set and print the registry's usage line.
+  EXPECT_NE(output.find("unknown option 'nonsense'"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("usage: "), std::string::npos) << output;
+  EXPECT_NE(output.find("set threads N"), std::string::npos) << output;
+  EXPECT_NE(output.find("set sharedscan on|off"), std::string::npos) << output;
 }
 
 TEST_F(ShellTest, MalformedSetLeavesSessionUsable) {
@@ -96,7 +101,7 @@ TEST_F(ShellTest, MalformedSetLeavesSessionUsable) {
       "set trace on\n"
       "set threads 2\n"
       ".quit\n");
-  EXPECT_NE(output.find("error: set threads expects a number"),
+  EXPECT_NE(output.find("option 'threads' expects N, got 'banana'"),
             std::string::npos)
       << output;
   EXPECT_NE(output.find("threads: 1"), std::string::npos) << output;
@@ -151,7 +156,7 @@ TEST_F(ShellTest, ResultCacheKnobServesRepeatsFromCache) {
   EXPECT_NE(output.find("result cache:   on; 1 hits, 1 misses"),
             std::string::npos)
       << output;
-  EXPECT_NE(output.find("error: set resultcache expects on|off, got 'maybe'"),
+  EXPECT_NE(output.find("option 'resultcache' expects on|off, got 'maybe'"),
             std::string::npos)
       << output;
   EXPECT_NE(output.find("resultcache = off"), std::string::npos) << output;
@@ -169,7 +174,7 @@ TEST_F(ShellTest, AdmissionKnobsApplyAndZeroCapacityRejects) {
   EXPECT_NE(output.find("maxinflight = 0"), std::string::npos) << output;
   EXPECT_NE(output.find("resource exhausted"), std::string::npos) << output;
   EXPECT_NE(output.find("1 rejected"), std::string::npos) << output;
-  EXPECT_NE(output.find("error: set maxinflight expects a number, got 'abc'"),
+  EXPECT_NE(output.find("option 'maxinflight' expects N, got 'abc'"),
             std::string::npos)
       << output;
 }
@@ -178,10 +183,21 @@ TEST_F(ShellTest, ValidKnobsAndQueriesStillWork) {
   const std::string output = RunShell(
       "set rawfilter on\n"
       "set budget 1000000\n"
+      "set sharedscan on\n"
+      "set morselsize 1000\n"
       "SELECT id FROM t WHERE id < 3\n"
+      ".stats\n"
+      "set sharedscan off\n"
       ".quit\n");
   EXPECT_NE(output.find("rawfilter = on"), std::string::npos) << output;
   EXPECT_NE(output.find("budget = 1000000"), std::string::npos) << output;
+  EXPECT_NE(output.find("sharedscan = on"), std::string::npos) << output;
+  EXPECT_NE(output.find("morselsize = 1000"), std::string::npos) << output;
+  // The query above ran with sharing on, so the stats line shows the knobs
+  // and at least one subscription.
+  EXPECT_NE(output.find("sharedscan:     on (morselsize 1000)"),
+            std::string::npos)
+      << output;
   EXPECT_NE(output.find("id"), std::string::npos) << output;
   EXPECT_EQ(output.find("error:"), std::string::npos) << output;
 }

@@ -11,9 +11,9 @@
 #           finding fails the run instead of scrolling by.
 #   tsan    ThreadSanitizer build + full test suite (the parallel execution
 #           runtime must be race-clean); the metrics-determinism test, the
-#           CacheRegistry stress test, and the serving-layer test also run
-#           standalone so a racy counter or serving race fails loudly by
-#           name.
+#           CacheRegistry stress test, the serving-layer test, and the
+#           shared-scan executor test also run standalone so a racy counter,
+#           serving race, or scan-sharing race fails loudly by name.
 #   crash   Crash-consistency suite: the durability tests (corruption
 #           matrix, kill-at-every-fault-point midnight sweep) re-run
 #           standalone under Release and ASan, plus one run with the
@@ -101,6 +101,8 @@ if [[ "$run_tsan" == 1 ]]; then
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/registry_stress_test
   echo "=== Serving layer under TSan ==="
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/serve_test
+  echo "=== Shared-scan executor under TSan ==="
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/shared_scan_test
 fi
 
 echo "=== Crash-consistency suite (durability tests) ==="

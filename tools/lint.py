@@ -34,6 +34,14 @@ Encodes the project-specific invariants that generic tooling cannot know
                        under src/simd/ — everything else calls the dispatched
                        kernels so one layer owns ISA-specific code and the
                        byte-identical-across-levels contract stays auditable.
+  exec-layering        src/exec/ is the scheduling layer *below* parsing and
+                       execution: it must not include engine/json/xml/core/
+                       serve/catalog/ml/workload/simd headers nor name the
+                       parse/execute entry points (MisonParser, CorcReader,
+                       RawFilter, ExecutePlan, ExecuteScan). Scan work
+                       reaches the scheduler as a SharedScanPassFn callback
+                       supplied by the layer above, keeping the dependency
+                       arrow engine -> exec one-directional.
   trailing-whitespace  No trailing blanks (mechanical; --fix rewrites).
   final-newline        Files end with exactly one newline (mechanical;
                        --fix rewrites).
@@ -64,6 +72,8 @@ COUNTER_WRITE_ALLOWLIST = (
     "src/core/maxson_parser.cc",  # rewrite outcome counters
     "src/serve/",            # serving-layer counters (admission, result
                              # cache) publish outside any query's merge
+    "src/exec/shared_scan.cc",  # cross-query scan-sharing counters have no
+                                # per-query merge barrier to publish behind
 )
 
 # nodiscard-guard: (file, regex that must match somewhere in the file).
@@ -84,6 +94,10 @@ COUNTER_WRITE_RE = re.compile(r"\bGetCounter\s*\(")
 SIMD_INTRINSICS_RE = re.compile(
     r"#\s*include\s+<(?:[a-z0-9]*mmintrin\.h|x86intrin\.h|arm_neon\.h)>"
     r"|__builtin_cpu_supports\b")
+EXEC_BANNED_INCLUDE_RE = re.compile(
+    r'#\s*include\s+"(?:engine|json|xml|core|serve|catalog|ml|workload|simd)/')
+EXEC_BANNED_IDENT_RE = re.compile(
+    r"\b(?:MisonParser|CorcReader|RawFilter|ExecutePlan|ExecuteScan)\b")
 PARENT_INCLUDE_RE = re.compile(r'#\s*include\s+"\.\./')
 INCLUDE_RE = re.compile(r'#\s*include\s+"([^"]+)"')
 GUARD_RE = re.compile(r"#\s*ifndef\s+(\S+)")
@@ -211,6 +225,24 @@ def check_simd_intrinsics(root, rel, lines, out):
                 "call the dispatched kernels from simd/kernels.h instead"))
 
 
+def check_exec_layering(root, rel, lines, out):
+    if not rel.startswith("src/exec/"):
+        return
+    for i, line in enumerate(lines, 1):
+        code = strip_line_comment(line)
+        if EXEC_BANNED_INCLUDE_RE.search(code):
+            out.append(Violation(
+                "exec-layering", rel, i,
+                "src/exec/ must not include the parse/execute layers — the "
+                "scheduler receives work as a SharedScanPassFn callback, "
+                "never by calling parsers or the engine itself"))
+        elif EXEC_BANNED_IDENT_RE.search(code):
+            out.append(Violation(
+                "exec-layering", rel, i,
+                "parse/execute entry point named in src/exec/ — route the "
+                "work through a pass callback supplied by the layer above"))
+
+
 def check_nodiscard_guard(root, rel, lines, out):
     text = "".join(lines)
     for path, pattern in NODISCARD_REQUIRED:
@@ -270,6 +302,7 @@ def run_lint(root, fix=False):
         check_wall_clock(root, rel, lines, violations)
         check_counter_write(root, rel, lines, violations)
         check_simd_intrinsics(root, rel, lines, violations)
+        check_exec_layering(root, rel, lines, violations)
         check_include_hygiene(root, rel, lines, violations)
         check_nodiscard_guard(root, rel, lines, violations)
     return violations
@@ -296,6 +329,14 @@ SELF_TEST_FILES = (
     ("simd-intrinsics", "src/engine/bad_intrinsics.cc",
      '#include "engine/bad_intrinsics.h"\n'
      "#include <immintrin.h>\n"),
+    # Two exec-layering seeds pin both detection paths: the include ban and
+    # the entry-point-identifier ban.
+    ("exec-layering", "src/exec/bad_include.cc",
+     '#include "exec/bad_include.h"\n'
+     '#include "engine/table_scan.h"\n'),
+    ("exec-layering", "src/exec/bad_parse_call.cc",
+     '#include "exec/bad_parse_call.h"\n'
+     "void f() { maxson::storage::CorcReader reader; }\n"),
     ("include-hygiene", "src/engine/bad_guard.h",
      "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n"
      "#endif\n"),
@@ -330,7 +371,7 @@ def self_test():
             if rule in fixed_left:
                 failures.append(f"--fix did not repair {rule}")
         for rule in ("thread-create", "wall-clock", "counter-write",
-                     "simd-intrinsics"):
+                     "simd-intrinsics", "exec-layering"):
             if rule not in fixed_left:
                 failures.append(f"--fix must not silence {rule}")
     if failures:

@@ -21,10 +21,12 @@
 //   .trace FILE               write recorded spans as chrome-trace JSON
 //   .quit
 //
-// Runtime knobs go through `set` (session knobs routed via UpdateConfig,
-// serving knobs via MaxsonServer):
+// Runtime knobs go through `set`, dispatched via one typed OptionRegistry
+// (session knobs registered by core::RegisterSessionOptions route through
+// UpdateConfig; serving knobs by serve::RegisterServeOptions):
 //   set threads N | set trace on|off | set rawfilter on|off | set budget N
 //   set isa scalar|sse2|avx2|auto | set faultinject fail:N|torn:N|short:N|off
+//   set sharedscan on|off | set morselsize ROWS
 //   set resultcache on|off | set maxinflight N | set maxqueue N
 //
 // SQL is served through a MaxsonServer (tenant "shell"), so admission
@@ -42,6 +44,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/options.h"
 #include "common/string_util.h"
 #include "core/maxson.h"
 #include "serve/server.h"
@@ -80,40 +83,16 @@ void PrintHelp() {
       "                     set rawfilter on|off, set budget BYTES,\n"
       "                     set isa scalar|sse2|avx2|auto (SIMD level),\n"
       "                     set faultinject fail:N|torn:N|short:N|off\n"
+      "set sharedscan on|off  coalesce concurrent scans of one table into\n"
+      "                     one parse pass per morsel\n"
+      "set morselsize ROWS  target rows per shared-scan morsel (0 = one\n"
+      "                     morsel per split)\n"
       "set resultcache on|off  serve repeated SELECTs from the semantic\n"
       "                     result cache (off by default)\n"
       "set maxinflight N    admission: concurrent queries allowed\n"
       "set maxqueue N       admission: bounded wait queue beyond that\n"
       ".quit                exit\n"
       "anything else        executed as SQL (SELECT, EXPLAIN [ANALYZE])\n");
-}
-
-// Strict knob parsing. std::strtoul silently maps garbage to 0 — which for
-// `set threads` means "use every core" — so knob values must parse fully or
-// the command is rejected with an error instead of half-applying.
-bool ParseUint64(const std::string& text, uint64_t* out) {
-  if (text.empty()) return false;
-  uint64_t value = 0;
-  for (char c : text) {
-    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
-    const uint64_t digit = static_cast<uint64_t>(c - '0');
-    if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
-    value = value * 10 + digit;
-  }
-  *out = value;
-  return true;
-}
-
-bool ParseOnOff(const std::string& text, bool* out) {
-  if (text == "on" || text == "1" || text == "true") {
-    *out = true;
-    return true;
-  }
-  if (text == "off" || text == "0" || text == "false") {
-    *out = false;
-    return true;
-  }
-  return false;
 }
 
 void PrintBatch(const maxson::storage::RecordBatch& batch, size_t max_rows) {
@@ -161,6 +140,14 @@ int Run(const ShellOptions& options) {
   maxson::serve::MaxsonServer server(&session, &*catalog, serve_options);
   maxson::serve::ClientSession client = server.Connect("shell");
   maxson::serve::TenantLimits shell_limits;
+
+  // Every `set` knob dispatches through one typed registry: session knobs
+  // route through UpdateConfig, serving knobs through the server. Parsing
+  // and validation live with the registration, not in this loop.
+  maxson::OptionRegistry knobs;
+  maxson::core::RegisterSessionOptions(&knobs, &session);
+  maxson::serve::RegisterServeOptions(&knobs, &server, "shell",
+                                      &shell_limits);
 
   std::printf("maxson shell — %zu database(s); type .help for commands\n",
               catalog->ListDatabases().size());
@@ -226,7 +213,9 @@ int Run(const ShellOptions& options) {
             "midnight:       %llu cycles\n"
             "tracing:        %s (%llu events)\n"
             "simd:           isa=%s\n"
-            "faultinject:    %s\n",
+            "faultinject:    %s\n"
+            "sharedscan:     %s (morselsize %llu); %llu subscribers, "
+            "%llu passes, %llu coalesced, %llu bytes saved\n",
             static_cast<unsigned long long>(stats.rewrite_cache_hits),
             static_cast<unsigned long long>(stats.rewrite_cache_misses),
             static_cast<unsigned long long>(stats.rewrite_invalidations),
@@ -238,7 +227,13 @@ int Run(const ShellOptions& options) {
             static_cast<unsigned long long>(stats.midnight_cycles),
             stats.tracing_enabled ? "on" : "off",
             static_cast<unsigned long long>(stats.trace_events),
-            stats.simd_isa.c_str(), stats.fault_injection.c_str());
+            stats.simd_isa.c_str(), stats.fault_injection.c_str(),
+            stats.shared_scan_enabled ? "on" : "off",
+            static_cast<unsigned long long>(stats.morsel_rows),
+            static_cast<unsigned long long>(stats.sharedscan_subscribers),
+            static_cast<unsigned long long>(stats.sharedscan_parse_passes),
+            static_cast<unsigned long long>(stats.sharedscan_coalesced_parses),
+            static_cast<unsigned long long>(stats.sharedscan_saved_bytes));
       } else if (cmd == ".serve") {
         const auto cache_stats = server.result_cache_stats();
         const auto admission = server.admission_snapshot("shell");
@@ -303,96 +298,19 @@ int Run(const ShellOptions& options) {
       continue;
     }
 
-    // `set KNOB VALUE` — SQL-flavored runtime configuration. Every knob
-    // routes through the one validated UpdateConfig entry point.
+    // `set KNOB VALUE` — SQL-flavored runtime configuration, dispatched
+    // through the typed registry (typed parse errors, setter validation).
     if (trimmed.rfind("set ", 0) == 0 || trimmed.rfind("SET ", 0) == 0) {
       std::istringstream args(trimmed.substr(4));
       std::string knob;
       std::string value;
       args >> knob >> value;
       for (char& ch : knob) ch = static_cast<char>(std::tolower(ch));
-      maxson::core::SessionUpdate update;
-      if (knob == "threads") {
-        uint64_t n = 0;
-        if (!ParseUint64(value, &n)) {
-          std::printf("error: set threads expects a number "
-                      "(0 = all cores), got '%s'\n", value.c_str());
-          continue;
+      if (const auto st = knobs.Set(knob, value); !st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        if (knobs.Find(knob) == nullptr) {
+          std::printf("usage: %s\n", knobs.Usage().c_str());
         }
-        update.num_threads = static_cast<size_t>(n);
-      } else if (knob == "trace") {
-        bool on = false;
-        if (!ParseOnOff(value, &on)) {
-          std::printf("error: set trace expects on|off, got '%s'\n",
-                      value.c_str());
-          continue;
-        }
-        update.tracing = on;
-      } else if (knob == "rawfilter") {
-        bool on = false;
-        if (!ParseOnOff(value, &on)) {
-          std::printf("error: set rawfilter expects on|off, got '%s'\n",
-                      value.c_str());
-          continue;
-        }
-        update.raw_filter = on;
-      } else if (knob == "budget") {
-        uint64_t bytes = 0;
-        if (!ParseUint64(value, &bytes)) {
-          std::printf("error: set budget expects a byte count, got '%s'\n",
-                      value.c_str());
-          continue;
-        }
-        update.cache_budget_bytes = bytes;
-      } else if (knob == "isa") {
-        if (value.empty()) {
-          std::printf("error: set isa expects scalar|sse2|avx2|auto\n");
-          continue;
-        }
-        update.isa = value;
-      } else if (knob == "faultinject") {
-        if (value.empty()) {
-          std::printf(
-              "error: set faultinject expects fail:N|torn:N|short:N|off\n");
-          continue;
-        }
-        update.fault_injection = value;
-      } else if (knob == "resultcache") {
-        bool on = false;
-        if (!ParseOnOff(value, &on)) {
-          std::printf("error: set resultcache expects on|off, got '%s'\n",
-                      value.c_str());
-          continue;
-        }
-        server.EnableResultCache(on);
-        std::printf("resultcache = %s\n", on ? "on" : "off");
-        continue;
-      } else if (knob == "maxinflight" || knob == "maxqueue") {
-        uint64_t n = 0;
-        if (!ParseUint64(value, &n)) {
-          std::printf("error: set %s expects a number, got '%s'\n",
-                      knob.c_str(), value.c_str());
-          continue;
-        }
-        if (knob == "maxinflight") {
-          shell_limits.max_in_flight = static_cast<size_t>(n);
-        } else {
-          shell_limits.max_queue = static_cast<size_t>(n);
-        }
-        server.SetTenantLimits("shell", shell_limits);
-        std::printf("%s = %llu\n", knob.c_str(),
-                    static_cast<unsigned long long>(n));
-        continue;
-      } else {
-        std::printf("usage: set threads N | set trace on|off | "
-                    "set rawfilter on|off | set budget BYTES | "
-                    "set isa LEVEL | set faultinject SPEC | "
-                    "set resultcache on|off | set maxinflight N | "
-                    "set maxqueue N\n");
-        continue;
-      }
-      if (auto st = session.UpdateConfig(update); !st.ok()) {
-        std::printf("%s\n", st.ToString().c_str());
       } else if (knob == "threads") {
         std::printf("threads: %zu\n", session.pool().num_threads());
       } else if (knob == "isa") {
