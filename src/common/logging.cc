@@ -1,7 +1,8 @@
 #include "common/logging.h"
 
 #include <atomic>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace maxson {
 
@@ -11,8 +12,8 @@ std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
 // Serializes sink writes so concurrent MAXSON_LOG records never interleave
 // mid-line. Each record is formatted into its LogMessage's private buffer
 // first; the lock covers only the final write.
-std::mutex& SinkMutex() {
-  static std::mutex mutex;
+Mutex& SinkMutex() {
+  static Mutex mutex;
   return mutex;
 }
 
@@ -53,7 +54,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   stream_ << "\n";
   {
-    std::lock_guard<std::mutex> lock(SinkMutex());
+    MutexLock lock(SinkMutex());
     std::cerr << stream_.str();
     if (level_ == LogLevel::kFatal) std::cerr.flush();
   }

@@ -1,0 +1,183 @@
+#ifndef MAXSON_COMMON_THREAD_ANNOTATIONS_H_
+#define MAXSON_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+/// Clang Thread Safety Analysis for the whole codebase (see DESIGN.md,
+/// "Static analysis & concurrency discipline").
+///
+/// Every mutex-protected field carries MAXSON_GUARDED_BY, every
+/// hold-the-lock helper carries MAXSON_REQUIRES, and all locking goes
+/// through the annotated Mutex/SharedMutex wrappers below, so
+/// `clang++ -Wthread-safety -Werror` proves the locking discipline at
+/// compile time — what a TSan run can only sample. tools/ci.sh runs that
+/// build when clang is available; tools/lint.py additionally parses these
+/// annotations into a cross-TU lock-acquisition graph and enforces the
+/// declared lock hierarchy (lock-order rule).
+///
+/// On non-Clang compilers every macro expands to nothing and the wrappers
+/// reduce to the plain standard-library primitives they hold, so GCC
+/// builds are byte-for-byte unaffected.
+#if defined(__clang__)
+#define MAXSON_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MAXSON_THREAD_ANNOTATION_(x)
+#endif
+
+/// Declares a type to be a capability (lockable). The string names the
+/// capability kind in diagnostics ("mutex").
+#define MAXSON_CAPABILITY(x) MAXSON_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define MAXSON_SCOPED_CAPABILITY MAXSON_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field may be read/written only while holding `x` (exclusively for
+/// writes, at least shared for reads).
+#define MAXSON_GUARDED_BY(x) MAXSON_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The data *pointed to* by this field is guarded by `x`.
+#define MAXSON_PT_GUARDED_BY(x) MAXSON_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function may be called only while holding the named capabilities
+/// exclusively / shared. Also the analyzer's (tools/lint.py lock-order)
+/// source of held-lock context for cross-TU edges.
+#define MAXSON_REQUIRES(...) \
+  MAXSON_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define MAXSON_REQUIRES_SHARED(...) \
+  MAXSON_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively / shared) and holds it on
+/// return.
+#define MAXSON_ACQUIRE(...) \
+  MAXSON_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define MAXSON_ACQUIRE_SHARED(...) \
+  MAXSON_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (any mode for the bare form — the
+/// generic release also matches shared holds, which is what the scoped
+/// lock destructors rely on).
+#define MAXSON_RELEASE(...) \
+  MAXSON_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define MAXSON_RELEASE_SHARED(...) \
+  MAXSON_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; the first argument is the return
+/// value meaning success.
+#define MAXSON_TRY_ACQUIRE(...) \
+  MAXSON_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called WITHOUT holding the named capabilities (guards
+/// against self-deadlock on non-recursive mutexes).
+#define MAXSON_EXCLUDES(...) MAXSON_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declared acquisition order between two capabilities.
+#define MAXSON_ACQUIRED_BEFORE(...) \
+  MAXSON_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define MAXSON_ACQUIRED_AFTER(...) \
+  MAXSON_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the capability `x`.
+#define MAXSON_RETURN_CAPABILITY(x) MAXSON_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch for functions whose safety argument the analysis cannot
+/// express (e.g. CacheRegistry's move operations, which lock two instances
+/// at once and require the moved-from registry to be otherwise idle).
+/// Every use carries a comment saying why it is safe.
+#define MAXSON_NO_THREAD_SAFETY_ANALYSIS \
+  MAXSON_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace maxson {
+
+/// Annotated exclusive mutex. Exactly std::mutex plus the capability
+/// attribute; native() exposes the wrapped mutex for
+/// std::condition_variable waits (through MutexLock::native()).
+class MAXSON_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MAXSON_ACQUIRE() { mu_.lock(); }
+  void unlock() MAXSON_RELEASE() { mu_.unlock(); }
+  bool try_lock() MAXSON_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Annotated reader/writer mutex over std::shared_mutex.
+class MAXSON_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() MAXSON_ACQUIRE() { mu_.lock(); }
+  void unlock() MAXSON_RELEASE() { mu_.unlock(); }
+  bool try_lock() MAXSON_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock_shared() MAXSON_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() MAXSON_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() MAXSON_TRY_ACQUIRE(true) {
+    return mu_.try_lock_shared();
+  }
+
+  std::shared_mutex& native() { return mu_; }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock on a Mutex (the annotated std::lock_guard /
+/// std::unique_lock replacement). Condition-variable waits go through
+/// native(): the analysis treats the capability as held across the wait,
+/// which matches the caller-visible contract (the predicate re-checks
+/// under the lock).
+class MAXSON_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MAXSON_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() MAXSON_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// RAII exclusive (writer) lock on a SharedMutex.
+class MAXSON_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) MAXSON_ACQUIRE(mu)
+      : lock_(mu.native()) {}
+  ~WriterMutexLock() MAXSON_RELEASE() {}
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  std::unique_lock<std::shared_mutex> lock_;
+};
+
+/// RAII shared (reader) lock on a SharedMutex.
+class MAXSON_SCOPED_CAPABILITY SharedMutexLock {
+ public:
+  explicit SharedMutexLock(SharedMutex& mu) MAXSON_ACQUIRE_SHARED(mu)
+      : lock_(mu.native()) {}
+  ~SharedMutexLock() MAXSON_RELEASE() {}
+
+  SharedMutexLock(const SharedMutexLock&) = delete;
+  SharedMutexLock& operator=(const SharedMutexLock&) = delete;
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+}  // namespace maxson
+
+#endif  // MAXSON_COMMON_THREAD_ANNOTATIONS_H_

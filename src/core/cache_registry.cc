@@ -12,7 +12,7 @@
 namespace maxson::core {
 
 std::vector<std::string> CacheRegistry::Clear() {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterMutexLock lock(mutex_);
   std::set<std::string> dirs;
   for (const auto& [key, entry] : entries_) {
     dirs.insert(entry.cache_table_dir);
@@ -23,7 +23,7 @@ std::vector<std::string> CacheRegistry::Clear() {
 }
 
 std::string CacheRegistry::ToJson() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  SharedMutexLock lock(mutex_);
   using json::JsonValue;
   JsonValue root = JsonValue::Object();
   JsonValue entries = JsonValue::Array();

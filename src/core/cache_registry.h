@@ -4,13 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "workload/trace.h"
 
 namespace maxson::core {
@@ -47,17 +46,21 @@ class CacheRegistry {
 
   // shared_mutex is immovable; moving a registry moves only its entries.
   // Used by Load/FromJson returning by value and by session restore; the
-  // moved-from registry must be otherwise idle.
-  CacheRegistry(CacheRegistry&& other) noexcept {
-    std::unique_lock<std::shared_mutex> lock(other.mutex_);
+  // moved-from registry must be otherwise idle. Outside the analysis:
+  // locking two registries at once has no expressible annotation, and the
+  // idle-moved-from contract is what actually makes it safe.
+  CacheRegistry(CacheRegistry&& other) noexcept
+      MAXSON_NO_THREAD_SAFETY_ANALYSIS {
+    WriterMutexLock lock(other.mutex_);
     entries_ = std::move(other.entries_);
     other.entries_.clear();
     version_.fetch_add(1, std::memory_order_release);
     other.version_.fetch_add(1, std::memory_order_release);
   }
-  CacheRegistry& operator=(CacheRegistry&& other) noexcept {
+  CacheRegistry& operator=(CacheRegistry&& other) noexcept
+      MAXSON_NO_THREAD_SAFETY_ANALYSIS {
     if (this != &other) {
-      std::scoped_lock lock(mutex_, other.mutex_);
+      std::scoped_lock lock(mutex_.native(), other.mutex_.native());
       entries_ = std::move(other.entries_);
       other.entries_.clear();
       version_.fetch_add(1, std::memory_order_release);
@@ -66,8 +69,8 @@ class CacheRegistry {
     return *this;
   }
 
-  void Put(CacheEntry entry) {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+  void Put(CacheEntry entry) MAXSON_EXCLUDES(mutex_) {
+    WriterMutexLock lock(mutex_);
     entries_[entry.location.Key()] = std::move(entry);
     version_.fetch_add(1, std::memory_order_release);
   }
@@ -75,8 +78,9 @@ class CacheRegistry {
   /// Returns a copy of the entry, or nullopt when the path has none. A copy
   /// (not a pointer) so a concurrent Clear() cannot invalidate the result.
   std::optional<CacheEntry> Lookup(
-      const workload::JsonPathLocation& location) const {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+      const workload::JsonPathLocation& location) const
+      MAXSON_EXCLUDES(mutex_) {
+    SharedMutexLock lock(mutex_);
     lookups_.fetch_add(1, std::memory_order_relaxed);
     auto it = entries_.find(location.Key());
     if (it == entries_.end()) return std::nullopt;
@@ -100,8 +104,8 @@ class CacheRegistry {
   /// rewrite can bind to files that are about to disappear — the ordering
   /// (invalidate, then remove) is what keeps the Lookup-to-scan window
   /// merely retryable instead of silently wrong.
-  void InvalidateByDir(const std::string& dir) {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+  void InvalidateByDir(const std::string& dir) MAXSON_EXCLUDES(mutex_) {
+    WriterMutexLock lock(mutex_);
     bool changed = false;
     for (auto it = entries_.begin(); it != entries_.end();) {
       if (it->second.cache_table_dir == dir) {
@@ -115,8 +119,9 @@ class CacheRegistry {
   }
 
   /// Marks an entry invalid (raw table modified after caching).
-  void Invalidate(const workload::JsonPathLocation& location) {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+  void Invalidate(const workload::JsonPathLocation& location)
+      MAXSON_EXCLUDES(mutex_) {
+    WriterMutexLock lock(mutex_);
     auto it = entries_.find(location.Key());
     if (it != entries_.end()) {
       it->second.valid = false;
@@ -135,17 +140,17 @@ class CacheRegistry {
   /// Drops every entry (the nightly "empty and re-populate" step) and
   /// returns the directories that backed them so the cacher can delete the
   /// stale files.
-  std::vector<std::string> Clear();
+  std::vector<std::string> Clear() MAXSON_EXCLUDES(mutex_);
 
-  size_t size() const {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+  size_t size() const MAXSON_EXCLUDES(mutex_) {
+    SharedMutexLock lock(mutex_);
     return entries_.size();
   }
 
   /// Copies the current entries in key order (for display and iteration;
   /// a live reference would race with concurrent mutation).
-  std::vector<CacheEntry> Snapshot() const {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<CacheEntry> Snapshot() const MAXSON_EXCLUDES(mutex_) {
+    SharedMutexLock lock(mutex_);
     std::vector<CacheEntry> out;
     out.reserve(entries_.size());
     for (const auto& [key, entry] : entries_) out.push_back(entry);
@@ -155,14 +160,14 @@ class CacheRegistry {
   /// Serializes the registry to JSON / restores it, so a deployment's
   /// cache state survives process restarts (cache tables live on disk; the
   /// registry is the only volatile piece).
-  std::string ToJson() const;
+  std::string ToJson() const MAXSON_EXCLUDES(mutex_);
   static Result<CacheRegistry> FromJson(const std::string& text);
   Status Save(const std::string& path) const;
   static Result<CacheRegistry> Load(const std::string& path);
 
  private:
-  mutable std::shared_mutex mutex_;
-  std::map<std::string, CacheEntry> entries_;
+  mutable SharedMutex mutex_;
+  std::map<std::string, CacheEntry> entries_ MAXSON_GUARDED_BY(mutex_);
   std::atomic<uint64_t> version_{0};
   /// Mutable: Lookup is logically const; counting probes does not mutate
   /// the registry's observable cache state.

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/time_util.h"
 #include "exec/shared_scan.h"
+#include "obs/metric_names.h"
 #include "simd/isa.h"
 #include "storage/file_system.h"
 
@@ -55,18 +56,18 @@ MaxsonSession::MaxsonSession(const catalog::Catalog* catalog,
 
 void MaxsonSession::PublishIsaMetrics() {
   const simd::Isa active = simd::ActiveIsa();
-  metrics_->GetGauge("maxson_simd_isa_level")
+  metrics_->GetGauge(obs::kSimdIsaLevel)
       ->Set(static_cast<double>(static_cast<int>(active)));
   for (simd::Isa level : {simd::Isa::kScalar, simd::Isa::kSse2,
                           simd::Isa::kAvx2}) {
-    metrics_->GetGauge("maxson_simd_isa_info", {{"isa", simd::IsaName(level)}})
+    metrics_->GetGauge(obs::kSimdIsaInfo, {{"isa", simd::IsaName(level)}})
         ->Set(level == active ? 1.0 : 0.0);
   }
 }
 
 std::shared_ptr<const std::vector<engine::CacheBinding>>
 MaxsonSession::CacheBindingSnapshot() const {
-  std::lock_guard<std::mutex> lock(binding_cache_mutex_);
+  MutexLock lock(binding_cache_mutex_);
   // Read the version before Snapshot(): a mutation landing between the two
   // reads makes the cached copy stale-stamped, so the next call rebuilds.
   const uint64_t version = registry_.version();
@@ -157,22 +158,22 @@ Result<MidnightReport> MaxsonSession::RunMidnightCycle(DateId target_day) {
   // (path and row counts, bytes written — merged in split order by the
   // cacher); the measured times go to gauges.
   ++midnight_cycles_;
-  metrics_->GetCounter("maxson_midnight_cycles_total")->Increment();
-  metrics_->GetCounter("maxson_midnight_paths_predicted_total")
+  metrics_->GetCounter(obs::kMidnightCycles)->Increment();
+  metrics_->GetCounter(obs::kMidnightPathsPredicted)
       ->Increment(report.predicted_mpjps.size());
-  metrics_->GetCounter("maxson_midnight_paths_selected_total")
+  metrics_->GetCounter(obs::kMidnightPathsSelected)
       ->Increment(report.selected.size());
-  metrics_->GetCounter("maxson_midnight_paths_cached_total")
+  metrics_->GetCounter(obs::kMidnightPathsCached)
       ->Increment(report.caching.paths_cached);
-  metrics_->GetCounter("maxson_midnight_rows_parsed_total")
+  metrics_->GetCounter(obs::kMidnightRowsParsed)
       ->Increment(report.caching.rows_parsed);
-  metrics_->GetCounter("maxson_midnight_bytes_written_total")
+  metrics_->GetCounter(obs::kMidnightBytesWritten)
       ->Increment(report.caching.bytes_written);
-  metrics_->GetGauge("maxson_midnight_last_parse_seconds")
+  metrics_->GetGauge(obs::kMidnightLastParseSeconds)
       ->Set(report.caching.parse_seconds);
-  metrics_->GetGauge("maxson_midnight_last_total_seconds")
+  metrics_->GetGauge(obs::kMidnightLastTotalSeconds)
       ->Set(cycle_timer.ElapsedSeconds());
-  metrics_->GetGauge("maxson_cache_entries")
+  metrics_->GetGauge(obs::kCacheEntries)
       ->Set(static_cast<double>(registry_.size()));
   return report;
 }
@@ -184,13 +185,13 @@ Result<CachingStats> MaxsonSession::CacheSelected(
       CachingStats stats,
       cacher_->RepopulateCache(selected, static_cast<int64_t>(cache_time),
                                &registry_));
-  metrics_->GetCounter("maxson_midnight_paths_cached_total")
+  metrics_->GetCounter(obs::kMidnightPathsCached)
       ->Increment(stats.paths_cached);
-  metrics_->GetCounter("maxson_midnight_rows_parsed_total")
+  metrics_->GetCounter(obs::kMidnightRowsParsed)
       ->Increment(stats.rows_parsed);
-  metrics_->GetCounter("maxson_midnight_bytes_written_total")
+  metrics_->GetCounter(obs::kMidnightBytesWritten)
       ->Increment(stats.bytes_written);
-  metrics_->GetGauge("maxson_cache_entries")
+  metrics_->GetGauge(obs::kCacheEntries)
       ->Set(static_cast<double>(registry_.size()));
   return stats;
 }

@@ -2,7 +2,6 @@
 #define MAXSON_CORE_MAXSON_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -11,6 +10,7 @@
 #include "catalog/catalog.h"
 #include "common/options.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/cache_registry.h"
 #include "core/cacher.h"
 #include "core/collector.h"
@@ -254,8 +254,10 @@ class MaxsonSession {
  private:
   /// Flattened registry view for the plan validator, served from
   /// binding_cache_ and rebuilt only when the registry's version moved.
+  /// Acquires CacheRegistry::mutex_ (via registry_.Snapshot) while holding
+  /// binding_cache_mutex_ — the declared core-layer lock order.
   std::shared_ptr<const std::vector<engine::CacheBinding>>
-  CacheBindingSnapshot() const;
+  CacheBindingSnapshot() const MAXSON_EXCLUDES(binding_cache_mutex_);
 
   /// Publishes the dispatched SIMD level to the metrics registry: the
   /// maxson_simd_isa_level gauge (numeric level) and one
@@ -277,10 +279,11 @@ class MaxsonSession {
   /// checks, rebuilt only when registry_.version() moves past
   /// binding_cache_version_. Shared const so in-flight validations keep a
   /// consistent snapshot while a midnight cycle swaps in a fresh one.
-  mutable std::mutex binding_cache_mutex_;
+  mutable Mutex binding_cache_mutex_;
   mutable std::shared_ptr<const std::vector<engine::CacheBinding>>
-      binding_cache_;
-  mutable uint64_t binding_cache_version_ = ~0ull;
+      binding_cache_ MAXSON_GUARDED_BY(binding_cache_mutex_);
+  mutable uint64_t binding_cache_version_
+      MAXSON_GUARDED_BY(binding_cache_mutex_) = ~0ull;
 };
 
 /// Registers the session's runtime knobs ("set KNOB VALUE") on `registry`:

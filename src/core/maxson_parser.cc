@@ -2,6 +2,7 @@
 
 #include "common/string_util.h"
 #include "engine/expr.h"
+#include "obs/metric_names.h"
 #include "obs/metrics_registry.h"
 
 namespace maxson::core {
@@ -104,7 +105,7 @@ Result<int> MaxsonParser::RewriteForScan(PhysicalPlan* plan, ScanNode* scan) {
     if (!entry.has_value() || !entry->valid) {
       ++cache_misses_;
       ++plan->rewrite_cache_misses;
-      bump("maxson_rewrite_misses_total");
+      bump(obs::kRewriteMisses);
       return;  // cache miss: normal parsing path
     }
     // Validity check: a table modified after the cache was populated makes
@@ -115,7 +116,7 @@ Result<int> MaxsonParser::RewriteForScan(PhysicalPlan* plan, ScanNode* scan) {
       ++invalidations_;
       ++cache_misses_;
       ++plan->rewrite_cache_fallbacks;
-      bump("maxson_rewrite_fallbacks_total");
+      bump(obs::kRewriteFallbacks);
       return;
     }
 
@@ -123,7 +124,7 @@ Result<int> MaxsonParser::RewriteForScan(PhysicalPlan* plan, ScanNode* scan) {
     // request the cache column from the scan.
     ++cache_hits_;
     ++plan->rewrite_cache_hits;
-    bump("maxson_rewrite_hits_total");
+    bump(obs::kRewriteHits);
     const std::string output_name =
         scan->qualifier.empty() ? entry->cache_field
                                 : scan->qualifier + "." + entry->cache_field;

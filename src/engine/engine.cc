@@ -17,6 +17,7 @@
 #include "json/dom_parser.h"
 #include "json/json_path.h"
 #include "json/raw_filter.h"
+#include "obs/metric_names.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "simd/isa.h"
@@ -71,26 +72,26 @@ void QueryEngine::set_num_threads(size_t num_threads) {
 
 const json::JsonPath* QueryEngine::CachedJsonPath(const std::string& text) {
   {
-    std::shared_lock<std::shared_mutex> lock(path_cache_mutex_);
+    SharedMutexLock lock(path_cache_mutex_);
     auto it = path_cache_.find(text);
     if (it != path_cache_.end()) return &it->second;
   }
   auto parsed = json::JsonPath::Parse(text);
   if (!parsed.ok()) return nullptr;
-  std::unique_lock<std::shared_mutex> lock(path_cache_mutex_);
+  WriterMutexLock lock(path_cache_mutex_);
   // Another worker may have inserted meanwhile; emplace keeps the first.
   return &path_cache_.emplace(text, std::move(*parsed)).first->second;
 }
 
 const xml::XmlPath* QueryEngine::CachedXmlPath(const std::string& text) {
   {
-    std::shared_lock<std::shared_mutex> lock(path_cache_mutex_);
+    SharedMutexLock lock(path_cache_mutex_);
     auto it = xml_path_cache_.find(text);
     if (it != xml_path_cache_.end()) return &it->second;
   }
   auto parsed = xml::XmlPath::Parse(text);
   if (!parsed.ok()) return nullptr;
-  std::unique_lock<std::shared_mutex> lock(path_cache_mutex_);
+  WriterMutexLock lock(path_cache_mutex_);
   return &xml_path_cache_.emplace(text, std::move(*parsed)).first->second;
 }
 
@@ -240,7 +241,7 @@ Status QueryEngine::ValidatePlanned(const PhysicalPlan& plan,
   // the full walk once per (rewriter, registry snapshot) state, not per
   // plan. See ValidationVerdict for the determinism argument.
   {
-    std::lock_guard<std::mutex> lock(validation_cache_mutex_);
+    MutexLock lock(validation_cache_mutex_);
     auto it = validation_cache_.find(sql);
     if (it != validation_cache_.end() && it->second.rewriter == rewriter_ &&
         it->second.bindings == bindings) {
@@ -251,13 +252,13 @@ Status QueryEngine::ValidatePlanned(const PhysicalPlan& plan,
   Status status = ValidatePlan(plan, bindings.get());
   if (!status.ok()) {
     if (metrics_registry_ != nullptr) {
-      metrics_registry_->GetCounter("maxson_plan_validation_failures")
+      metrics_registry_->GetCounter(obs::kPlanValidationFailures)
           ->Increment();
     }
     return status;
   }
 #ifdef NDEBUG
-  std::lock_guard<std::mutex> lock(validation_cache_mutex_);
+  MutexLock lock(validation_cache_mutex_);
   // Unbounded growth guard; a full reset is fine — verdicts re-prove in
   // one validation each.
   if (validation_cache_.size() >= 1024) validation_cache_.clear();
@@ -333,43 +334,43 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
 void QueryEngine::PublishMetrics(const QueryMetrics& metrics) {
   if (metrics_registry_ == nullptr) return;
   obs::MetricsRegistry& reg = *metrics_registry_;
-  reg.GetCounter("maxson_queries_total")->Increment();
-  reg.GetCounter("maxson_query_rows_read_total")
+  reg.GetCounter(obs::kQueriesTotal)->Increment();
+  reg.GetCounter(obs::kQueryRowsRead)
       ->Increment(metrics.read.rows_read);
-  reg.GetCounter("maxson_query_bytes_read_total")
+  reg.GetCounter(obs::kQueryBytesRead)
       ->Increment(metrics.read.bytes_read);
-  reg.GetCounter("maxson_query_row_groups_read_total")
+  reg.GetCounter(obs::kQueryRowGroupsRead)
       ->Increment(metrics.read.row_groups_read);
-  reg.GetCounter("maxson_query_row_groups_skipped_total")
+  reg.GetCounter(obs::kQueryRowGroupsSkipped)
       ->Increment(metrics.read.row_groups_skipped);
-  reg.GetCounter("maxson_query_shared_skips_total")
+  reg.GetCounter(obs::kQuerySharedSkips)
       ->Increment(metrics.shared_skips);
-  reg.GetCounter("maxson_query_records_parsed_total")
+  reg.GetCounter(obs::kQueryRecordsParsed)
       ->Increment(metrics.parse.records_parsed);
-  reg.GetCounter("maxson_query_bytes_parsed_total")
+  reg.GetCounter(obs::kQueryBytesParsed)
       ->Increment(metrics.parse.bytes_parsed);
-  reg.GetCounter("maxson_query_cache_columns_read_total")
+  reg.GetCounter(obs::kQueryCacheColumnsRead)
       ->Increment(metrics.cache_columns_read);
-  reg.GetCounter("maxson_query_raw_filtered_rows_total")
+  reg.GetCounter(obs::kQueryRawFilteredRows)
       ->Increment(metrics.raw_filtered_rows);
-  reg.GetCounter("maxson_cache_corruption_total")
+  reg.GetCounter(obs::kCacheCorruption)
       ->Increment(metrics.cache_corruption_fallbacks);
-  reg.GetCounter("maxson_plan_cache_hits_total")
+  reg.GetCounter(obs::kPlanCacheHits)
       ->Increment(metrics.plan_cache_hits);
-  reg.GetCounter("maxson_plan_cache_misses_total")
+  reg.GetCounter(obs::kPlanCacheMisses)
       ->Increment(metrics.plan_cache_misses);
-  reg.GetCounter("maxson_plan_cache_fallbacks_total")
+  reg.GetCounter(obs::kPlanCacheFallbacks)
       ->Increment(metrics.plan_cache_fallbacks);
   // Time distributions: measured, so histograms — excluded from the
   // determinism comparison (CounterTotals reports counters only).
   const std::vector<double> bounds = obs::Histogram::DefaultSecondsBounds();
-  reg.GetHistogram("maxson_query_plan_seconds", bounds)
+  reg.GetHistogram(obs::kQueryPlanSeconds, bounds)
       ->Observe(metrics.plan_seconds);
-  reg.GetHistogram("maxson_query_read_seconds", bounds)
+  reg.GetHistogram(obs::kQueryReadSeconds, bounds)
       ->Observe(metrics.read_seconds);
-  reg.GetHistogram("maxson_query_parse_seconds", bounds)
+  reg.GetHistogram(obs::kQueryParseSeconds, bounds)
       ->Observe(metrics.parse_seconds);
-  reg.GetHistogram("maxson_query_compute_seconds", bounds)
+  reg.GetHistogram(obs::kQueryComputeSeconds, bounds)
       ->Observe(metrics.compute_seconds);
 }
 
@@ -1065,7 +1066,7 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
   metrics.compute_seconds +=
       std::max(0.0, compute_timer.ElapsedSeconds() - metrics.parse_seconds);
   {
-    std::lock_guard<std::mutex> lock(mison_mutex_);
+    MutexLock lock(mison_mutex_);
     mison_.AbsorbTelemetry(query_mison);
   }
   PublishMetrics(metrics);

@@ -3,14 +3,13 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "engine/exec_context.h"
 #include "engine/plan.h"
 #include "engine/plan_validator.h"
@@ -173,8 +172,11 @@ class QueryEngine {
   /// Workers extract with private parsers; their counters fold into a
   /// query-local parser and land here once per query under mison_mutex_,
   /// so stats read while queries run are merely slightly stale, never
-  /// torn. Cumulative across queries.
-  const json::MisonParser& mison() const { return mison_; }
+  /// torn. Cumulative across queries. Outside the analysis: the lock-free
+  /// read of mison_'s atomic counters is the documented stale-read API.
+  const json::MisonParser& mison() const MAXSON_NO_THREAD_SAFETY_ANALYSIS {
+    return mison_;
+  }
 
  private:
   friend const ScalarFunction* LookupEngineFunction(const std::string& name,
@@ -197,8 +199,10 @@ class QueryEngine {
   /// parsing and inserting on first sight; nullptr when the text is not a
   /// valid path. Thread-safe; the returned pointer stays valid for the
   /// engine's lifetime (unordered_map element references are stable).
-  const json::JsonPath* CachedJsonPath(const std::string& text);
-  const xml::XmlPath* CachedXmlPath(const std::string& text);
+  const json::JsonPath* CachedJsonPath(const std::string& text)
+      MAXSON_EXCLUDES(path_cache_mutex_);
+  const xml::XmlPath* CachedXmlPath(const std::string& text)
+      MAXSON_EXCLUDES(path_cache_mutex_);
 
   const catalog::Catalog* catalog_;
   EngineConfig config_;
@@ -218,17 +222,19 @@ class QueryEngine {
   /// the case inside ExecutePlan, which always supplies a query-local
   /// parser so concurrent Execute calls stay independent). Guarded by
   /// mison_mutex_ for the once-per-query telemetry fold.
-  std::mutex mison_mutex_;
-  json::MisonParser mison_;
+  Mutex mison_mutex_;
+  json::MisonParser mison_ MAXSON_GUARDED_BY(mison_mutex_);
   std::unordered_map<std::string, ScalarFunction> functions_;
   /// Caches of parsed path objects keyed by text, to keep path parsing out
   /// of the measured parse time. Shared across worker threads: lookups
   /// take the mutex shared, first-sight inserts take it exclusive — after
   /// the first few rows every access is a shared-lock read, so the hot
   /// extraction path sees no exclusive-lock contention.
-  std::shared_mutex path_cache_mutex_;
-  std::unordered_map<std::string, json::JsonPath> path_cache_;
-  std::unordered_map<std::string, xml::XmlPath> xml_path_cache_;
+  SharedMutex path_cache_mutex_;
+  std::unordered_map<std::string, json::JsonPath> path_cache_
+      MAXSON_GUARDED_BY(path_cache_mutex_);
+  std::unordered_map<std::string, xml::XmlPath> xml_path_cache_
+      MAXSON_GUARDED_BY(path_cache_mutex_);
 
   /// One remembered clean verdict: the rewriter and binding snapshot the
   /// validation ran under. Planning is deterministic given the SQL text,
@@ -261,9 +267,9 @@ class QueryEngine {
       return (head * 1315423911u) ^ tail ^ n;
     }
   };
-  std::mutex validation_cache_mutex_;
+  Mutex validation_cache_mutex_;
   std::unordered_map<std::string, ValidationVerdict, SqlKeyHash>
-      validation_cache_;
+      validation_cache_ MAXSON_GUARDED_BY(validation_cache_mutex_);
 };
 
 }  // namespace maxson::engine

@@ -59,7 +59,7 @@ std::string ScanPredicate::KeyFor(const SearchArgument& raw,
 MorselScheduler::Registration MorselScheduler::Register(
     const Morsel& morsel, const std::vector<std::string>& columns,
     const ScanPredicate& predicate) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::shared_ptr<MorselTask>>& list = tasks_[morsel.Id()];
   for (const std::shared_ptr<MorselTask>& task : list) {
     if (task->state == MorselTask::State::kPending) {
@@ -114,7 +114,7 @@ MorselScheduler::Registration MorselScheduler::Register(
 
 MorselScheduler::Claim MorselScheduler::ClaimPending(
     const std::vector<std::shared_ptr<MorselTask>>& tasks) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (size_t i = 0; i < tasks.size(); ++i) {
     MorselTask& task = *tasks[i];
     if (task.state != MorselTask::State::kPending) continue;
@@ -133,7 +133,7 @@ uint64_t MorselScheduler::Publish(const std::shared_ptr<MorselTask>& task,
                                   Status status, SharedPassOutput output) {
   uint64_t saved = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     task->status = std::move(status);
     task->output = std::move(output);
     task->state = MorselTask::State::kDone;
@@ -149,7 +149,7 @@ uint64_t MorselScheduler::Publish(const std::shared_ptr<MorselTask>& task,
 void MorselScheduler::WaitDone(
     const std::vector<std::shared_ptr<MorselTask>>& tasks,
     const std::function<bool()>& give_up) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto all_done = [&tasks] {
     return std::all_of(tasks.begin(), tasks.end(),
                        [](const std::shared_ptr<MorselTask>& t) {
@@ -159,12 +159,12 @@ void MorselScheduler::WaitDone(
   // Timed waits poll the give-up flag: cancellation may come from a plain
   // atomic nobody pairs with this condition variable.
   while (!all_done() && !(give_up && give_up())) {
-    cv_.wait_for(lock, std::chrono::milliseconds(2));
+    cv_.wait_for(lock.native(), std::chrono::milliseconds(2));
   }
 }
 
 void MorselScheduler::Consume(const std::shared_ptr<MorselTask>& task) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++task->consumed;
   if (task->state == MorselTask::State::kDone &&
       task->consumed >= task->registered && !task->retired) {

@@ -7,11 +7,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/record_batch.h"
 #include "storage/sarg.h"
 
@@ -131,7 +131,8 @@ class MorselScheduler {
   /// created.
   Registration Register(const Morsel& morsel,
                         const std::vector<std::string>& columns,
-                        const ScanPredicate& predicate);
+                        const ScanPredicate& predicate)
+      MAXSON_EXCLUDES(mutex_);
 
   struct Claim {
     std::shared_ptr<MorselTask> task;  // null when nothing was pending
@@ -145,31 +146,37 @@ class MorselScheduler {
   /// Claims the first still-pending task of `tasks` (the claimant's
   /// registration list, in its morsel order) and marks it running. Returns
   /// a null task when none are pending — it never waits.
-  Claim ClaimPending(const std::vector<std::shared_ptr<MorselTask>>& tasks);
+  Claim ClaimPending(const std::vector<std::shared_ptr<MorselTask>>& tasks)
+      MAXSON_EXCLUDES(mutex_);
 
   /// Publishes a claimed task's result and wakes waiters. Returns the
   /// input bytes saved by coalescing: output.input_bytes for every
   /// registered subscriber beyond the executing one.
   uint64_t Publish(const std::shared_ptr<MorselTask>& task, Status status,
-                   SharedPassOutput output);
+                   SharedPassOutput output) MAXSON_EXCLUDES(mutex_);
 
   /// Blocks until every task in `tasks` is done or `give_up()` returns
   /// true (checked a few hundred times per second; cancellation is
   /// cooperative). Calling-thread only — see the blocking contract above.
   void WaitDone(const std::vector<std::shared_ptr<MorselTask>>& tasks,
-                const std::function<bool()>& give_up);
+                const std::function<bool()>& give_up) MAXSON_EXCLUDES(mutex_);
 
   /// Records that one registered subscriber consumed `task`'s output;
   /// the last consumer of a completed task releases the decoded rows.
-  void Consume(const std::shared_ptr<MorselTask>& task);
+  void Consume(const std::shared_ptr<MorselTask>& task)
+      MAXSON_EXCLUDES(mutex_);
 
  private:
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable cv_;
   /// Tasks by Morsel::Id in creation order: front-most compatible task
   /// wins a registration, so concurrent identical subscribers converge on
-  /// one pass instead of fanning out over stale retired entries.
-  std::map<std::string, std::vector<std::shared_ptr<MorselTask>>> tasks_;
+  /// one pass instead of fanning out over stale retired entries. The
+  /// MorselTask objects the lists point to are guarded by mutex_ too (see
+  /// the MorselTask comment) — pt_guarded_by cannot reach through the
+  /// nested containers, so that half of the contract stays prose.
+  std::map<std::string, std::vector<std::shared_ptr<MorselTask>>> tasks_
+      MAXSON_GUARDED_BY(mutex_);
 };
 
 }  // namespace maxson::exec

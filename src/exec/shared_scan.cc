@@ -98,7 +98,7 @@ std::unique_ptr<ScanSubscription> SharedScanManager::Subscribe(
   sub->columns_ = interest.columns;
   sub->pass_fn_ = std::move(pass_fn);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     Group& group = groups_[sub->group_key_];
     if (group.scheduler == nullptr) {
       group.scheduler = std::make_shared<MorselScheduler>();
@@ -129,7 +129,7 @@ std::unique_ptr<ScanSubscription> SharedScanManager::Subscribe(
 
 void SharedScanManager::Unsubscribe(
     const std::pair<std::string, uint64_t>& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = groups_.find(key);
   if (it == groups_.end()) return;
   if (--it->second.refs == 0) groups_.erase(it);
@@ -138,7 +138,7 @@ void SharedScanManager::Unsubscribe(
 void SharedScanManager::RecordPass(uint64_t saved_bytes) {
   obs::MetricsRegistry* registry;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.parse_passes;
     stats_.saved_bytes += saved_bytes;
     registry = metrics_registry_;
@@ -154,7 +154,7 @@ void SharedScanManager::RecordAttach(uint64_t coalesced,
                                      uint64_t saved_bytes) {
   obs::MetricsRegistry* registry;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.subscribers;
     stats_.coalesced_parses += coalesced;
     stats_.saved_bytes += saved_bytes;
@@ -172,7 +172,7 @@ void SharedScanManager::RecordAttach(uint64_t coalesced,
 }
 
 SharedScanStats SharedScanManager::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -7,12 +7,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "exec/morsel.h"
 #include "exec/thread_pool.h"
 #include "storage/record_batch.h"
@@ -155,8 +155,9 @@ class SharedScanManager {
 
   /// Registry receiving the maxson_sharedscan_* counters; pass nullptr to
   /// disable. Not owned.
-  void set_metrics_registry(obs::MetricsRegistry* registry) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void set_metrics_registry(obs::MetricsRegistry* registry)
+      MAXSON_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     metrics_registry_ = registry;
   }
 
@@ -165,9 +166,10 @@ class SharedScanManager {
   /// not outlive the manager; `pass_fn` must stay callable until Collect
   /// returns.
   std::unique_ptr<ScanSubscription> Subscribe(const ScanInterest& interest,
-                                              SharedScanPassFn pass_fn);
+                                              SharedScanPassFn pass_fn)
+      MAXSON_EXCLUDES(mutex_);
 
-  SharedScanStats stats() const;
+  SharedScanStats stats() const MAXSON_EXCLUDES(mutex_);
 
  private:
   friend class ScanSubscription;
@@ -177,17 +179,21 @@ class SharedScanManager {
     size_t refs = 0;
   };
 
-  void Unsubscribe(const std::pair<std::string, uint64_t>& key);
+  void Unsubscribe(const std::pair<std::string, uint64_t>& key)
+      MAXSON_EXCLUDES(mutex_);
   /// Counter publication points (shared_scan.cc is on lint's counter-write
   /// allowlist: these are cross-query scheduling counters with no per-query
-  /// merge barrier to publish behind).
-  void RecordPass(uint64_t saved_bytes);
-  void RecordAttach(uint64_t coalesced, uint64_t saved_bytes);
+  /// merge barrier to publish behind). Both release mutex_ before touching
+  /// the registry, so the manager lock never nests over registry locks.
+  void RecordPass(uint64_t saved_bytes) MAXSON_EXCLUDES(mutex_);
+  void RecordAttach(uint64_t coalesced, uint64_t saved_bytes)
+      MAXSON_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::pair<std::string, uint64_t>, Group> groups_;
-  SharedScanStats stats_;
-  obs::MetricsRegistry* metrics_registry_ = nullptr;
+  mutable Mutex mutex_;
+  std::map<std::pair<std::string, uint64_t>, Group> groups_
+      MAXSON_GUARDED_BY(mutex_);
+  SharedScanStats stats_ MAXSON_GUARDED_BY(mutex_);
+  obs::MetricsRegistry* metrics_registry_ MAXSON_GUARDED_BY(mutex_) = nullptr;
 };
 
 }  // namespace maxson::exec

@@ -18,12 +18,19 @@ ThreadPool::ThreadPool(size_t num_threads)
     : num_threads_(ResolveThreads(num_threads)) {}
 
 ThreadPool::~ThreadPool() {
+  // Move the worker handles out under the lock before joining: joining
+  // while holding mutex_ would deadlock against WorkerLoop, and reading
+  // workers_ unlocked would race a concurrent Submit's EnsureStarted (a
+  // finding surfaced by the thread-safety annotations; see
+  // ThreadPoolTest.DestructionRunsQueuedTasks).
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
+    workers = std::move(workers_);
   }
   cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  for (std::thread& worker : workers) worker.join();
 }
 
 void ThreadPool::EnsureStarted() {
@@ -39,8 +46,10 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      // Explicit wait loop: thread-safety analysis cannot see capabilities
+      // through the predicate lambda of cv.wait(lock, pred).
+      while (!shutdown_ && queue_.empty()) cv_.wait(lock.native());
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -56,7 +65,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     EnsureStarted();
     queue_.push_back(std::move(task));
   }
@@ -70,7 +79,7 @@ bool TaskGroup::State::RunOne() {
   std::function<Status()> task;
   size_t index = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     if (pending.empty()) return false;
     index = pending.front();
     pending.pop_front();
@@ -78,7 +87,7 @@ bool TaskGroup::State::RunOne() {
   }
   Status status = task();
   {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     statuses[index] = std::move(status);
     ++done;
   }
@@ -89,7 +98,7 @@ bool TaskGroup::State::RunOne() {
 void TaskGroup::Spawn(std::function<Status()> fn) {
   size_t index;
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     index = state_->tasks.size();
     state_->tasks.push_back(std::move(fn));
     state_->statuses.push_back(Status::Ok());
@@ -108,9 +117,10 @@ Status TaskGroup::Wait() {
   // Help: run pending tasks on the caller until none are left unstarted.
   while (state_->RunOne()) {
   }
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  state_->cv.wait(lock,
-                  [this] { return state_->done == state_->tasks.size(); });
+  MutexLock lock(state_->mutex);
+  while (state_->done != state_->tasks.size()) {
+    state_->cv.wait(lock.native());
+  }
   for (const Status& status : state_->statuses) {
     if (!status.ok()) return status;
   }

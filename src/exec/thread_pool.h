@@ -8,11 +8,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace maxson::exec {
 
@@ -55,17 +55,17 @@ class ThreadPool {
   }
 
  private:
-  void EnsureStarted();  // caller must hold mutex_
-  void WorkerLoop();
+  void EnsureStarted() MAXSON_REQUIRES(mutex_);
+  void WorkerLoop() MAXSON_EXCLUDES(mutex_);
 
   const size_t num_threads_;
   std::atomic<uint64_t> tasks_submitted_{0};
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  bool started_ = false;
-  bool shutdown_ = false;
+  std::deque<std::function<void()>> queue_ MAXSON_GUARDED_BY(mutex_);
+  std::vector<std::thread> workers_ MAXSON_GUARDED_BY(mutex_);
+  bool started_ MAXSON_GUARDED_BY(mutex_) = false;
+  bool shutdown_ MAXSON_GUARDED_BY(mutex_) = false;
 };
 
 /// A batch of Status-returning tasks fanned out on a ThreadPool and joined
@@ -95,15 +95,16 @@ class TaskGroup {
 
  private:
   struct State {
-    std::mutex mutex;
+    Mutex mutex;
     std::condition_variable cv;
-    std::deque<size_t> pending;  // indexes into tasks not yet started
-    std::vector<std::function<Status()>> tasks;
-    std::vector<Status> statuses;
-    size_t done = 0;
+    /// Indexes into tasks not yet started.
+    std::deque<size_t> pending MAXSON_GUARDED_BY(mutex);
+    std::vector<std::function<Status()>> tasks MAXSON_GUARDED_BY(mutex);
+    std::vector<Status> statuses MAXSON_GUARDED_BY(mutex);
+    size_t done MAXSON_GUARDED_BY(mutex) = 0;
 
     /// Runs one pending task if any; returns false when none were pending.
-    bool RunOne();
+    bool RunOne() MAXSON_EXCLUDES(mutex);
   };
 
   ThreadPool* pool_;

@@ -67,12 +67,12 @@ void Histogram::Observe(double value) {
   }
   per_bucket_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(sum_mutex_);
+  MutexLock lock(sum_mutex_);
   sum_ += value;
 }
 
 double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(sum_mutex_);
+  MutexLock lock(sum_mutex_);
   return sum_;
 }
 
@@ -105,7 +105,7 @@ std::string MetricsRegistry::SeriesKey(const std::string& name,
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const LabelSet& labels) {
   const std::string key = SeriesKey(name, labels);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Series& series = series_[key];
   if (series.counter == nullptr) {
     series.name = name;
@@ -119,7 +119,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const LabelSet& labels) {
   const std::string key = SeriesKey(name, labels);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Series& series = series_[key];
   if (series.gauge == nullptr) {
     series.name = name;
@@ -134,7 +134,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds,
                                          const LabelSet& labels) {
   const std::string key = SeriesKey(name, labels);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Series& series = series_[key];
   if (series.histogram == nullptr) {
     series.name = name;
@@ -147,7 +147,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 
 std::map<std::string, uint64_t> MetricsRegistry::CounterTotals() const {
   std::map<std::string, uint64_t> out;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [key, series] : series_) {
     if (series.counter != nullptr) out[key] = series.counter->value();
   }
@@ -156,7 +156,7 @@ std::map<std::string, uint64_t> MetricsRegistry::CounterTotals() const {
 
 std::string MetricsRegistry::RenderPrometheus() const {
   std::ostringstream out;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // series_ is keyed by "name{labels}", so all series of one metric are
   // adjacent; emit one # TYPE header per metric name.
   std::string last_name;

@@ -5,10 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace maxson::obs {
 
@@ -52,11 +53,11 @@ class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
-  void Observe(double value);
+  void Observe(double value) MAXSON_EXCLUDES(sum_mutex_);
 
   const std::vector<double>& bounds() const { return bounds_; }
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  double sum() const;
+  double sum() const MAXSON_EXCLUDES(sum_mutex_);
   /// Cumulative count of each bound (same order as bounds()), excluding the
   /// implicit +Inf bucket (whose cumulative count is count()).
   std::vector<uint64_t> CumulativeCounts() const;
@@ -68,8 +69,8 @@ class Histogram {
   const std::vector<double> bounds_;
   std::vector<std::atomic<uint64_t>> per_bucket_;  // non-cumulative
   std::atomic<uint64_t> count_{0};
-  mutable std::mutex sum_mutex_;
-  double sum_ = 0.0;
+  mutable Mutex sum_mutex_;
+  double sum_ MAXSON_GUARDED_BY(sum_mutex_) = 0.0;
 };
 
 /// Process-wide metric registry with Prometheus-style text exposition.
@@ -95,21 +96,25 @@ class MetricsRegistry {
   // [[nodiscard]]: a discarded lookup creates (or probes) a series for
   // nothing — the caller meant to write it and didn't.
   [[nodiscard]] Counter* GetCounter(const std::string& name,
-                                    const LabelSet& labels = {});
+                                    const LabelSet& labels = {})
+      MAXSON_EXCLUDES(mutex_);
   [[nodiscard]] Gauge* GetGauge(const std::string& name,
-                                const LabelSet& labels = {});
+                                const LabelSet& labels = {})
+      MAXSON_EXCLUDES(mutex_);
   /// `bounds` is consulted only on first creation of the series.
   [[nodiscard]] Histogram* GetHistogram(const std::string& name,
                                         std::vector<double> bounds,
-                                        const LabelSet& labels = {});
+                                        const LabelSet& labels = {})
+      MAXSON_EXCLUDES(mutex_);
 
   /// Counter totals keyed by "name{labels}" — the determinism-test view
   /// (counters only; gauges and histograms may carry wall time).
-  std::map<std::string, uint64_t> CounterTotals() const;
+  std::map<std::string, uint64_t> CounterTotals() const
+      MAXSON_EXCLUDES(mutex_);
 
   /// Prometheus text exposition format (counters, gauges, histograms, with
   /// # TYPE headers), series sorted by name for stable output.
-  std::string RenderPrometheus() const;
+  std::string RenderPrometheus() const MAXSON_EXCLUDES(mutex_);
 
  private:
   struct Series {
@@ -123,8 +128,8 @@ class MetricsRegistry {
   /// Canonical series key: name + sorted rendered labels.
   static std::string SeriesKey(const std::string& name, const LabelSet& labels);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Series> series_;
+  mutable Mutex mutex_;
+  std::map<std::string, Series> series_ MAXSON_GUARDED_BY(mutex_);
 };
 
 /// Renders a label set as `{k="v",...}` with values escaped; empty labels

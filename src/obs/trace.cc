@@ -31,29 +31,29 @@ uint64_t TraceRecorder::NowMicros() const {
 void TraceRecorder::Record(TraceEvent event) {
   if (!enabled()) return;
   if (event.thread_id == 0) event.thread_id = CurrentThreadId();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.push_back(std::move(event));
 }
 
 std::vector<TraceEvent> TraceRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_;
 }
 
 size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return events_.size();
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   events_.clear();
 }
 
 std::string TraceRecorder::ToChromeTraceJson() const {
   std::ostringstream out;
   out << "{\"traceEvents\": [";
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (size_t i = 0; i < events_.size(); ++i) {
     const TraceEvent& e = events_[i];
     if (i > 0) out << ",";

@@ -3,10 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/time_util.h"
 
 namespace maxson::obs {
@@ -36,20 +36,20 @@ class TraceRecorder {
   /// Microseconds since the recorder was constructed.
   uint64_t NowMicros() const;
 
-  void Record(TraceEvent event);
+  void Record(TraceEvent event) MAXSON_EXCLUDES(mutex_);
 
-  std::vector<TraceEvent> Snapshot() const;
-  size_t size() const;
-  void Clear();
+  std::vector<TraceEvent> Snapshot() const MAXSON_EXCLUDES(mutex_);
+  size_t size() const MAXSON_EXCLUDES(mutex_);
+  void Clear() MAXSON_EXCLUDES(mutex_);
 
   /// Chrome trace-event JSON: {"traceEvents": [{"ph": "X", ...}]}.
-  std::string ToChromeTraceJson() const;
+  std::string ToChromeTraceJson() const MAXSON_EXCLUDES(mutex_);
 
  private:
   std::atomic<bool> enabled_{false};
   MonotonicTime epoch_;
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mutex_;
+  std::vector<TraceEvent> events_ MAXSON_GUARDED_BY(mutex_);
 };
 
 /// RAII scoped span: records [construction, destruction) into `recorder`

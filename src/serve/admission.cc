@@ -20,13 +20,13 @@ AdmissionController::TenantState& AdmissionController::StateFor(
 
 void AdmissionController::SetTenantLimits(const std::string& tenant,
                                           TenantLimits limits) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   StateFor(tenant).limits = limits;
   cv_.notify_all();
 }
 
 Result<AdmissionTicket> AdmissionController::Admit(const std::string& tenant) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (shutdown_) {
     return Status::ResourceExhausted("server is shutting down");
   }
@@ -54,11 +54,13 @@ Result<AdmissionTicket> AdmissionController::Admit(const std::string& tenant) {
   }
   const uint64_t waiter_id = next_waiter_id_++;
   state.waiting.push_back(waiter_id);
-  cv_.wait(lock, [&] {
-    return shutdown_ || (!state.waiting.empty() &&
+  // Explicit wait loop: thread-safety analysis cannot see capabilities
+  // through the predicate lambda of cv.wait(lock, pred).
+  while (!shutdown_ && !(!state.waiting.empty() &&
                          state.waiting.front() == waiter_id &&
-                         state.in_flight < state.limits.max_in_flight);
-  });
+                         state.in_flight < state.limits.max_in_flight)) {
+    cv_.wait(lock.native());
+  }
   // Leave the queue under either outcome.
   auto it = std::find(state.waiting.begin(), state.waiting.end(), waiter_id);
   if (it != state.waiting.end()) state.waiting.erase(it);
@@ -76,7 +78,7 @@ Result<AdmissionTicket> AdmissionController::Admit(const std::string& tenant) {
 }
 
 void AdmissionController::Release(const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   TenantState& state = StateFor(tenant);
   if (state.in_flight > 0) --state.in_flight;
   if (total_in_flight_ > 0) --total_in_flight_;
@@ -84,15 +86,15 @@ void AdmissionController::Release(const std::string& tenant) {
 }
 
 void AdmissionController::Shutdown() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   shutdown_ = true;
   cv_.notify_all();
-  cv_.wait(lock, [&] { return total_in_flight_ == 0; });
+  while (total_in_flight_ != 0) cv_.wait(lock.native());
 }
 
 AdmissionController::TenantSnapshot AdmissionController::Snapshot(
     const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   TenantSnapshot snap;
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return snap;
@@ -104,12 +106,12 @@ AdmissionController::TenantSnapshot AdmissionController::Snapshot(
 }
 
 size_t AdmissionController::TotalInFlight() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return total_in_flight_;
 }
 
 bool AdmissionController::shutting_down() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return shutdown_;
 }
 

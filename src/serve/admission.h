@@ -4,12 +4,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace maxson::serve {
 
@@ -74,15 +74,17 @@ class AdmissionController {
   /// Overrides the limits for one tenant (first Admit of an unknown tenant
   /// installs the defaults). Taking effect immediately: queued waiters
   /// re-evaluate against the new limits.
-  void SetTenantLimits(const std::string& tenant, TenantLimits limits);
+  void SetTenantLimits(const std::string& tenant, TenantLimits limits)
+      MAXSON_EXCLUDES(mutex_);
 
   /// Acquires an in-flight slot for `tenant`, waiting (bounded by the
   /// tenant's queue capacity, in arrival order) when all slots are busy.
-  Result<AdmissionTicket> Admit(const std::string& tenant);
+  Result<AdmissionTicket> Admit(const std::string& tenant)
+      MAXSON_EXCLUDES(mutex_);
 
   /// Rejects all queued waiters and every future Admit, then blocks until
   /// the in-flight queries drain (their tickets are released). Idempotent.
-  void Shutdown();
+  void Shutdown() MAXSON_EXCLUDES(mutex_);
 
   struct TenantSnapshot {
     size_t in_flight = 0;
@@ -90,9 +92,10 @@ class AdmissionController {
     uint64_t admitted = 0;
     uint64_t rejected = 0;
   };
-  TenantSnapshot Snapshot(const std::string& tenant) const;
-  size_t TotalInFlight() const;
-  bool shutting_down() const;
+  TenantSnapshot Snapshot(const std::string& tenant) const
+      MAXSON_EXCLUDES(mutex_);
+  size_t TotalInFlight() const MAXSON_EXCLUDES(mutex_);
+  bool shutting_down() const MAXSON_EXCLUDES(mutex_);
 
  private:
   friend class AdmissionTicket;
@@ -106,17 +109,18 @@ class AdmissionController {
   };
 
   /// Called by tickets; frees the slot and wakes waiters.
-  void Release(const std::string& tenant);
+  void Release(const std::string& tenant) MAXSON_EXCLUDES(mutex_);
 
-  TenantState& StateFor(const std::string& tenant);
+  TenantState& StateFor(const std::string& tenant) MAXSON_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable cv_;
-  TenantLimits default_limits_;
-  bool shutdown_ = false;
-  size_t total_in_flight_ = 0;
-  uint64_t next_waiter_id_ = 0;
-  std::unordered_map<std::string, TenantState> tenants_;
+  TenantLimits default_limits_ MAXSON_GUARDED_BY(mutex_);
+  bool shutdown_ MAXSON_GUARDED_BY(mutex_) = false;
+  size_t total_in_flight_ MAXSON_GUARDED_BY(mutex_) = 0;
+  uint64_t next_waiter_id_ MAXSON_GUARDED_BY(mutex_) = 0;
+  std::unordered_map<std::string, TenantState> tenants_
+      MAXSON_GUARDED_BY(mutex_);
 };
 
 }  // namespace maxson::serve

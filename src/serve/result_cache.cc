@@ -49,7 +49,7 @@ std::optional<storage::RecordBatch> PermuteColumns(
 
 std::optional<storage::RecordBatch> ResultCache::Lookup(
     const CanonicalQuery& query, const ResultValidity& current) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(query.cache_key);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -81,7 +81,7 @@ void ResultCache::Insert(const CanonicalQuery& query,
                          const storage::RecordBatch& batch,
                          const ResultValidity& at) {
   const uint64_t bytes = batch.ByteSize();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (bytes > config_.max_bytes || config_.max_entries == 0) return;
   auto it = entries_.find(query.cache_key);
   if (it != entries_.end()) {
@@ -118,14 +118,14 @@ void ResultCache::EvictWhileOverBudgetLocked() {
 }
 
 void ResultCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
   lru_.clear();
   bytes_ = 0;
 }
 
 ResultCache::Stats ResultCache::GetStats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Stats stats = stats_;
   stats.entries = entries_.size();
   stats.bytes = bytes_;

@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "engine/plan.h"
 #include "serve/canonicalizer.h"
 #include "storage/record_batch.h"
@@ -53,15 +53,16 @@ class ResultCache {
   /// entry exists; a stale entry is erased and counted as an
   /// invalidation + miss.
   std::optional<storage::RecordBatch> Lookup(const CanonicalQuery& query,
-                                            const ResultValidity& current);
+                                             const ResultValidity& current)
+      MAXSON_EXCLUDES(mutex_);
 
   /// Stores `batch` (the result of executing `query`) recorded as valid
   /// for `at`, which the caller snapshotted before execution began.
   /// Results larger than the whole byte budget are not cached.
   void Insert(const CanonicalQuery& query, const storage::RecordBatch& batch,
-              const ResultValidity& at);
+              const ResultValidity& at) MAXSON_EXCLUDES(mutex_);
 
-  void Clear();
+  void Clear() MAXSON_EXCLUDES(mutex_);
 
   struct Stats {
     uint64_t hits = 0;
@@ -71,7 +72,7 @@ class ResultCache {
     size_t entries = 0;
     uint64_t bytes = 0;
   };
-  Stats GetStats() const;
+  Stats GetStats() const MAXSON_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -82,14 +83,15 @@ class ResultCache {
     std::list<std::string>::iterator lru_it;
   };
 
-  void EvictWhileOverBudgetLocked();
+  void EvictWhileOverBudgetLocked() MAXSON_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  ResultCacheConfig config_;
-  std::unordered_map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  // front = most recently used
-  uint64_t bytes_ = 0;
-  Stats stats_;
+  mutable Mutex mutex_;
+  const ResultCacheConfig config_;
+  std::unordered_map<std::string, Entry> entries_ MAXSON_GUARDED_BY(mutex_);
+  /// Front = most recently used.
+  std::list<std::string> lru_ MAXSON_GUARDED_BY(mutex_);
+  uint64_t bytes_ MAXSON_GUARDED_BY(mutex_) = 0;
+  Stats stats_ MAXSON_GUARDED_BY(mutex_);
 };
 
 }  // namespace maxson::serve

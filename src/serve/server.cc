@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "obs/metric_names.h"
 #include "obs/metrics_registry.h"
 
 namespace maxson::serve {
@@ -38,13 +39,13 @@ void MaxsonServer::SetTenantLimits(const std::string& tenant,
 }
 
 void MaxsonServer::EnableResultCache(bool enabled) {
-  std::lock_guard<std::mutex> lock(options_mutex_);
+  MutexLock lock(options_mutex_);
   if (result_cache_enabled_ && !enabled) result_cache_.Clear();
   result_cache_enabled_ = enabled;
 }
 
 bool MaxsonServer::result_cache_enabled() const {
-  std::lock_guard<std::mutex> lock(options_mutex_);
+  MutexLock lock(options_mutex_);
   return result_cache_enabled_;
 }
 
@@ -75,22 +76,22 @@ void MaxsonServer::PublishAdmissionGauges(const std::string& tenant) {
   obs::MetricsRegistry& metrics = session_->metrics();
   const AdmissionController::TenantSnapshot snap =
       admission_.Snapshot(tenant);
-  metrics.GetGauge("maxson_serve_queue_depth", {{"tenant", tenant}})
+  metrics.GetGauge(obs::kServeQueueDepth, {{"tenant", tenant}})
       ->Set(static_cast<double>(snap.queued));
-  metrics.GetGauge("maxson_serve_in_flight", {{"tenant", tenant}})
+  metrics.GetGauge(obs::kServeInFlight, {{"tenant", tenant}})
       ->Set(static_cast<double>(snap.in_flight));
 }
 
 Result<ClientSession::Outcome> MaxsonServer::ExecuteForTenant(
     const std::string& tenant, const std::string& sql) {
   obs::MetricsRegistry& metrics = session_->metrics();
-  metrics.GetCounter("maxson_serve_queries_total", {{"tenant", tenant}})
+  metrics.GetCounter(obs::kServeQueries, {{"tenant", tenant}})
       ->Increment();
 
   Result<AdmissionTicket> ticket = admission_.Admit(tenant);
   PublishAdmissionGauges(tenant);
   if (!ticket.ok()) {
-    metrics.GetCounter("maxson_serve_rejected_total", {{"tenant", tenant}})
+    metrics.GetCounter(obs::kServeRejected, {{"tenant", tenant}})
         ->Increment();
     return ticket.status();
   }
@@ -109,13 +110,13 @@ Result<ClientSession::Outcome> MaxsonServer::ExecuteForTenant(
     std::optional<storage::RecordBatch> hit =
         result_cache_.Lookup(*canonical, CurrentValidity(*canonical));
     if (hit.has_value()) {
-      metrics.GetCounter("maxson_serve_result_cache_hits_total")->Increment();
+      metrics.GetCounter(obs::kServeResultCacheHits)->Increment();
       outcome.result.batch = std::move(*hit);
       outcome.result_cache_hit = true;
       PublishAdmissionGauges(tenant);
       return outcome;
     }
-    metrics.GetCounter("maxson_serve_result_cache_misses_total")->Increment();
+    metrics.GetCounter(obs::kServeResultCacheMisses)->Increment();
   }
 
   // Snapshot validity BEFORE executing: if a midnight recache lands while
@@ -130,7 +131,7 @@ Result<ClientSession::Outcome> MaxsonServer::ExecuteForTenant(
     // A registry swap can unlink cache files between plan and read;
     // re-executing re-plans against the new registry state.
     ++outcome.io_retries;
-    metrics.GetCounter("maxson_serve_io_retries_total")->Increment();
+    metrics.GetCounter(obs::kServeIoRetries)->Increment();
     if (canonical.has_value()) validity = CurrentValidity(*canonical);
     result = session_->Execute(sql);
   }

@@ -7,6 +7,7 @@
 
 #include "catalog/catalog.h"
 #include "common/options.h"
+#include "common/thread_annotations.h"
 #include "common/result.h"
 #include "core/maxson.h"
 #include "engine/plan.h"
@@ -89,8 +90,10 @@ class MaxsonServer {
   void SetTenantLimits(const std::string& tenant, TenantLimits limits);
 
   /// Turns the result cache on/off at runtime; turning it off clears it.
-  void EnableResultCache(bool enabled);
-  bool result_cache_enabled() const;
+  /// Acquires ResultCache::mutex_ (via Clear) while holding options_mutex_
+  /// — the declared server-layer lock order.
+  void EnableResultCache(bool enabled) MAXSON_EXCLUDES(options_mutex_);
+  bool result_cache_enabled() const MAXSON_EXCLUDES(options_mutex_);
 
   /// Drops all cached results (admin hook; staleness is otherwise handled
   /// by the ResultValidity snapshots).
@@ -126,8 +129,9 @@ class MaxsonServer {
   ServeOptions options_;
   AdmissionController admission_;
   ResultCache result_cache_;
-  mutable std::mutex options_mutex_;  // guards the result-cache toggle
-  bool result_cache_enabled_;
+  /// Guards the result-cache toggle.
+  mutable Mutex options_mutex_;
+  bool result_cache_enabled_ MAXSON_GUARDED_BY(options_mutex_);
 };
 
 /// Registers the serving-layer knobs on `registry`: resultcache,

@@ -88,7 +88,7 @@ Status FaultInjector::Configure(const std::string& spec) {
   Mode mode = Mode::kOff;
   uint64_t n = 0;
   MAXSON_RETURN_NOT_OK(ParseFaultSpec(spec, &mode, &n));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   mode_ = mode;
   remaining_ = n;
   tripped_ = false;
@@ -103,7 +103,7 @@ Status FaultInjector::ValidateSpec(const std::string& spec) {
 }
 
 std::string FaultInjector::spec() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   switch (mode_) {
     case Mode::kOff:
       return "off";
@@ -128,7 +128,7 @@ bool FaultInjector::Count() {
 size_t FaultInjector::OnWrite(size_t n, bool* fail) {
   *fail = false;
   if (!enabled()) return n;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (mode_ == Mode::kFail) {
     if (Count()) {
       *fail = true;
@@ -150,7 +150,7 @@ size_t FaultInjector::OnWrite(size_t n, bool* fail) {
 
 Status FaultInjector::OnMetaOp(const std::string& what) {
   if (!enabled()) return Status::Ok();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (mode_ != Mode::kFail && mode_ != Mode::kTornWrite) return Status::Ok();
   // An already-tripped sticky fault fails meta ops too; torn mode only
   // counts chunk writes, so Count() here applies to kFail alone.
@@ -162,7 +162,7 @@ Status FaultInjector::OnMetaOp(const std::string& what) {
 
 size_t FaultInjector::OnRead(size_t n) {
   if (!enabled()) return n;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (mode_ != Mode::kShortRead) return n;
   if (tripped_) return n;  // short reads are one-shot
   if (remaining_ == 0 || --remaining_ > 0) return n;

@@ -3,11 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace maxson::storage {
 
@@ -36,45 +36,46 @@ class FaultInjector {
 
   /// Parses and applies a spec (see class comment). Rejects malformed specs
   /// without changing the current state.
-  Status Configure(const std::string& spec);
+  Status Configure(const std::string& spec) MAXSON_EXCLUDES(mu_);
 
   /// Checks a spec without applying anything (validate-then-apply callers).
   static Status ValidateSpec(const std::string& spec);
 
   /// Canonical form of the armed spec, or "off".
-  std::string spec() const;
+  std::string spec() const MAXSON_EXCLUDES(mu_);
 
   bool enabled() const { return armed_.load(std::memory_order_acquire); }
 
   /// True once the armed fault has fired (tests use this to tell "the run
   /// finished under the Nth-op budget" from "the fault hit something").
-  bool tripped() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool tripped() const MAXSON_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return tripped_;
   }
 
   /// Write hook. Returns how many of `n` bytes the op may write; sets
   /// `*fail` when the op must then report an I/O error.
-  size_t OnWrite(size_t n, bool* fail);
+  size_t OnWrite(size_t n, bool* fail) MAXSON_EXCLUDES(mu_);
 
   /// Metadata hook (fsync, rename): non-OK when the injector trips here.
-  Status OnMetaOp(const std::string& what);
+  Status OnMetaOp(const std::string& what) MAXSON_EXCLUDES(mu_);
 
   /// Read hook. Returns how many of `n` bytes the op may return.
-  size_t OnRead(size_t n);
+  size_t OnRead(size_t n) MAXSON_EXCLUDES(mu_);
 
  private:
   FaultInjector() = default;
 
   /// True when this call is the Nth counted op, or a sticky fault already
-  /// tripped. Caller must hold mu_.
-  bool Count();
+  /// tripped.
+  bool Count() MAXSON_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::atomic<bool> armed_{false};
-  Mode mode_ = Mode::kOff;
-  uint64_t remaining_ = 0;  // counted ops until the fault trips
-  bool tripped_ = false;
+  Mode mode_ MAXSON_GUARDED_BY(mu_) = Mode::kOff;
+  /// Counted ops until the fault trips.
+  uint64_t remaining_ MAXSON_GUARDED_BY(mu_) = 0;
+  bool tripped_ MAXSON_GUARDED_BY(mu_) = false;
 };
 
 /// One input split of a table scan. Following the paper (Section IV-C), one

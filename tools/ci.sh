@@ -2,9 +2,13 @@
 # CI entry point. Phases, in order (see DESIGN.md, "Correctness tooling"):
 #
 #   lint    tools/lint.py --self-test (every rule must fire on a seeded
-#           violation), then the repo lint itself. Runs first: it is the
-#           cheapest phase and most failures are mechanical. clang-tidy
-#           (config in .clang-tidy) runs only when the binary exists.
+#           violation), then the repo lint itself — including the cross-TU
+#           lock-order analysis. Runs first: it is the cheapest phase and
+#           most failures are mechanical. clang-tidy (config in
+#           .clang-tidy) runs only when the binary exists. When clang++ is
+#           on PATH, a -fsyntax-only pass with -Wthread-safety -Werror
+#           checks the MAXSON_* annotations per TU (skipped with a message
+#           otherwise; --skip-threadsafety silences the stage).
 #   release Release build + full test suite (the tier-1 gate).
 #   asan    AddressSanitizer + UndefinedBehaviorSanitizer build + full test
 #           suite, with leak detection on and halt-on-error so the first
@@ -32,6 +36,7 @@
 # tests inside the suite cover sse2/avx2 explicitly per kernel).
 #
 # Usage: tools/ci.sh [--skip-asan] [--skip-tsan] [--skip-bench]
+#                    [--skip-threadsafety]
 # Runs from anywhere; build trees land in build-ci/, build-asan/, build-tsan/.
 
 set -euo pipefail
@@ -42,11 +47,13 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 run_asan=1
 run_tsan=1
 run_bench=1
+run_threadsafety=1
 for arg in "$@"; do
   case "$arg" in
     --skip-asan) run_asan=0 ;;
     --skip-tsan) run_tsan=0 ;;
     --skip-bench) run_bench=0 ;;
+    --skip-threadsafety) run_threadsafety=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -58,6 +65,28 @@ if command -v clang-tidy >/dev/null 2>&1 && [[ -f build-ci/compile_commands.json
   echo "=== clang-tidy (src/) ==="
   find src -name '*.cc' -print0 \
     | xargs -0 clang-tidy -p build-ci --quiet
+fi
+
+# Clang thread-safety analysis: a syntax-only pass over every src/ TU with
+# -Wthread-safety promoted to an error. The MAXSON_* annotation macros in
+# common/thread_annotations.h expand to nothing elsewhere, so this is the
+# one stage that checks them; the lock-order rule in tools/lint.py covers
+# the cross-TU ordering this per-TU pass cannot see. Syntax-only keeps the
+# stage cheap (no codegen) and independent of the configured generator.
+if [[ "$run_threadsafety" == 1 ]]; then
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "=== Clang thread-safety analysis (src/) ==="
+    while IFS= read -r tu; do
+      extra=()
+      [[ "$tu" == src/simd/* ]] && extra+=(-mavx2)
+      clang++ -std=c++20 -fsyntax-only -Isrc \
+        -Wthread-safety -Wthread-safety-beta -Werror \
+        "${extra[@]}" "$tu"
+    done < <(find src -name '*.cc' | sort)
+  else
+    echo "=== Clang thread-safety analysis: SKIPPED (no clang++ on PATH;" \
+         "install clang or pass --skip-threadsafety to silence this) ==="
+  fi
 fi
 
 echo "=== Release build + tests ==="
