@@ -7,14 +7,21 @@
 // even Mison because it pays no parsing at all; queries whose paths were
 // not cached (Q1/Q5/Q8 in the paper) benefit from Mison as a complement.
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "catalog/catalog.h"
+#include "common/time_util.h"
 #include "core/maxson.h"
+#include "json/dom_parser.h"
+#include "json/json_path.h"
+#include "json/ondemand_parser.h"
+#include "workload/data_generator.h"
 #include "workload/query_templates.h"
 
 using maxson::core::MaxsonConfig;
@@ -99,6 +106,13 @@ int main() {
   double sum_speedup = 0;
   double min_speedup = 1e30;
   double max_speedup = 0;
+  struct QueryRow {
+    std::string name;
+    size_t cached = 0;
+    size_t paths = 0;
+    double jackson_ms = 0, mison_ms = 0, maxson_ms = 0, maxson_mison_ms = 0;
+  };
+  std::vector<QueryRow> query_rows;
   for (const BenchmarkQuery& q : queries) {
     size_t cached = 0;
     for (const auto& p : q.paths) {
@@ -124,9 +138,149 @@ int main() {
     std::printf("%-5s %4zu/%-2zu | %12.1fms %10.1fms %6.1fms %10.1fms | %6.1fx\n",
                 q.name.c_str(), cached, q.paths.size(), tj, tm, tx, txm,
                 speedup);
+    query_rows.push_back({q.name, cached, q.paths.size(), tj, tm, tx, txm});
   }
   std::printf("\nMaxson speedup over Spark+Jackson: min %.1fx, mean %.1fx, "
               "max %.1fx (paper: 1.5x - 6.5x; Q10 up to 45x)\n",
               min_speedup, sum_speedup / 10.0, max_speedup);
+
+  // --- On-demand tier: path-count sweep -----------------------------------
+  // Same records, growing path sets. Three uncached extraction strategies:
+  //   dom_per_path  k independent GetJsonObject calls (one full DOM parse
+  //                 each — what the engine's raw fallback did before the
+  //                 on-demand tier),
+  //   dom_once      one DOM parse, k path evaluations over the tree,
+  //   ondemand      one structural tape, k forward-only cursors that skip
+  //                 unrequested siblings without touching their bytes.
+  // The crossover is the smallest k where dom_once catches up: below it the
+  // on-demand tier wins because most of the record's bytes are never
+  // token-parsed; past it the single DOM parse amortizes across paths.
+  std::printf("\nOn-demand sweep: extracting k paths per record "
+              "(uncached, 40-property ~2KB records)\n");
+  maxson::workload::JsonTableSpec sweep_spec;
+  sweep_spec.table = "sweep";
+  sweep_spec.num_properties = 40;
+  sweep_spec.nesting_level = 3;
+  sweep_spec.avg_json_bytes = 2000;
+  sweep_spec.seed = 15;
+  const size_t kDocs = 2000;
+  std::vector<std::string> docs;
+  docs.reserve(kDocs);
+  size_t doc_bytes = 0;
+  for (size_t i = 0; i < kDocs; ++i) {
+    docs.push_back(maxson::workload::GenerateJsonRecord(sweep_spec, i));
+    doc_bytes += docs.back().size();
+  }
+
+  struct SweepPoint {
+    int paths = 0;
+    double dom_per_path_ms = 0;
+    double dom_once_ms = 0;
+    double ondemand_ms = 0;
+    double skipped_fraction = 0;
+  };
+  std::vector<SweepPoint> sweep;
+  std::printf("%5s | %12s %10s %10s | %s\n", "paths", "dom-per-path",
+              "dom-once", "on-demand", "bytes skipped");
+  for (const int k : {1, 2, 3, 4, 6, 8}) {
+    std::vector<maxson::json::JsonPath> paths;
+    for (int p = 0; p < k; ++p) {
+      auto parsed =
+          maxson::json::JsonPath::Parse("$.f" + std::to_string(p + 2));
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return 1;
+      }
+      paths.push_back(std::move(*parsed));
+    }
+    SweepPoint point;
+    point.paths = k;
+    size_t checksum_a = 0, checksum_b = 0, checksum_c = 0;
+
+    maxson::Stopwatch per_path_timer;
+    for (const std::string& doc : docs) {
+      for (const auto& path : paths) {
+        auto v = maxson::json::GetJsonObject(doc, path);
+        if (v.ok()) checksum_a += v->size();
+      }
+    }
+    point.dom_per_path_ms = per_path_timer.ElapsedSeconds() * 1e3;
+
+    maxson::Stopwatch once_timer;
+    for (const std::string& doc : docs) {
+      auto root = maxson::json::ParseJson(doc);
+      if (!root.ok()) continue;
+      for (const auto& path : paths) {
+        const maxson::json::JsonValue* node = path.Evaluate(*root);
+        if (node != nullptr) {
+          checksum_b += maxson::json::RenderGetJsonObjectResult(*node).size();
+        }
+      }
+    }
+    point.dom_once_ms = once_timer.ElapsedSeconds() * 1e3;
+
+    maxson::json::OndemandParser ondemand;
+    maxson::Stopwatch ondemand_timer;
+    for (const std::string& doc : docs) {
+      std::vector<maxson::Result<std::string>> values;
+      if (!ondemand.ExtractAll(doc, paths, &values).ok()) continue;
+      for (const auto& v : values) {
+        if (v.ok()) checksum_c += v->size();
+      }
+    }
+    point.ondemand_ms = ondemand_timer.ElapsedSeconds() * 1e3;
+    point.skipped_fraction =
+        static_cast<double>(ondemand.skipped_bytes()) /
+        static_cast<double>(doc_bytes);
+    if (checksum_a != checksum_b || checksum_b != checksum_c) {
+      std::fprintf(stderr, "extraction mismatch at k=%d (%zu/%zu/%zu)\n", k,
+                   checksum_a, checksum_b, checksum_c);
+      return 1;
+    }
+    std::printf("%5d | %10.1fms %8.1fms %8.1fms | %4.0f%%\n", k,
+                point.dom_per_path_ms, point.dom_once_ms, point.ondemand_ms,
+                point.skipped_fraction * 100);
+    sweep.push_back(point);
+  }
+  int crossover = 0;  // 0 = on-demand won at every measured path count
+  for (const SweepPoint& p : sweep) {
+    if (p.dom_once_ms < p.ondemand_ms) {
+      crossover = p.paths;
+      break;
+    }
+  }
+  if (crossover == 0) {
+    std::printf("on-demand beat dom-once at every measured path count\n");
+  } else {
+    std::printf("crossover: dom-once catches up at %d paths\n", crossover);
+  }
+
+  std::ofstream json("BENCH_parsers.json", std::ios::trunc);
+  json << "{\n  \"bench\": \"fig15_parsers\",\n  \"queries\": [\n";
+  for (size_t i = 0; i < query_rows.size(); ++i) {
+    const QueryRow& r = query_rows[i];
+    json << "    {\"name\": \"" << r.name << "\", \"cached_paths\": "
+         << r.cached << ", \"total_paths\": " << r.paths
+         << ", \"spark_jackson_ms\": " << r.jackson_ms
+         << ", \"spark_mison_ms\": " << r.mison_ms
+         << ", \"maxson_ms\": " << r.maxson_ms
+         << ", \"maxson_mison_ms\": " << r.maxson_mison_ms << "}"
+         << (i + 1 < query_rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"ondemand_sweep\": {\n    \"docs\": " << kDocs
+       << ",\n    \"avg_doc_bytes\": "
+       << static_cast<double>(doc_bytes) / static_cast<double>(kDocs)
+       << ",\n    \"points\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    json << "      {\"paths\": " << p.paths << ", \"dom_per_path_ms\": "
+         << p.dom_per_path_ms << ", \"dom_once_ms\": " << p.dom_once_ms
+         << ", \"ondemand_ms\": " << p.ondemand_ms
+         << ", \"skipped_fraction\": " << p.skipped_fraction << "}"
+         << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  json << "    ],\n    \"crossover_paths\": " << crossover
+       << "\n  }\n}\n";
+  std::printf("wrote BENCH_parsers.json\n");
   return 0;
 }

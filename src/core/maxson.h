@@ -69,6 +69,10 @@ struct SessionUpdate {
   std::optional<bool> tracing;
   /// Toggles the Sparser-style raw-byte prefilter.
   std::optional<bool> raw_filter;
+  /// Toggles the on-demand JSON parsing tier: selective path sets resolve
+  /// by cursoring the SIMD structural tape instead of a full DOM parse
+  /// (see json/ondemand_parser.h). Results are byte-identical either way.
+  std::optional<bool> ondemand;
   /// Cache budget (bytes) of the next midnight cycle (0 = cache nothing,
   /// the Fig. 11 zero-budget baseline).
   std::optional<uint64_t> cache_budget_bytes;
@@ -108,6 +112,8 @@ struct SessionStats {
   std::string simd_isa;
   /// Canonical armed fault-injection spec, or "off".
   std::string fault_injection;
+  /// On-demand parsing tier knob (see json/ondemand_parser.h).
+  bool ondemand_enabled = false;
   /// Shared-scan knobs and lifetime totals (see exec/shared_scan.h; the
   /// totals are scheduling counters, not deterministic query outcomes).
   bool shared_scan_enabled = false;
@@ -287,8 +293,9 @@ class MaxsonSession {
 };
 
 /// Registers the session's runtime knobs ("set KNOB VALUE") on `registry`:
-/// threads, trace, rawfilter, budget, isa, faultinject, sharedscan,
-/// morselsize. Every setter routes through the one validated UpdateConfig
+/// threads, trace, rawfilter, ondemand, budget, isa, faultinject,
+/// sharedscan, morselsize. Every setter routes through the one validated
+/// UpdateConfig
 /// entry point, so registry-driven frontends (the shell) and programmatic
 /// callers share identical validation. `session` must outlive the registry.
 void RegisterSessionOptions(OptionRegistry* registry, MaxsonSession* session);

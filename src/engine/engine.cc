@@ -16,6 +16,7 @@
 #include "exec/shared_scan.h"
 #include "json/dom_parser.h"
 #include "json/json_path.h"
+#include "json/ondemand_parser.h"
 #include "json/raw_filter.h"
 #include "obs/metric_names.h"
 #include "obs/metrics_registry.h"
@@ -110,11 +111,30 @@ void QueryEngine::RegisterBuiltinFunctions() {
     if (path == nullptr) return Value::Null();
 
     Stopwatch timer;
-    json::MisonParser* mison = ctx.mison != nullptr ? ctx.mison : &mison_;
-    Result<std::string> extracted =
-        config_.json_backend == JsonBackend::kMison
-            ? mison->Extract(text, *path)
-            : json::GetJsonObject(text, *path);
+    Result<std::string> extracted = [&]() -> Result<std::string> {
+      if (config_.json_backend == JsonBackend::kMison) {
+        json::MisonParser* mison = ctx.mison != nullptr ? ctx.mison : &mison_;
+        return mison->Extract(text, *path);
+      }
+      if (config_.enable_ondemand && ctx.ondemand != nullptr) {
+        const uint64_t skipped_before = ctx.ondemand->skipped_bytes();
+        Result<std::string> ondemand = ctx.ondemand->Extract(text, *path);
+        // NotFound is a definitive answer (the differential tests prove the
+        // tiers agree on missing paths); only structural failures re-parse
+        // through the DOM tier so results stay byte-identical either way.
+        if (ondemand.ok() ||
+            ondemand.status().code() == StatusCode::kNotFound) {
+          if (ctx.metrics != nullptr) {
+            ++ctx.metrics->ondemand_records;
+            ctx.metrics->ondemand_skipped_bytes +=
+                ctx.ondemand->skipped_bytes() - skipped_before;
+          }
+          return ondemand;
+        }
+        if (ctx.metrics != nullptr) ++ctx.metrics->ondemand_fallbacks;
+      }
+      return json::GetJsonObject(text, *path);
+    }();
     if (ctx.metrics != nullptr) {
       ctx.metrics->parse_seconds += timer.ElapsedSeconds();
       ++ctx.metrics->parse.records_parsed;
@@ -315,6 +335,7 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
   ExecContext exec_ctx;
   exec_ctx.plan_seconds = plan_seconds;
   exec_ctx.pool = pool_.get();
+  exec_ctx.enable_ondemand = config_.enable_ondemand;
   if (config_.enable_shared_scan) {
     exec_ctx.shared_scan = shared_scan_.get();
     exec_ctx.scan_validity =
@@ -353,6 +374,12 @@ void QueryEngine::PublishMetrics(const QueryMetrics& metrics) {
       ->Increment(metrics.cache_columns_read);
   reg.GetCounter(obs::kQueryRawFilteredRows)
       ->Increment(metrics.raw_filtered_rows);
+  reg.GetCounter(obs::kOndemandRecords)
+      ->Increment(metrics.ondemand_records);
+  reg.GetCounter(obs::kOndemandSkippedBytes)
+      ->Increment(metrics.ondemand_skipped_bytes);
+  reg.GetCounter(obs::kOndemandFallbacks)
+      ->Increment(metrics.ondemand_fallbacks);
   reg.GetCounter(obs::kCacheCorruption)
       ->Increment(metrics.cache_corruption_fallbacks);
   reg.GetCounter(obs::kPlanCacheHits)
@@ -389,6 +416,9 @@ constexpr size_t kRowsPerChunk = 1024;
 struct ChunkState {
   QueryMetrics metrics;
   json::MisonParser mison;
+  /// Per-chunk on-demand parser: its tape scratch mutates on every record,
+  /// so chunks must not share one. Counters flow through `metrics`.
+  json::OndemandParser ondemand;
   /// Wall time of this chunk's task on its worker; chunk times sum (in
   /// chunk order) into the owning operator's cpu_seconds.
   double seconds = 0;
@@ -499,11 +529,15 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
   // state; its telemetry folds into mison_ once, at the end of the query,
   // under mison_mutex_.
   json::MisonParser query_mison;
+  // The on-demand parser is likewise query-local; the builtin gates on the
+  // enable_ondemand knob, so wiring it unconditionally costs nothing.
+  json::OndemandParser query_ondemand;
   EvalContext ctx;
   ctx.lookup_function = &LookupEngineFunction;
   ctx.lookup_hook = this;
   ctx.metrics = &metrics;
   ctx.mison = &query_mison;
+  ctx.ondemand = &query_ondemand;
 
   // ---- Scan (and join) ----
   std::optional<obs::TraceSpan> scan_span;
@@ -641,6 +675,7 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
           wctx.batch = &input;
           wctx.metrics = &states[c].metrics;
           wctx.mison = &states[c].mison;
+          wctx.ondemand = &states[c].ondemand;
           for (size_t r = chunks[c].begin; r < chunks[c].end; ++r) {
             bool rejected = false;
             for (const RowPrefilter& pf : prefilters) {
@@ -738,6 +773,7 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
           wctx.batch = &filtered;
           wctx.metrics = &states[c].metrics;
           wctx.mison = &states[c].mison;
+          wctx.ondemand = &states[c].ondemand;
           Stopwatch chunk_timer;
           std::map<std::string, Group>& local = partials[c];
           for (size_t r = chunks[c].begin; r < chunks[c].end; ++r) {
@@ -930,6 +966,8 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
             wctx.batch = &filtered;
             wctx.metrics = &states[c].metrics;
             wctx.mison = &states[c].mison;
+            wctx.ondemand = &states[c].ondemand;
+          wctx.ondemand = &states[c].ondemand;
             for (size_t r = chunks[c].begin; r < chunks[c].end; ++r) {
               wctx.row = r;
               for (const auto& [expr, desc] : plan.order_by) {
@@ -979,6 +1017,7 @@ Result<QueryResult> QueryEngine::ExecutePlan(const PhysicalPlan& plan,
           wctx.batch = &filtered;
           wctx.metrics = &states[c].metrics;
           wctx.mison = &states[c].mison;
+          wctx.ondemand = &states[c].ondemand;
           for (size_t i = chunks[c].begin; i < chunks[c].end; ++i) {
             wctx.row = order[i];
             std::vector<Value> row;

@@ -41,6 +41,15 @@ struct EngineConfig {
   /// happens. Sound for standard-encoded JSON (see json/raw_filter.h);
   /// opt-in because exotic escape-encoded data could defeat the needle.
   bool enable_raw_filter = false;
+  /// On-demand parsing tier (json/ondemand_parser.h): under the kDom
+  /// backend, uncached get_json_object extraction and the corruption
+  /// re-derive path resolve selective path sets by cursoring a SIMD
+  /// structural tape instead of materializing the whole DOM, falling back
+  /// to the DOM parser per record on any on-demand error. Results are
+  /// byte-identical on well-formed data; see DESIGN.md, "On-demand parsing
+  /// tier" for the skipped-subtree validation contract that makes this
+  /// opt-in.
+  bool enable_ondemand = false;
   /// Parallelism degree of query execution (the paper's splits-across-
   /// executors model, in process): splits are scanned and row chunks are
   /// evaluated on this many threads. 0 = hardware concurrency; 1 runs
@@ -130,6 +139,10 @@ class QueryEngine {
   /// contract as set_num_threads.
   void set_raw_filter(bool enabled) { config_.enable_raw_filter = enabled; }
 
+  /// Toggles the on-demand parsing tier; consulted per query. Same
+  /// thread-safety contract as set_num_threads.
+  void set_ondemand(bool enabled) { config_.enable_ondemand = enabled; }
+
   /// Toggles shared-scan coalescing / sets the morsel-row target; consulted
   /// per query. Same thread-safety contract as set_num_threads.
   void set_shared_scan(bool enabled) { config_.enable_shared_scan = enabled; }
@@ -168,14 +181,24 @@ class QueryEngine {
   Result<QueryResult> ExecutePlan(const PhysicalPlan& plan,
                                   const ExecContext& ctx);
 
-  /// Speculation telemetry of the Mison backend (empty stats under kDom).
-  /// Workers extract with private parsers; their counters fold into a
-  /// query-local parser and land here once per query under mison_mutex_,
-  /// so stats read while queries run are merely slightly stale, never
-  /// torn. Cumulative across queries. Outside the analysis: the lock-free
-  /// read of mison_'s atomic counters is the documented stale-read API.
-  const json::MisonParser& mison() const MAXSON_NO_THREAD_SAFETY_ANALYSIS {
-    return mison_;
+  /// Value snapshot of the Mison backend's speculation telemetry (zeros
+  /// under kDom). Cumulative across queries.
+  struct ParserTelemetry {
+    uint64_t speculation_hits = 0;
+    uint64_t speculation_misses = 0;
+    uint64_t records_indexed = 0;
+  };
+
+  /// Speculation telemetry of the Mison backend. Workers extract with
+  /// private parsers; their counters fold into a query-local parser and
+  /// land in mison_ once per query under mison_mutex_. The snapshot is
+  /// taken under the same mutex, so stats read while queries run are
+  /// merely slightly stale, never torn — and no caller can alias the
+  /// guarded parser, which is what lets the analysis cover every access.
+  ParserTelemetry parser_telemetry() const MAXSON_EXCLUDES(mison_mutex_) {
+    MutexLock lock(mison_mutex_);
+    return {mison_.speculation_hits(), mison_.speculation_misses(),
+            mison_.records_indexed()};
   }
 
  private:
@@ -221,8 +244,9 @@ class QueryEngine {
   /// (used only when an EvalContext carries no per-worker parser — never
   /// the case inside ExecutePlan, which always supplies a query-local
   /// parser so concurrent Execute calls stay independent). Guarded by
-  /// mison_mutex_ for the once-per-query telemetry fold.
-  Mutex mison_mutex_;
+  /// mison_mutex_ for the once-per-query telemetry fold; mutable so the
+  /// const parser_telemetry() snapshot can lock it.
+  mutable Mutex mison_mutex_;
   json::MisonParser mison_ MAXSON_GUARDED_BY(mison_mutex_);
   std::unordered_map<std::string, ScalarFunction> functions_;
   /// Caches of parsed path objects keyed by text, to keep path parsing out

@@ -12,6 +12,7 @@
 
 namespace maxson::json {
 class MisonParser;
+class OndemandParser;
 }  // namespace maxson::json
 
 namespace maxson::engine {
@@ -143,6 +144,11 @@ struct EvalContext {
   /// on every extraction, so workers must not share one); null falls back
   /// to the engine's single-threaded parser.
   json::MisonParser* mison = nullptr;
+  /// Per-worker on-demand parser (its tape scratch mutates per record, so
+  /// workers must not share one). Non-null only when the engine's
+  /// enable_ondemand knob is on; null keeps get_json_object on the
+  /// configured DOM/Mison backend.
+  json::OndemandParser* ondemand = nullptr;
 };
 
 /// Evaluates a bound, aggregate-free expression for one row. NULL propagates

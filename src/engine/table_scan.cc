@@ -10,6 +10,7 @@
 #include "exec/shared_scan.h"
 #include "exec/thread_pool.h"
 #include "json/json_path.h"
+#include "json/ondemand_parser.h"
 #include "storage/corc_reader.h"
 #include "storage/file_system.h"
 #include "xml/xml_path.h"
@@ -69,7 +70,17 @@ SearchArgument ReconcileSargWithSchema(const SearchArgument& sarg,
 struct ScanSpec {
   std::vector<std::string> raw_columns;
   std::vector<CacheColumnRequest> cache_columns;
+  /// Route selective JSON re-derivation (kOndemandMaxPaths or fewer paths
+  /// per source column) through the on-demand parsing tier; copied from
+  /// ExecContext::enable_ondemand.
+  bool enable_ondemand = false;
 };
+
+/// A path set counts as selective — worth tape-cursoring instead of one
+/// full DOM parse — up to this many JSONPaths per source column. Beyond it
+/// the DOM parse amortizes better across paths (the Fig. 15 crossover;
+/// measured in bench/fig15_parsers.cc).
+constexpr size_t kOndemandMaxPaths = 4;
 
 ScanSpec SpecFromScan(const ScanNode& scan) {
   ScanSpec spec;
@@ -364,6 +375,36 @@ Status ScanSplitRawFallback(const ScanSpec& spec,
     raw_sargs.push_back(ReconcileSargWithSchema(p.first, primary.schema()));
   }
 
+  // Group the JSON-path sources by source column: a selective group
+  // (1..kOndemandMaxPaths paths) re-derives through the on-demand tier
+  // with one tape pass per record instead of one DOM parse per path.
+  // Oversized groups, and XML sources, stay on the DOM tier.
+  struct OndemandGroup {
+    size_t slot = 0;                 // batch slot of the source column
+    std::vector<size_t> source_idx;  // indexes into `sources`
+    std::vector<json::JsonPath> paths;
+  };
+  std::vector<OndemandGroup> ondemand_groups;
+  if (spec.enable_ondemand) {
+    std::map<int, size_t> group_of;  // file column index -> group index
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (sources[i].is_xml) continue;
+      auto [it, inserted] =
+          group_of.emplace(sources[i].column, ondemand_groups.size());
+      if (inserted) {
+        OndemandGroup g;
+        g.slot = slot_of.at(sources[i].column);
+        ondemand_groups.push_back(std::move(g));
+      }
+      ondemand_groups[it->second].source_idx.push_back(i);
+      ondemand_groups[it->second].paths.push_back(sources[i].json_path);
+    }
+    std::erase_if(ondemand_groups, [](const OndemandGroup& g) {
+      return g.paths.size() > kOndemandMaxPaths;
+    });
+  }
+  json::OndemandParser ondemand;
+
   const StripeRange stripes =
       range.value_or(StripeRange{0, primary.num_stripes()});
   for (size_t s = stripes.begin; s < stripes.end; ++s) {
@@ -387,7 +428,47 @@ Status ScanSplitRawFallback(const ScanSpec& spec,
       for (size_t c = 0; c < raw_indexes.size(); ++c) {
         row.push_back(batch.column(c).GetValue(r));
       }
-      for (const SourceWork& src : sources) {
+      // On-demand precomputation: one tape pass per record per selective
+      // group. Any record-level error falls back to the DOM tier below
+      // (slots stay unset); per-slot errors likewise fall back per slot,
+      // so the combined rows are byte-identical with the tier off.
+      std::vector<std::optional<storage::Value>> precomputed(sources.size());
+      for (const OndemandGroup& g : ondemand_groups) {
+        if (batch.column(g.slot).IsNull(r)) continue;
+        const std::string& text = batch.column(g.slot).GetString(r);
+        std::vector<Result<std::string>> values;
+        const uint64_t skipped_before = ondemand.skipped_bytes();
+        const Status extract_status = ondemand.ExtractAll(text, g.paths,
+                                                          &values);
+        if (!extract_status.ok()) {
+          if (metrics != nullptr) ++metrics->ondemand_fallbacks;
+          continue;
+        }
+        if (metrics != nullptr) {
+          ++metrics->ondemand_records;
+          metrics->ondemand_skipped_bytes +=
+              ondemand.skipped_bytes() - skipped_before;
+          ++metrics->parse.records_parsed;
+          metrics->parse.bytes_parsed += text.size();
+        }
+        for (size_t k = 0; k < g.source_idx.size(); ++k) {
+          const Result<std::string>& v = values[k];
+          if (v.ok()) {
+            precomputed[g.source_idx[k]] = storage::Value::String(*v);
+          } else if (v.status().code() == StatusCode::kNotFound) {
+            // Absent path -> NULL, matching get_json_object below.
+            precomputed[g.source_idx[k]] = storage::Value::Null();
+          } else if (metrics != nullptr) {
+            ++metrics->ondemand_fallbacks;
+          }
+        }
+      }
+      for (size_t i = 0; i < sources.size(); ++i) {
+        const SourceWork& src = sources[i];
+        if (precomputed[i].has_value()) {
+          row.push_back(std::move(*precomputed[i]));
+          continue;
+        }
         const size_t slot = slot_of.at(src.column);
         if (batch.column(slot).IsNull(r)) {
           row.push_back(storage::Value::Null());
@@ -614,6 +695,7 @@ Result<RecordBatch> ExecuteSharedScan(const ScanNode& scan,
       -> Result<exec::SharedPassOutput> {
     Stopwatch pass_timer;
     MAXSON_ASSIGN_OR_RETURN(ScanSpec spec, SpecFromUnionKeys(union_columns));
+    spec.enable_ondemand = ctx.enable_ondemand;
     std::vector<SargPair> pairs;
     pairs.reserve(predicates.size());
     for (const exec::ScanPredicate& p : predicates) {
@@ -686,7 +768,8 @@ Result<RecordBatch> ExecuteScan(const ScanNode& scan, QueryMetrics* metrics,
   if (splits.empty()) {
     return Status::NotFound("no part files under " + scan.table_dir);
   }
-  const ScanSpec spec = SpecFromScan(scan);
+  ScanSpec spec = SpecFromScan(scan);
+  spec.enable_ondemand = ctx.enable_ondemand;
   const std::vector<SargPair> predicates = {
       SargPair{scan.raw_sarg, scan.cache_sarg}};
   // One task per split, each running the full value-combiner pipeline into

@@ -1,0 +1,344 @@
+#include "json/ondemand_parser.h"
+
+#include <algorithm>
+
+#include "json/dom_parser.h"
+#include "simd/kernels.h"
+
+namespace maxson::json {
+
+namespace ondemand_internal {
+
+Status StructuralTape::Build(std::string_view record) {
+  text = record;
+  entries.clear();
+  strings.clear();
+  stack.clear();
+  root_is_container = false;
+  root_entry = 0;
+
+  const size_t n = record.size();
+  const size_t first = simd::SkipWhitespace(record.data(), n, 0);
+  if (first >= n) return Status::ParseError("unexpected end of input");
+  const char root = record[first];
+  if (root != '{' && root != '[') return Status::Ok();  // scalar root
+  root_is_container = true;
+
+  const size_t words = simd::BitmapWords(n);
+  quotes.resize(words);
+  backslashes.resize(words);
+  structurals.resize(words);
+  string_mask.resize(words);
+  simd::ClassifyJsonFull(record.data(), n, quotes.data(), backslashes.data(),
+                         structurals.data());
+
+  // Phase 2: drop escaped quotes, derive the string mask, and collect the
+  // string spans (ascending by construction — quote pairs alternate
+  // open/close left to right, threading across bitmap words).
+  uint64_t carry = 0;
+  uint64_t parity = 0;
+  bool in_string = false;
+  uint32_t open_quote = 0;
+  for (size_t w = 0; w < words; ++w) {
+    const uint64_t escaped = simd::EscapedPositions(backslashes[w], &carry);
+    uint64_t q = quotes[w] & ~escaped;
+    string_mask[w] = simd::StringMaskWord(q, &parity);
+    while (q != 0) {
+      const uint32_t pos = static_cast<uint32_t>(
+          w * simd::kWordBits + static_cast<size_t>(__builtin_ctzll(q)));
+      q &= q - 1;
+      if (!in_string) {
+        open_quote = pos;
+        in_string = true;
+      } else {
+        strings.push_back({open_quote, pos});
+        in_string = false;
+      }
+    }
+  }
+  if (in_string) return Status::ParseError("unterminated string literal");
+
+  // Phase 3: walk the structural positions outside strings in order,
+  // linking every container open to its close. The link is what lets the
+  // cursor hop over an entire sibling subtree in one step.
+  bool root_closed = false;
+  uint32_t root_close_pos = 0;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t s = structurals[w] & ~string_mask[w];
+    while (s != 0) {
+      const size_t pos =
+          w * simd::kWordBits + static_cast<size_t>(__builtin_ctzll(s));
+      s &= s - 1;
+      if (root_closed) {
+        return Status::ParseError("trailing characters after JSON value");
+      }
+      const char c = record[pos];
+      TapeEntry e{static_cast<uint32_t>(pos), 0, c};
+      switch (c) {
+        case '{':
+        case '[':
+          // A container's depth is the open-stack size when it begins;
+          // the cap matches dom_parser.cc so both reject the same docs.
+          if (stack.size() > static_cast<size_t>(kMaxDepth)) {
+            return Status::ParseError("nesting too deep");
+          }
+          stack.push_back(static_cast<uint32_t>(entries.size()));
+          break;
+        case '}':
+        case ']': {
+          if (stack.empty()) {
+            return Status::ParseError("unbalanced container close");
+          }
+          const uint32_t oi = stack.back();
+          stack.pop_back();
+          if ((c == '}') != (entries[oi].kind == '{')) {
+            return Status::ParseError("mismatched container close");
+          }
+          entries[oi].match = static_cast<uint32_t>(entries.size());
+          e.match = oi;
+          if (stack.empty()) {
+            root_closed = true;
+            root_close_pos = static_cast<uint32_t>(pos);
+          }
+          break;
+        }
+        default:
+          break;  // ':' and ',' are plain tape entries
+      }
+      entries.push_back(e);
+    }
+  }
+  if (!root_closed) return Status::ParseError("unexpected end of input");
+  const size_t after =
+      simd::SkipWhitespace(record.data(), n, root_close_pos + 1);
+  if (after != n) {
+    return Status::ParseError("trailing characters after JSON value");
+  }
+  // Whitespace is the only thing before the root character, so the root
+  // open is always the first tape entry.
+  root_entry = 0;
+  return Status::Ok();
+}
+
+}  // namespace ondemand_internal
+
+namespace {
+
+using ondemand_internal::StringSpan;
+using ondemand_internal::StructuralTape;
+using ondemand_internal::TapeEntry;
+
+constexpr size_t kNone = ~size_t{0};
+
+/// Cursor node: a container (tape index of its open entry) or a terminal
+/// span; `begin`/`end` always bound the node's raw bytes.
+struct Node {
+  size_t open = kNone;
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Compares the string literal `key` (offsets of its quotes) against the
+/// queried field. Unescaped keys compare raw; escaped keys decode through
+/// the DOM string parser so escape semantics (including \uXXXX) match the
+/// baseline exactly.
+Result<bool> KeyEquals(const StructuralTape& t, const StringSpan& key,
+                       std::string_view field, uint64_t* touched) {
+  const std::string_view raw =
+      t.text.substr(key.begin + 1, key.end - key.begin - 1);
+  *touched += raw.size();
+  if (raw.find('\\') == std::string_view::npos) {
+    return raw == field;
+  }
+  MAXSON_ASSIGN_OR_RETURN(
+      const JsonValue decoded,
+      ParseJson(t.text.substr(key.begin, key.end - key.begin + 1)));
+  return decoded.is_string() && decoded.string_value() == field;
+}
+
+/// The value node of member `field` directly inside the object whose open
+/// entry is `open`. Every member is scanned and the LAST key match wins,
+/// replicating the DOM's duplicate-key overwrite (JsonValue::Set).
+/// NotFound (empty message — the caller owns the path text) when absent.
+Result<Node> FindMember(const StructuralTape& t, size_t open,
+                        std::string_view field, uint64_t* touched) {
+  const std::vector<TapeEntry>& es = t.entries;
+  const size_t close = es[open].match;
+  size_t i = open + 1;
+  size_t segment_start = es[open].pos + 1;
+  Node found;
+  bool have = false;
+  while (i < close) {
+    if (es[i].kind != ':') {
+      return Status::ParseError("expected ':' in object");
+    }
+    const uint32_t colon_pos = es[i].pos;
+    // The member's key is the last string span before its colon. A string
+    // overlapping the colon is impossible — the colon would be masked —
+    // so only the segment-start bound needs checking.
+    auto it = std::lower_bound(
+        t.strings.begin(), t.strings.end(), colon_pos,
+        [](const StringSpan& s, uint32_t p) { return s.begin < p; });
+    if (it == t.strings.begin()) {
+      return Status::ParseError("expected object key");
+    }
+    --it;
+    if (it->begin < segment_start) {
+      return Status::ParseError("expected object key");
+    }
+    // Value: a container hops to its close link; an atom/string runs to
+    // the next structural entry, which is this level's ',' or close.
+    Node val;
+    size_t next_i;
+    if (es[i + 1].kind == '{' || es[i + 1].kind == '[') {
+      val.open = i + 1;
+      val.begin = es[i + 1].pos;
+      val.end = es[es[i + 1].match].pos + 1;
+      next_i = es[i + 1].match + 1;
+    } else {
+      val.begin = colon_pos + 1;
+      val.end = es[i + 1].pos;
+      next_i = i + 1;
+    }
+    MAXSON_ASSIGN_OR_RETURN(const bool eq, KeyEquals(t, *it, field, touched));
+    if (eq) {
+      found = val;
+      have = true;
+    }
+    if (next_i == close) break;
+    if (es[next_i].kind != ',') {
+      return Status::ParseError("expected ',' in object");
+    }
+    segment_start = es[next_i].pos + 1;
+    i = next_i + 1;
+  }
+  if (!have) return Status::NotFound("");
+  return found;
+}
+
+/// The value node of element `index` inside the array whose open entry is
+/// `open`. NotFound (empty message) when the index is out of range.
+Result<Node> FindElement(const StructuralTape& t, size_t open, int64_t index) {
+  const std::vector<TapeEntry>& es = t.entries;
+  const size_t close = es[open].match;
+  size_t i = open + 1;
+  size_t elem_begin = es[open].pos + 1;
+  int64_t idx = 0;
+  while (true) {
+    Node val;
+    size_t sep_i;
+    if (i < close && (es[i].kind == '{' || es[i].kind == '[')) {
+      val.open = i;
+      val.begin = es[i].pos;
+      val.end = es[es[i].match].pos + 1;
+      sep_i = es[i].match + 1;
+    } else {
+      val.begin = elem_begin;
+      sep_i = i;
+      val.end = es[sep_i].pos;
+    }
+    if (sep_i != close && es[sep_i].kind != ',') {
+      return Status::ParseError("expected ',' in array");
+    }
+    if (idx == 0 && sep_i == close && val.open == kNone) {
+      // Sole "element" running straight to the close: an empty array when
+      // it is all whitespace.
+      const size_t nonws =
+          simd::SkipWhitespace(t.text.data(), val.end, val.begin);
+      if (nonws >= val.end) return Status::NotFound("");
+    }
+    if (idx == index) return val;
+    if (sep_i == close) return Status::NotFound("");
+    elem_begin = es[sep_i].pos + 1;
+    i = sep_i + 1;
+    ++idx;
+  }
+}
+
+/// Cursors `path` through the tape and materializes the requested value:
+/// the DOM parser runs on exactly the extracted span, so rendering (and
+/// validation of the requested subtree) is byte-identical to the baseline.
+Result<std::string> ResolveOnTape(const StructuralTape& t,
+                                  const JsonPath& path, uint64_t* touched) {
+  const std::vector<TapeEntry>& es = t.entries;
+  Node node;
+  node.open = t.root_entry;
+  node.begin = es[t.root_entry].pos;
+  node.end = es[es[t.root_entry].match].pos + 1;
+  for (const JsonPathStep& step : path.steps()) {
+    if (node.open == kNone) return Status::NotFound("");  // scalar mid-path
+    const char kind = es[node.open].kind;
+    if (step.kind == JsonPathStep::Kind::kField) {
+      if (kind != '{') return Status::NotFound("");
+      MAXSON_ASSIGN_OR_RETURN(node,
+                              FindMember(t, node.open, step.field, touched));
+    } else {
+      if (kind != '[') return Status::NotFound("");
+      MAXSON_ASSIGN_OR_RETURN(node, FindElement(t, node.open, step.index));
+    }
+  }
+  const std::string_view span =
+      t.text.substr(node.begin, node.end - node.begin);
+  *touched += span.size();
+  MAXSON_ASSIGN_OR_RETURN(const JsonValue value, ParseJson(span));
+  return RenderGetJsonObjectResult(value);
+}
+
+/// Rewrites the internal empty-message NotFound into the exact message the
+/// DOM path (GetJsonObject) produces, so both tiers are indistinguishable
+/// to callers.
+Result<std::string> WithPathMessage(Result<std::string> r,
+                                    const JsonPath& path) {
+  if (!r.ok() && r.status().code() == StatusCode::kNotFound) {
+    return Status::NotFound("JSONPath " + path.ToString() + " not present");
+  }
+  return r;
+}
+
+}  // namespace
+
+Result<std::string> OndemandParser::Extract(std::string_view json,
+                                            const JsonPath& path) {
+  Status built = tape_.Build(json);
+  if (!built.ok()) return built;
+  if (!tape_.root_is_container) {
+    // Scalar root: nothing to skip — the DOM path is already optimal.
+    return GetJsonObject(json, path);
+  }
+  ++records_indexed_;
+  uint64_t touched = 0;
+  Result<std::string> r = WithPathMessage(ResolveOnTape(tape_, path, &touched), path);
+  if (json.size() > touched) skipped_bytes_ += json.size() - touched;
+  return r;
+}
+
+Status OndemandParser::ExtractAll(std::string_view json,
+                                  const std::vector<JsonPath>& paths,
+                                  std::vector<Result<std::string>>* out) {
+  Status built = tape_.Build(json);
+  if (!built.ok()) return built;
+  if (!tape_.root_is_container) {
+    // Scalar root: one DOM parse serves every path.
+    Result<JsonValue> root = ParseJson(json);
+    if (!root.ok()) return root.status();
+    for (const JsonPath& path : paths) {
+      const JsonValue* node = path.Evaluate(*root);
+      if (node == nullptr) {
+        out->push_back(Status::NotFound("JSONPath " + path.ToString() +
+                                        " not present"));
+      } else {
+        out->push_back(RenderGetJsonObjectResult(*node));
+      }
+    }
+    return Status::Ok();
+  }
+  ++records_indexed_;
+  uint64_t touched = 0;
+  for (const JsonPath& path : paths) {
+    out->push_back(WithPathMessage(ResolveOnTape(tape_, path, &touched), path));
+  }
+  if (json.size() > touched) skipped_bytes_ += json.size() - touched;
+  return Status::Ok();
+}
+
+}  // namespace maxson::json

@@ -12,6 +12,8 @@ namespace maxson::simd {
 /// so dispatch is a single pointer swap.
 struct KernelTable {
   void (*classify_json)(const char*, size_t, uint64_t*, uint64_t*, uint64_t*);
+  void (*classify_json_full)(const char*, size_t, uint64_t*, uint64_t*,
+                             uint64_t*);
   size_t (*skip_whitespace)(const char*, size_t, size_t);
   size_t (*find_string_special)(const char*, size_t, size_t);
   size_t (*find_substring)(const char*, size_t, const char*, size_t);

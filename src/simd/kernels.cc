@@ -87,6 +87,11 @@ void ClassifyJson(const char* data, size_t n, uint64_t* quotes,
   Table()->classify_json(data, n, quotes, backslashes, structurals);
 }
 
+void ClassifyJsonFull(const char* data, size_t n, uint64_t* quotes,
+                      uint64_t* backslashes, uint64_t* structurals) {
+  Table()->classify_json_full(data, n, quotes, backslashes, structurals);
+}
+
 size_t SkipWhitespace(const char* data, size_t n, size_t pos) {
   return Table()->skip_whitespace(data, n, pos);
 }

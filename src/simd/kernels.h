@@ -36,6 +36,14 @@ inline constexpr size_t BitmapWords(size_t n) {
 void ClassifyJson(const char* data, size_t n, uint64_t* quotes,
                   uint64_t* backslashes, uint64_t* structurals);
 
+/// ClassifyJson with the full structural alphabet: the merged bitmap also
+/// carries '[' ']' and ',' so the on-demand tape builder
+/// (json/ondemand_parser) can walk arrays and skip sibling subtrees without
+/// re-scanning bytes. Kept separate from ClassifyJson because the Mison
+/// colon index neither wants nor pays for the three extra comparisons.
+void ClassifyJsonFull(const char* data, size_t n, uint64_t* quotes,
+                      uint64_t* backslashes, uint64_t* structurals);
+
 /// First position >= `pos` whose byte is not JSON whitespace
 /// (' ', '\t', '\n', '\r'), or `n` when the rest is all whitespace.
 size_t SkipWhitespace(const char* data, size_t n, size_t pos);

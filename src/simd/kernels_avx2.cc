@@ -54,6 +54,44 @@ inline void ClassifyBlock(const char* p, uint64_t* quote_word,
   *structural_word = sm;
 }
 
+/// ClassifyBlock with the full structural alphabet (adds '[' ']' ',').
+inline void ClassifyBlockFull(const char* p, uint64_t* quote_word,
+                              uint64_t* backslash_word,
+                              uint64_t* structural_word) {
+  const __m256i quote = _mm256_set1_epi8('"');
+  const __m256i backslash = _mm256_set1_epi8('\\');
+  const __m256i colon = _mm256_set1_epi8(':');
+  const __m256i comma = _mm256_set1_epi8(',');
+  const __m256i lbrace = _mm256_set1_epi8('{');
+  const __m256i rbrace = _mm256_set1_epi8('}');
+  const __m256i lbracket = _mm256_set1_epi8('[');
+  const __m256i rbracket = _mm256_set1_epi8(']');
+  uint64_t qm = 0;
+  uint64_t bm = 0;
+  uint64_t sm = 0;
+  for (int k = 0; k < 2; ++k) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(p + 32 * k));
+    const int shift = 32 * k;
+    qm |= static_cast<uint64_t>(EqMask(v, quote)) << shift;
+    bm |= static_cast<uint64_t>(EqMask(v, backslash)) << shift;
+    const __m256i st = _mm256_or_si256(
+        _mm256_or_si256(
+            _mm256_or_si256(_mm256_cmpeq_epi8(v, colon),
+                            _mm256_cmpeq_epi8(v, comma)),
+            _mm256_or_si256(_mm256_cmpeq_epi8(v, lbrace),
+                            _mm256_cmpeq_epi8(v, rbrace))),
+        _mm256_or_si256(_mm256_cmpeq_epi8(v, lbracket),
+                        _mm256_cmpeq_epi8(v, rbracket)));
+    sm |= static_cast<uint64_t>(
+              static_cast<uint32_t>(_mm256_movemask_epi8(st)))
+          << shift;
+  }
+  *quote_word = qm;
+  *backslash_word = bm;
+  *structural_word = sm;
+}
+
 }  // namespace
 
 void ClassifyJson(const char* data, size_t n, uint64_t* quotes,
@@ -67,6 +105,20 @@ void ClassifyJson(const char* data, size_t n, uint64_t* quotes,
     char buf[kWordBits] = {0};
     std::memcpy(buf, data + w * kWordBits, n - w * kWordBits);
     ClassifyBlock(buf, &quotes[w], &backslashes[w], &structurals[w]);
+  }
+}
+
+void ClassifyJsonFull(const char* data, size_t n, uint64_t* quotes,
+                      uint64_t* backslashes, uint64_t* structurals) {
+  size_t w = 0;
+  for (; (w + 1) * kWordBits <= n; ++w) {
+    ClassifyBlockFull(data + w * kWordBits, &quotes[w], &backslashes[w],
+                      &structurals[w]);
+  }
+  if (w * kWordBits < n) {
+    char buf[kWordBits] = {0};
+    std::memcpy(buf, data + w * kWordBits, n - w * kWordBits);
+    ClassifyBlockFull(buf, &quotes[w], &backslashes[w], &structurals[w]);
   }
 }
 
@@ -297,10 +349,11 @@ uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t n) {
 
 const KernelTable* Avx2Kernels() {
   static const KernelTable kTable = {
-      avx2::ClassifyJson,       avx2::SkipWhitespace,
-      avx2::FindStringSpecial,  avx2::FindSubstring,
-      avx2::NullBytesToBitmap,  avx2::CountNonZeroBytes,
-      avx2::MinMaxInt64,        avx2::MinMaxDouble,
+      avx2::ClassifyJson,       avx2::ClassifyJsonFull,
+      avx2::SkipWhitespace,     avx2::FindStringSpecial,
+      avx2::FindSubstring,      avx2::NullBytesToBitmap,
+      avx2::CountNonZeroBytes,  avx2::MinMaxInt64,
+      avx2::MinMaxDouble,
 #if defined(__SSE4_2__)
       avx2::Crc32cExtend,
 #else

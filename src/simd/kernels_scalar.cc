@@ -38,6 +38,36 @@ void ClassifyJson(const char* data, size_t n, uint64_t* quotes,
   }
 }
 
+void ClassifyJsonFull(const char* data, size_t n, uint64_t* quotes,
+                      uint64_t* backslashes, uint64_t* structurals) {
+  const size_t words = BitmapWords(n);
+  if (words == 0) return;  // n == 0 may come with null output pointers
+  std::memset(quotes, 0, words * sizeof(uint64_t));
+  std::memset(backslashes, 0, words * sizeof(uint64_t));
+  std::memset(structurals, 0, words * sizeof(uint64_t));
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t bit = uint64_t{1} << (i % kWordBits);
+    switch (data[i]) {
+      case '"':
+        quotes[i / kWordBits] |= bit;
+        break;
+      case '\\':
+        backslashes[i / kWordBits] |= bit;
+        break;
+      case ':':
+      case ',':
+      case '{':
+      case '}':
+      case '[':
+      case ']':
+        structurals[i / kWordBits] |= bit;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
 size_t SkipWhitespace(const char* data, size_t n, size_t pos) {
   while (pos < n) {
     const char c = data[pos];
@@ -155,11 +185,11 @@ uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t n) {
 
 const KernelTable* ScalarKernels() {
   static constexpr KernelTable kTable = {
-      scalar::ClassifyJson,       scalar::SkipWhitespace,
-      scalar::FindStringSpecial,  scalar::FindSubstring,
-      scalar::NullBytesToBitmap,  scalar::CountNonZeroBytes,
-      scalar::MinMaxInt64,        scalar::MinMaxDouble,
-      scalar::Crc32cExtend,
+      scalar::ClassifyJson,       scalar::ClassifyJsonFull,
+      scalar::SkipWhitespace,     scalar::FindStringSpecial,
+      scalar::FindSubstring,      scalar::NullBytesToBitmap,
+      scalar::CountNonZeroBytes,  scalar::MinMaxInt64,
+      scalar::MinMaxDouble,       scalar::Crc32cExtend,
   };
   return &kTable;
 }

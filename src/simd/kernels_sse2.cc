@@ -54,6 +54,44 @@ inline void ClassifyBlock(const char* p, uint64_t* quote_word,
   *structural_word = sm;
 }
 
+/// ClassifyBlock with the full structural alphabet (adds '[' ']' ',').
+inline void ClassifyBlockFull(const char* p, uint64_t* quote_word,
+                              uint64_t* backslash_word,
+                              uint64_t* structural_word) {
+  const __m128i quote = _mm_set1_epi8('"');
+  const __m128i backslash = _mm_set1_epi8('\\');
+  const __m128i colon = _mm_set1_epi8(':');
+  const __m128i comma = _mm_set1_epi8(',');
+  const __m128i lbrace = _mm_set1_epi8('{');
+  const __m128i rbrace = _mm_set1_epi8('}');
+  const __m128i lbracket = _mm_set1_epi8('[');
+  const __m128i rbracket = _mm_set1_epi8(']');
+  uint64_t qm = 0;
+  uint64_t bm = 0;
+  uint64_t sm = 0;
+  for (int k = 0; k < 4; ++k) {
+    const __m128i v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(p + 16 * k));
+    const int shift = 16 * k;
+    qm |= static_cast<uint64_t>(EqMask(v, quote)) << shift;
+    bm |= static_cast<uint64_t>(EqMask(v, backslash)) << shift;
+    const __m128i st = _mm_or_si128(
+        _mm_or_si128(
+            _mm_or_si128(_mm_cmpeq_epi8(v, colon),
+                         _mm_cmpeq_epi8(v, comma)),
+            _mm_or_si128(_mm_cmpeq_epi8(v, lbrace),
+                         _mm_cmpeq_epi8(v, rbrace))),
+        _mm_or_si128(_mm_cmpeq_epi8(v, lbracket),
+                     _mm_cmpeq_epi8(v, rbracket)));
+    sm |= static_cast<uint64_t>(
+              static_cast<uint32_t>(_mm_movemask_epi8(st)))
+          << shift;
+  }
+  *quote_word = qm;
+  *backslash_word = bm;
+  *structural_word = sm;
+}
+
 }  // namespace
 
 void ClassifyJson(const char* data, size_t n, uint64_t* quotes,
@@ -69,6 +107,20 @@ void ClassifyJson(const char* data, size_t n, uint64_t* quotes,
     char buf[kWordBits] = {0};
     std::memcpy(buf, data + w * kWordBits, n - w * kWordBits);
     ClassifyBlock(buf, &quotes[w], &backslashes[w], &structurals[w]);
+  }
+}
+
+void ClassifyJsonFull(const char* data, size_t n, uint64_t* quotes,
+                      uint64_t* backslashes, uint64_t* structurals) {
+  size_t w = 0;
+  for (; (w + 1) * kWordBits <= n; ++w) {
+    ClassifyBlockFull(data + w * kWordBits, &quotes[w], &backslashes[w],
+                      &structurals[w]);
+  }
+  if (w * kWordBits < n) {
+    char buf[kWordBits] = {0};
+    std::memcpy(buf, data + w * kWordBits, n - w * kWordBits);
+    ClassifyBlockFull(buf, &quotes[w], &backslashes[w], &structurals[w]);
   }
 }
 
@@ -240,9 +292,10 @@ const KernelTable* Sse2Kernels() {
   // scalar routine at this level; the crc32 instruction arrives with
   // SSE4.2, so crc32c stays on the table-driven reference too.
   static const KernelTable kTable = {
-      sse2::ClassifyJson,       sse2::SkipWhitespace,
-      sse2::FindStringSpecial,  sse2::FindSubstring,
-      sse2::NullBytesToBitmap,  sse2::CountNonZeroBytes,
+      sse2::ClassifyJson,       sse2::ClassifyJsonFull,
+      sse2::SkipWhitespace,     sse2::FindStringSpecial,
+      sse2::FindSubstring,      sse2::NullBytesToBitmap,
+      sse2::CountNonZeroBytes,
       ScalarKernels()->minmax_int64,
       sse2::MinMaxDouble,
       ScalarKernels()->crc32c_extend,
@@ -370,6 +423,7 @@ const KernelTable* Sse2Kernels() {
   // movemask needs extra shuffle work that has not been profiled on ARM.
   static const KernelTable kTable = {
       ScalarKernels()->classify_json,
+      ScalarKernels()->classify_json_full,
       neon::SkipWhitespace,
       neon::FindStringSpecial,
       neon::FindSubstring,

@@ -73,6 +73,24 @@ void RefClassify(const std::string& s, std::vector<uint64_t>* quotes,
   }
 }
 
+void RefClassifyFull(const std::string& s, std::vector<uint64_t>* quotes,
+                     std::vector<uint64_t>* backslashes,
+                     std::vector<uint64_t>* structurals) {
+  const size_t words = BitmapWords(s.size());
+  quotes->assign(words, 0);
+  backslashes->assign(words, 0);
+  structurals->assign(words, 0);
+  for (size_t i = 0; i < s.size(); ++i) {
+    const uint64_t bit = uint64_t{1} << (i % kWordBits);
+    if (s[i] == '"') (*quotes)[i / kWordBits] |= bit;
+    if (s[i] == '\\') (*backslashes)[i / kWordBits] |= bit;
+    if (s[i] == ':' || s[i] == ',' || s[i] == '{' || s[i] == '}' ||
+        s[i] == '[' || s[i] == ']') {
+      (*structurals)[i / kWordBits] |= bit;
+    }
+  }
+}
+
 size_t RefSkipWhitespace(const std::string& s, size_t pos) {
   while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' ||
                             s[pos] == '\n' || s[pos] == '\r')) {
@@ -141,6 +159,35 @@ TEST_F(SimdKernelTest, ClassifyJsonMatchesReferenceAtEveryLevel) {
       std::vector<uint64_t> b(words, ~uint64_t{0});
       std::vector<uint64_t> st(words, ~uint64_t{0});
       simd::ClassifyJson(s.data(), s.size(), q.data(), b.data(), st.data());
+      EXPECT_EQ(q, want_q) << "quotes, isa=" << simd::IsaName(level)
+                           << " len=" << s.size();
+      EXPECT_EQ(b, want_b) << "backslashes, isa=" << simd::IsaName(level)
+                           << " len=" << s.size();
+      EXPECT_EQ(st, want_s) << "structurals, isa=" << simd::IsaName(level)
+                            << " len=" << s.size();
+    }
+  }
+}
+
+TEST_F(SimdKernelTest, ClassifyJsonFullMatchesReferenceAtEveryLevel) {
+  std::vector<std::string> inputs;
+  for (size_t len = 0; len <= 130; ++len) inputs.push_back(RandomJsonish(len));
+  inputs.push_back(std::string(64, '['));
+  inputs.push_back(std::string(64, ','));
+  inputs.push_back(std::string(200, ']'));
+  inputs.push_back(RandomJsonish(4096));
+
+  std::vector<uint64_t> want_q, want_b, want_s;
+  for (const std::string& s : inputs) {
+    RefClassifyFull(s, &want_q, &want_b, &want_s);
+    for (Isa level : SupportedLevels()) {
+      IsaGuard guard(level);
+      const size_t words = BitmapWords(s.size());
+      std::vector<uint64_t> q(words, ~uint64_t{0});
+      std::vector<uint64_t> b(words, ~uint64_t{0});
+      std::vector<uint64_t> st(words, ~uint64_t{0});
+      simd::ClassifyJsonFull(s.data(), s.size(), q.data(), b.data(),
+                             st.data());
       EXPECT_EQ(q, want_q) << "quotes, isa=" << simd::IsaName(level)
                            << " len=" << s.size();
       EXPECT_EQ(b, want_b) << "backslashes, isa=" << simd::IsaName(level)

@@ -12,7 +12,10 @@
 #   release Release build + full test suite (the tier-1 gate).
 #   asan    AddressSanitizer + UndefinedBehaviorSanitizer build + full test
 #           suite, with leak detection on and halt-on-error so the first
-#           finding fails the run instead of scrolling by.
+#           finding fails the run instead of scrolling by. The on-demand
+#           parser's differential suite also re-runs standalone (native and
+#           MAXSON_FORCE_ISA=scalar): its cursor arithmetic over SIMD-built
+#           bitmaps is the code most likely to hide an off-by-one.
 #   tsan    ThreadSanitizer build + full test suite (the parallel execution
 #           runtime must be race-clean); the metrics-determinism test, the
 #           CacheRegistry stress test, the serving-layer test, and the
@@ -143,6 +146,20 @@ if [[ "$run_asan" == 1 ]]; then
   ASAN_OPTIONS="detect_leaks=1:halt_on_error=1" \
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ./build-asan/tests/durability_test
+  # The on-demand parser cursors byte positions derived from SIMD bitmaps;
+  # an off-by-one there is exactly the bug class ASan/UBSan catches, so its
+  # differential suite runs standalone — at the native dispatch level and
+  # once more forced to the scalar kernels, proving the tape is
+  # byte-identical no matter which ClassifyJsonFull variant built it.
+  echo "=== On-demand parser differential suite under ASan ==="
+  ASAN_OPTIONS="detect_leaks=1:halt_on_error=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ./build-asan/tests/ondemand_parser_test
+  echo "=== On-demand parser differential suite under ASan, forced-scalar ==="
+  MAXSON_FORCE_ISA=scalar \
+  ASAN_OPTIONS="detect_leaks=1:halt_on_error=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ./build-asan/tests/ondemand_parser_test
 fi
 # Prove the env knob arms the injector outside of test code, then exercise
 # a short read end to end through the session knob path.

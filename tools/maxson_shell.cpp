@@ -25,7 +25,8 @@
 // (session knobs registered by core::RegisterSessionOptions route through
 // UpdateConfig; serving knobs by serve::RegisterServeOptions):
 //   set threads N | set trace on|off | set rawfilter on|off | set budget N
-//   set isa scalar|sse2|avx2|auto | set faultinject fail:N|torn:N|short:N|off
+//   set ondemand on|off | set isa scalar|sse2|avx2|auto
+//   set faultinject fail:N|torn:N|short:N|off
 //   set sharedscan on|off | set morselsize ROWS
 //   set resultcache on|off | set maxinflight N | set maxqueue N
 //
@@ -83,6 +84,8 @@ void PrintHelp() {
       "                     set rawfilter on|off, set budget BYTES,\n"
       "                     set isa scalar|sse2|avx2|auto (SIMD level),\n"
       "                     set faultinject fail:N|torn:N|short:N|off\n"
+      "set ondemand on|off  resolve selective path sets by cursoring the\n"
+      "                     SIMD structural tape instead of a full DOM parse\n"
       "set sharedscan on|off  coalesce concurrent scans of one table into\n"
       "                     one parse pass per morsel\n"
       "set morselsize ROWS  target rows per shared-scan morsel (0 = one\n"
@@ -214,6 +217,7 @@ int Run(const ShellOptions& options) {
             "tracing:        %s (%llu events)\n"
             "simd:           isa=%s\n"
             "faultinject:    %s\n"
+            "ondemand:       %s\n"
             "sharedscan:     %s (morselsize %llu); %llu subscribers, "
             "%llu passes, %llu coalesced, %llu bytes saved\n",
             static_cast<unsigned long long>(stats.rewrite_cache_hits),
@@ -228,6 +232,7 @@ int Run(const ShellOptions& options) {
             stats.tracing_enabled ? "on" : "off",
             static_cast<unsigned long long>(stats.trace_events),
             stats.simd_isa.c_str(), stats.fault_injection.c_str(),
+            stats.ondemand_enabled ? "on" : "off",
             stats.shared_scan_enabled ? "on" : "off",
             static_cast<unsigned long long>(stats.morsel_rows),
             static_cast<unsigned long long>(stats.sharedscan_subscribers),
