@@ -209,6 +209,7 @@ Status JsonPathCacher::CacheTablePaths(
         // guarantee).
         CorcWriterOptions options;
         options.rows_per_group = reader.footer().rows_per_group;
+        options.format_version = format_version_;
         CorcWriter writer(
             staging_dir + "/" + FileSystem::PartFileName(split.index),
             cache_schema, options);
@@ -272,7 +273,16 @@ Status JsonPathCacher::CacheTablePaths(
             split_out->parse_seconds += parse_timer.ElapsedSeconds();
           }
         }
-        return writer.Close();
+        MAXSON_RETURN_NOT_OK(writer.Close());
+        if (split_out != nullptr) {
+          const storage::CorcWriteStats& ws = writer.write_stats();
+          split_out->corc_raw_bytes += ws.raw_bytes;
+          split_out->corc_encoded_bytes += ws.encoded_bytes;
+          for (int e = 0; e < storage::kNumChunkEncodings; ++e) {
+            split_out->corc_chunks[e] += ws.chunks[e];
+          }
+        }
+        return Status::Ok();
       });
   if (!build_status.ok()) {
     // Failed builds leave nothing behind; the live cache dir (if any) was

@@ -12,6 +12,7 @@
 #include "core/scoring.h"
 #include "engine/engine.h"
 #include "exec/thread_pool.h"
+#include "storage/corc_format.h"
 #include "workload/trace.h"
 
 namespace maxson::core {
@@ -40,6 +41,12 @@ struct CachingStats {
   uint64_t bytes_written = 0;
   double parse_seconds = 0.0;
   double total_seconds = 0.0;
+  /// CORC encoding accounting across every cache file written this run
+  /// (plain bytes in, encoded bytes out, chunks by winning encoding) —
+  /// the source of the maxson_corc_*_total metric series.
+  uint64_t corc_raw_bytes = 0;
+  uint64_t corc_encoded_bytes = 0;
+  uint64_t corc_chunks[storage::kNumChunkEncodings] = {0, 0, 0, 0};
 
   /// Folds a per-split partial into this total (splits pre-parse in
   /// parallel into private stats, merged in split order). parse_seconds
@@ -50,6 +57,11 @@ struct CachingStats {
     bytes_written += other.bytes_written;
     parse_seconds += other.parse_seconds;
     total_seconds += other.total_seconds;
+    corc_raw_bytes += other.corc_raw_bytes;
+    corc_encoded_bytes += other.corc_encoded_bytes;
+    for (int e = 0; e < storage::kNumChunkEncodings; ++e) {
+      corc_chunks[e] += other.corc_chunks[e];
+    }
   }
 };
 
@@ -79,6 +91,12 @@ class JsonPathCacher {
     pool_ = std::move(pool);
   }
 
+  /// CORC format version for cache files written from now on: v3 (adaptive
+  /// chunk encodings, the default) or v2 (plain chunks). Drives the
+  /// `set corcencoding on|off` session knob; already-written files are
+  /// unaffected — the reader handles both.
+  void set_format_version(uint32_t version) { format_version_ = version; }
+
   /// Empties the registry and deletes existing cache tables (the nightly
   /// "emptied and re-populated" step), then caches `selected` in order.
   Result<CachingStats> RepopulateCache(const std::vector<ScoredMpjp>& selected,
@@ -94,6 +112,7 @@ class JsonPathCacher {
   const catalog::Catalog* catalog_;
   std::string cache_root_;
   engine::JsonBackend backend_;
+  uint32_t format_version_ = storage::kCorcVersionV3;
   std::shared_ptr<exec::ThreadPool> pool_;
 };
 

@@ -11,6 +11,29 @@
 
 namespace maxson::core {
 
+namespace {
+
+/// Publishes one caching run's CORC encoding accounting. The raw/encoded
+/// byte totals always move together; per-encoding chunk counters only
+/// publish for encodings that actually won a chunk, so the label space
+/// stays limited to encodings in use.
+void PublishCorcEncodingMetrics(obs::MetricsRegistry* metrics,
+                                const CachingStats& stats) {
+  metrics->GetCounter(obs::kCorcRawBytes)->Increment(stats.corc_raw_bytes);
+  metrics->GetCounter(obs::kCorcEncodedBytes)
+      ->Increment(stats.corc_encoded_bytes);
+  for (int e = 0; e < storage::kNumChunkEncodings; ++e) {
+    if (stats.corc_chunks[e] == 0) continue;
+    metrics
+        ->GetCounter(obs::kCorcChunks,
+                     {{"encoding", storage::ChunkEncodingName(
+                                       static_cast<storage::ChunkEncoding>(e))}})
+        ->Increment(stats.corc_chunks[e]);
+  }
+}
+
+}  // namespace
+
 MaxsonSession::MaxsonSession(const catalog::Catalog* catalog,
                              MaxsonConfig config)
     : catalog_(catalog), config_(std::move(config)) {
@@ -40,6 +63,8 @@ MaxsonSession::MaxsonSession(const catalog::Catalog* catalog,
   // worker count is a single knob and the two workloads interleave instead
   // of oversubscribing.
   cacher_->set_pool(engine_->pool());
+  cacher_->set_format_version(config_.corc_encoding ? storage::kCorcVersionV3
+                                                    : storage::kCorcVersion);
   if (!config_.registry_path.empty()) {
     auto loaded = CacheRegistry::Load(config_.registry_path);
     if (loaded.ok()) {
@@ -169,6 +194,7 @@ Result<MidnightReport> MaxsonSession::RunMidnightCycle(DateId target_day) {
       ->Increment(report.caching.rows_parsed);
   metrics_->GetCounter(obs::kMidnightBytesWritten)
       ->Increment(report.caching.bytes_written);
+  PublishCorcEncodingMetrics(metrics_, report.caching);
   metrics_->GetGauge(obs::kMidnightLastParseSeconds)
       ->Set(report.caching.parse_seconds);
   metrics_->GetGauge(obs::kMidnightLastTotalSeconds)
@@ -191,6 +217,7 @@ Result<CachingStats> MaxsonSession::CacheSelected(
       ->Increment(stats.rows_parsed);
   metrics_->GetCounter(obs::kMidnightBytesWritten)
       ->Increment(stats.bytes_written);
+  PublishCorcEncodingMetrics(metrics_, stats);
   metrics_->GetGauge(obs::kCacheEntries)
       ->Set(static_cast<double>(registry_.size()));
   return stats;
@@ -277,6 +304,12 @@ Status MaxsonSession::UpdateConfig(const SessionUpdate& update) {
     engine_->set_morsel_rows(static_cast<size_t>(*update.morsel_rows));
     config_.engine.morsel_rows = static_cast<size_t>(*update.morsel_rows);
   }
+  if (update.corc_encoding.has_value()) {
+    config_.corc_encoding = *update.corc_encoding;
+    cacher_->set_format_version(*update.corc_encoding
+                                    ? storage::kCorcVersionV3
+                                    : storage::kCorcVersion);
+  }
   return Status::Ok();
 }
 
@@ -298,6 +331,7 @@ SessionStats MaxsonSession::stats() const {
   stats.ondemand_enabled = config_.engine.enable_ondemand;
   stats.shared_scan_enabled = config_.engine.enable_shared_scan;
   stats.morsel_rows = config_.engine.morsel_rows;
+  stats.corc_encoding_enabled = config_.corc_encoding;
   const exec::SharedScanStats shared =
       engine_->shared_scan_manager()->stats();
   stats.sharedscan_subscribers = shared.subscribers;
@@ -353,6 +387,11 @@ void RegisterSessionOptions(OptionRegistry* registry, MaxsonSession* session) {
   registry->RegisterUint64("morselsize", "ROWS", [session](uint64_t rows) {
     SessionUpdate update;
     update.morsel_rows = rows;
+    return session->UpdateConfig(update);
+  });
+  registry->RegisterBool("corcencoding", "on|off", [session](bool on) {
+    SessionUpdate update;
+    update.corc_encoding = on;
     return session->UpdateConfig(update);
   });
 }

@@ -43,6 +43,12 @@ struct MaxsonConfig {
   /// Start recording trace spans (query stages, midnight cycle) right away;
   /// can also be toggled later through UpdateConfig.
   bool enable_tracing = false;
+  /// Write cache files as CORC v3 with adaptive chunk encodings
+  /// (dictionary / RLE / block compression, smallest wins per chunk).
+  /// Off writes v2 plain chunks — byte-identical to pre-encoding builds.
+  /// Query results are byte-identical either way; the knob trades cache
+  /// bytes only.
+  bool corc_encoding = true;
   /// Registry the session publishes its observability series into. Null
   /// uses the process-wide obs::MetricsRegistry::Global(); tests hand each
   /// session a private registry so runs can be compared in isolation. Not
@@ -91,6 +97,9 @@ struct SessionUpdate {
   std::optional<bool> shared_scan;
   /// Target rows per shared-scan morsel (0 = one morsel per split).
   std::optional<uint64_t> morsel_rows;
+  /// Toggles CORC v3 adaptive chunk encodings for cache files written from
+  /// now on (off = v2 plain chunks; already-written files stay readable).
+  std::optional<bool> corc_encoding;
 };
 
 /// Read-only snapshot of the session's internal counters, for display
@@ -118,6 +127,8 @@ struct SessionStats {
   /// totals are scheduling counters, not deterministic query outcomes).
   bool shared_scan_enabled = false;
   uint64_t morsel_rows = 0;
+  /// CORC v3 adaptive chunk encoding knob (see storage/encoding.h).
+  bool corc_encoding_enabled = false;
   uint64_t sharedscan_subscribers = 0;
   uint64_t sharedscan_parse_passes = 0;
   uint64_t sharedscan_coalesced_parses = 0;
@@ -294,7 +305,8 @@ class MaxsonSession {
 
 /// Registers the session's runtime knobs ("set KNOB VALUE") on `registry`:
 /// threads, trace, rawfilter, ondemand, budget, isa, faultinject,
-/// sharedscan, morselsize. Every setter routes through the one validated
+/// sharedscan, morselsize, corcencoding. Every setter routes through the
+/// one validated
 /// UpdateConfig
 /// entry point, so registry-driven frontends (the shell) and programmatic
 /// callers share identical validation. `session` must outlive the registry.

@@ -81,6 +81,17 @@ inline constexpr char kMidnightLastParseSeconds[] =
 inline constexpr char kMidnightLastTotalSeconds[] =
     "maxson_midnight_last_total_seconds";
 
+// --- CORC chunk encodings (maxson.cc, fed by CorcWriteStats) ---
+/// Plain (decoded) chunk bytes that entered the encoder.
+inline constexpr char kCorcRawBytes[] = "maxson_corc_raw_bytes_total";
+/// Chunk bytes as written to disk after adaptive encoding; the ratio
+/// encoded/raw is the cache's storage amplification (1.0 with encodings
+/// off or incompressible data — plain is the adaptive floor).
+inline constexpr char kCorcEncodedBytes[] = "maxson_corc_encoded_bytes_total";
+/// Chunks written, labelled by winning encoding ({encoding="plain"|"rle"|
+/// "dict"|"block"}).
+inline constexpr char kCorcChunks[] = "maxson_corc_chunks_total";
+
 // --- SIMD dispatch (maxson.cc) ---
 inline constexpr char kSimdIsaLevel[] = "maxson_simd_isa_level";
 inline constexpr char kSimdIsaInfo[] = "maxson_simd_isa_info";

@@ -22,6 +22,8 @@ struct KernelTable {
   void (*minmax_int64)(const int64_t*, size_t, int64_t*, int64_t*);
   void (*minmax_double)(const double*, size_t, double*, double*);
   uint32_t (*crc32c_extend)(uint32_t, const uint8_t*, size_t);
+  void (*rle_splat)(const uint8_t*, size_t, size_t, uint8_t*);
+  uint32_t (*max_u32)(const uint32_t*, size_t);
 };
 
 /// The portable reference table; always available.

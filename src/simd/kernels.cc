@@ -126,4 +126,13 @@ uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t n) {
   return Table()->crc32c_extend(crc, data, n);
 }
 
+void RleSplat(const uint8_t* pattern, size_t width, size_t count,
+              uint8_t* out) {
+  Table()->rle_splat(pattern, width, count, out);
+}
+
+uint32_t MaxU32(const uint32_t* values, size_t n) {
+  return Table()->max_u32(values, n);
+}
+
 }  // namespace maxson::simd

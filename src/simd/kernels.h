@@ -70,6 +70,19 @@ uint64_t CountNonZeroBytes(const uint8_t* bytes, size_t n);
 /// Min and max of `n` >= 1 values, for row-group SARG statistics.
 void MinMaxInt64(const int64_t* values, size_t n, int64_t* min, int64_t* max);
 
+/// Writes `count` back-to-back copies of the `width`-byte pattern to
+/// [out, out + width*count) — the run expansion of the CORC v3 RLE chunk
+/// decoder. `width` >= 1; pattern and out must not overlap. Vector levels
+/// broadcast power-of-two widths up to 8 into full-register stores; other
+/// widths fall through to the scalar copy loop.
+void RleSplat(const uint8_t* pattern, size_t width, size_t count,
+              uint8_t* out);
+
+/// Maximum of [values, values+n), or 0 when n == 0 — the CORC v3
+/// dictionary decoder validates every per-row index against the dictionary
+/// size in one pass with this.
+uint32_t MaxU32(const uint32_t* values, size_t n);
+
 /// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) of
 /// [data, data+n), continuing from `crc` — pass the previous call's return
 /// value to checksum a stream in pieces, 0 for the first piece. `crc` is a

@@ -326,6 +326,71 @@ void MinMaxDouble(const double* values, size_t n, double* min, double* max) {
   *max = hi;
 }
 
+void RleSplat(const uint8_t* pattern, size_t width, size_t count,
+              uint8_t* out) {
+  const size_t total = width * count;
+  __m256i v;
+  switch (width) {
+    case 1:
+      v = _mm256_set1_epi8(static_cast<char>(pattern[0]));
+      break;
+    case 2: {
+      uint16_t p;
+      std::memcpy(&p, pattern, 2);
+      v = _mm256_set1_epi16(static_cast<short>(p));
+      break;
+    }
+    case 4: {
+      uint32_t p;
+      std::memcpy(&p, pattern, 4);
+      v = _mm256_set1_epi32(static_cast<int>(p));
+      break;
+    }
+    case 8: {
+      uint64_t p;
+      std::memcpy(&p, pattern, 8);
+      v = _mm256_set1_epi64x(static_cast<long long>(p));
+      break;
+    }
+    default:
+      for (size_t i = 0; i < count; ++i) {
+        std::memcpy(out + i * width, pattern, width);
+      }
+      return;
+  }
+  size_t i = 0;
+  for (; i + 32 <= total; i += 32) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+  }
+  // 32 is a multiple of every broadcast width here, so the tail continues
+  // the pattern phase-aligned.
+  for (; i < total; ++i) {
+    out[i] = pattern[i % width];
+  }
+}
+
+uint32_t MaxU32(const uint32_t* values, size_t n) {
+  size_t i = 0;
+  uint32_t max = 0;
+  if (n >= 8) {
+    __m256i acc = _mm256_setzero_si256();
+    for (; i + 8 <= n; i += 8) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(values + i));
+      acc = _mm256_max_epu32(acc, v);
+    }
+    uint32_t lanes[8];
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    for (const uint32_t lane : lanes) {
+      if (lane > max) max = lane;
+    }
+  }
+  for (; i < n; ++i) {
+    if (values[i] > max) max = values[i];
+  }
+  return max;
+}
+
 #if defined(__SSE4_2__)
 /// Hardware CRC32C: the crc32 instruction is SSE4.2, which -mavx2 implies
 /// and every AVX2-capable CPU executes. 8 bytes per instruction, byte tail.
@@ -359,6 +424,7 @@ const KernelTable* Avx2Kernels() {
 #else
       ScalarKernels()->crc32c_extend,
 #endif
+      avx2::RleSplat,           avx2::MaxU32,
   };
   return &kTable;
 }

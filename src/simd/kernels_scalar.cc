@@ -181,6 +181,25 @@ uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t n) {
   return ~state;
 }
 
+void RleSplat(const uint8_t* pattern, size_t width, size_t count,
+              uint8_t* out) {
+  if (width == 1) {
+    std::memset(out, pattern[0], count);
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    std::memcpy(out + i * width, pattern, width);
+  }
+}
+
+uint32_t MaxU32(const uint32_t* values, size_t n) {
+  uint32_t max = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (values[i] > max) max = values[i];
+  }
+  return max;
+}
+
 }  // namespace scalar
 
 const KernelTable* ScalarKernels() {
@@ -190,6 +209,7 @@ const KernelTable* ScalarKernels() {
       scalar::FindSubstring,      scalar::NullBytesToBitmap,
       scalar::CountNonZeroBytes,  scalar::MinMaxInt64,
       scalar::MinMaxDouble,       scalar::Crc32cExtend,
+      scalar::RleSplat,           scalar::MaxU32,
   };
   return &kTable;
 }

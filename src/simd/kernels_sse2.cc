@@ -285,6 +285,79 @@ void MinMaxDouble(const double* values, size_t n, double* min, double* max) {
   *max = hi;
 }
 
+void RleSplat(const uint8_t* pattern, size_t width, size_t count,
+              uint8_t* out) {
+  const size_t total = width * count;
+  __m128i v;
+  switch (width) {
+    case 1:
+      v = _mm_set1_epi8(static_cast<char>(pattern[0]));
+      break;
+    case 2: {
+      uint16_t p;
+      std::memcpy(&p, pattern, 2);
+      v = _mm_set1_epi16(static_cast<short>(p));
+      break;
+    }
+    case 4: {
+      uint32_t p;
+      std::memcpy(&p, pattern, 4);
+      v = _mm_set1_epi32(static_cast<int>(p));
+      break;
+    }
+    case 8: {
+      uint64_t p;
+      std::memcpy(&p, pattern, 8);
+      v = _mm_set1_epi64x(static_cast<long long>(p));
+      break;
+    }
+    default:
+      // Widths that do not tile a 16-byte register stay on the plain copy
+      // loop (identical output by construction).
+      for (size_t i = 0; i < count; ++i) {
+        std::memcpy(out + i * width, pattern, width);
+      }
+      return;
+  }
+  size_t i = 0;
+  for (; i + 16 <= total; i += 16) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), v);
+  }
+  // 16 is a multiple of every broadcast width here, so the tail continues
+  // the pattern phase-aligned.
+  for (; i < total; ++i) {
+    out[i] = pattern[i % width];
+  }
+}
+
+uint32_t MaxU32(const uint32_t* values, size_t n) {
+  size_t i = 0;
+  uint32_t max = 0;
+  if (n >= 4) {
+    // SSE2 has no unsigned 32-bit max; bias by 0x80000000 so the signed
+    // compare orders unsigned values, then blend with and/andnot.
+    const __m128i bias = _mm_set1_epi32(static_cast<int>(0x80000000u));
+    __m128i acc = bias;  // biased representation of 0
+    for (; i + 4 <= n; i += 4) {
+      const __m128i v = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(values + i));
+      const __m128i vb = _mm_xor_si128(v, bias);
+      const __m128i gt = _mm_cmpgt_epi32(vb, acc);
+      acc = _mm_or_si128(_mm_and_si128(gt, vb), _mm_andnot_si128(gt, acc));
+    }
+    uint32_t lanes[4];
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes),
+                     _mm_xor_si128(acc, bias));
+    for (const uint32_t lane : lanes) {
+      if (lane > max) max = lane;
+    }
+  }
+  for (; i < n; ++i) {
+    if (values[i] > max) max = values[i];
+  }
+  return max;
+}
+
 }  // namespace sse2
 
 const KernelTable* Sse2Kernels() {
@@ -299,6 +372,7 @@ const KernelTable* Sse2Kernels() {
       ScalarKernels()->minmax_int64,
       sse2::MinMaxDouble,
       ScalarKernels()->crc32c_extend,
+      sse2::RleSplat,           sse2::MaxU32,
   };
   return &kTable;
 }
@@ -432,6 +506,8 @@ const KernelTable* Sse2Kernels() {
       ScalarKernels()->minmax_int64,
       ScalarKernels()->minmax_double,
       ScalarKernels()->crc32c_extend,
+      ScalarKernels()->rle_splat,
+      ScalarKernels()->max_u32,
   };
   return &kTable;
 }

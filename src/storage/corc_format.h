@@ -13,39 +13,74 @@ namespace maxson::storage {
 /// On-disk layout shared by the CORC writer and reader.
 ///
 /// CORC ("Columnar ORC-like") is this repository's stand-in for Apache ORC.
-/// The current version (v2) adds end-to-end checksums so storage corruption
-/// is detected instead of decoded:
+/// The current version (v3) adds per-chunk encodings on top of the v2
+/// end-to-end checksums:
 ///
-///   magic "CORC2"
+///   magic "CORC3"
 ///   stripe 0: column 0 chunk stream, column 1 chunk stream, ...
 ///   stripe 1: ...
 ///   footer (JSON): schema, format version, per-stripe/per-column/
 ///                  per-row-group directory with byte ranges,
-///                  min/max/null statistics, and a CRC32C per chunk
+///                  min/max/null statistics, a CRC32C per chunk, and (v3)
+///                  the chunk's encoding id and decoded ("raw") length
 ///   footer CRC32C (u32 LE, over the footer JSON bytes)
 ///   footer length (u32 LE)
-///   magic "CORC2"
+///   magic "CORC3"
 ///
-/// v1 files (magic "CORC1", no CRCs, tail = [footer_len][magic]) remain
-/// readable: the reader distinguishes the versions by the trailing magic
-/// and simply has nothing to verify for v1.
+/// The versions share one tail shape and are distinguished by the trailing
+/// magic. v1 files (magic "CORC1", no CRCs, tail = [footer_len][magic]) and
+/// v2 files (magic "CORC2", plain chunks only) remain byte-identically
+/// readable: v2 is exactly v3 with every chunk kPlain and no "enc"/
+/// "raw_len" directory keys, and v1 additionally has nothing to verify.
 ///
 /// Each column stream is the concatenation of independently decodable
 /// row-group chunks (default 10,000 rows per group, Section IV-F), so a
 /// reader can skip a row group without fetching its bytes — which is what
-/// makes SARG pushdown save real I/O.
+/// makes SARG pushdown save real I/O. In v3 each chunk is stored under the
+/// smallest of several candidate encodings (see storage/encoding.h);
+/// checksums always cover the encoded (on-disk) bytes.
 inline constexpr char kCorcMagicV1[] = "CORC1";
 inline constexpr char kCorcMagic[] = "CORC2";
+inline constexpr char kCorcMagicV3[] = "CORC3";
 inline constexpr size_t kCorcMagicLen = 5;
 inline constexpr uint32_t kCorcVersionV1 = 1;
 inline constexpr uint32_t kCorcVersion = 2;
+inline constexpr uint32_t kCorcVersionV3 = 3;
 inline constexpr uint32_t kDefaultRowsPerGroup = 10000;
+
+/// How one row-group chunk's bytes are stored on disk (v3; earlier versions
+/// are implicitly kPlain). The id is recorded per chunk in the footer
+/// directory, so every chunk of a file can use a different encoding.
+enum class ChunkEncoding : uint8_t {
+  kPlain = 0,  // the v2 byte layout, verbatim
+  kRle = 1,    // run-length encoded null/value sections (fixed-width types)
+  kDict = 2,   // dictionary + per-row indexes (string columns)
+  kBlock = 3,  // LZ4-style byte-oriented block compression of the chunk
+};
+inline constexpr int kNumChunkEncodings = 4;
+
+/// Stable lowercase encoding name, for metric labels and logs.
+inline const char* ChunkEncodingName(ChunkEncoding e) {
+  switch (e) {
+    case ChunkEncoding::kPlain:
+      return "plain";
+    case ChunkEncoding::kRle:
+      return "rle";
+    case ChunkEncoding::kDict:
+      return "dict";
+    case ChunkEncoding::kBlock:
+      return "block";
+  }
+  return "?";
+}
 
 /// Directory entry for one row group of one column.
 struct RowGroupInfo {
   uint64_t offset = 0;  // absolute file offset of the chunk
-  uint64_t length = 0;  // chunk length in bytes
-  uint32_t crc = 0;     // CRC32C of the chunk bytes (v2+; 0 in v1 files)
+  uint64_t length = 0;  // encoded (on-disk) chunk length in bytes
+  uint32_t crc = 0;     // CRC32C of the encoded chunk bytes (v2+; 0 in v1)
+  ChunkEncoding encoding = ChunkEncoding::kPlain;  // v3; kPlain before
+  uint64_t raw_length = 0;  // decoded (plain) chunk length in bytes
   ColumnStats stats;
 };
 

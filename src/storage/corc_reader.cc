@@ -5,6 +5,7 @@
 #include "json/dom_parser.h"
 #include "json/json_value.h"
 #include "simd/kernels.h"
+#include "storage/encoding.h"
 #include "storage/file_system.h"
 
 namespace maxson::storage {
@@ -35,6 +36,40 @@ uint32_t GetU32(const char* p) {
   return v;
 }
 
+/// Coerces a reloaded footer stat back to the column's declared type.
+///
+/// Stats round-trip through the JSON footer, which can change their boxed
+/// type: a double whose value happens to be integral reparses as Int64.
+/// Pruning compares stats against query literals with Value::Compare, whose
+/// mixed-type fallback is textual — an Int64-boxed 1234567 renders as
+/// "1234567" while the Double it stood for renders as "1.23457e+06" — so a
+/// drifted type can misorder against a string literal and prune a row group
+/// that actually contains matching rows. Null stays null (all-null groups
+/// carry no min/max); any other mismatch is corruption, not a guess.
+Status CoerceStat(TypeKind type, Value* v, const std::string& path) {
+  if (v->is_null()) return Status::Ok();
+  switch (type) {
+    case TypeKind::kBool:
+      if (v->is_bool()) return Status::Ok();
+      break;
+    case TypeKind::kInt64:
+      if (v->is_int64()) return Status::Ok();
+      break;
+    case TypeKind::kDouble:
+      if (v->is_double()) return Status::Ok();
+      if (v->is_int64()) {
+        *v = Value::Double(static_cast<double>(v->int64_value()));
+        return Status::Ok();
+      }
+      break;
+    case TypeKind::kString:
+      if (v->is_string()) return Status::Ok();
+      break;
+  }
+  return Status::Corruption("footer stat type disagrees with column type in " +
+                            path);
+}
+
 }  // namespace
 
 CorcReader::CorcReader(std::string path) : path_(std::move(path)) {}
@@ -61,7 +96,9 @@ Status CorcReader::Open() {
   file_.read(tail_magic, sizeof(tail_magic));
   if (!file_.good()) return Status::IoError("magic read failed on " + path_);
 
-  if (std::memcmp(tail_magic, kCorcMagic, kCorcMagicLen) == 0) {
+  if (std::memcmp(tail_magic, kCorcMagicV3, kCorcMagicLen) == 0) {
+    footer_.version = kCorcVersionV3;
+  } else if (std::memcmp(tail_magic, kCorcMagic, kCorcMagicLen) == 0) {
     footer_.version = kCorcVersion;
   } else if (std::memcmp(tail_magic, kCorcMagicV1, kCorcMagicLen) == 0) {
     footer_.version = kCorcVersionV1;
@@ -169,6 +206,12 @@ Status CorcReader::Open() {
     }
     stripe.num_rows = static_cast<uint64_t>(srows->int_value());
     for (const json::JsonValue& cj : cols->elements()) {
+      const size_t col_idx = stripe.columns.size();
+      if (col_idx >= footer_.schema.num_fields()) {
+        return Status::Corruption(
+            "stripe column count disagrees with schema in " + path_);
+      }
+      const TypeKind col_type = footer_.schema.field(col_idx).type;
       ColumnChunkInfo chunk;
       const json::JsonValue* groups = cj.Find("row_groups");
       if (groups == nullptr || !groups->is_array()) {
@@ -206,8 +249,33 @@ Status CorcReader::Open() {
         if (crc != nullptr) {
           rg.crc = static_cast<uint32_t>(crc->int_value());
         }
+        if (footer_.version >= kCorcVersionV3) {
+          const json::JsonValue* enc = gj.Find("enc");
+          const json::JsonValue* raw_len = gj.Find("raw_len");
+          if (enc == nullptr || raw_len == nullptr) {
+            return Status::Corruption(
+                "v3 row group missing encoding keys in footer of " + path_);
+          }
+          if (enc->int_value() < 0 ||
+              enc->int_value() >= static_cast<int64_t>(kNumChunkEncodings)) {
+            return Status::Corruption(
+                "unknown chunk encoding id in footer of " + path_);
+          }
+          rg.encoding = static_cast<ChunkEncoding>(enc->int_value());
+          // The decoded length gates every decode allocation; cap it here
+          // so a hostile footer cannot request an arbitrary buffer.
+          if (raw_len->int_value() < 0 ||
+              static_cast<uint64_t>(raw_len->int_value()) >
+                  kMaxDecodedChunkBytes) {
+            return Status::Corruption(
+                "decoded chunk length out of range in footer of " + path_);
+          }
+          rg.raw_length = static_cast<uint64_t>(raw_len->int_value());
+        }
         rg.stats.min = JsonToValue(*min);
         rg.stats.max = JsonToValue(*max);
+        MAXSON_RETURN_NOT_OK(CoerceStat(col_type, &rg.stats.min, path_));
+        MAXSON_RETURN_NOT_OK(CoerceStat(col_type, &rg.stats.max, path_));
         rg.stats.null_count = static_cast<uint64_t>(nulls->int_value());
         rg.stats.value_count = static_cast<uint64_t>(values->int_value());
         chunk.row_groups.push_back(std::move(rg));
@@ -215,6 +283,28 @@ Status CorcReader::Open() {
       stripe.columns.push_back(std::move(chunk));
     }
     footer_.stripes.push_back(std::move(stripe));
+  }
+
+  // Directory consistency, validated once here so every later ReadStripe
+  // and ComputeRowGroupInclusion can index columns[c].row_groups[g] without
+  // re-checking: each stripe carries exactly one column entry per schema
+  // field, every column of a stripe agrees on the group count, and that
+  // count matches what the stripe's rows and rows_per_group imply.
+  for (const StripeInfo& s : footer_.stripes) {
+    if (s.columns.size() != footer_.schema.num_fields()) {
+      return Status::Corruption("stripe column count disagrees with schema in " +
+                                path_);
+    }
+    const uint64_t expected_groups =
+        s.num_rows == 0
+            ? 0
+            : (s.num_rows + footer_.rows_per_group - 1) / footer_.rows_per_group;
+    for (const ColumnChunkInfo& c : s.columns) {
+      if (c.row_groups.size() != expected_groups) {
+        return Status::Corruption(
+            "row group count disagrees with stripe rows in " + path_);
+      }
+    }
   }
   open_ = true;
   return Status::Ok();
@@ -259,8 +349,20 @@ Status CorcReader::DecodeRowGroup(const RowGroupInfo& rg, TypeKind type,
     }
   }
   if (stats != nullptr) {
-    stats->bytes_read += rg.length;
+    stats->bytes_read += rg.length;  // on-disk (encoded) bytes
     ++stats->row_groups_read;
+  }
+
+  // v3 chunks carry an encoding; decode back to the plain v2 layout before
+  // the shared column decode below. The fast path (plain chunk, consistent
+  // length) skips the copy entirely. The CRC above covered the encoded
+  // bytes, so decode errors here mean a bad footer, not bit rot.
+  if (footer_.version >= kCorcVersionV3 &&
+      (rg.encoding != ChunkEncoding::kPlain || rg.raw_length != chunk.size())) {
+    std::string plain;
+    MAXSON_RETURN_NOT_OK(
+        DecodeChunk(rg.encoding, type, rows, rg.raw_length, chunk, &plain));
+    chunk = std::move(plain);
   }
 
   if (chunk.size() < rows) {
@@ -343,11 +445,15 @@ Status CorcReader::DecodeRowGroup(const RowGroupInfo& rg, TypeKind type,
     }
     case TypeKind::kString: {
       // Variable-width: lengths gate every step, so keep the per-row loop.
+      // Bounds checks compare remaining lengths, never advanced pointers: a
+      // corrupt len near UINT32_MAX could push `p + len` past the end of the
+      // chunk's allocation, and forming such a pointer is UB before any
+      // comparison runs.
       for (size_t i = 0; i < rows; ++i) {
-        if (p + 4 > chunk_end) return Status::Corruption("string decode overflow in " + path_);
+        if (static_cast<size_t>(chunk_end - p) < 4) return Status::Corruption("string decode overflow in " + path_);
         const uint32_t len = GetU32(p);
         p += 4;
-        if (p + len > chunk_end) return Status::Corruption("string data overflow in " + path_);
+        if (len > static_cast<size_t>(chunk_end - p)) return Status::Corruption("string data overflow in " + path_);
         if (nulls[i] != 0) {
           out->AppendNull();
         } else {

@@ -7,6 +7,7 @@
 #include "json/json_value.h"
 #include "json/json_writer.h"
 #include "simd/kernels.h"
+#include "storage/encoding.h"
 #include "storage/file_system.h"
 
 namespace maxson::storage {
@@ -17,6 +18,10 @@ void PutU32(uint32_t v, std::string* out) {
   char buf[4];
   std::memcpy(buf, &v, 4);
   out->append(buf, 4);
+}
+
+const char* MagicForVersion(uint32_t version) {
+  return version >= kCorcVersionV3 ? kCorcMagicV3 : kCorcMagic;
 }
 
 json::JsonValue ValueToJson(const Value& v) {
@@ -52,13 +57,20 @@ CorcWriter::~CorcWriter() {
 }
 
 Status CorcWriter::Open() {
+  if (options_.format_version != kCorcVersion &&
+      options_.format_version != kCorcVersionV3) {
+    return Status::InvalidArgument(
+        "CorcWriterOptions::format_version must be 2 or 3, got " +
+        std::to_string(options_.format_version));
+  }
   tmp_path_ = path_ + ".tmp";
   file_.open(tmp_path_, std::ios::binary | std::ios::trunc);
   if (!file_.is_open()) {
     return Status::IoError("cannot open " + tmp_path_ + " for writing");
   }
   open_ = true;
-  MAXSON_RETURN_NOT_OK(WriteRaw(kCorcMagic, kCorcMagicLen));
+  MAXSON_RETURN_NOT_OK(
+      WriteRaw(MagicForVersion(options_.format_version), kCorcMagicLen));
   file_offset_ = kCorcMagicLen;
   return Status::Ok();
 }
@@ -112,9 +124,9 @@ void FoldMinMax(const Value& v, ColumnStats* stats) {
 
 }  // namespace
 
-void CorcWriter::EncodeRowGroup(const ColumnVector& column, size_t begin,
-                                size_t end, std::string* out,
-                                ColumnStats* stats) const {
+Status CorcWriter::EncodeRowGroup(const ColumnVector& column, size_t begin,
+                                  size_t end, std::string* out,
+                                  ColumnStats* stats) const {
   if (column.type() == TypeKind::kString) {
     // Variable-width: per-row lengths drive the encoding, so the original
     // row-at-a-time loop stays.
@@ -128,10 +140,14 @@ void CorcWriter::EncodeRowGroup(const ColumnVector& column, size_t begin,
         continue;
       }
       const std::string& s = column.GetString(i);
+      // A >= 4 GiB value cannot be represented in the u32 length field; a
+      // silently truncated length would still checksum cleanly, so reject
+      // it before any bytes are staged.
+      MAXSON_RETURN_NOT_OK(ValidateCorcStringSize(s.size()));
       PutU32(static_cast<uint32_t>(s.size()), out);
       out->append(s);
     }
-    return;
+    return Status::Ok();
   }
 
   // Fixed-width types: the ColumnVector invariant (null bytes are exactly
@@ -194,6 +210,7 @@ void CorcWriter::EncodeRowGroup(const ColumnVector& column, size_t begin,
     case TypeKind::kString:
       break;  // handled above
   }
+  return Status::Ok();
 }
 
 Status CorcWriter::FlushStripe() {
@@ -208,13 +225,29 @@ Status CorcWriter::FlushStripe() {
     const ColumnVector& column = buffer_.column(c);
     for (size_t begin = 0; begin < rows; begin += options_.rows_per_group) {
       const size_t end = std::min<size_t>(begin + options_.rows_per_group, rows);
-      std::string chunk;
+      std::string plain;
       RowGroupInfo rg;
-      EncodeRowGroup(column, begin, end, &chunk, &rg.stats);
+      MAXSON_RETURN_NOT_OK(EncodeRowGroup(column, begin, end, &plain,
+                                          &rg.stats));
+      rg.raw_length = plain.size();
+      // v3 stores each chunk under the smallest applicable encoding (plain
+      // is the floor); v2 always stores the plain bytes. The CRC covers
+      // the encoded bytes — exactly what a later read must verify.
+      std::string chunk;
+      if (options_.format_version >= kCorcVersionV3) {
+        rg.encoding =
+            EncodeChunkAdaptive(column.type(), end - begin, plain, &chunk);
+      } else {
+        rg.encoding = ChunkEncoding::kPlain;
+        chunk = std::move(plain);
+      }
       rg.offset = file_offset_;
       rg.length = chunk.size();
       rg.crc = simd::Crc32c(reinterpret_cast<const uint8_t*>(chunk.data()),
                             chunk.size());
+      write_stats_.raw_bytes += rg.raw_length;
+      write_stats_.encoded_bytes += chunk.size();
+      ++write_stats_.chunks[static_cast<int>(rg.encoding)];
       MAXSON_RETURN_NOT_OK(WriteRaw(chunk.data(), chunk.size()));
       file_offset_ += chunk.size();
       stripe.columns[c].row_groups.push_back(std::move(rg));
@@ -263,7 +296,8 @@ Status CorcWriter::FinishAndPublish() {
     fields.Append(std::move(fj));
   }
   footer.Set("fields", std::move(fields));
-  footer.Set("version", JsonValue::Int(static_cast<int64_t>(kCorcVersion)));
+  footer.Set("version",
+             JsonValue::Int(static_cast<int64_t>(options_.format_version)));
   footer.Set("rows_per_group",
              JsonValue::Int(static_cast<int64_t>(options_.rows_per_group)));
   footer.Set("num_rows", JsonValue::Int(static_cast<int64_t>(rows_written_)));
@@ -286,6 +320,13 @@ Status CorcWriter::FinishAndPublish() {
                JsonValue::Int(static_cast<int64_t>(rg.stats.null_count)));
         gj.Set("values",
                JsonValue::Int(static_cast<int64_t>(rg.stats.value_count)));
+        if (options_.format_version >= kCorcVersionV3) {
+          // v2 footers must stay byte-identical to pre-encoding writers, so
+          // the encoding keys only appear in v3 files.
+          gj.Set("enc", JsonValue::Int(static_cast<int64_t>(rg.encoding)));
+          gj.Set("raw_len",
+                 JsonValue::Int(static_cast<int64_t>(rg.raw_length)));
+        }
         groups.Append(std::move(gj));
       }
       JsonValue cj = JsonValue::Object();
@@ -304,7 +345,7 @@ Status CorcWriter::FinishAndPublish() {
                       footer_text.size()),
          &tail);
   PutU32(static_cast<uint32_t>(footer_text.size()), &tail);
-  tail.append(kCorcMagic, kCorcMagicLen);
+  tail.append(MagicForVersion(options_.format_version), kCorcMagicLen);
   MAXSON_RETURN_NOT_OK(WriteRaw(tail.data(), tail.size()));
   file_.close();
   if (file_.fail()) return Status::IoError("close failed on " + tmp_path_);

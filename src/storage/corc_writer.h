@@ -20,6 +20,27 @@ struct CorcWriterOptions {
   /// files ("we only perform this optimization when a file has only one
   /// stripe"); the default keeps files single-stripe unless exceeded.
   uint32_t rows_per_stripe = 1u << 20;
+  /// Output format version: kCorcVersionV3 (adaptive chunk encodings) or
+  /// kCorcVersion (v2, plain chunks — byte-identical to pre-encoding
+  /// writers, for cross-version matrices and the `set corcencoding off`
+  /// session knob). Other values are rejected at Open().
+  uint32_t format_version = kCorcVersionV3;
+};
+
+/// Writer-side encoding accounting of one file: how many plain bytes went
+/// in, how many encoded bytes came out, and how often each encoding won.
+/// Feeds the maxson_corc_raw_bytes_total / maxson_corc_encoded_bytes_total /
+/// maxson_corc_chunks_total metric series via the cacher.
+struct CorcWriteStats {
+  uint64_t raw_bytes = 0;      // plain (decoded) chunk bytes
+  uint64_t encoded_bytes = 0;  // chunk bytes as written to disk
+  uint64_t chunks[kNumChunkEncodings] = {0, 0, 0, 0};  // by ChunkEncoding id
+
+  void Add(const CorcWriteStats& other) {
+    raw_bytes += other.raw_bytes;
+    encoded_bytes += other.encoded_bytes;
+    for (int e = 0; e < kNumChunkEncodings; ++e) chunks[e] += other.chunks[e];
+  }
 };
 
 /// Streaming writer for one CORC file.
@@ -61,14 +82,21 @@ class CorcWriter {
 
   uint64_t rows_written() const { return rows_written_; }
 
+  /// Encoding accounting so far (complete after a successful Close()).
+  const CorcWriteStats& write_stats() const { return write_stats_; }
+
  private:
   Status FlushStripe();
   /// Writes to the staging file via the fault-injection hook.
   Status WriteRaw(const char* data, size_t n);
   /// Footer + fsync + rename; factored out so Close can abort on failure.
   Status FinishAndPublish();
-  void EncodeRowGroup(const ColumnVector& column, size_t begin, size_t end,
-                      std::string* out, ColumnStats* stats) const;
+  /// Builds one plain (v2-layout) chunk. Fails with InvalidArgument on a
+  /// string value whose length cannot be represented in the per-row u32
+  /// length field (>= 4 GiB) — a truncated length would checksum cleanly
+  /// and corrupt every later row in the chunk undetectably.
+  Status EncodeRowGroup(const ColumnVector& column, size_t begin, size_t end,
+                        std::string* out, ColumnStats* stats) const;
 
   std::string path_;
   std::string tmp_path_;
@@ -81,6 +109,7 @@ class CorcWriter {
   uint64_t file_offset_ = 0;
   RecordBatch buffer_;
   std::vector<StripeInfo> stripes_;
+  CorcWriteStats write_stats_;
 };
 
 }  // namespace maxson::storage

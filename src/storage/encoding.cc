@@ -1,0 +1,430 @@
+#include "storage/encoding.h"
+
+#include <cstring>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "simd/kernels.h"
+
+namespace maxson::storage {
+
+namespace {
+
+void PutU32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint32_t Read32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+// ---- RLE ----
+
+Status RleDecodeChunk(TypeKind type, size_t rows, uint64_t raw_length,
+                      const std::string& encoded, std::string* plain) {
+  const size_t width = FixedWidthOf(type);
+  if (width == 0) {
+    return Status::Corruption("rle chunk on a variable-width column");
+  }
+  if (raw_length != rows * (1 + width)) {
+    return Status::Corruption("rle chunk raw length disagrees with row count");
+  }
+  plain->assign(raw_length, '\0');
+  uint8_t* out = reinterpret_cast<uint8_t*>(plain->data());
+  const char* p = encoded.data();
+  const char* end = encoded.data() + encoded.size();
+
+  // Null section: byte runs.
+  size_t produced = 0;
+  while (produced < rows) {
+    if (static_cast<size_t>(end - p) < 5) {
+      return Status::Corruption("rle null run truncated");
+    }
+    const uint32_t run = GetU32(p);
+    p += 4;
+    if (run == 0 || run > rows - produced) {
+      return Status::Corruption("rle null run length out of range");
+    }
+    simd::RleSplat(reinterpret_cast<const uint8_t*>(p), 1, run,
+                   out + produced);
+    p += 1;
+    produced += run;
+  }
+
+  // Value section: width-sized element runs.
+  uint8_t* values = out + rows;
+  produced = 0;
+  while (produced < rows) {
+    if (static_cast<size_t>(end - p) < 4 + width) {
+      return Status::Corruption("rle value run truncated");
+    }
+    const uint32_t run = GetU32(p);
+    p += 4;
+    if (run == 0 || run > rows - produced) {
+      return Status::Corruption("rle value run length out of range");
+    }
+    simd::RleSplat(reinterpret_cast<const uint8_t*>(p), width, run,
+                   values + produced * width);
+    p += width;
+    produced += run;
+  }
+  if (p != end) {
+    return Status::Corruption("rle chunk has trailing bytes");
+  }
+  return Status::Ok();
+}
+
+// ---- Dictionary ----
+
+Status DictDecodeChunk(TypeKind type, size_t rows, uint64_t raw_length,
+                       const std::string& encoded, std::string* plain) {
+  if (type != TypeKind::kString) {
+    return Status::Corruption("dict chunk on a non-string column");
+  }
+  if (raw_length > kMaxDecodedChunkBytes) {
+    return Status::Corruption("dict chunk raw length exceeds the decode cap");
+  }
+  const char* p = encoded.data();
+  const char* end = encoded.data() + encoded.size();
+  if (static_cast<size_t>(end - p) < rows + 4) {
+    return Status::Corruption("dict chunk header truncated");
+  }
+  const char* nulls = p;
+  p += rows;
+  const uint32_t dict_count = GetU32(p);
+  p += 4;
+  // Each entry needs at least its 4-byte length, so a count the remaining
+  // bytes cannot hold is rejected before any allocation sized by it.
+  if (uint64_t{dict_count} * 4 > static_cast<uint64_t>(end - p)) {
+    return Status::Corruption("dict entry count out of range");
+  }
+  std::vector<std::string_view> entries;
+  entries.reserve(dict_count);
+  for (uint32_t i = 0; i < dict_count; ++i) {
+    if (static_cast<size_t>(end - p) < 4) {
+      return Status::Corruption("dict entry length truncated");
+    }
+    const uint32_t len = GetU32(p);
+    p += 4;
+    if (len > static_cast<size_t>(end - p)) {
+      return Status::Corruption("dict entry data truncated");
+    }
+    entries.emplace_back(p, len);
+    p += len;
+  }
+  if (static_cast<size_t>(end - p) != rows * 4) {
+    return Status::Corruption("dict index section size mismatch");
+  }
+  // The index words are unaligned in the chunk; copy once so the MaxU32
+  // kernel (and the reconstruction loop) read aligned memory.
+  std::vector<uint32_t> indexes(rows);
+  if (rows > 0) {
+    std::memcpy(indexes.data(), p, rows * 4);
+    if (simd::MaxU32(indexes.data(), rows) >= dict_count) {
+      return Status::Corruption("dict index out of range");
+    }
+  }
+
+  plain->clear();
+  plain->reserve(static_cast<size_t>(raw_length));
+  plain->append(nulls, rows);
+  uint64_t size = rows;
+  for (size_t i = 0; i < rows; ++i) {
+    const std::string_view entry = entries[indexes[i]];
+    size += 4 + entry.size();
+    if (size > raw_length) {
+      return Status::Corruption("dict chunk decodes past its raw length");
+    }
+    PutU32(static_cast<uint32_t>(entry.size()), plain);
+    plain->append(entry.data(), entry.size());
+  }
+  if (size != raw_length) {
+    return Status::Corruption("dict chunk raw length mismatch");
+  }
+  return Status::Ok();
+}
+
+// ---- Block compression (LZ4-style) ----
+
+constexpr size_t kBlockHashBits = 13;
+constexpr size_t kBlockHashSize = size_t{1} << kBlockHashBits;
+constexpr size_t kBlockWindow = 65535;
+constexpr size_t kBlockMinMatch = 4;
+
+inline uint32_t BlockHash(uint32_t v) {
+  return (v * 2654435761u) >> (32 - kBlockHashBits);
+}
+
+/// Appends a length past the 4-bit token nibble: 255-chained extension
+/// bytes, then the remainder.
+void PutLengthExtension(uint64_t rest, std::string* out) {
+  while (rest >= 255) {
+    out->push_back(static_cast<char>(0xFF));
+    rest -= 255;
+  }
+  out->push_back(static_cast<char>(rest));
+}
+
+void EmitSequence(const uint8_t* literals, size_t literal_len, size_t offset,
+                  size_t match_len, std::string* out) {
+  const uint64_t lit_nibble = literal_len < 15 ? literal_len : 15;
+  uint64_t match_nibble = 0;
+  if (match_len != 0) {
+    const uint64_t coded = match_len - kBlockMinMatch;
+    match_nibble = coded < 15 ? coded : 15;
+  }
+  out->push_back(static_cast<char>((lit_nibble << 4) | match_nibble));
+  if (lit_nibble == 15) PutLengthExtension(literal_len - 15, out);
+  out->append(reinterpret_cast<const char*>(literals), literal_len);
+  if (match_len == 0) return;  // final literals-only sequence
+  out->push_back(static_cast<char>(offset & 0xFF));
+  out->push_back(static_cast<char>((offset >> 8) & 0xFF));
+  if (match_nibble == 15) {
+    PutLengthExtension(match_len - kBlockMinMatch - 15, out);
+  }
+}
+
+/// Reads a 255-chained length extension; false on truncation or a value
+/// that would exceed `cap` (bounds the work a hostile stream can demand).
+bool GetLengthExtension(const uint8_t** p, const uint8_t* end, uint64_t cap,
+                        uint64_t* len) {
+  while (true) {
+    if (*p == end) return false;
+    const uint8_t byte = *(*p)++;
+    *len += byte;
+    if (*len > cap) return false;
+    if (byte != 0xFF) return true;
+  }
+}
+
+}  // namespace
+
+bool RleEncodeChunk(TypeKind type, size_t rows, const std::string& plain,
+                    std::string* out) {
+  const size_t width = FixedWidthOf(type);
+  if (width == 0 || rows == 0) return false;
+  if (plain.size() != rows * (1 + width)) return false;
+  out->clear();
+
+  const char* nulls = plain.data();
+  size_t i = 0;
+  while (i < rows) {
+    size_t j = i + 1;
+    while (j < rows && nulls[j] == nulls[i]) ++j;
+    PutU32(static_cast<uint32_t>(j - i), out);
+    out->push_back(nulls[i]);
+    i = j;
+    if (out->size() >= plain.size()) return false;  // cannot win anymore
+  }
+
+  const char* values = plain.data() + rows;
+  i = 0;
+  while (i < rows) {
+    size_t j = i + 1;
+    while (j < rows &&
+           std::memcmp(values + j * width, values + i * width, width) == 0) {
+      ++j;
+    }
+    PutU32(static_cast<uint32_t>(j - i), out);
+    out->append(values + i * width, width);
+    i = j;
+    if (out->size() >= plain.size()) return false;
+  }
+  return true;
+}
+
+bool DictEncodeChunk(TypeKind type, size_t rows, const std::string& plain,
+                     std::string* out) {
+  if (type != TypeKind::kString || rows == 0) return false;
+  if (plain.size() < rows) return false;
+
+  // Walk the per-row [u32 len][bytes] records (writer-produced, so any
+  // inconsistency just disqualifies the encoding rather than erroring).
+  const char* p = plain.data() + rows;
+  const char* end = plain.data() + plain.size();
+  std::vector<std::string_view> row_values;
+  row_values.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    if (static_cast<size_t>(end - p) < 4) return false;
+    const uint32_t len = GetU32(p);
+    p += 4;
+    if (len > static_cast<size_t>(end - p)) return false;
+    row_values.emplace_back(p, len);
+    p += len;
+  }
+  if (p != end) return false;
+
+  std::map<std::string_view, uint32_t> dict;
+  std::vector<std::string_view> entries;
+  std::vector<uint32_t> indexes;
+  indexes.reserve(rows);
+  uint64_t entry_bytes = 0;
+  for (const std::string_view v : row_values) {
+    auto [it, inserted] = dict.emplace(v, static_cast<uint32_t>(entries.size()));
+    if (inserted) {
+      entries.push_back(v);
+      entry_bytes += 4 + v.size();
+    }
+    indexes.push_back(it->second);
+  }
+  const uint64_t encoded_size = rows + 4 + entry_bytes + uint64_t{4} * rows;
+  if (encoded_size >= plain.size()) return false;
+
+  out->clear();
+  out->reserve(static_cast<size_t>(encoded_size));
+  out->append(plain.data(), rows);  // null section verbatim
+  PutU32(static_cast<uint32_t>(entries.size()), out);
+  for (const std::string_view e : entries) {
+    PutU32(static_cast<uint32_t>(e.size()), out);
+    out->append(e.data(), e.size());
+  }
+  for (const uint32_t idx : indexes) PutU32(idx, out);
+  return true;
+}
+
+void BlockCompress(const std::string& plain, std::string* out) {
+  out->clear();
+  const uint8_t* src = reinterpret_cast<const uint8_t*>(plain.data());
+  const size_t n = plain.size();
+  std::vector<int64_t> table(kBlockHashSize, -1);
+  size_t i = 0;
+  size_t anchor = 0;
+  while (i + kBlockMinMatch <= n) {
+    const uint32_t word = Read32(src + i);
+    const uint32_t h = BlockHash(word);
+    const int64_t cand = table[h];
+    table[h] = static_cast<int64_t>(i);
+    if (cand >= 0 && i - static_cast<size_t>(cand) <= kBlockWindow &&
+        Read32(src + cand) == word) {
+      size_t match_len = kBlockMinMatch;
+      while (i + match_len < n &&
+             src[static_cast<size_t>(cand) + match_len] == src[i + match_len]) {
+        ++match_len;
+      }
+      EmitSequence(src + anchor, i - anchor, i - static_cast<size_t>(cand),
+                   match_len, out);
+      i += match_len;
+      anchor = i;
+    } else {
+      ++i;
+    }
+  }
+  if (anchor < n) {
+    EmitSequence(src + anchor, n - anchor, 0, 0, out);
+  }
+}
+
+Status BlockDecompress(const std::string& encoded, uint64_t raw_length,
+                       std::string* plain) {
+  if (raw_length > kMaxDecodedChunkBytes) {
+    return Status::Corruption("block chunk raw length exceeds the decode cap");
+  }
+  plain->clear();
+  plain->reserve(static_cast<size_t>(raw_length));
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(encoded.data());
+  const uint8_t* end = p + encoded.size();
+  while (p < end) {
+    const uint8_t token = *p++;
+    uint64_t literal_len = token >> 4;
+    if (literal_len == 15 &&
+        !GetLengthExtension(&p, end, raw_length, &literal_len)) {
+      return Status::Corruption("block literal length truncated");
+    }
+    if (literal_len > static_cast<uint64_t>(end - p) ||
+        plain->size() + literal_len > raw_length) {
+      return Status::Corruption("block literals out of range");
+    }
+    plain->append(reinterpret_cast<const char*>(p),
+                  static_cast<size_t>(literal_len));
+    p += literal_len;
+    if (p == end) break;  // final literals-only sequence
+    if (end - p < 2) {
+      return Status::Corruption("block match offset truncated");
+    }
+    const size_t offset = static_cast<size_t>(p[0]) |
+                          (static_cast<size_t>(p[1]) << 8);
+    p += 2;
+    if (offset == 0 || offset > plain->size()) {
+      return Status::Corruption("block match offset out of range");
+    }
+    uint64_t match_len = (token & 0x0F) + kBlockMinMatch;
+    if ((token & 0x0F) == 15 &&
+        !GetLengthExtension(&p, end, raw_length, &match_len)) {
+      return Status::Corruption("block match length truncated");
+    }
+    if (plain->size() + match_len > raw_length) {
+      return Status::Corruption("block match overflows raw length");
+    }
+    // Byte-at-a-time on purpose: offsets shorter than the match replicate
+    // the just-written bytes (the classic LZ4 overlap copy).
+    size_t pos = plain->size() - offset;
+    for (uint64_t k = 0; k < match_len; ++k) {
+      plain->push_back((*plain)[pos++]);
+    }
+  }
+  if (plain->size() != raw_length) {
+    return Status::Corruption("block chunk raw length mismatch");
+  }
+  return Status::Ok();
+}
+
+ChunkEncoding EncodeChunkAdaptive(TypeKind type, size_t rows,
+                                  const std::string& plain,
+                                  std::string* out) {
+  ChunkEncoding best = ChunkEncoding::kPlain;
+  std::string best_bytes;
+  size_t best_size = plain.size();
+  std::string candidate;
+  if (RleEncodeChunk(type, rows, plain, &candidate) &&
+      candidate.size() < best_size) {
+    best = ChunkEncoding::kRle;
+    best_size = candidate.size();
+    best_bytes = std::move(candidate);
+  }
+  if (DictEncodeChunk(type, rows, plain, &candidate) &&
+      candidate.size() < best_size) {
+    best = ChunkEncoding::kDict;
+    best_size = candidate.size();
+    best_bytes = std::move(candidate);
+  }
+  BlockCompress(plain, &candidate);
+  if (candidate.size() < best_size) {
+    best = ChunkEncoding::kBlock;
+    best_bytes = std::move(candidate);
+  }
+  *out = best == ChunkEncoding::kPlain ? plain : std::move(best_bytes);
+  return best;
+}
+
+Status DecodeChunk(ChunkEncoding enc, TypeKind type, size_t rows,
+                   uint64_t raw_length, const std::string& encoded,
+                   std::string* plain) {
+  switch (enc) {
+    case ChunkEncoding::kPlain:
+      if (raw_length != encoded.size()) {
+        return Status::Corruption("plain chunk raw length mismatch");
+      }
+      *plain = encoded;
+      return Status::Ok();
+    case ChunkEncoding::kRle:
+      return RleDecodeChunk(type, rows, raw_length, encoded, plain);
+    case ChunkEncoding::kDict:
+      return DictDecodeChunk(type, rows, raw_length, encoded, plain);
+    case ChunkEncoding::kBlock:
+      return BlockDecompress(encoded, raw_length, plain);
+  }
+  return Status::Corruption("unknown chunk encoding id");
+}
+
+}  // namespace maxson::storage

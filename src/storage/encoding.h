@@ -1,0 +1,120 @@
+#ifndef MAXSON_STORAGE_ENCODING_H_
+#define MAXSON_STORAGE_ENCODING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "storage/corc_format.h"
+#include "storage/types.h"
+
+namespace maxson::storage {
+
+/// CORC v3 chunk encodings (see corc_format.h for the on-disk framing).
+///
+/// Every encoder transforms one *plain* row-group chunk — the exact v2 byte
+/// layout: a byte-per-row null section followed by the type's value section
+/// — into an alternative byte stream, and every decoder reconstructs those
+/// plain bytes exactly, so the reader's type-specific chunk parsing never
+/// sees an encoding. The writer picks per chunk adaptively: it tries every
+/// applicable candidate and keeps the smallest output, with the plain bytes
+/// as the baseline that always applies (EncodeChunkAdaptive). Decoders
+/// treat their input as hostile — the chunk CRC detects storage rot, not a
+/// malicious or buggy writer — and return typed Corruption on any
+/// malformed stream instead of crashing or over-allocating.
+///
+/// Encodings:
+///   kRle   Fixed-width types (bool/int64/double). The null section becomes
+///          [u32 run][1 value byte] runs; the value section becomes
+///          [u32 run][width value bytes] runs of identical elements. Run
+///          lengths per section must sum to the row count exactly.
+///   kDict  String columns. The null section is kept verbatim, followed by
+///          [u32 dict_count], the dictionary entries in first-occurrence
+///          order as [u32 len][bytes], and one u32 dictionary index per
+///          row. Decoding validates every index in one MaxU32 kernel pass.
+///   kBlock LZ4-style byte compression of the whole plain chunk: greedy
+///          hash-table matching emitting [token][literal ext][literals]
+///          [u16 LE offset][match ext] sequences (4-bit length nibbles,
+///          255-chained extensions, minimum match 4, window 65,535).
+///
+/// Run expansion (RLE) and index validation (dict) run through dispatched
+/// SIMD kernels (simd::RleSplat, simd::MaxU32) — byte-identical at every
+/// ISA level per the src/simd contracts.
+
+/// Largest string value one CORC row can hold: per-row lengths are u32 on
+/// disk, so anything bigger cannot be represented — the writer rejects it
+/// up front instead of silently truncating the length.
+inline constexpr uint64_t kMaxCorcStringBytes = 0xFFFFFFFFull;
+
+/// Validates one string value's size against the CORC per-row length field.
+inline Status ValidateCorcStringSize(uint64_t size) {
+  if (size > kMaxCorcStringBytes) {
+    return Status::InvalidArgument(
+        "string value of " + std::to_string(size) +
+        " bytes exceeds the 4 GiB CORC per-value limit");
+  }
+  return Status::Ok();
+}
+
+/// Upper bound a decoder will materialize for one chunk, whatever the
+/// footer's raw_length claims — a hostile directory cannot make a reader
+/// allocate without bound.
+inline constexpr uint64_t kMaxDecodedChunkBytes = 1ull << 30;
+
+/// Value-slot width of a fixed-width type in the plain chunk layout, or 0
+/// for variable-width (string) columns.
+inline constexpr size_t FixedWidthOf(TypeKind type) {
+  switch (type) {
+    case TypeKind::kBool:
+      return 1;
+    case TypeKind::kInt64:
+    case TypeKind::kDouble:
+      return 8;
+    case TypeKind::kString:
+      return 0;
+  }
+  return 0;
+}
+
+/// Run-length encodes a fixed-width plain chunk. Returns false when the
+/// encoding does not apply (variable-width type, malformed plain size) or
+/// cannot beat the plain bytes; `out` is unspecified then.
+bool RleEncodeChunk(TypeKind type, size_t rows, const std::string& plain,
+                    std::string* out);
+
+/// Dictionary-encodes a string plain chunk. Returns false when the encoding
+/// does not apply or cannot beat the plain bytes.
+bool DictEncodeChunk(TypeKind type, size_t rows, const std::string& plain,
+                     std::string* out);
+
+/// Block-compresses arbitrary bytes (always applicable; the output may be
+/// larger than the input on incompressible data — the adaptive picker
+/// discards it then).
+void BlockCompress(const std::string& plain, std::string* out);
+
+/// Reverses BlockCompress. `raw_length` is the exact decompressed size from
+/// the footer directory; anything that does not reconstruct exactly that
+/// many bytes, reads out of bounds, or references data before the output
+/// start is Corruption.
+Status BlockDecompress(const std::string& encoded, uint64_t raw_length,
+                       std::string* plain);
+
+/// Writer-side selection: encodes `plain` (the v2 chunk layout for `rows`
+/// rows of `type`) under every applicable candidate and stores the smallest
+/// result in `out`, returning its encoding id. kPlain (a verbatim copy) is
+/// the floor, so `out` never exceeds `plain` in size.
+ChunkEncoding EncodeChunkAdaptive(TypeKind type, size_t rows,
+                                  const std::string& plain, std::string* out);
+
+/// Reader-side dispatch: reconstructs the plain chunk bytes from `encoded`
+/// under `enc`. `rows` and `type` come from the footer schema/directory and
+/// gate which encodings are acceptable (e.g. kDict only on string columns);
+/// `raw_length` is the footer's decoded size and must match exactly.
+Status DecodeChunk(ChunkEncoding enc, TypeKind type, size_t rows,
+                   uint64_t raw_length, const std::string& encoded,
+                   std::string* plain);
+
+}  // namespace maxson::storage
+
+#endif  // MAXSON_STORAGE_ENCODING_H_

@@ -24,6 +24,19 @@ SargResult SearchArgument::EvaluateLeaf(const SargLeaf& leaf,
   }
   if (stats.all_null()) return SargResult::kNo;  // comparisons never match NULL
   const Value& lit = leaf.literal;
+  // min/max were selected under the column's homogeneous ordering (numeric
+  // for numeric columns, lexicographic for strings). Comparing them against
+  // a literal of the other class would use the textual mixed-type ordering,
+  // under which they are not bounds at all: a row can compare below the
+  // literal while the group's numeric min compares above it. Range pruning
+  // is unsound there, so answer kMaybe and let row-level evaluation decide.
+  const auto is_numeric = [](const Value& v) {
+    return v.is_int64() || v.is_double() || v.is_bool();
+  };
+  if (is_numeric(lit) != is_numeric(stats.min) ||
+      lit.is_string() != stats.min.is_string()) {
+    return SargResult::kMaybe;
+  }
   const int cmp_min = stats.min.Compare(lit);  // min vs literal
   const int cmp_max = stats.max.Compare(lit);  // max vs literal
   switch (leaf.op) {

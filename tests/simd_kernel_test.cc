@@ -6,6 +6,7 @@
 // of the original byte-at-a-time algorithm, and end-to-end queries must
 // return identical batches and counter totals under each forced level.
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -486,6 +487,65 @@ TEST_F(SimdKernelTest, Crc32cExtendComposesAndMatchesScalarAtEveryLevel) {
             << simd::IsaName(level) << " len=" << len << " split=" << split;
       }
     }
+  }
+}
+
+TEST_F(SimdKernelTest, RleSplatMatchesScalarAtEveryLevel) {
+  // Broadcast semantics: out must equal the pattern repeated `count` times,
+  // byte-identical at every dispatch level, across the vectorized widths
+  // (1/2/4/8), the scalar-fallback widths (3/5/16), and tail counts around
+  // the 16/32-byte block sizes.
+  Rng rng(1213);
+  for (size_t width : {1u, 2u, 3u, 4u, 5u, 8u, 16u}) {
+    std::vector<uint8_t> pattern(width);
+    for (uint8_t& b : pattern) b = static_cast<uint8_t>(rng.NextInt(0, 255));
+    for (size_t count : {0u, 1u, 2u, 3u, 15u, 16u, 17u, 31u, 33u, 257u}) {
+      std::vector<uint8_t> expected(width * count);
+      for (size_t i = 0; i < count; ++i) {
+        std::memcpy(expected.data() + i * width, pattern.data(), width);
+      }
+      for (Isa level : SupportedLevels()) {
+        IsaGuard guard(level);
+        // Canary padding proves the kernel writes exactly width*count bytes.
+        std::vector<uint8_t> out(width * count + 4, 0xAB);
+        simd::RleSplat(pattern.data(), width, count, out.data());
+        EXPECT_EQ(std::memcmp(out.data(), expected.data(), expected.size()),
+                  0)
+            << simd::IsaName(level) << " width=" << width
+            << " count=" << count;
+        for (size_t i = expected.size(); i < out.size(); ++i) {
+          EXPECT_EQ(out[i], 0xAB) << simd::IsaName(level) << " overwrite at "
+                                  << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SimdKernelTest, MaxU32MatchesScalarAtEveryLevel) {
+  Rng rng(3137);
+  for (size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 31u, 64u, 1000u}) {
+    std::vector<uint32_t> values(n);
+    for (uint32_t& v : values) {
+      // Mix small values with ones above INT32_MAX: unsigned max via signed
+      // compares needs the sign-bias trick, which this distribution trips.
+      v = rng.NextBool(0.3)
+              ? 0x80000000u + static_cast<uint32_t>(rng.NextBounded(1 << 30))
+              : static_cast<uint32_t>(rng.NextBounded(1000));
+    }
+    uint32_t expected = 0;
+    for (uint32_t v : values) expected = std::max(expected, v);
+    for (Isa level : SupportedLevels()) {
+      IsaGuard guard(level);
+      EXPECT_EQ(simd::MaxU32(values.data(), n), expected)
+          << simd::IsaName(level) << " n=" << n;
+    }
+  }
+  // Edge values survive the bias round-trip.
+  const uint32_t edge[] = {0u, UINT32_MAX, 0x7FFFFFFFu, 0x80000000u};
+  for (Isa level : SupportedLevels()) {
+    IsaGuard guard(level);
+    EXPECT_EQ(simd::MaxU32(edge, 4), UINT32_MAX) << simd::IsaName(level);
   }
 }
 

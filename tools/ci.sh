@@ -15,7 +15,10 @@
 #           finding fails the run instead of scrolling by. The on-demand
 #           parser's differential suite also re-runs standalone (native and
 #           MAXSON_FORCE_ISA=scalar): its cursor arithmetic over SIMD-built
-#           bitmaps is the code most likely to hide an off-by-one.
+#           bitmaps is the code most likely to hide an off-by-one. The CORC
+#           encoding suite (dict/RLE/block codecs + fuzzed malformed
+#           streams) re-runs standalone the same two ways: decoders read
+#           attacker-controlled bytes.
 #   tsan    ThreadSanitizer build + full test suite (the parallel execution
 #           runtime must be race-clean); the metrics-determinism test, the
 #           CacheRegistry stress test, the serving-layer test, and the
@@ -140,7 +143,7 @@ fi
 echo "=== Crash-consistency suite (durability tests) ==="
 ./build-ci/tests/durability_test
 ./build-ci/tests/storage_test \
-  --gtest_filter='CorcWriterTest.*:CorcReaderTest.*:FaultInjectorTest.*'
+  --gtest_filter='CorcWriterTest.*:CorcReaderTest.*:CorcEncodingTest.*:CorcPropertyTest.*:FaultInjectorTest.*'
 if [[ "$run_asan" == 1 ]]; then
   echo "=== Crash-consistency suite under ASan ==="
   ASAN_OPTIONS="detect_leaks=1:halt_on_error=1" \
@@ -160,6 +163,20 @@ if [[ "$run_asan" == 1 ]]; then
   ASAN_OPTIONS="detect_leaks=1:halt_on_error=1" \
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ./build-asan/tests/ondemand_parser_test
+  # The CORC encoding layer (dict/RLE/block codecs plus their fuzzed
+  # malformed-stream suite) runs standalone under ASan/UBSan: decoders
+  # parse attacker-controlled bytes, so buffer overreads here are the
+  # exact bug class the sanitizers exist for. Once at native dispatch,
+  # once forced to the scalar RleSplat/MaxU32 kernels.
+  echo "=== CORC encoding suite under ASan ==="
+  ASAN_OPTIONS="detect_leaks=1:halt_on_error=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ./build-asan/tests/storage_test --gtest_filter='CorcEncodingTest.*'
+  echo "=== CORC encoding suite under ASan, forced-scalar ==="
+  MAXSON_FORCE_ISA=scalar \
+  ASAN_OPTIONS="detect_leaks=1:halt_on_error=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ./build-asan/tests/storage_test --gtest_filter='CorcEncodingTest.*'
 fi
 # Prove the env knob arms the injector outside of test code, then exercise
 # a short read end to end through the session knob path.

@@ -28,6 +28,7 @@
 //   set ondemand on|off | set isa scalar|sse2|avx2|auto
 //   set faultinject fail:N|torn:N|short:N|off
 //   set sharedscan on|off | set morselsize ROWS
+//   set corcencoding on|off
 //   set resultcache on|off | set maxinflight N | set maxqueue N
 //
 // SQL is served through a MaxsonServer (tenant "shell"), so admission
@@ -90,6 +91,8 @@ void PrintHelp() {
       "                     one parse pass per morsel\n"
       "set morselsize ROWS  target rows per shared-scan morsel (0 = one\n"
       "                     morsel per split)\n"
+      "set corcencoding on|off  write cache files as CORC v3 with adaptive\n"
+      "                     chunk encodings (dict/RLE/block; off = v2 plain)\n"
       "set resultcache on|off  serve repeated SELECTs from the semantic\n"
       "                     result cache (off by default)\n"
       "set maxinflight N    admission: concurrent queries allowed\n"
@@ -219,7 +222,8 @@ int Run(const ShellOptions& options) {
             "faultinject:    %s\n"
             "ondemand:       %s\n"
             "sharedscan:     %s (morselsize %llu); %llu subscribers, "
-            "%llu passes, %llu coalesced, %llu bytes saved\n",
+            "%llu passes, %llu coalesced, %llu bytes saved\n"
+            "corcencoding:   %s\n",
             static_cast<unsigned long long>(stats.rewrite_cache_hits),
             static_cast<unsigned long long>(stats.rewrite_cache_misses),
             static_cast<unsigned long long>(stats.rewrite_invalidations),
@@ -238,7 +242,8 @@ int Run(const ShellOptions& options) {
             static_cast<unsigned long long>(stats.sharedscan_subscribers),
             static_cast<unsigned long long>(stats.sharedscan_parse_passes),
             static_cast<unsigned long long>(stats.sharedscan_coalesced_parses),
-            static_cast<unsigned long long>(stats.sharedscan_saved_bytes));
+            static_cast<unsigned long long>(stats.sharedscan_saved_bytes),
+            stats.corc_encoding_enabled ? "on" : "off");
       } else if (cmd == ".serve") {
         const auto cache_stats = server.result_cache_stats();
         const auto admission = server.admission_snapshot("shell");
